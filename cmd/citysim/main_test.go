@@ -1,0 +1,36 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestTinySimulation(t *testing.T) {
+	if err := run([]string{"-scale", "4000", "-duration", "20m", "-category", "parking"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestWriteAndUseConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "city.json")
+	if err := run([]string{"-write-config", path}); err != nil {
+		t.Fatalf("write-config: %v", err)
+	}
+	if err := run([]string{"-config", path, "-scale", "4000", "-duration", "20m", "-category", "parking"}); err != nil {
+		t.Fatalf("run with config: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-codec", "lzma"},
+		{"-category", "plasma"},
+		{"-config", filepath.Join(t.TempDir(), "missing.json")},
+		{"-bogus"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command f2cctl inspects and controls running f2cd nodes:
+//
+//	f2cctl -node http://localhost:8082 status
+//	f2cctl -node http://localhost:8082 flush
+//	f2cctl -node http://localhost:8082 latest <sensorID>
+//	f2cctl -node http://localhost:8082 range <type> <fromRFC3339> <toRFC3339>
+//	f2cctl dlc        # print the SCC-DLC -> F2C phase mapping
+//	f2cctl topology   # print the Barcelona Fig. 6 layout
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"f2c/internal/core"
+	"f2c/internal/protocol"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "f2cctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("f2cctl", flag.ContinueOnError)
+	nodeURL := fs.String("node", "", "target node base URL")
+	nodeID := fs.String("node-id", "cloud", "addressed node id (all-in-one gateways route by it)")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("need a command: status|flush|latest|range|dlc|topology")
+	}
+	cmd, rest := rest[0], rest[1:]
+
+	// Local informational commands.
+	switch cmd {
+	case "dlc":
+		fmt.Print(core.DescribeDLC())
+		return nil
+	case "topology":
+		fmt.Print(topology.Barcelona().Describe())
+		return nil
+	}
+
+	if *nodeURL == "" {
+		return errors.New("-node is required for remote commands")
+	}
+	target := *nodeID
+	if target == "" {
+		target = "cloud"
+	}
+	tr := transport.NewHTTPTransport(*timeout)
+	tr.AddPeer(target, *nodeURL)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	send := func(kind transport.Kind, payload []byte) ([]byte, error) {
+		return tr.Send(ctx, transport.Message{
+			From: "f2cctl", To: target, Kind: kind, Payload: payload,
+		})
+	}
+
+	switch cmd {
+	case "status":
+		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpStatus})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindControl, req)
+		if err != nil {
+			return err
+		}
+		var st protocol.StatusResponse
+		if err := protocol.DecodeJSON(reply, &st); err != nil {
+			return err
+		}
+		fmt.Printf("node %s (%s)\n  stored readings: %d in %d series\n  pending batches: %d\n  ingested batches: %d\n  dedup eliminated: %.1f%%\n",
+			st.NodeID, st.Layer, st.StoredReadings, st.StoredSeries,
+			st.PendingBatches, st.IngestedBatches, 100*st.DedupEliminated)
+		return nil
+	case "flush":
+		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpFlush})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindControl, req)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(reply))
+		return nil
+	case "latest":
+		if len(rest) != 1 {
+			return errors.New("usage: latest <sensorID>")
+		}
+		req, err := protocol.EncodeJSON(protocol.QueryRequest{SensorID: rest[0]})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindQuery, req)
+		if err != nil {
+			return err
+		}
+		return printReadings(reply)
+	case "range":
+		if len(rest) != 3 {
+			return errors.New("usage: range <type> <fromRFC3339> <toRFC3339>")
+		}
+		from, err := time.Parse(time.RFC3339, rest[1])
+		if err != nil {
+			return fmt.Errorf("parse from: %w", err)
+		}
+		to, err := time.Parse(time.RFC3339, rest[2])
+		if err != nil {
+			return fmt.Errorf("parse to: %w", err)
+		}
+		req, err := protocol.EncodeJSON(protocol.QueryRequest{
+			TypeName: rest[0], FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
+		})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindQuery, req)
+		if err != nil {
+			return err
+		}
+		return printReadings(reply)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printReadings(reply []byte) error {
+	var resp protocol.QueryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		return err
+	}
+	if !resp.Found {
+		fmt.Println("no data")
+		return nil
+	}
+	for _, r := range resp.Readings {
+		fmt.Printf("%s  %s  %.3f %s  (%.5f, %.5f)\n",
+			r.Time.Format(time.RFC3339), r.SensorID, r.Value, r.Unit, r.Location.Lat, r.Location.Lon)
+	}
+	return nil
+}

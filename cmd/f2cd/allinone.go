@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+
+	"f2c/internal/config"
+	"f2c/internal/core"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+)
+
+// runAllInOne hosts the entire hierarchy inside one process: every
+// fog node over the in-process simulated network, the cloud, and a
+// single HTTP endpoint. Messages are routed by the X-F2C-To header,
+// so f2cload and f2cctl work unchanged against any node, and the
+// open-data API is served from the same port — a one-command demo
+// city:
+//
+//	f2cd -all-in-one -listen :8080
+//	f2cload -node http://localhost:8080 -node-id fog1/d01-s01 ...
+//	f2cctl  -node http://localhost:8080 status   # routes to the cloud
+//	curl http://localhost:8080/opendata/v1/categories
+func runAllInOne(cfgPath, listen string) error {
+	dep := config.Barcelona()
+	if cfgPath != "" {
+		var err error
+		dep, err = config.Load(cfgPath)
+		if err != nil {
+			return err
+		}
+	}
+	opts, err := dep.Options(sim.WallClock{})
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		return err
+	}
+	sys.Start()
+
+	mux := http.NewServeMux()
+	mux.Handle(transport.MessagePath, allInOneRouter{sys: sys})
+	mux.Handle("/opendata/", sys.Cloud().OpenDataHandler())
+
+	f1, f2, _ := sys.Topology().Counts()
+	log.Printf("all-in-one %s (%d fog1 / %d fog2 / 1 cloud) listening on %s", opts.City, f1, f2, listen)
+	return serve(listen, mux, sys.Close)
+}
+
+// allInOneRouter dispatches /f2c/v1/message requests to the addressed
+// node by the X-F2C-To header; an empty or "cloud" target goes to the
+// cloud node.
+type allInOneRouter struct {
+	sys *core.System
+}
+
+func (r allInOneRouter) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	target := req.Header.Get(transport.HeaderTo)
+	if target == "" {
+		target = core.CloudID
+	}
+	h, err := r.handlerFor(target)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	transport.NewHTTPHandler(target, h).ServeHTTP(w, req)
+}
+
+func (r allInOneRouter) handlerFor(target string) (transport.Handler, error) {
+	if target == core.CloudID {
+		return r.sys.Cloud(), nil
+	}
+	if n, ok := r.sys.Fog1(target); ok {
+		return n, nil
+	}
+	if n, ok := r.sys.Fog2(target); ok {
+		return n, nil
+	}
+	return nil, fmt.Errorf("unknown node %q", target)
+}
+
+var _ http.Handler = allInOneRouter{}

@@ -1,0 +1,164 @@
+// Command f2cd runs one F2C node as a network daemon, allowing a real
+// multi-process hierarchy to be assembled on any set of hosts:
+//
+//	# cloud layer (also serves the open-data API)
+//	f2cd -id cloud -layer cloud -listen :8080
+//
+//	# a district (fog layer 2) node reporting to the cloud
+//	f2cd -id fog2/d01 -layer fog2 -parent cloud \
+//	     -parent-url http://localhost:8080 -listen :8081
+//
+//	# a section (fog layer 1) node reporting to the district
+//	f2cd -id fog1/d01-s01 -layer fog1 -parent fog2/d01 \
+//	     -parent-url http://localhost:8081 -listen :8082 -flush 30s
+//
+// Sensors POST batch envelopes to /f2c/v1/message; f2cctl inspects
+// and controls running nodes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/cloud"
+	"f2c/internal/fognode"
+	"f2c/internal/model"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "f2cd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("f2cd", flag.ContinueOnError)
+	id := fs.String("id", "", "node id (e.g. fog1/d01-s01 or cloud)")
+	layer := fs.String("layer", "", "node layer: fog1|fog2|cloud")
+	parent := fs.String("parent", "", "parent node id (fog layers)")
+	parentURL := fs.String("parent-url", "", "parent base URL (fog layers)")
+	listen := fs.String("listen", ":8080", "listen address")
+	city := fs.String("city", "Barcelona", "city name for description tags")
+	codecName := fs.String("codec", "zip", "upward compression: none|flate|gzip|zip")
+	flush := fs.Duration("flush", time.Minute, "upward flush interval")
+	retention := fs.Duration("retention", time.Hour, "temporal store retention (fog layers)")
+	dedup := fs.Bool("dedup", true, "redundant-data elimination (fog1)")
+	qual := fs.Bool("quality", true, "data-quality phase (fog1)")
+	allInOne := fs.Bool("all-in-one", false, "run the whole hierarchy in this process (demo mode)")
+	cfgPath := fs.String("config", "", "deployment JSON for -all-in-one (default: Barcelona)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *allInOne {
+		return runAllInOne(*cfgPath, *listen)
+	}
+	if *id == "" {
+		return errors.New("-id is required")
+	}
+
+	switch *layer {
+	case "cloud":
+		return runCloud(*id, *city, *listen)
+	case "fog1", "fog2":
+		codec, err := parseCodec(*codecName)
+		if err != nil {
+			return err
+		}
+		if *parent == "" || *parentURL == "" {
+			return errors.New("fog layers need -parent and -parent-url")
+		}
+		l := topology.LayerFog1
+		if *layer == "fog2" {
+			l = topology.LayerFog2
+		}
+		cfg := fognode.Config{
+			Spec: topology.NodeSpec{
+				ID: *id, Layer: l, Parent: *parent, Name: *id,
+			},
+			City:          *city,
+			Clock:         sim.WallClock{},
+			Retention:     *retention,
+			FlushInterval: *flush,
+			Codec:         codec,
+			Dedup:         *dedup && l == topology.LayerFog1,
+			Quality:       *qual && l == topology.LayerFog1,
+		}
+		return runFog(cfg, *parentURL, *listen)
+	default:
+		return fmt.Errorf("unknown layer %q (want fog1|fog2|cloud)", *layer)
+	}
+}
+
+func parseCodec(s string) (aggregate.Codec, error) {
+	for _, c := range []aggregate.Codec{aggregate.CodecNone, aggregate.CodecFlate, aggregate.CodecGzip, aggregate.CodecZip} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown codec %q", s)
+}
+
+func runCloud(id, city, listen string) error {
+	node, err := cloud.New(cloud.Config{ID: id, City: city, Clock: sim.WallClock{}})
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(transport.MessagePath, transport.NewHTTPHandler(id, node))
+	mux.Handle("/opendata/", node.OpenDataHandler())
+	log.Printf("cloud node %s listening on %s (message + open-data API)", id, listen)
+	return serve(listen, mux, func(context.Context) error { return nil })
+}
+
+func runFog(cfg fognode.Config, parentURL, listen string) error {
+	tr := transport.NewHTTPTransport(30 * time.Second)
+	tr.AddPeer(cfg.Spec.Parent, parentURL)
+	cfg.Transport = tr
+	node, err := fognode.New(cfg)
+	if err != nil {
+		return err
+	}
+	node.Start()
+	mux := http.NewServeMux()
+	mux.Handle(transport.MessagePath, transport.NewHTTPHandler(cfg.Spec.ID, node))
+	log.Printf("%s node %s listening on %s, parent %s at %s",
+		cfg.Spec.Layer, cfg.Spec.ID, listen, cfg.Spec.Parent, parentURL)
+	_ = model.Catalog() // keep the catalog linked for -h docs
+	return serve(listen, mux, node.Close)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then shuts the
+// node down gracefully (final flush included).
+func serve(listen string, handler http.Handler, closeNode func(context.Context) error) error {
+	srv := &http.Server{Addr: listen, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return closeNode(ctx)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/fognode"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+func TestLoadAgainstFogNode(t *testing.T) {
+	n, err := fognode.New(fognode.Config{
+		Spec: topology.NodeSpec{
+			ID: "fog1/test", Layer: topology.LayerFog1, Parent: "fog2/test", Name: "t",
+		},
+		Clock: sim.WallClock{}, // f2cload stamps readings with wall time
+		Codec: aggregate.CodecNone, Dedup: true, Quality: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(transport.NewHTTPHandler("fog1/test", n))
+	defer srv.Close()
+
+	err = run([]string{
+		"-node", srv.URL, "-node-id", "fog1/test",
+		"-type", "traffic", "-sensors", "10", "-rounds", "3", "-interval", "1ms",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st := n.Status()
+	if st.IngestedBatches != 3 {
+		t.Errorf("ingested = %d batches, want 3", st.IngestedBatches)
+	}
+	if st.StoredReadings == 0 {
+		t.Error("no readings stored")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{}, // missing node
+		{"-node", "http://x", "-type", "unobtainium"},
+		{"-node", "http://x", "-sensors", "0"},
+		{"-bogus"},
+	}
+	for i, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestRunUnreachableNode(t *testing.T) {
+	err := run([]string{
+		"-node", "http://127.0.0.1:1", "-rounds", "1", "-timeout", "200ms",
+	}, os.Stdout)
+	if err == nil {
+		t.Error("expected transport error")
+	}
+}

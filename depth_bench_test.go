@@ -1,0 +1,176 @@
+package f2c
+
+// Hierarchy-depth ablation (DESIGN.md): the paper's architecture "can
+// consider a variable number of levels". This bench compares a
+// two-layer deployment (sections push straight to the cloud over the
+// WAN) against the paper's three-layer one (sections push to their
+// district, which combines child batches before the WAN hop),
+// measuring WAN bytes for the same edge workload.
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/cloud"
+	"f2c/internal/fognode"
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/sensor"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+const depthSections = 4
+
+// depthWorkload feeds each section node the same deterministic
+// traffic and flushes everything through, returning WAN bytes.
+func depthWorkload(b testing.TB, sections []*fognode.Node, districts []*fognode.Node, m *metrics.TrafficMatrix, wanHop metrics.Hop) int64 {
+	b.Helper()
+	ctx := context.Background()
+	st, err := model.TypeByName("temperature")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, n := range sections {
+		gen, err := sensor.NewGenerator(sensor.Config{
+			Type: st, NodeID: n.ID(), Sensors: 20, Seed: int64(i + 1), Redundancy: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for round := 0; round < 8; round++ {
+			at := benchEpoch.Add(time.Duration(round) * 15 * time.Minute)
+			if err := n.Ingest(gen.Next(at)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := n.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range districts {
+		if err := d.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m.Bytes(wanHop)
+}
+
+// depth2 wires sections directly under the cloud.
+func depth2(b testing.TB) int64 {
+	b.Helper()
+	clock := sim.NewVirtualClock(benchEpoch)
+	m := metrics.NewTrafficMatrix()
+	net := transport.NewSimNetwork(
+		transport.WithTrafficMatrix(m, func(from, to string) metrics.Hop {
+			return metrics.HopEdgeToCloud
+		}),
+	)
+	cl, err := cloud.New(cloud.Config{ID: "cloud", Clock: clock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Register("cloud", cl)
+	var sections []*fognode.Node
+	for i := 0; i < depthSections; i++ {
+		n, err := fognode.New(fognode.Config{
+			Spec: topology.NodeSpec{
+				ID: "fog1/s" + strconv.Itoa(i), Layer: topology.LayerFog1,
+				Parent: "cloud", Name: "s" + strconv.Itoa(i),
+			},
+			Clock: clock, Transport: net, Codec: aggregate.CodecZip, Dedup: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Register(n.ID(), n)
+		net.SetLink(n.ID(), "cloud", transport.WANLink)
+		sections = append(sections, n)
+	}
+	return depthWorkload(b, sections, nil, m, metrics.HopEdgeToCloud)
+}
+
+// depth3 wires sections under a district under the cloud.
+func depth3(b testing.TB) int64 {
+	b.Helper()
+	clock := sim.NewVirtualClock(benchEpoch)
+	m := metrics.NewTrafficMatrix()
+	net := transport.NewSimNetwork(
+		transport.WithTrafficMatrix(m, func(from, to string) metrics.Hop {
+			if to == "cloud" {
+				return metrics.HopFog2ToCloud
+			}
+			return metrics.HopFog1ToFog2
+		}),
+	)
+	cl, err := cloud.New(cloud.Config{ID: "cloud", Clock: clock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Register("cloud", cl)
+	district, err := fognode.New(fognode.Config{
+		Spec: topology.NodeSpec{
+			ID: "fog2/d", Layer: topology.LayerFog2, Parent: "cloud", Name: "d",
+		},
+		Clock: clock, Transport: net, Codec: aggregate.CodecZip,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Register(district.ID(), district)
+	net.SetLink(district.ID(), "cloud", transport.WANLink)
+	var sections []*fognode.Node
+	for i := 0; i < depthSections; i++ {
+		n, err := fognode.New(fognode.Config{
+			Spec: topology.NodeSpec{
+				ID: "fog1/s" + strconv.Itoa(i), Layer: topology.LayerFog1,
+				Parent: district.ID(), Name: "s" + strconv.Itoa(i),
+			},
+			Clock: clock, Transport: net, Codec: aggregate.CodecZip, Dedup: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Register(n.ID(), n)
+		net.SetLink(n.ID(), district.ID(), transport.MetroLink)
+		sections = append(sections, n)
+	}
+	return depthWorkload(b, sections, []*fognode.Node{district}, m, metrics.HopFog2ToCloud)
+}
+
+// BenchmarkHierarchyDepth reports WAN bytes for the same workload
+// under both depths. The district layer combines its children's
+// per-type batches into one envelope per type, amortizing framing and
+// compressing a larger window — fewer WAN bytes at the cost of one
+// extra metro hop.
+func BenchmarkHierarchyDepth(b *testing.B) {
+	b.Run("2-layer", func(b *testing.B) {
+		var wan int64
+		for i := 0; i < b.N; i++ {
+			wan = depth2(b)
+		}
+		b.ReportMetric(float64(wan), "wanB")
+	})
+	b.Run("3-layer", func(b *testing.B) {
+		var wan int64
+		for i := 0; i < b.N; i++ {
+			wan = depth3(b)
+		}
+		b.ReportMetric(float64(wan), "wanB")
+	})
+}
+
+// TestHierarchyDepthShape asserts the ablation's expected direction:
+// the three-layer deployment ships fewer WAN bytes than the two-layer
+// one for the same edge workload.
+func TestHierarchyDepthShape(t *testing.T) {
+	wan2 := depth2(t)
+	wan3 := depth3(t)
+	if wan3 >= wan2 {
+		t.Errorf("3-layer WAN bytes %d not below 2-layer %d", wan3, wan2)
+	}
+}

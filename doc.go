@@ -1,0 +1,29 @@
+// Package f2c is a fog-to-cloud (F2C) data-management system for
+// smart cities, reproducing "A Novel Architecture for Efficient Fog to
+// Cloud Data Management in Smart Cities" (Sinaeepourfard, Garcia,
+// Masip-Bruin, Marin-Tordera — ICDCS 2017).
+//
+// The library assembles a hierarchical city deployment — many fog
+// layer-1 nodes (one per city section), fog layer-2 nodes (one per
+// district) and a cloud — and maps the SCC-DLC data life cycle onto
+// it: acquisition (collection, redundant-data elimination, quality,
+// description) at fog layer 1, temporal storage with retention at the
+// fog layers, and classification, permanent archiving and open-data
+// dissemination at the cloud.
+//
+// Quick start:
+//
+//	sys, err := f2c.NewSystem(f2c.Options{
+//		Topology: f2c.Barcelona(),
+//		Clock:    f2c.NewVirtualClock(start),
+//		Dedup:    true,
+//		Quality:  true,
+//	})
+//	...
+//	sys.IngestAt("fog1/d01-s01", batch) // acquisition at the edge
+//	sys.FlushAll(ctx)                   // periodic upward movement
+//	sys.Cloud().Historical("traffic", from, to)
+//
+// See examples/ for runnable programs and cmd/f2cbench for the
+// harnesses that regenerate the paper's Table I and Fig. 7.
+package f2c

@@ -1,0 +1,129 @@
+// Opendata: the data-dissemination phase. Populates a cloud node with
+// a day of archived readings, serves the open-data HTTP API on
+// localhost, and queries it like a civic-app developer would —
+// including the privacy rule that keeps restricted types unpublished.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"f2c"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	clock := f2c.NewVirtualClock(start)
+	sys, err := f2c.NewSystem(f2c.Options{Clock: clock, Dedup: true, Quality: true})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	// Feed a morning of air-quality and people-flow data through the
+	// hierarchy into the cloud archive.
+	section := sys.Fog1IDs()[0]
+	for hour := 0; hour < 6; hour++ {
+		at := start.Add(time.Duration(hour) * time.Hour)
+		clock.AdvanceTo(at)
+		for i, typ := range []struct {
+			name string
+			cat  f2c.Category
+			val  float64
+			unit string
+		}{
+			{"air_quality", f2c.CategoryUrban, float64(40 + hour*10), "AQI"},
+			{"people_flow", f2c.CategoryUrban, float64(10 + hour*25), "1/min"},
+		} {
+			b := &f2c.Batch{
+				NodeID: "edge", TypeName: typ.name, Category: typ.cat, Collected: at,
+				Readings: []f2c.Reading{{
+					SensorID: fmt.Sprintf("plaça/%s/%d", typ.name, i), TypeName: typ.name,
+					Category: typ.cat, Time: at, Value: typ.val, Unit: typ.unit,
+				}},
+			}
+			if err := sys.IngestAt(section, b); err != nil {
+				return err
+			}
+		}
+		if err := sys.FlushAll(ctx); err != nil {
+			return err
+		}
+	}
+
+	// Serve the dissemination API on an ephemeral localhost port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: sys.Cloud().OpenDataHandler(), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("open-data API serving at %s\n\n", base)
+
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+
+	// Catalog of published categories.
+	if _, body, err := get("/opendata/v1/categories"); err == nil {
+		fmt.Printf("GET /opendata/v1/categories\n  %s\n", body)
+	} else {
+		return err
+	}
+
+	// Hourly air-quality summary — public data, served.
+	_, body, err := get("/opendata/v1/types/air_quality/summary?windowSeconds=3600")
+	if err != nil {
+		return err
+	}
+	var windows []struct {
+		Start time.Time `json:"Start"`
+		Count int64     `json:"count"`
+		Max   float64   `json:"max"`
+	}
+	if err := json.Unmarshal(body, &windows); err != nil {
+		return err
+	}
+	fmt.Printf("\nGET /opendata/v1/types/air_quality/summary -> %d hourly windows\n", len(windows))
+	for _, w := range windows {
+		fmt.Printf("  %s  n=%d max=%.0f AQI\n", w.Start.Format("15:04"), w.Count, w.Max)
+	}
+
+	// people_flow is privacy-restricted: the API refuses it.
+	status, _, err := get("/opendata/v1/types/people_flow/readings")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nGET /opendata/v1/types/people_flow/readings -> HTTP %d (restricted, not open data)\n", status)
+
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}

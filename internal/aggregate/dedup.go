@@ -1,0 +1,104 @@
+// Package aggregate implements the data-aggregation techniques the
+// paper applies at fog layer 1 (§V.A): redundant-data elimination and
+// compression, plus the decomposable aggregate functions
+// (sum/avg/min/max/count) from the distributed-aggregation taxonomy
+// the paper builds on [Jesus et al., IEEE CST 2015].
+package aggregate
+
+import (
+	"sync"
+
+	"f2c/internal/model"
+)
+
+// Deduper performs redundant-data elimination: a reading is redundant
+// when the same sensor re-reports its previously kept value (the
+// paper's weather-measurement example). The deduper is stateful across
+// batches — exactly like a fog node observing its sensors over time —
+// and safe for concurrent use.
+type Deduper struct {
+	mu   sync.Mutex
+	last map[string]float64
+	seen map[string]struct{}
+
+	in   int64
+	kept int64
+}
+
+// NewDeduper creates an empty deduper.
+func NewDeduper() *Deduper {
+	return &Deduper{
+		last: make(map[string]float64),
+		seen: make(map[string]struct{}),
+	}
+}
+
+// Filter returns a new batch containing only non-redundant readings.
+// The input batch is not modified.
+func (d *Deduper) Filter(b *model.Batch) *model.Batch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	out := *b
+	out.Readings = make([]model.Reading, 0, len(b.Readings))
+	for i := range b.Readings {
+		r := b.Readings[i]
+		d.in++
+		key := r.Key()
+		if _, ok := d.seen[key]; ok && d.last[key] == r.Value {
+			continue // redundant: same sensor, same value
+		}
+		d.seen[key] = struct{}{}
+		d.last[key] = r.Value
+		d.kept++
+		out.Readings = append(out.Readings, r)
+	}
+	return &out
+}
+
+// Stats returns the number of readings observed and kept so far.
+func (d *Deduper) Stats() (in, kept int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.in, d.kept
+}
+
+// EliminatedShare returns the measured fraction of readings removed.
+func (d *Deduper) EliminatedShare() float64 {
+	in, kept := d.Stats()
+	if in == 0 {
+		return 0
+	}
+	return 1 - float64(kept)/float64(in)
+}
+
+// Reset clears the deduper's sensor memory and statistics.
+func (d *Deduper) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.last = make(map[string]float64)
+	d.seen = make(map[string]struct{})
+	d.in, d.kept = 0, 0
+}
+
+// DedupIntraBatch removes duplicates within a single batch without any
+// cross-batch state: consecutive identical values of the same sensor
+// collapse to the first occurrence. Useful at fog layer 2 where
+// batches from several layer-1 nodes are combined.
+func DedupIntraBatch(b *model.Batch) *model.Batch {
+	out := *b
+	out.Readings = make([]model.Reading, 0, len(b.Readings))
+	last := make(map[string]float64, len(b.Readings))
+	seen := make(map[string]struct{}, len(b.Readings))
+	for i := range b.Readings {
+		r := b.Readings[i]
+		key := r.Key()
+		if _, ok := seen[key]; ok && last[key] == r.Value {
+			continue
+		}
+		seen[key] = struct{}{}
+		last[key] = r.Value
+		out.Readings = append(out.Readings, r)
+	}
+	return &out
+}

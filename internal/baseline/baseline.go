@@ -1,0 +1,155 @@
+// Package baseline implements the centralized cloud architecture the
+// paper compares against (§III, Fig. 3): four layers — physical
+// (sensors, supplied by the caller), network (a simulated 3G/4G
+// cellular path), cloud (collection + processing + storage), and
+// service (query interface). Every sensor transaction crosses the WAN
+// in full; no aggregation happens before the cloud.
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/cloud"
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+)
+
+// Config configures the centralized system.
+type Config struct {
+	// Clock provides time (virtual in simulations).
+	Clock sim.Clock
+	// Matrix records edge->cloud traffic; nil disables accounting.
+	Matrix *metrics.TrafficMatrix
+	// Link overrides the cellular uplink profile (zero value uses
+	// transport.CellularLink).
+	Link transport.LinkProfile
+	// Emulate enables wall-clock latency emulation for latency
+	// benchmarks.
+	Emulate bool
+	// Seed drives deterministic link behaviour.
+	Seed int64
+}
+
+// System is the assembled centralized baseline.
+type System struct {
+	net   *transport.SimNetwork
+	cloud *cloud.Node
+}
+
+// CloudID is the baseline's single collection endpoint.
+const CloudID = "cloud"
+
+// NewSystem builds the baseline.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.WallClock{}
+	}
+	link := cfg.Link
+	if link == (transport.LinkProfile{}) {
+		link = transport.CellularLink
+	}
+	cl, err := cloud.New(cloud.Config{ID: CloudID, City: "baseline", Clock: cfg.Clock})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	opts := []transport.SimOption{
+		transport.WithSeed(cfg.Seed),
+		transport.WithDefaultLink(link),
+		transport.WithLatencyEmulation(cfg.Emulate),
+	}
+	if cfg.Matrix != nil {
+		opts = append(opts, transport.WithTrafficMatrix(cfg.Matrix, func(from, to string) metrics.Hop {
+			if to == CloudID {
+				return metrics.HopEdgeToCloud
+			}
+			return metrics.HopDownlink
+		}))
+	}
+	net := transport.NewSimNetwork(opts...)
+	net.Register(CloudID, cl)
+	return &System{net: net, cloud: cl}, nil
+}
+
+// Collect sends a sensor batch over the cellular network to the cloud
+// uncompressed and unfiltered — the centralized model applies its
+// optimizations only after the data has crossed the network.
+func (s *System) Collect(ctx context.Context, b *model.Batch) error {
+	payload, err := protocol.EncodeBatchPayload(b, aggregate.CodecNone)
+	if err != nil {
+		return fmt.Errorf("baseline collect: %w", err)
+	}
+	_, err = s.net.Send(ctx, transport.Message{
+		From:    b.NodeID,
+		To:      CloudID,
+		Kind:    transport.KindBatch,
+		Class:   b.Category.String(),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("baseline collect: %w", err)
+	}
+	return nil
+}
+
+// Latest reads a sensor's newest value from the cloud over the WAN —
+// the paper's centralized real-time access, paying the remote round
+// trip.
+func (s *System) Latest(ctx context.Context, clientID, sensorID string) (model.Reading, error) {
+	req, err := protocol.EncodeJSON(protocol.QueryRequest{SensorID: sensorID})
+	if err != nil {
+		return model.Reading{}, err
+	}
+	reply, err := s.net.Send(ctx, transport.Message{
+		From: clientID, To: CloudID, Kind: transport.KindQuery, Payload: req,
+	})
+	if err != nil {
+		return model.Reading{}, fmt.Errorf("baseline latest: %w", err)
+	}
+	var resp protocol.QueryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		return model.Reading{}, err
+	}
+	if !resp.Found || len(resp.Readings) == 0 {
+		return model.Reading{}, fmt.Errorf("baseline latest: sensor %q: %w", sensorID, errNotFound)
+	}
+	return resp.Readings[0], nil
+}
+
+var errNotFound = errors.New("not found")
+
+// IsNotFound reports whether err is a missing-sensor error.
+func IsNotFound(err error) bool { return errors.Is(err, errNotFound) }
+
+// Historical reads a type range from the cloud.
+func (s *System) Historical(ctx context.Context, clientID, typeName string, from, to time.Time) ([]model.Reading, error) {
+	req, err := protocol.EncodeJSON(protocol.QueryRequest{
+		TypeName: typeName, FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := s.net.Send(ctx, transport.Message{
+		From: clientID, To: CloudID, Kind: transport.KindQuery, Payload: req,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline historical: %w", err)
+	}
+	var resp protocol.QueryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Readings, nil
+}
+
+// Cloud exposes the baseline's cloud node.
+func (s *System) Cloud() *cloud.Node { return s.cloud }
+
+// Network exposes the simulated network (for latency inspection).
+func (s *System) Network() *transport.SimNetwork { return s.net }

@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/sim"
+)
+
+var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func newSystem(t *testing.T, m *metrics.TrafficMatrix) *System {
+	t.Helper()
+	s, err := NewSystem(Config{Clock: sim.NewVirtualClock(t0), Matrix: m, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func batch(at time.Time, vals ...float64) *model.Batch {
+	b := &model.Batch{NodeID: "edge/7", TypeName: "parking_spot", Category: model.CategoryParking, Collected: at}
+	for i, v := range vals {
+		b.Readings = append(b.Readings, model.Reading{
+			SensorID: "edge/7/parking/" + string(rune('a'+i)), TypeName: "parking_spot",
+			Category: model.CategoryParking, Time: at, Value: v, Unit: "occ",
+		})
+	}
+	return b
+}
+
+func TestCollectAndQuery(t *testing.T) {
+	m := metrics.NewTrafficMatrix()
+	s := newSystem(t, m)
+	ctx := context.Background()
+	if err := s.Collect(ctx, batch(t0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cloud().Archive().Len(); got != 1 {
+		t.Errorf("archive len = %d", got)
+	}
+	// Traffic crossed the edge->cloud hop, tagged by category.
+	if got := m.BytesByClass(metrics.HopEdgeToCloud, "parking"); got <= 0 {
+		t.Error("no edge->cloud traffic accounted")
+	}
+
+	r, err := s.Latest(ctx, "client/1", "edge/7/parking/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 1 {
+		t.Errorf("latest = %+v", r)
+	}
+
+	hist, err := s.Historical(ctx, "client/1", "parking_spot", t0.Add(-time.Hour), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Errorf("historical = %d readings", len(hist))
+	}
+}
+
+func TestLatestNotFound(t *testing.T) {
+	s := newSystem(t, nil)
+	_, err := s.Latest(context.Background(), "client/1", "ghost")
+	if err == nil || !IsNotFound(err) {
+		t.Errorf("err = %v, want not-found", err)
+	}
+}
+
+func TestNoAggregationBeforeCloud(t *testing.T) {
+	m := metrics.NewTrafficMatrix()
+	s := newSystem(t, m)
+	ctx := context.Background()
+	// Send the same duplicate-heavy batch twice: the baseline ships
+	// every byte both times.
+	first := batch(t0, 1, 1)
+	second := batch(t0.Add(time.Minute), 1, 1)
+	if err := s.Collect(ctx, first); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := m.Bytes(metrics.HopEdgeToCloud)
+	if err := s.Collect(ctx, second); err != nil {
+		t.Fatal(err)
+	}
+	afterSecond := m.Bytes(metrics.HopEdgeToCloud)
+	if afterSecond < 2*afterFirst-8 {
+		t.Errorf("duplicate traffic was reduced (%d then %d): baseline must not aggregate", afterFirst, afterSecond)
+	}
+}
+
+func TestLatencyEmulatedWANRead(t *testing.T) {
+	s, err := NewSystem(Config{Clock: sim.NewVirtualClock(t0), Emulate: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Collect(ctx, batch(t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.Latest(ctx, "client/1", "edge/7/parking/a"); err != nil {
+		t.Fatal(err)
+	}
+	// CellularLink latency is 60ms one-way: a read pays >= 120ms.
+	if elapsed := time.Since(start); elapsed < 120*time.Millisecond {
+		t.Errorf("WAN read took %v, want >= 120ms", elapsed)
+	}
+}

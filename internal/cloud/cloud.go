@@ -1,0 +1,199 @@
+// Package cloud implements the top layer of the F2C hierarchy: the
+// permanent data-preservation block (classification + archive), deep
+// historical processing over the whole city's data, and the
+// data-dissemination phase as an open-data HTTP interface (paper
+// §IV.B: "these phases are not urgent and ... executed at the cloud
+// level, where the permanent storage is performed").
+package cloud
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/store"
+	"f2c/internal/transport"
+)
+
+// Config configures the cloud node.
+type Config struct {
+	// ID is the endpoint name (conventionally "cloud").
+	ID string
+	// City names the deployment.
+	City string
+	// Clock provides time (virtual in simulations).
+	Clock sim.Clock
+	// Registry receives metrics; nil allocates a private one.
+	Registry *metrics.Registry
+}
+
+// Node is the cloud layer. Safe for concurrent use.
+type Node struct {
+	cfg     Config
+	archive *store.Archive
+	series  *store.TimeSeries
+
+	ingestedBatches *metrics.Counter
+	ingestedReads   *metrics.Counter
+}
+
+// New builds a cloud node.
+func New(cfg Config) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("cloud: config needs an id")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.WallClock{}
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if cfg.City == "" {
+		cfg.City = "city"
+	}
+	return &Node{
+		cfg:             cfg,
+		archive:         store.NewArchive(),
+		series:          store.NewTimeSeries(0), // permanent
+		ingestedBatches: cfg.Registry.Counter(cfg.ID + ".ingest.batches"),
+		ingestedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.readings"),
+	}, nil
+}
+
+// ID returns the endpoint name.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Archive exposes the classified permanent store (read-side).
+func (n *Node) Archive() *store.Archive { return n.archive }
+
+// Preserve runs the preservation block on an arriving batch:
+// classification (category/type/day indexing), lineage recording, and
+// permanent archiving.
+func (n *Node) Preserve(b *model.Batch, from string) error {
+	provenance := []string{b.NodeID}
+	if from != "" && from != b.NodeID {
+		provenance = append(provenance, from)
+	}
+	provenance = append(provenance, n.cfg.ID)
+	now := n.cfg.Clock.Now()
+	if _, err := n.archive.Put(b, provenance, now); err != nil {
+		return fmt.Errorf("cloud preserve: %w", err)
+	}
+	if err := n.series.Append(b); err != nil {
+		return fmt.Errorf("cloud preserve: %w", err)
+	}
+	n.ingestedBatches.Inc()
+	n.ingestedReads.Add(int64(len(b.Readings)))
+	return nil
+}
+
+// Historical returns archived readings of a type in [from, to] — the
+// paper's historical data served to deep-processing applications.
+func (n *Node) Historical(typeName string, from, to time.Time) []model.Reading {
+	return n.series.QueryRange(typeName, from, to)
+}
+
+// Latest serves point lookups (slow path compared to fog layer 1: the
+// data had to travel the whole hierarchy first).
+func (n *Node) Latest(sensorID string) (model.Reading, bool) {
+	return n.series.Latest(sensorID)
+}
+
+// Analyze runs the data-processing block over historical data: fixed
+// time windows of decomposable summaries per type.
+func (n *Node) Analyze(typeName string, from, to time.Time, window time.Duration) ([]aggregate.WindowSummary, error) {
+	readings := n.Historical(typeName, from, to)
+	byType, err := aggregate.WindowizeByType(readings, window)
+	if err != nil {
+		return nil, fmt.Errorf("cloud analyze: %w", err)
+	}
+	return byType[typeName], nil
+}
+
+// Expire runs the data-destruction phase: archived records collected
+// before the cutoff are permanently removed ("data will be
+// permanently preserved at cloud layer, unless any expiry time is
+// defined"). Returns the number of destroyed records. The query
+// series keeps its data until its own retention (permanent by
+// default); destruction applies to the archive of record.
+func (n *Node) Expire(before time.Time) int {
+	return n.archive.Expire(before)
+}
+
+// Status reports cloud state.
+func (n *Node) Status() protocol.StatusResponse {
+	st := n.series.Stats()
+	return protocol.StatusResponse{
+		NodeID:          n.cfg.ID,
+		Layer:           "cloud",
+		StoredReadings:  st.Readings,
+		StoredSeries:    st.Series,
+		IngestedBatches: n.ingestedBatches.Value(),
+	}
+}
+
+var _ transport.Handler = (*Node)(nil)
+
+// Handle implements transport.Handler for upward batches, historical
+// queries and control.
+func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error) {
+	switch msg.Kind {
+	case transport.KindBatch:
+		b, _, err := protocol.DecodeBatchPayload(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Preserve(b, msg.From); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case transport.KindQuery:
+		var req protocol.QueryRequest
+		if err := protocol.DecodeJSON(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		var resp protocol.QueryResponse
+		if req.SensorID != "" {
+			if r, ok := n.Latest(req.SensorID); ok {
+				resp.Found = true
+				resp.Readings = []model.Reading{r}
+			}
+		} else {
+			from, to := req.Range()
+			resp.Readings = n.Historical(req.TypeName, from, to)
+			resp.Found = len(resp.Readings) > 0
+		}
+		return protocol.EncodeJSON(resp)
+	case transport.KindSummary:
+		var req protocol.SummaryRequest
+		if err := protocol.DecodeJSON(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		from, to := req.Range()
+		sum := aggregate.Summarize(n.Historical(req.TypeName, from, to))
+		return protocol.EncodeJSON(protocol.SummaryResponse{Summary: sum})
+	case transport.KindControl:
+		var req protocol.ControlRequest
+		if err := protocol.DecodeJSON(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		if req.Op != protocol.OpStatus {
+			return nil, fmt.Errorf("cloud: unsupported control op %q", req.Op)
+		}
+		return protocol.EncodeJSON(n.Status())
+	default:
+		return nil, fmt.Errorf("cloud: unsupported message kind %q", msg.Kind)
+	}
+}

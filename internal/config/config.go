@@ -1,0 +1,209 @@
+// Package config defines the JSON deployment specification consumed
+// by the command-line tools: a whole city (districts/sections), the
+// aggregation settings, flush periods and retention windows, in one
+// reviewable document.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/core"
+	"f2c/internal/model"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+)
+
+// DistrictSpec is one district of the deployment.
+type DistrictSpec struct {
+	Name     string  `json:"name"`
+	Sections int     `json:"sections"`
+	Lat      float64 `json:"lat,omitempty"`
+	Lon      float64 `json:"lon,omitempty"`
+}
+
+// Deployment is the city-wide configuration document.
+type Deployment struct {
+	City      string         `json:"city"`
+	Districts []DistrictSpec `json:"districts"`
+	// Codec names the upward compression: none|flate|gzip|zip.
+	Codec string `json:"codec"`
+	// Dedup and Quality toggle the fog layer-1 acquisition phases.
+	Dedup   bool `json:"dedup"`
+	Quality bool `json:"quality"`
+	// Flush periods and retention windows, in seconds (JSON carries
+	// no duration type; the unit is in the name per convention).
+	Fog1FlushSeconds     int `json:"fog1FlushSeconds"`
+	Fog2FlushSeconds     int `json:"fog2FlushSeconds"`
+	Fog1RetentionSeconds int `json:"fog1RetentionSeconds"`
+	Fog2RetentionSeconds int `json:"fog2RetentionSeconds"`
+	// Fog1FlushByCategorySeconds overrides the layer-1 upward
+	// frequency for specific categories (keyed by category name) —
+	// the paper's per-business-model update policy.
+	Fog1FlushByCategorySeconds map[string]int `json:"fog1FlushByCategorySeconds,omitempty"`
+}
+
+// Barcelona returns the deployment matching the paper's use case.
+func Barcelona() Deployment {
+	districts := make([]DistrictSpec, 0, 10)
+	for _, d := range topology.BarcelonaDistricts() {
+		districts = append(districts, DistrictSpec{
+			Name: d.Name, Sections: d.Sections, Lat: d.Centroid.Lat, Lon: d.Centroid.Lon,
+		})
+	}
+	return Deployment{
+		City:                 "Barcelona",
+		Districts:            districts,
+		Codec:                "zip",
+		Dedup:                true,
+		Quality:              true,
+		Fog1FlushSeconds:     15 * 60,
+		Fog2FlushSeconds:     60 * 60,
+		Fog1RetentionSeconds: 60 * 60,
+		Fog2RetentionSeconds: 24 * 60 * 60,
+	}
+}
+
+// Validate checks the document.
+func (d Deployment) Validate() error {
+	if d.City == "" {
+		return fmt.Errorf("config: empty city")
+	}
+	if len(d.Districts) == 0 {
+		return fmt.Errorf("config: no districts")
+	}
+	for i, ds := range d.Districts {
+		if ds.Name == "" {
+			return fmt.Errorf("config: district %d has no name", i)
+		}
+		if ds.Sections <= 0 {
+			return fmt.Errorf("config: district %q has %d sections", ds.Name, ds.Sections)
+		}
+	}
+	if _, err := d.codec(); err != nil {
+		return err
+	}
+	for name, v := range map[string]int{
+		"fog1FlushSeconds":     d.Fog1FlushSeconds,
+		"fog2FlushSeconds":     d.Fog2FlushSeconds,
+		"fog1RetentionSeconds": d.Fog1RetentionSeconds,
+		"fog2RetentionSeconds": d.Fog2RetentionSeconds,
+	} {
+		if v < 0 {
+			return fmt.Errorf("config: negative %s", name)
+		}
+	}
+	for catName, v := range d.Fog1FlushByCategorySeconds {
+		if _, err := model.ParseCategory(catName); err != nil {
+			return fmt.Errorf("config: fog1FlushByCategorySeconds: %w", err)
+		}
+		if v <= 0 {
+			return fmt.Errorf("config: fog1FlushByCategorySeconds[%s] must be positive", catName)
+		}
+	}
+	return nil
+}
+
+func (d Deployment) codec() (aggregate.Codec, error) {
+	if d.Codec == "" {
+		return aggregate.CodecZip, nil
+	}
+	for _, c := range []aggregate.Codec{aggregate.CodecNone, aggregate.CodecFlate, aggregate.CodecGzip, aggregate.CodecZip} {
+		if c.String() == d.Codec {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown codec %q", d.Codec)
+}
+
+// Topology builds the hierarchy the document describes.
+func (d Deployment) Topology() (*topology.Topology, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	districts := make([]topology.District, 0, len(d.Districts))
+	for _, ds := range d.Districts {
+		districts = append(districts, topology.District{
+			Name:     ds.Name,
+			Sections: ds.Sections,
+			Centroid: model.GeoPoint{Lat: ds.Lat, Lon: ds.Lon},
+		})
+	}
+	return topology.New(d.City, districts)
+}
+
+// Options assembles core.Options for the deployment on the given
+// clock.
+func (d Deployment) Options(clock sim.Clock) (core.Options, error) {
+	topo, err := d.Topology()
+	if err != nil {
+		return core.Options{}, err
+	}
+	codec, err := d.codec()
+	if err != nil {
+		return core.Options{}, err
+	}
+	var byCat map[model.Category]time.Duration
+	if len(d.Fog1FlushByCategorySeconds) > 0 {
+		byCat = make(map[model.Category]time.Duration, len(d.Fog1FlushByCategorySeconds))
+		for catName, secs := range d.Fog1FlushByCategorySeconds {
+			cat, err := model.ParseCategory(catName)
+			if err != nil {
+				return core.Options{}, fmt.Errorf("config: %w", err)
+			}
+			byCat[cat] = time.Duration(secs) * time.Second
+		}
+	}
+	return core.Options{
+		Topology:            topo,
+		Clock:               clock,
+		City:                d.City,
+		Codec:               codec,
+		Dedup:               d.Dedup,
+		Quality:             d.Quality,
+		Fog1FlushInterval:   time.Duration(d.Fog1FlushSeconds) * time.Second,
+		Fog2FlushInterval:   time.Duration(d.Fog2FlushSeconds) * time.Second,
+		Fog1Retention:       time.Duration(d.Fog1RetentionSeconds) * time.Second,
+		Fog2Retention:       time.Duration(d.Fog2RetentionSeconds) * time.Second,
+		Fog1FlushByCategory: byCat,
+	}, nil
+}
+
+// Parse decodes and validates a JSON document.
+func Parse(data []byte) (Deployment, error) {
+	var d Deployment
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Deployment{}, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return Deployment{}, err
+	}
+	return d, nil
+}
+
+// Load reads a deployment from a file.
+func Load(path string) (Deployment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Deployment{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Save writes the deployment as indented JSON.
+func (d Deployment) Save(path string) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: save: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("config: save: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/sensor"
+	"f2c/internal/sim"
+)
+
+// DayConfig parameterizes a day-scale simulation run.
+type DayConfig struct {
+	// Start is the simulated day's first instant.
+	Start time.Time
+	// Duration is the simulated span (default 24h).
+	Duration time.Duration
+	// Scale divides the city-wide sensor population to keep runs
+	// fast; 1 simulates every sensor. Reported byte volumes must be
+	// multiplied back by Scale to compare with the paper.
+	Scale int
+	// Types restricts the catalog subset (nil = full catalog).
+	Types []model.SensorType
+	// Seed drives the deterministic workload.
+	Seed int64
+}
+
+func (c *DayConfig) applyDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 24 * time.Hour
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// DayResult reports a simulation run.
+type DayResult struct {
+	// GeneratedReadings counts edge readings produced.
+	GeneratedReadings int64
+	// Events counts executed simulation events.
+	Events int
+	// Scale echoes the configured divisor.
+	Scale int
+	// EdgeBytes..Fog2ToCloudBytes are the per-hop accounted volumes
+	// at simulation scale.
+	EdgeBytes        int64
+	Fog1ToFog2Bytes  int64
+	Fog2ToCloudBytes int64
+	// DedupShare is the measured redundant-data-elimination share
+	// per category (fraction of readings removed at fog layer 1).
+	DedupShare map[model.Category]float64
+	// ByteReduction is the measured per-category byte saving on the
+	// fog1->fog2 hop relative to the edge volume; it combines
+	// elimination, compression and framing.
+	ByteReduction map[model.Category]float64
+	// CloudArchivedBatches counts batches preserved at the cloud.
+	CloudArchivedBatches int
+}
+
+// ScaledEdgeBytes extrapolates edge volume to full city scale.
+func (r *DayResult) ScaledEdgeBytes() int64 { return r.EdgeBytes * int64(r.Scale) }
+
+// ScaledFog2ToCloudBytes extrapolates WAN volume to full city scale.
+func (r *DayResult) ScaledFog2ToCloudBytes() int64 {
+	return r.Fog2ToCloudBytes * int64(r.Scale)
+}
+
+// RunDay executes a deterministic discrete-event simulation of city
+// traffic through the hierarchy. The system must have been built with
+// a *sim.VirtualClock; events operate at (fog node x sensor type x
+// collection interval) granularity.
+func (s *System) RunDay(cfg DayConfig) (*DayResult, error) {
+	cfg.applyDefaults()
+	vclock, ok := s.opts.Clock.(*sim.VirtualClock)
+	if !ok {
+		return nil, errors.New("core: RunDay requires a System built on a *sim.VirtualClock")
+	}
+	vclock.AdvanceTo(cfg.Start)
+	engine := sim.NewEngineOn(vclock)
+	horizon := cfg.Start.Add(cfg.Duration)
+	ctx := context.Background()
+
+	res := &DayResult{
+		Scale:         cfg.Scale,
+		DedupShare:    make(map[model.Category]float64),
+		ByteReduction: make(map[model.Category]float64),
+	}
+	generatedByCat := make(map[model.Category]int64)
+
+	// Edge workload: one fleet per fog layer-1 node, one periodic
+	// collection event per generator.
+	for ni, id := range s.fog1IDs {
+		spec, _ := s.topo.Node(id)
+		fleet, err := sensor.NewFleet(sensor.FleetConfig{
+			NodeID:    id,
+			NodeCount: len(s.fog1IDs),
+			Scale:     cfg.Scale,
+			Seed:      cfg.Seed + int64(ni)*104729,
+			Origin:    spec.Centroid,
+			Types:     cfg.Types,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: day sim: %w", err)
+		}
+		nodeID := id
+		for gi, g := range fleet.Generators() {
+			gen := g
+			interval := gen.Type().Interval()
+			if interval <= 0 {
+				continue
+			}
+			// Stagger first collections deterministically so the
+			// whole city does not publish in lockstep.
+			offset := time.Duration((ni*131+gi*37)%int(interval/time.Second+1)) * time.Second
+			err := engine.ScheduleEvery(cfg.Start.Add(offset), interval, horizon,
+				"collect/"+nodeID+"/"+gen.Type().Name,
+				func(now time.Time) {
+					b := gen.Next(now)
+					res.GeneratedReadings += int64(len(b.Readings))
+					generatedByCat[b.Category] += int64(len(b.Readings))
+					// The generator's batches are valid by
+					// construction; an ingest failure would be a
+					// programming error, left to the consistency
+					// checks below.
+					_ = s.IngestAt(nodeID, b)
+				})
+			if err != nil {
+				return nil, fmt.Errorf("core: day sim: %w", err)
+			}
+		}
+	}
+
+	// Periodic upward flushes, layer 1 then layer 2. Categories with
+	// a policy override get their own schedule; the node-level flush
+	// covers the rest (FlushCategory removes a category's pending
+	// data, so the general flush never double-sends it).
+	overridden := make([]model.Category, 0, len(s.opts.Fog1FlushByCategory))
+	for cat := range s.opts.Fog1FlushByCategory {
+		overridden = append(overridden, cat)
+	}
+	sort.Slice(overridden, func(i, j int) bool { return overridden[i] < overridden[j] })
+	for _, id := range s.fog1IDs {
+		n := s.fog1[id]
+		for _, cat := range overridden {
+			cat := cat
+			interval := s.opts.Fog1FlushByCategory[cat]
+			if interval <= 0 {
+				continue
+			}
+			err := engine.ScheduleEvery(cfg.Start.Add(interval), interval, horizon,
+				"flush/"+id+"/"+cat.String(),
+				func(time.Time) { _ = n.FlushCategory(ctx, cat) })
+			if err != nil {
+				return nil, fmt.Errorf("core: day sim: %w", err)
+			}
+		}
+		err := engine.ScheduleEvery(cfg.Start.Add(s.opts.Fog1FlushInterval), s.opts.Fog1FlushInterval,
+			horizon, "flush/"+id, func(time.Time) { _ = n.Flush(ctx) })
+		if err != nil {
+			return nil, fmt.Errorf("core: day sim: %w", err)
+		}
+	}
+	for _, id := range s.fog2IDs {
+		n := s.fog2[id]
+		err := engine.ScheduleEvery(cfg.Start.Add(s.opts.Fog2FlushInterval), s.opts.Fog2FlushInterval,
+			horizon, "flush/"+id, func(time.Time) { _ = n.Flush(ctx) })
+		if err != nil {
+			return nil, fmt.Errorf("core: day sim: %w", err)
+		}
+	}
+
+	if err := engine.Run(horizon); err != nil {
+		return nil, fmt.Errorf("core: day sim: %w", err)
+	}
+	// End-of-day drain so every generated reading reaches the cloud.
+	if err := s.FlushAll(ctx); err != nil {
+		return nil, fmt.Errorf("core: day sim drain: %w", err)
+	}
+
+	res.Events = engine.Processed
+	res.EdgeBytes = s.opts.Matrix.Bytes(metrics.HopEdgeToFog1)
+	res.Fog1ToFog2Bytes = s.opts.Matrix.Bytes(metrics.HopFog1ToFog2)
+	res.Fog2ToCloudBytes = s.opts.Matrix.Bytes(metrics.HopFog2ToCloud)
+	res.CloudArchivedBatches = s.cloud.Archive().Len()
+
+	// Measured per-category elimination (reading counts: generated
+	// at the edge vs preserved at the cloud after the end-of-day
+	// drain) and byte-level reduction on the first upward hop.
+	archivedByCat := make(map[model.Category]int64)
+	for _, cat := range model.Categories() {
+		for _, rec := range s.cloud.Archive().ByCategory(cat) {
+			archivedByCat[cat] += int64(len(rec.Batch.Readings))
+		}
+	}
+	for _, cat := range model.Categories() {
+		if gen := generatedByCat[cat]; gen > 0 {
+			res.DedupShare[cat] = 1 - float64(archivedByCat[cat])/float64(gen)
+		}
+		edge := s.opts.Matrix.BytesByClass(metrics.HopEdgeToFog1, cat.String())
+		if edge > 0 {
+			up := s.opts.Matrix.BytesByClass(metrics.HopFog1ToFog2, cat.String())
+			res.ByteReduction[cat] = 1 - float64(up)/float64(edge)
+		}
+	}
+	return res, nil
+}

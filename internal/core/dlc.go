@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"f2c/internal/topology"
+)
+
+// PhasePlacement records where one SCC-DLC phase executes in the F2C
+// hierarchy — the content of the paper's Fig. 5 as data, used by
+// documentation commands and asserted by tests.
+type PhasePlacement struct {
+	// Block is the SCC-DLC block: acquisition, processing, or
+	// preservation.
+	Block string
+	// Phase is the phase name within the block.
+	Phase string
+	// Layer is where the phase primarily executes.
+	Layer topology.Layer
+	// Package is the repository module implementing it.
+	Package string
+	// Note captures the paper's rationale.
+	Note string
+}
+
+// DLCMapping returns the full SCC-DLC -> F2C placement (Fig. 5).
+func DLCMapping() []PhasePlacement {
+	return []PhasePlacement{
+		{
+			Block: "acquisition", Phase: "data collection", Layer: topology.LayerFog1,
+			Package: "internal/sensor",
+			Note:    "sensors belong to fog nodes by location; most data is collected at layer 1",
+		},
+		{
+			Block: "acquisition", Phase: "data filtering (aggregation)", Layer: topology.LayerFog1,
+			Package: "internal/aggregate",
+			Note:    "redundant-data elimination and compression run before the upward transfer",
+		},
+		{
+			Block: "acquisition", Phase: "data quality", Layer: topology.LayerFog1,
+			Package: "internal/quality",
+			Note:    "quality is appraised once; downstream blocks receive checked data",
+		},
+		{
+			Block: "acquisition", Phase: "data description", Layer: topology.LayerFog1,
+			Package: "internal/describe",
+			Note:    "timing, location, authoring and privacy tags per the city business model",
+		},
+		{
+			Block: "processing", Phase: "data process", Layer: topology.LayerFog1,
+			Package: "internal/aggregate",
+			Note:    "critical real-time services run at layer 1 on just-generated data",
+		},
+		{
+			Block: "processing", Phase: "data analysis", Layer: topology.LayerCloud,
+			Package: "internal/cloud",
+			Note:    "deep computing over broad historical data runs at the cloud",
+		},
+		{
+			Block: "preservation", Phase: "data classification", Layer: topology.LayerCloud,
+			Package: "internal/store",
+			Note:    "classification, versioning and lineage are deferred to cloud arrival",
+		},
+		{
+			Block: "preservation", Phase: "data archive", Layer: topology.LayerCloud,
+			Package: "internal/store",
+			Note:    "temporal at fog layers (retention), permanent at the cloud",
+		},
+		{
+			Block: "preservation", Phase: "data dissemination", Layer: topology.LayerCloud,
+			Package: "internal/cloud",
+			Note:    "open-data interface with privacy enforcement",
+		},
+	}
+}
+
+// DescribeDLC renders the mapping as an aligned text table.
+func DescribeDLC() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s %-30s %-6s %-20s %s\n", "block", "phase", "layer", "package", "note")
+	for _, p := range DLCMapping() {
+		fmt.Fprintf(&b, "%-13s %-30s %-6s %-20s %s\n", p.Block, p.Phase, p.Layer, p.Package, p.Note)
+	}
+	return b.String()
+}

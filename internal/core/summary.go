@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/protocol"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+// This file implements the hierarchical processing path of the
+// data-processing block: decomposable summaries (count/sum/min/max,
+// hence avg) computed where the data lives and merged upward — a fog
+// layer-2 node summarizes its district from its own recent store, and
+// the city-wide figure is the lossless merge of district partials
+// (the "hierarchic/averaging" methods of the aggregation taxonomy).
+
+// SectionSummary computes a summary over one fog layer-1 node's
+// temporal store.
+func (s *System) SectionSummary(fog1ID, typeName string, from, to time.Time) (aggregate.Summary, error) {
+	n, ok := s.fog1[fog1ID]
+	if !ok {
+		return aggregate.Summary{}, fmt.Errorf("core: unknown fog1 node %q", fog1ID)
+	}
+	return aggregate.Summarize(n.Query(typeName, from, to)), nil
+}
+
+// DistrictSummary computes a summary over one fog layer-2 node's
+// recent store (the combination of its sections' upward data).
+func (s *System) DistrictSummary(fog2ID, typeName string, from, to time.Time) (aggregate.Summary, error) {
+	n, ok := s.fog2[fog2ID]
+	if !ok {
+		return aggregate.Summary{}, fmt.Errorf("core: unknown fog2 node %q", fog2ID)
+	}
+	return aggregate.Summarize(n.Query(typeName, from, to)), nil
+}
+
+// CitySummary merges the district partials into the city-wide
+// summary. It reads only the fog layer-2 stores — no raw data moves;
+// this is the paper's "computation too large to be done at level 1 is
+// moved upwards" in its cheapest form.
+func (s *System) CitySummary(typeName string, from, to time.Time) (aggregate.Summary, error) {
+	total := aggregate.Summary{}
+	for _, id := range s.fog2IDs {
+		partial, err := s.DistrictSummary(id, typeName, from, to)
+		if err != nil {
+			return aggregate.Summary{}, err
+		}
+		total = total.Merge(partial)
+	}
+	return total, nil
+}
+
+// CloudSummary computes the same figure from the cloud's permanent
+// archive — used to validate that hierarchical merging is lossless
+// once all layers have flushed.
+func (s *System) CloudSummary(typeName string, from, to time.Time) aggregate.Summary {
+	return aggregate.Summarize(s.cloud.Historical(typeName, from, to))
+}
+
+// RemoteSummary fetches a partial summary from any node over the
+// network (KindSummary protocol): only the constant-size aggregate
+// crosses the wire, never raw readings.
+func (s *System) RemoteSummary(ctx context.Context, fromID, targetID, typeName string, from, to time.Time) (aggregate.Summary, error) {
+	req, err := protocol.EncodeJSON(protocol.SummaryRequest{
+		TypeName: typeName, FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
+	})
+	if err != nil {
+		return aggregate.Summary{}, err
+	}
+	reply, err := s.net.Send(ctx, transport.Message{
+		From: fromID, To: targetID, Kind: transport.KindSummary, Payload: req,
+	})
+	if err != nil {
+		return aggregate.Summary{}, fmt.Errorf("core: remote summary: %w", err)
+	}
+	var resp protocol.SummaryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		return aggregate.Summary{}, err
+	}
+	return resp.Summary, nil
+}
+
+// CitySummaryViaNetwork merges district partials fetched over the
+// network — the fully distributed form of CitySummary, demonstrating
+// that city-wide figures cost one constant-size message per district.
+func (s *System) CitySummaryViaNetwork(ctx context.Context, requesterID, typeName string, from, to time.Time) (aggregate.Summary, error) {
+	total := aggregate.Summary{}
+	for _, id := range s.fog2IDs {
+		partial, err := s.RemoteSummary(ctx, requesterID, id, typeName, from, to)
+		if err != nil {
+			return aggregate.Summary{}, err
+		}
+		total = total.Merge(partial)
+	}
+	return total, nil
+}
+
+// LayerFor reports which layer a node ID belongs to, for diagnostics.
+func (s *System) LayerFor(id string) (topology.Layer, bool) {
+	n, ok := s.topo.Node(id)
+	if !ok {
+		return 0, false
+	}
+	return n.Layer, true
+}

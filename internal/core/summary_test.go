@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+)
+
+// TestHierarchicalSummaryLossless drives data into several sections
+// across both districts and checks the decomposability chain: the
+// city summary merged from district partials equals the cloud's
+// direct summary over the archived readings.
+func TestHierarchicalSummaryLossless(t *testing.T) {
+	s := newSystem(t, Options{Codec: aggregate.CodecNone})
+	ctx := context.Background()
+	ids := s.Fog1IDs()
+
+	vals := []float64{10, 20, 30, 40, 50}
+	for i, v := range vals {
+		node := ids[i%len(ids)]
+		b := tempBatch("sensor-"+node, v, t0.Add(time.Duration(i)*time.Minute))
+		if err := s.IngestAt(node, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move everything to fog2 (and on to the cloud).
+	if err := s.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	from, to := t0.Add(-time.Hour), t0.Add(time.Hour)
+	city, err := s.CitySummary("temperature", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.Count != int64(len(vals)) {
+		t.Fatalf("city count = %d, want %d", city.Count, len(vals))
+	}
+	if city.Avg() != 30 || city.Min != 10 || city.Max != 50 {
+		t.Errorf("city summary = %+v", city)
+	}
+
+	cloudSide := s.CloudSummary("temperature", from, to)
+	if cloudSide != city {
+		t.Errorf("cloud summary %+v != merged city summary %+v", cloudSide, city)
+	}
+
+	// District partials merge to the same figure.
+	merged := aggregate.Summary{}
+	for _, f2 := range s.Fog2IDs() {
+		partial, err := s.DistrictSummary(f2, "temperature", from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = merged.Merge(partial)
+	}
+	if merged != city {
+		t.Errorf("district merge %+v != city %+v", merged, city)
+	}
+}
+
+func TestSectionSummary(t *testing.T) {
+	s := newSystem(t, Options{})
+	f1 := s.Fog1IDs()[0]
+	_ = s.IngestAt(f1, tempBatch("a", 12, t0))
+	_ = s.IngestAt(f1, tempBatch("b", 18, t0))
+	sum, err := s.SectionSummary(f1, "temperature", t0.Add(-time.Minute), t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count != 2 || sum.Avg() != 15 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestSummaryUnknownNodes(t *testing.T) {
+	s := newSystem(t, Options{})
+	if _, err := s.SectionSummary("fog1/nope", "t", t0, t0); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := s.DistrictSummary("fog2/nope", "t", t0, t0); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLayerFor(t *testing.T) {
+	s := newSystem(t, Options{})
+	if l, ok := s.LayerFor(s.Fog1IDs()[0]); !ok || l.String() != "fog1" {
+		t.Errorf("LayerFor fog1 = %v %v", l, ok)
+	}
+	if l, ok := s.LayerFor("cloud"); !ok || l.String() != "cloud" {
+		t.Errorf("LayerFor cloud = %v %v", l, ok)
+	}
+	if _, ok := s.LayerFor("ghost"); ok {
+		t.Error("LayerFor ghost should fail")
+	}
+}
+
+func TestCitySummaryViaNetwork(t *testing.T) {
+	s := newSystem(t, Options{Codec: aggregate.CodecNone})
+	ctx := context.Background()
+	ids := s.Fog1IDs()
+	for i, v := range []float64{5, 15, 25} {
+		_ = s.IngestAt(ids[i%len(ids)], tempBatch("n"+ids[i%len(ids)], v, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	if err := s.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	from, to := t0.Add(-time.Hour), t0.Add(time.Hour)
+	viaNet, err := s.CitySummaryViaNetwork(ctx, ids[0], "temperature", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := s.CitySummary("temperature", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaNet != local {
+		t.Errorf("network summary %+v != local %+v", viaNet, local)
+	}
+	if viaNet.Count != 3 || viaNet.Avg() != 15 {
+		t.Errorf("summary = %+v", viaNet)
+	}
+	// The cloud answers summary requests too.
+	cloudSum, err := s.RemoteSummary(ctx, ids[0], CloudID, "temperature", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloudSum != local {
+		t.Errorf("cloud remote summary %+v != %+v", cloudSum, local)
+	}
+}
+
+func TestRemoteSummaryErrors(t *testing.T) {
+	s := newSystem(t, Options{})
+	ctx := context.Background()
+	if _, err := s.RemoteSummary(ctx, "x", "nowhere", "temperature", t0, t0); err == nil {
+		t.Error("unknown target must fail")
+	}
+	// Invalid request rejected by the remote handler.
+	f1 := s.Fog1IDs()[0]
+	if _, err := s.RemoteSummary(ctx, "x", f1, "", t0, t0); err == nil {
+		t.Error("empty type must fail")
+	}
+}

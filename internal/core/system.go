@@ -1,0 +1,417 @@
+// Package core assembles the paper's contribution: the SCC-DLC data
+// life-cycle mapped onto the hierarchical fog-to-cloud resource
+// architecture (paper §IV, Fig. 5). A System wires fog layer-1 nodes
+// (acquisition + temporal storage), fog layer-2 nodes (combination +
+// recent storage), and the cloud (preservation + dissemination) over
+// a traffic-accounted network, and provides the day-scale simulation
+// driver used by the evaluation harnesses.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/cloud"
+	"f2c/internal/fognode"
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/placement"
+	"f2c/internal/protocol"
+	"f2c/internal/sensor"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+// Options configures a System.
+type Options struct {
+	// Topology defines the hierarchy (defaults to Barcelona).
+	Topology *topology.Topology
+	// Clock provides time; simulations pass a *sim.VirtualClock.
+	Clock sim.Clock
+	// City names the deployment for description tags.
+	City string
+	// Codec compresses upward transfers (default zip, matching the
+	// paper's §V.B experiment).
+	Codec aggregate.Codec
+	// Dedup enables redundant-data elimination at fog layer 1.
+	Dedup bool
+	// Quality enables the data-quality phase at fog layer 1.
+	Quality bool
+	// Retention windows per fog layer.
+	Fog1Retention time.Duration
+	Fog2Retention time.Duration
+	// Flush intervals per fog layer (the paper's tunable upward
+	// movement frequency).
+	Fog1FlushInterval time.Duration
+	Fog2FlushInterval time.Duration
+	// Fog1FlushByCategory overrides the layer-1 upward frequency per
+	// data class — the paper's per-business-model policy. Categories
+	// not listed use Fog1FlushInterval.
+	Fog1FlushByCategory map[model.Category]time.Duration
+	// Matrix receives per-hop traffic accounting; nil allocates one.
+	Matrix *metrics.TrafficMatrix
+	// Registry receives node metrics; nil allocates one.
+	Registry *metrics.Registry
+	// Emulate enables wall-clock latency emulation on the simulated
+	// network (latency benchmarks only).
+	Emulate bool
+	// Seed drives deterministic network behaviour.
+	Seed int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Topology == nil {
+		o.Topology = topology.Barcelona()
+	}
+	if o.Clock == nil {
+		o.Clock = sim.WallClock{}
+	}
+	if o.City == "" {
+		o.City = "Barcelona"
+	}
+	if o.Codec == 0 {
+		o.Codec = aggregate.CodecZip
+	}
+	if o.Fog1Retention == 0 {
+		o.Fog1Retention = time.Hour
+	}
+	if o.Fog2Retention == 0 {
+		o.Fog2Retention = 24 * time.Hour
+	}
+	if o.Fog1FlushInterval <= 0 {
+		o.Fog1FlushInterval = 15 * time.Minute
+	}
+	if o.Fog2FlushInterval <= 0 {
+		o.Fog2FlushInterval = time.Hour
+	}
+	if o.Matrix == nil {
+		o.Matrix = metrics.NewTrafficMatrix()
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+}
+
+// System is a fully wired F2C deployment over a simulated network.
+type System struct {
+	opts    Options
+	topo    *topology.Topology
+	net     *transport.SimNetwork
+	fog1    map[string]*fognode.Node
+	fog2    map[string]*fognode.Node
+	fog1IDs []string
+	fog2IDs []string
+	cloud   *cloud.Node
+}
+
+// CloudID is the cloud endpoint name.
+const CloudID = "cloud"
+
+// hopOf classifies an endpoint pair into the accounting hop.
+func hopOf(from, to string) metrics.Hop {
+	fromF1 := strings.HasPrefix(from, "fog1/")
+	toF1 := strings.HasPrefix(to, "fog1/")
+	switch {
+	case fromF1 && strings.HasPrefix(to, "fog2/"):
+		return metrics.HopFog1ToFog2
+	case strings.HasPrefix(from, "fog2/") && to == CloudID:
+		return metrics.HopFog2ToCloud
+	case fromF1 && toF1:
+		return metrics.HopFog1ToFog1
+	case to == CloudID:
+		return metrics.HopEdgeToCloud
+	default:
+		return metrics.HopDownlink
+	}
+}
+
+// NewSystem builds and wires the full hierarchy.
+func NewSystem(opts Options) (*System, error) {
+	opts.applyDefaults()
+	s := &System{
+		opts: opts,
+		topo: opts.Topology,
+		fog1: make(map[string]*fognode.Node),
+		fog2: make(map[string]*fognode.Node),
+	}
+	s.net = transport.NewSimNetwork(
+		transport.WithSeed(opts.Seed),
+		transport.WithDefaultLink(transport.EdgeLink),
+		transport.WithLatencyEmulation(opts.Emulate),
+		transport.WithTrafficMatrix(opts.Matrix, hopOf),
+	)
+
+	cl, err := cloud.New(cloud.Config{
+		ID: CloudID, City: opts.City, Clock: opts.Clock, Registry: opts.Registry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.cloud = cl
+	s.net.Register(CloudID, cl)
+
+	for _, spec := range s.topo.Fog2Nodes() {
+		n, err := fognode.New(fognode.Config{
+			Spec:          spec,
+			City:          opts.City,
+			Clock:         opts.Clock,
+			Transport:     s.net,
+			Retention:     opts.Fog2Retention,
+			FlushInterval: opts.Fog2FlushInterval,
+			Codec:         opts.Codec,
+			Dedup:         false, // layer 1 already eliminated redundancy
+			Quality:       false, // quality is checked once, at acquisition
+			Registry:      opts.Registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: fog2 %s: %w", spec.ID, err)
+		}
+		s.fog2[spec.ID] = n
+		s.fog2IDs = append(s.fog2IDs, spec.ID)
+		s.net.Register(spec.ID, n)
+		s.net.SetLink(spec.ID, CloudID, transport.WANLink)
+	}
+
+	for _, spec := range s.topo.Fog1Nodes() {
+		n, err := fognode.New(fognode.Config{
+			Spec:          spec,
+			City:          opts.City,
+			Clock:         opts.Clock,
+			Transport:     s.net,
+			Retention:     opts.Fog1Retention,
+			FlushInterval: opts.Fog1FlushInterval,
+			Codec:         opts.Codec,
+			Dedup:         opts.Dedup,
+			Quality:       opts.Quality,
+			Registry:      opts.Registry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: fog1 %s: %w", spec.ID, err)
+		}
+		s.fog1[spec.ID] = n
+		s.fog1IDs = append(s.fog1IDs, spec.ID)
+		s.net.Register(spec.ID, n)
+		s.net.SetLink(spec.ID, spec.Parent, transport.MetroLink)
+		s.net.SetLink(spec.ID, CloudID, transport.WANLink)
+		for _, nbr := range s.topo.Neighbors(spec.ID) {
+			s.net.SetLink(spec.ID, nbr, transport.MetroLink)
+		}
+	}
+	sort.Strings(s.fog1IDs)
+	sort.Strings(s.fog2IDs)
+	return s, nil
+}
+
+// Topology returns the system's hierarchy.
+func (s *System) Topology() *topology.Topology { return s.topo }
+
+// Network exposes the simulated network.
+func (s *System) Network() *transport.SimNetwork { return s.net }
+
+// Matrix exposes the traffic accounting.
+func (s *System) Matrix() *metrics.TrafficMatrix { return s.opts.Matrix }
+
+// Cloud returns the cloud node.
+func (s *System) Cloud() *cloud.Node { return s.cloud }
+
+// Fog1 returns a layer-1 node.
+func (s *System) Fog1(id string) (*fognode.Node, bool) {
+	n, ok := s.fog1[id]
+	return n, ok
+}
+
+// Fog2 returns a layer-2 node.
+func (s *System) Fog2(id string) (*fognode.Node, bool) {
+	n, ok := s.fog2[id]
+	return n, ok
+}
+
+// Fog1IDs returns the sorted layer-1 node IDs.
+func (s *System) Fog1IDs() []string {
+	out := make([]string, len(s.fog1IDs))
+	copy(out, s.fog1IDs)
+	return out
+}
+
+// Fog2IDs returns the sorted layer-2 node IDs.
+func (s *System) Fog2IDs() []string {
+	out := make([]string, len(s.fog2IDs))
+	copy(out, s.fog2IDs)
+	return out
+}
+
+// Planner builds a placement planner matching this system's retention
+// and link configuration.
+func (s *System) Planner() *placement.Planner {
+	return placement.NewPlanner(placement.Config{
+		Fog1Retention: s.opts.Fog1Retention,
+		Fog2Retention: s.opts.Fog2Retention,
+		Fog1Link:      transport.EdgeLink,
+		Fog2Link:      transport.MetroLink,
+		CloudLink:     transport.WANLink,
+		NeighborLink:  transport.MetroLink,
+	})
+}
+
+// IngestAt delivers an edge batch to a fog layer-1 node, accounting
+// the sensor->fog segment with the same wire encoding used on the
+// upward hops, so per-hop volumes are directly comparable. (The
+// analytic Table I harness separately reproduces the paper's fixed
+// per-transaction charges.)
+func (s *System) IngestAt(fog1ID string, b *model.Batch) error {
+	n, ok := s.fog1[fog1ID]
+	if !ok {
+		return fmt.Errorf("core: unknown fog1 node %q", fog1ID)
+	}
+	bytes := int64(len(sensor.EncodeBatch(b)))
+	s.opts.Matrix.Record(metrics.HopEdgeToFog1, b.Category.String(), bytes)
+	return n.Ingest(b)
+}
+
+// FlushAll synchronously flushes every layer-1 node and then every
+// layer-2 node, draining all pending data to the cloud.
+func (s *System) FlushAll(ctx context.Context) error {
+	var errs []error
+	for _, id := range s.fog1IDs {
+		if err := s.fog1[id].Flush(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, id := range s.fog2IDs {
+		if err := s.fog2[id].Flush(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Start launches every node's background flusher (wall-clock mode).
+func (s *System) Start() {
+	for _, id := range s.fog1IDs {
+		s.fog1[id].Start()
+	}
+	for _, id := range s.fog2IDs {
+		s.fog2[id].Start()
+	}
+}
+
+// Close stops all background flushers and drains pending data.
+func (s *System) Close(ctx context.Context) error {
+	var errs []error
+	for _, id := range s.fog1IDs {
+		if err := s.fog1[id].Close(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, id := range s.fog2IDs {
+		if err := s.fog2[id].Close(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// LatestAtFog serves the paper's critical real-time read: directly
+// from the local fog layer-1 node, no network hop.
+func (s *System) LatestAtFog(fog1ID, sensorID string) (model.Reading, bool, error) {
+	n, ok := s.fog1[fog1ID]
+	if !ok {
+		return model.Reading{}, false, fmt.Errorf("core: unknown fog1 node %q", fog1ID)
+	}
+	r, found := n.Latest(sensorID)
+	return r, found, nil
+}
+
+// LatestFromCloud reads a sensor's newest value from the cloud over
+// the network — the centralized access pattern, for comparison.
+func (s *System) LatestFromCloud(ctx context.Context, clientFog1ID, sensorID string) (model.Reading, bool, error) {
+	req, err := protocol.EncodeJSON(protocol.QueryRequest{SensorID: sensorID})
+	if err != nil {
+		return model.Reading{}, false, err
+	}
+	reply, err := s.net.Send(ctx, transport.Message{
+		From: clientFog1ID, To: CloudID, Kind: transport.KindQuery, Payload: req,
+	})
+	if err != nil {
+		return model.Reading{}, false, fmt.Errorf("core: cloud read: %w", err)
+	}
+	var resp protocol.QueryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		return model.Reading{}, false, err
+	}
+	if !resp.Found || len(resp.Readings) == 0 {
+		return model.Reading{}, false, nil
+	}
+	return resp.Readings[0], true, nil
+}
+
+// FallbackSource labels where QueryWithFallback found the data.
+type FallbackSource string
+
+// Fallback sources.
+const (
+	SourceLocal    FallbackSource = "local"
+	SourceNeighbor FallbackSource = "neighbor"
+	SourceParent   FallbackSource = "parent"
+)
+
+// QueryWithFallback implements the paper's §IV.C data-access policy
+// for a service running at a fog layer-1 node: serve locally when the
+// node holds the data; otherwise consult the cost model and fetch
+// from either a sibling fog node or the parent layer, whichever is
+// cheaper for the estimated volume.
+func (s *System) QueryWithFallback(ctx context.Context, fog1ID, typeName string, from, to time.Time, estBytes int64) ([]model.Reading, FallbackSource, error) {
+	n, ok := s.fog1[fog1ID]
+	if !ok {
+		return nil, "", fmt.Errorf("core: unknown fog1 node %q", fog1ID)
+	}
+	if local := n.Query(typeName, from, to); len(local) > 0 {
+		return local, SourceLocal, nil
+	}
+	src, _ := s.Planner().ChooseSource(estBytes)
+	if src == placement.SourceNeighbor {
+		for _, nbr := range s.topo.Neighbors(fog1ID) {
+			readings, err := s.QueryNeighbor(ctx, fog1ID, nbr, typeName, from, to)
+			if err != nil {
+				continue // try the next sibling; parent is the backstop
+			}
+			if len(readings) > 0 {
+				return readings, SourceNeighbor, nil
+			}
+		}
+	}
+	spec, _ := s.topo.Node(fog1ID)
+	readings, err := s.QueryNeighbor(ctx, fog1ID, spec.Parent, typeName, from, to)
+	if err != nil {
+		return nil, "", fmt.Errorf("core: parent fallback: %w", err)
+	}
+	return readings, SourceParent, nil
+}
+
+// QueryNeighbor reads a type range from a sibling fog layer-1 node
+// over the network (§IV.C neighbor data access).
+func (s *System) QueryNeighbor(ctx context.Context, fromID, neighborID, typeName string, from, to time.Time) ([]model.Reading, error) {
+	req, err := protocol.EncodeJSON(protocol.QueryRequest{
+		TypeName: typeName, FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := s.net.Send(ctx, transport.Message{
+		From: fromID, To: neighborID, Kind: transport.KindQuery, Payload: req,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: neighbor read: %w", err)
+	}
+	var resp protocol.QueryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Readings, nil
+}

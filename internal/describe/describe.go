@@ -1,0 +1,132 @@
+// Package describe implements the SCC-DLC data-description phase:
+// tagging collected data with the business-model metadata the paper
+// lists (§IV.A) — timing (creation/collection), location positioning
+// (city, district, section, coordinates), authoring, and privacy.
+package describe
+
+import (
+	"fmt"
+	"time"
+
+	"f2c/internal/model"
+)
+
+// Privacy classifies the dissemination constraints of a data item.
+type Privacy int
+
+const (
+	// PrivacyPublic data may be published on the open-data interface.
+	PrivacyPublic Privacy = iota + 1
+	// PrivacyRestricted data is available to authorized city services
+	// only.
+	PrivacyRestricted
+	// PrivacyPersonal data carries personal information (e.g.
+	// participatory sensing) and must stay within its fog area.
+	PrivacyPersonal
+)
+
+// String implements fmt.Stringer.
+func (p Privacy) String() string {
+	switch p {
+	case PrivacyPublic:
+		return "public"
+	case PrivacyRestricted:
+		return "restricted"
+	case PrivacyPersonal:
+		return "personal"
+	default:
+		return fmt.Sprintf("privacy(%d)", int(p))
+	}
+}
+
+// Tags is the description record attached to a batch during
+// acquisition.
+type Tags struct {
+	// City, District and Section position the batch in the urban
+	// hierarchy ("Barcelona", "district-3", "section-21").
+	City     string `json:"city"`
+	District string `json:"district"`
+	Section  string `json:"section"`
+	// Centroid is the representative coordinate of the producing
+	// fog area.
+	Centroid model.GeoPoint `json:"centroid"`
+	// Author identifies the producing platform/provider.
+	Author string `json:"author"`
+	// Privacy captures the dissemination class.
+	Privacy Privacy `json:"privacy"`
+	// Created is the earliest reading time in the batch; Collected
+	// is when the fog node sealed it.
+	Created   time.Time `json:"created"`
+	Collected time.Time `json:"collected"`
+	// QualityScore is filled by the data-quality phase (0..1).
+	QualityScore float64 `json:"qualityScore"`
+}
+
+// Describer produces Tags for batches collected by one fog node.
+type Describer struct {
+	city     string
+	district string
+	section  string
+	centroid model.GeoPoint
+	author   string
+}
+
+// NewDescriber builds a describer for a fog node's fixed position in
+// the urban hierarchy.
+func NewDescriber(city, district, section string, centroid model.GeoPoint, author string) *Describer {
+	return &Describer{
+		city:     city,
+		district: district,
+		section:  section,
+		centroid: centroid,
+		author:   author,
+	}
+}
+
+// PrivacyFor maps sensor categories to a default privacy class:
+// people-flow-style urban data is restricted, everything else in the
+// Sentilo catalog is public open data.
+func PrivacyFor(typeName string) Privacy {
+	switch typeName {
+	case "people_flow":
+		return PrivacyRestricted
+	default:
+		return PrivacyPublic
+	}
+}
+
+// Describe tags a batch. QualityScore must be supplied by the caller
+// (the quality phase runs immediately before description in the
+// acquisition block).
+func (d *Describer) Describe(b *model.Batch, qualityScore float64) Tags {
+	created := b.Collected
+	for i := range b.Readings {
+		if t := b.Readings[i].Time; created.IsZero() || t.Before(created) {
+			created = t
+		}
+	}
+	return Tags{
+		City:         d.city,
+		District:     d.district,
+		Section:      d.section,
+		Centroid:     d.centroid,
+		Author:       d.author,
+		Privacy:      PrivacyFor(b.TypeName),
+		Created:      created,
+		Collected:    b.Collected,
+		QualityScore: qualityScore,
+	}
+}
+
+// Validate checks tags for completeness.
+func (t Tags) Validate() error {
+	switch {
+	case t.City == "":
+		return fmt.Errorf("tags: empty city")
+	case t.Section == "":
+		return fmt.Errorf("tags: empty section")
+	case t.QualityScore < 0 || t.QualityScore > 1:
+		return fmt.Errorf("tags: quality score %v outside [0,1]", t.QualityScore)
+	}
+	return nil
+}

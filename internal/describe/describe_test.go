@@ -1,0 +1,87 @@
+package describe
+
+import (
+	"testing"
+	"time"
+
+	"f2c/internal/model"
+)
+
+var now = time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func TestDescribe(t *testing.T) {
+	d := NewDescriber("barcelona", "district-3", "section-21",
+		model.GeoPoint{Lat: 41.38, Lon: 2.17}, "sentilo")
+	b := &model.Batch{
+		NodeID: "bcn/d3/s21", TypeName: "temperature", Category: model.CategoryEnergy,
+		Collected: now,
+		Readings: []model.Reading{
+			{SensorID: "a", TypeName: "temperature", Category: model.CategoryEnergy, Time: now.Add(-2 * time.Minute)},
+			{SensorID: "b", TypeName: "temperature", Category: model.CategoryEnergy, Time: now.Add(-5 * time.Minute)},
+		},
+	}
+	tags := d.Describe(b, 0.95)
+	if tags.City != "barcelona" || tags.District != "district-3" || tags.Section != "section-21" {
+		t.Errorf("position tags = %+v", tags)
+	}
+	if !tags.Created.Equal(now.Add(-5 * time.Minute)) {
+		t.Errorf("Created = %v, want earliest reading time", tags.Created)
+	}
+	if !tags.Collected.Equal(now) {
+		t.Errorf("Collected = %v, want %v", tags.Collected, now)
+	}
+	if tags.Privacy != PrivacyPublic {
+		t.Errorf("Privacy = %v, want public", tags.Privacy)
+	}
+	if tags.QualityScore != 0.95 {
+		t.Errorf("QualityScore = %v", tags.QualityScore)
+	}
+	if err := tags.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDescribeEmptyBatchUsesCollected(t *testing.T) {
+	d := NewDescriber("bcn", "d", "s", model.GeoPoint{}, "a")
+	tags := d.Describe(&model.Batch{NodeID: "n", TypeName: "traffic", Category: model.CategoryUrban, Collected: now}, 1)
+	if !tags.Created.Equal(now) {
+		t.Errorf("Created = %v, want collected time for empty batch", tags.Created)
+	}
+}
+
+func TestPrivacyFor(t *testing.T) {
+	if PrivacyFor("people_flow") != PrivacyRestricted {
+		t.Error("people_flow should be restricted")
+	}
+	if PrivacyFor("temperature") != PrivacyPublic {
+		t.Error("temperature should be public")
+	}
+}
+
+func TestTagsValidate(t *testing.T) {
+	good := Tags{City: "bcn", Section: "s1", QualityScore: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid tags rejected: %v", err)
+	}
+	bad := []Tags{
+		{Section: "s1", QualityScore: 0.5},
+		{City: "bcn", QualityScore: 0.5},
+		{City: "bcn", Section: "s1", QualityScore: 1.5},
+		{City: "bcn", Section: "s1", QualityScore: -0.1},
+	}
+	for i, tags := range bad {
+		if err := tags.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPrivacyString(t *testing.T) {
+	if PrivacyPublic.String() != "public" || PrivacyRestricted.String() != "restricted" ||
+		PrivacyPersonal.String() != "personal" {
+		t.Error("unexpected privacy strings")
+	}
+	if Privacy(9).String() != "privacy(9)" {
+		t.Error("unknown privacy should render numerically")
+	}
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"f2c/internal/metrics"
+	"f2c/internal/placement"
+)
+
+// Advantages quantifies the paper's §IV.D qualitative claims with the
+// deployment's link model and the Table I arithmetic.
+type Advantages struct {
+	// Real-time access: reading the newest value of a sensor.
+	FogReadRTT         time.Duration // F2C: local fog layer-1 read
+	CentralizedReadRTT time.Duration // cloud model: two transfers over the WAN
+	ReadSpeedup        float64
+
+	// Network load: bytes/day crossing the city uplink.
+	CloudModelDailyBytes int64
+	F2CDailyBytes        int64
+	TrafficReduction     float64
+
+	// Collection-frequency headroom: multiplying the layer-1
+	// sampling frequency multiplies only the sensor->fog1 segment.
+	FrequencyFactor       int
+	EdgeBytesAtFactor     int64
+	UpstreamBytesAtFactor int64 // unchanged: redundancy is eliminated locally
+}
+
+// ComputeAdvantages evaluates the claims for a read payload size and
+// a sampling-frequency factor.
+func ComputeAdvantages(p *placement.Planner, readBytes int64, freqFactor int) Advantages {
+	if freqFactor < 1 {
+		freqFactor = 1
+	}
+	cloudDaily, f2cDaily := Table1GrandTotals()
+	fog := p.FogAccessRTT(readBytes)
+	central := p.CentralizedAccessRTT(readBytes)
+	return Advantages{
+		FogReadRTT:            fog,
+		CentralizedReadRTT:    central,
+		ReadSpeedup:           float64(central) / float64(fog),
+		CloudModelDailyBytes:  cloudDaily,
+		F2CDailyBytes:         f2cDaily,
+		TrafficReduction:      1 - float64(f2cDaily)/float64(cloudDaily),
+		FrequencyFactor:       freqFactor,
+		EdgeBytesAtFactor:     cloudDaily * int64(freqFactor),
+		UpstreamBytesAtFactor: f2cDaily,
+	}
+}
+
+// FormatAdvantages renders the quantified claims.
+func FormatAdvantages(a Advantages) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "real-time read: fog1 %v vs centralized %v (%.1fx faster)\n",
+		a.FogReadRTT, a.CentralizedReadRTT, a.ReadSpeedup)
+	fmt.Fprintf(&b, "daily uplink volume: cloud model %.2f GB vs F2C %.2f GB (%.1f%% reduction)\n",
+		GB(a.CloudModelDailyBytes), GB(a.F2CDailyBytes), 100*a.TrafficReduction)
+	fmt.Fprintf(&b, "collection frequency x%d: edge segment %.2f GB/day, upstream unchanged at %.2f GB/day\n",
+		a.FrequencyFactor, GB(a.EdgeBytesAtFactor), GB(a.UpstreamBytesAtFactor))
+	return b.String()
+}
+
+// HopReport summarizes a traffic matrix for experiment output.
+func HopReport(m *metrics.TrafficMatrix) string {
+	var b strings.Builder
+	for _, hop := range metrics.Hops() {
+		if m.Bytes(hop) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %14d B  %8d msgs\n", hop, m.Bytes(hop), m.Messages(hop))
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/sensor"
+)
+
+// Paper §V.B compression measurement on Sentilo payloads.
+const (
+	PaperCompressionOriginal   int64 = 1360043206
+	PaperCompressionCompressed int64 = 295428463
+)
+
+// CompressionResult reports one compression measurement.
+type CompressionResult struct {
+	Codec           aggregate.Codec
+	OriginalBytes   int
+	CompressedBytes int
+	Ratio           float64
+	SavedShare      float64
+	// PaperSavedShare is the published ~78% for reference.
+	PaperSavedShare float64
+}
+
+// CompressionStudy reproduces the paper's Zip measurement on
+// synthetic Sentilo-like payloads: it generates wire-encoded
+// observation batches until at least targetBytes of raw payload, then
+// compresses them with the codec.
+func CompressionStudy(codec aggregate.Codec, targetBytes int, seed int64) (CompressionResult, error) {
+	if targetBytes <= 0 {
+		return CompressionResult{}, fmt.Errorf("experiment: non-positive target %d", targetBytes)
+	}
+	fleet, err := sensor.NewFleet(sensor.FleetConfig{
+		NodeID:    "fog1/d01-s01",
+		NodeCount: 73,
+		Scale:     100,
+		Seed:      seed,
+		Origin:    model.GeoPoint{Lat: 41.38, Lon: 2.17},
+	})
+	if err != nil {
+		return CompressionResult{}, fmt.Errorf("experiment: %w", err)
+	}
+	start := time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+	var payload []byte
+	for round := 0; len(payload) < targetBytes; round++ {
+		at := start.Add(time.Duration(round) * time.Minute)
+		for _, g := range fleet.Generators() {
+			payload = append(payload, sensor.EncodeBatch(g.Next(at))...)
+			if len(payload) >= targetBytes {
+				break
+			}
+		}
+	}
+	compressed, err := aggregate.Compress(codec, payload)
+	if err != nil {
+		return CompressionResult{}, fmt.Errorf("experiment: %w", err)
+	}
+	return CompressionResult{
+		Codec:           codec,
+		OriginalBytes:   len(payload),
+		CompressedBytes: len(compressed),
+		Ratio:           aggregate.Ratio(len(payload), len(compressed)),
+		SavedShare:      aggregate.SavedShare(len(payload), len(compressed)),
+		PaperSavedShare: aggregate.SavedShare(int(PaperCompressionOriginal), int(PaperCompressionCompressed)),
+	}, nil
+}
+
+// FormatCompression renders a compression result.
+func FormatCompression(r CompressionResult) string {
+	return fmt.Sprintf(
+		"codec=%s original=%d B compressed=%d B ratio=%.3f saved=%.1f%% (paper: %d -> %d B, saved=%.1f%%)",
+		r.Codec, r.OriginalBytes, r.CompressedBytes, r.Ratio, 100*r.SavedShare,
+		PaperCompressionOriginal, PaperCompressionCompressed, 100*r.PaperSavedShare)
+}

@@ -1,0 +1,137 @@
+// Package experiment contains the harnesses that regenerate every
+// quantitative artifact of the paper's evaluation (§V.B): Table I
+// (redundant-data aggregation model), Fig. 6 (Barcelona topology),
+// Fig. 7 (per-category volumes after aggregation and compression),
+// the Zip compression measurement, and a quantification of the §IV.D
+// advantages. Each harness reports paper values next to reproduced
+// values.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"f2c/internal/model"
+)
+
+// RowKind distinguishes Table I row flavours.
+type RowKind int
+
+const (
+	// RowType is a single sensor-type row.
+	RowType RowKind = iota + 1
+	// RowCategoryTotal is a per-category "total number" row.
+	RowCategoryTotal
+	// RowGrandTotal is the final city-wide row.
+	RowGrandTotal
+)
+
+// Table1Row reproduces one row of Table I. Byte columns follow the
+// published layout: per-transaction volumes at each layer of both
+// computing models, then per-day volumes. In the cloud model the full
+// volume reaches the cloud; in the F2C model fog layer 1 sees the full
+// volume and redundant-data elimination halves (energy), quarters
+// (noise), etc. what moves to fog layer 2 and the cloud.
+type Table1Row struct {
+	Kind     RowKind
+	Category model.Category
+	Type     string
+	Sensors  int
+
+	// Per transaction (bytes).
+	TxPerSensor int64
+	TxFog1      int64 // == cloud model's per-transaction total
+	TxFog2      int64
+	TxCloud     int64
+
+	// Per day (bytes).
+	DayPerSensor int64
+	DayFog1      int64 // == cloud model's per-day total
+	DayFog2      int64
+	DayCloud     int64
+}
+
+// Table1 computes the full published table from the catalog: one row
+// per sensor type, a total row per category, and the grand total.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	grand := Table1Row{Kind: RowGrandTotal, Type: "total"}
+	for _, cat := range model.Categories() {
+		catTotal := Table1Row{Kind: RowCategoryTotal, Category: cat, Type: "total"}
+		for _, st := range model.CatalogByCategory()[cat] {
+			row := typeRow(st)
+			rows = append(rows, row)
+			accumulate(&catTotal, row)
+		}
+		accumulate(&grand, catTotal)
+		rows = append(rows, catTotal)
+	}
+	rows = append(rows, grand)
+	return rows
+}
+
+func typeRow(st model.SensorType) Table1Row {
+	tx := st.TransactionBytesTotal()
+	day := st.DailyBytesTotal()
+	return Table1Row{
+		Kind:         RowType,
+		Category:     st.Category,
+		Type:         st.Name,
+		Sensors:      st.Count,
+		TxPerSensor:  int64(st.BytesPerTransaction),
+		TxFog1:       tx,
+		TxFog2:       st.Category.KeptBytes(tx),
+		TxCloud:      st.Category.KeptBytes(tx),
+		DayPerSensor: int64(st.DailyBytesPerSensor),
+		DayFog1:      day,
+		DayFog2:      st.Category.KeptBytes(day),
+		DayCloud:     st.Category.KeptBytes(day),
+	}
+}
+
+func accumulate(dst *Table1Row, src Table1Row) {
+	dst.Sensors += src.Sensors
+	dst.TxPerSensor += src.TxPerSensor
+	dst.TxFog1 += src.TxFog1
+	dst.TxFog2 += src.TxFog2
+	dst.TxCloud += src.TxCloud
+	dst.DayPerSensor += src.DayPerSensor
+	dst.DayFog1 += src.DayFog1
+	dst.DayFog2 += src.DayFog2
+	dst.DayCloud += src.DayCloud
+}
+
+// Table1GrandTotals returns the two headline numbers: bytes/day
+// reaching the cloud under the centralized model vs under F2C.
+func Table1GrandTotals() (cloudModel, f2cModel int64) {
+	rows := Table1()
+	grand := rows[len(rows)-1]
+	return grand.DayFog1, grand.DayCloud
+}
+
+// FormatTable1 renders the table in the published column layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-28s %9s | %6s %12s | %12s %12s %12s | %8s %14s %14s %14s\n",
+		"category", "type", "sensors",
+		"B/tx", "tx cloud",
+		"tx F2C-f1", "tx F2C-f2", "tx F2C-cl",
+		"B/day", "day cloud", "day F2C-f2", "day F2C-cl")
+	for _, r := range rows {
+		name := r.Type
+		cat := r.Category.String()
+		switch r.Kind {
+		case RowCategoryTotal:
+			name = "TOTAL " + cat
+		case RowGrandTotal:
+			name = "GRAND TOTAL"
+			cat = ""
+		}
+		fmt.Fprintf(&b, "%-10s %-28s %9d | %6d %12d | %12d %12d %12d | %8d %14d %14d %14d\n",
+			cat, name, r.Sensors,
+			r.TxPerSensor, r.TxFog1,
+			r.TxFog1, r.TxFog2, r.TxCloud,
+			r.DayPerSensor, r.DayFog1, r.DayFog2, r.DayCloud)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package fognode
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// lifecycle holds the background-flusher state shared by Node and the
+// cloud node.
+type lifecycle struct {
+	mu      sync.Mutex
+	running bool
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func newLifecycle() *lifecycle {
+	return &lifecycle{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// begin marks the worker started; returns false if already started or
+// already stopped.
+func (l *lifecycle) begin() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.running || l.stopped {
+		return false
+	}
+	l.running = true
+	return true
+}
+
+// end signals the worker to stop and waits for it if it was running.
+func (l *lifecycle) end() {
+	l.mu.Lock()
+	wasRunning := l.running
+	alreadyStopped := l.stopped
+	l.running = false
+	l.stopped = true
+	l.mu.Unlock()
+	if !alreadyStopped {
+		close(l.stop)
+	}
+	if wasRunning {
+		<-l.done
+	}
+}
+
+// Start launches the background flusher, which moves pending data
+// upward every FlushInterval — the paper's periodic upward data
+// movement whose frequency is a tunable of the architecture. Start is
+// idempotent; starting after Close is a no-op.
+func (n *Node) Start() {
+	if !n.lc.begin() {
+		return
+	}
+	go n.run()
+}
+
+// run is the flusher goroutine. It exits when Close is called.
+func (n *Node) run() {
+	defer close(n.lc.done)
+	ticker := time.NewTicker(n.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// Flush errors leave data queued for the next tick;
+			// the flush-error counter records them for operators.
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.FlushInterval)
+			_ = n.Flush(ctx)
+			cancel()
+		case <-n.lc.stop:
+			return
+		}
+	}
+}
+
+// Close stops the background flusher (if running), waits for it to
+// exit, then performs a final synchronous flush so no pending data is
+// lost on shutdown. Safe to call multiple times.
+func (n *Node) Close(ctx context.Context) error {
+	n.lc.end()
+	if n.cfg.Spec.Parent == "" && n.PendingBatches() == 0 {
+		return nil
+	}
+	return n.Flush(ctx)
+}

@@ -1,0 +1,451 @@
+// Package fognode implements the fog node runtime used at both fog
+// layers of the F2C hierarchy (paper §IV): the acquisition pipeline
+// (collection -> redundant-data elimination -> quality -> description)
+// at layer 1, temporal storage with retention for real-time access,
+// combination of child batches at layer 2, and the periodic upward
+// flusher whose frequency "can be strategically decided in order to
+// accommodate it to the network traffic".
+package fognode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/describe"
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/quality"
+	"f2c/internal/sim"
+	"f2c/internal/store"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+// ErrNoParent is returned by Flush on a node with no upward peer.
+var ErrNoParent = errors.New("fognode: node has no parent")
+
+// Config configures a Node.
+type Config struct {
+	// Spec is the node's place in the topology.
+	Spec topology.NodeSpec
+	// City names the deployment for data description.
+	City string
+	// Clock provides time (virtual in simulations).
+	Clock sim.Clock
+	// Transport reaches the parent node; may be nil for leaf-only
+	// experiments (Flush then fails with ErrNoParent).
+	Transport transport.Transport
+	// Retention bounds the temporal store (0 = keep forever).
+	Retention time.Duration
+	// FlushInterval drives the background flusher started by Start.
+	FlushInterval time.Duration
+	// Codec compresses upward transfers.
+	Codec aggregate.Codec
+	// Dedup enables redundant-data elimination on ingest (the paper
+	// applies it at fog layer 1).
+	Dedup bool
+	// Quality enables the data-quality phase on ingest.
+	Quality bool
+	// Registry receives node metrics; nil allocates a private one.
+	Registry *metrics.Registry
+	// Observer, when set, sees every batch that survives the
+	// acquisition pipeline — the hook local real-time services
+	// (paper §IV.C) attach to. Called synchronously on the ingest
+	// path; implementations must be fast and must not retain the
+	// batch.
+	Observer BatchObserver
+	// MaxPendingReadings bounds the per-type upward buffer during
+	// parent outages; when exceeded, the oldest readings are shed
+	// and counted in the <node>.flush.shed metric. Zero means
+	// unbounded.
+	MaxPendingReadings int
+}
+
+// BatchObserver receives post-pipeline batches.
+type BatchObserver interface {
+	ObserveBatch(b *model.Batch)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Spec.ID == "" {
+		return errors.New("fognode: config needs a node spec")
+	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock{}
+	}
+	if c.Codec == 0 {
+		c.Codec = aggregate.CodecNone
+	}
+	if !c.Codec.Valid() {
+		return fmt.Errorf("fognode %s: invalid codec %d", c.Spec.ID, int(c.Codec))
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = time.Minute
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.City == "" {
+		c.City = "city"
+	}
+	return nil
+}
+
+// Node is a fog node at layer 1 or 2. Safe for concurrent use.
+type Node struct {
+	cfg       Config
+	store     *store.TimeSeries
+	deduper   *aggregate.Deduper
+	assessor  *quality.Assessor
+	describer *describe.Describer
+
+	mu      sync.Mutex
+	pending map[string]*model.Batch
+	tags    map[string]describe.Tags
+
+	ingestedBatches *metrics.Counter
+	ingestedReads   *metrics.Counter
+	flushedBatches  *metrics.Counter
+	flushedBytes    *metrics.Counter
+	flushErrors     *metrics.Counter
+	rejectedReads   *metrics.Counter
+	shedReads       *metrics.Counter
+
+	lc *lifecycle
+}
+
+// New builds a node.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	district := ""
+	if cfg.Spec.Layer == topology.LayerFog2 {
+		district = cfg.Spec.Name
+	}
+	n := &Node{
+		cfg:       cfg,
+		store:     store.NewTimeSeries(cfg.Retention),
+		deduper:   aggregate.NewDeduper(),
+		assessor:  quality.NewAssessor(nil),
+		describer: describe.NewDescriber(cfg.City, district, cfg.Spec.Name, cfg.Spec.Centroid, "f2c"),
+		pending:   make(map[string]*model.Batch),
+		tags:      make(map[string]describe.Tags),
+		lc:        newLifecycle(),
+	}
+	reg := cfg.Registry
+	prefix := cfg.Spec.ID + "."
+	n.ingestedBatches = reg.Counter(prefix + "ingest.batches")
+	n.ingestedReads = reg.Counter(prefix + "ingest.readings")
+	n.flushedBatches = reg.Counter(prefix + "flush.batches")
+	n.flushedBytes = reg.Counter(prefix + "flush.bytes")
+	n.flushErrors = reg.Counter(prefix + "flush.errors")
+	n.rejectedReads = reg.Counter(prefix + "ingest.rejected")
+	n.shedReads = reg.Counter(prefix + "flush.shed")
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.cfg.Spec.ID }
+
+// Layer returns the node's hierarchy layer.
+func (n *Node) Layer() topology.Layer { return n.cfg.Spec.Layer }
+
+// Ingest runs the acquisition pipeline on a batch: redundant-data
+// elimination (when enabled), quality assessment, description
+// tagging, temporal storage, and queueing for the next upward flush.
+func (n *Node) Ingest(b *model.Batch) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
+	}
+	n.ingestedBatches.Inc()
+
+	if n.cfg.Dedup {
+		b = n.deduper.Filter(b)
+	}
+	score := 1.0
+	if n.cfg.Quality {
+		var rep quality.Report
+		b, rep = n.assessor.Assess(b, n.cfg.Clock.Now())
+		score = rep.Score()
+		n.rejectedReads.Add(int64(rep.Rejected))
+	}
+	tags := n.describer.Describe(b, score)
+
+	n.mu.Lock()
+	n.tags[b.TypeName] = tags
+	n.mu.Unlock()
+
+	if len(b.Readings) == 0 {
+		return nil
+	}
+	n.ingestedReads.Add(int64(len(b.Readings)))
+
+	if err := n.store.Append(b); err != nil {
+		return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
+	}
+	n.enqueue(b)
+	if n.cfg.Observer != nil {
+		n.cfg.Observer.ObserveBatch(b)
+	}
+	return nil
+}
+
+// enqueue merges a filtered batch into the per-type pending buffer
+// that the next flush will move upward, shedding the oldest readings
+// when a bound is configured and exceeded (prolonged parent outage).
+func (n *Node) enqueue(b *model.Batch) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur, ok := n.pending[b.TypeName]
+	if !ok {
+		cp := b.Clone()
+		cp.NodeID = n.cfg.Spec.ID // upward batches carry this node's identity
+		n.pending[b.TypeName] = cp
+		cur = cp
+	} else {
+		cur.Readings = append(cur.Readings, b.Readings...)
+	}
+	if max := n.cfg.MaxPendingReadings; max > 0 && len(cur.Readings) > max {
+		shed := len(cur.Readings) - max
+		n.shedReads.Add(int64(shed))
+		kept := make([]model.Reading, max)
+		copy(kept, cur.Readings[shed:])
+		cur.Readings = kept
+	}
+}
+
+// ShedReadings reports how many buffered readings were dropped under
+// the MaxPendingReadings bound.
+func (n *Node) ShedReadings() int64 { return n.shedReads.Value() }
+
+// PendingBatches returns how many per-type batches await flushing.
+func (n *Node) PendingBatches() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+// Latest serves the real-time read path.
+func (n *Node) Latest(sensorID string) (model.Reading, bool) {
+	return n.store.Latest(sensorID)
+}
+
+// Query serves range reads from the temporal store.
+func (n *Node) Query(typeName string, from, to time.Time) []model.Reading {
+	return n.store.QueryRange(typeName, from, to)
+}
+
+// Tags returns the latest description tags for a type.
+func (n *Node) Tags(typeName string) (describe.Tags, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.tags[typeName]
+	return t, ok
+}
+
+// DedupEliminatedShare reports the measured redundant share removed.
+func (n *Node) DedupEliminatedShare() float64 { return n.deduper.EliminatedShare() }
+
+// DedupStats returns the readings observed and kept by the
+// redundant-data-elimination phase.
+func (n *Node) DedupStats() (in, kept int64) { return n.deduper.Stats() }
+
+// Flush seals all pending batches and sends them to the parent,
+// compressed with the configured codec. Batches that fail to send
+// stay queued for the next flush. It also applies retention eviction.
+func (n *Node) Flush(ctx context.Context) error {
+	return n.flush(ctx, nil)
+}
+
+// FlushCategory moves only one category's pending data upward — the
+// paper's per-data-class update-frequency policy ("the smart city
+// business model can decide ... the frequency of updating to upper
+// levels"). Other categories stay buffered for their own schedule.
+func (n *Node) FlushCategory(ctx context.Context, cat model.Category) error {
+	if !cat.Valid() {
+		return fmt.Errorf("fognode %s: flush: invalid category %d", n.cfg.Spec.ID, int(cat))
+	}
+	return n.flush(ctx, func(b *model.Batch) bool { return b.Category == cat })
+}
+
+// flush moves pending batches matching the filter (nil = all) upward.
+func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
+	defer n.store.Evict(n.cfg.Clock.Now())
+	if n.PendingBatches() == 0 {
+		return nil
+	}
+
+	n.mu.Lock()
+	types := make([]string, 0, len(n.pending))
+	for typ, b := range n.pending {
+		if match == nil || match(b) {
+			types = append(types, typ)
+		}
+	}
+	sort.Strings(types)
+	batches := make([]*model.Batch, 0, len(types))
+	for _, typ := range types {
+		batches = append(batches, n.pending[typ])
+		delete(n.pending, typ)
+	}
+	n.mu.Unlock()
+
+	if len(batches) == 0 {
+		return nil
+	}
+	if n.cfg.Spec.Parent == "" {
+		for _, b := range batches {
+			n.requeue(b)
+		}
+		return fmt.Errorf("%w: %s", ErrNoParent, n.cfg.Spec.ID)
+	}
+	if n.cfg.Transport == nil {
+		for _, b := range batches {
+			n.requeue(b)
+		}
+		return fmt.Errorf("fognode %s: no transport configured", n.cfg.Spec.ID)
+	}
+
+	var errs []error
+	now := n.cfg.Clock.Now()
+	for _, b := range batches {
+		b.Collected = now
+		payload, err := protocol.EncodeBatchPayload(b, n.cfg.Codec)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		msg := transport.Message{
+			From:    n.cfg.Spec.ID,
+			To:      n.cfg.Spec.Parent,
+			Kind:    transport.KindBatch,
+			Class:   b.Category.String(),
+			Payload: payload,
+		}
+		if _, err := n.cfg.Transport.Send(ctx, msg); err != nil {
+			n.flushErrors.Inc()
+			n.requeue(b)
+			errs = append(errs, fmt.Errorf("fognode %s: flush %s: %w", n.cfg.Spec.ID, b.TypeName, err))
+			continue
+		}
+		n.flushedBatches.Inc()
+		n.flushedBytes.Add(msg.WireSize())
+	}
+	return errors.Join(errs...)
+}
+
+// requeue puts a failed batch back at the front of the pending
+// buffer.
+func (n *Node) requeue(b *model.Batch) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur, ok := n.pending[b.TypeName]
+	if !ok {
+		n.pending[b.TypeName] = b
+		return
+	}
+	// Preserve time order: failed batch first, newer readings after.
+	merged := b.Clone()
+	merged.Readings = append(merged.Readings, cur.Readings...)
+	n.pending[b.TypeName] = merged
+}
+
+// Status reports the node's state.
+func (n *Node) Status() protocol.StatusResponse {
+	st := n.store.Stats()
+	return protocol.StatusResponse{
+		NodeID:          n.cfg.Spec.ID,
+		Layer:           n.cfg.Spec.Layer.String(),
+		StoredReadings:  st.Readings,
+		StoredSeries:    st.Series,
+		PendingBatches:  n.PendingBatches(),
+		IngestedBatches: n.ingestedBatches.Value(),
+		DedupEliminated: n.DedupEliminatedShare(),
+	}
+}
+
+var _ transport.Handler = (*Node)(nil)
+
+// Handle implements transport.Handler: child batches, queries and
+// control commands.
+func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error) {
+	switch msg.Kind {
+	case transport.KindBatch:
+		b, _, err := protocol.DecodeBatchPayload(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Ingest(b); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case transport.KindQuery:
+		return n.handleQuery(msg.Payload)
+	case transport.KindSummary:
+		return n.handleSummary(msg.Payload)
+	case transport.KindControl:
+		return n.handleControl(ctx, msg.Payload)
+	default:
+		return nil, fmt.Errorf("fognode %s: unsupported message kind %q", n.cfg.Spec.ID, msg.Kind)
+	}
+}
+
+func (n *Node) handleSummary(payload []byte) ([]byte, error) {
+	var req protocol.SummaryRequest
+	if err := protocol.DecodeJSON(payload, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	from, to := req.Range()
+	sum := aggregate.Summarize(n.Query(req.TypeName, from, to))
+	return protocol.EncodeJSON(protocol.SummaryResponse{Summary: sum})
+}
+
+func (n *Node) handleQuery(payload []byte) ([]byte, error) {
+	var req protocol.QueryRequest
+	if err := protocol.DecodeJSON(payload, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var resp protocol.QueryResponse
+	if req.SensorID != "" {
+		if r, ok := n.Latest(req.SensorID); ok {
+			resp.Found = true
+			resp.Readings = []model.Reading{r}
+		}
+	} else {
+		from, to := req.Range()
+		resp.Readings = n.Query(req.TypeName, from, to)
+		resp.Found = len(resp.Readings) > 0
+	}
+	return protocol.EncodeJSON(resp)
+}
+
+func (n *Node) handleControl(ctx context.Context, payload []byte) ([]byte, error) {
+	var req protocol.ControlRequest
+	if err := protocol.DecodeJSON(payload, &req); err != nil {
+		return nil, err
+	}
+	switch req.Op {
+	case protocol.OpFlush:
+		if err := n.Flush(ctx); err != nil {
+			return nil, err
+		}
+		return []byte("flushed"), nil
+	case protocol.OpStatus:
+		return protocol.EncodeJSON(n.Status())
+	default:
+		return nil, fmt.Errorf("fognode %s: unknown control op %q", n.cfg.Spec.ID, req.Op)
+	}
+}

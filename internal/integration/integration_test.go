@@ -1,0 +1,228 @@
+// Package integration_test assembles a real three-layer hierarchy
+// over HTTP loopback — the multi-process deployment f2cd supports —
+// and drives data end to end through actual sockets.
+package integration_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/cloud"
+	"f2c/internal/fognode"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// deployment is a loopback city: 1 fog1 + 1 fog2 + cloud, each behind
+// its own HTTP server.
+type deployment struct {
+	fog1  *fognode.Node
+	fog2  *fognode.Node
+	cloud *cloud.Node
+
+	fog1URL, fog2URL, cloudURL string
+	client                     *transport.HTTPTransport
+}
+
+func deploy(t *testing.T) *deployment {
+	t.Helper()
+	clock := sim.NewVirtualClock(t0)
+
+	cl, err := cloud.New(cloud.Config{ID: "cloud", City: "loopback", Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudSrv := httptest.NewServer(transport.NewHTTPHandler("cloud", cl))
+	t.Cleanup(cloudSrv.Close)
+
+	fog2Transport := transport.NewHTTPTransport(5 * time.Second)
+	fog2Transport.AddPeer("cloud", cloudSrv.URL)
+	f2, err := fognode.New(fognode.Config{
+		Spec: topology.NodeSpec{
+			ID: "fog2/d01", Layer: topology.LayerFog2, Parent: "cloud", Name: "District 1",
+		},
+		City: "loopback", Clock: clock, Transport: fog2Transport,
+		Retention: 24 * time.Hour, Codec: aggregate.CodecZip,
+		FlushInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fog2Srv := httptest.NewServer(transport.NewHTTPHandler("fog2/d01", f2))
+	t.Cleanup(fog2Srv.Close)
+
+	fog1Transport := transport.NewHTTPTransport(5 * time.Second)
+	fog1Transport.AddPeer("fog2/d01", fog2Srv.URL)
+	f1, err := fognode.New(fognode.Config{
+		Spec: topology.NodeSpec{
+			ID: "fog1/d01-s01", Layer: topology.LayerFog1, Parent: "fog2/d01", Name: "Section 1",
+		},
+		City: "loopback", Clock: clock, Transport: fog1Transport,
+		Retention: time.Hour, Codec: aggregate.CodecZip, Dedup: true, Quality: true,
+		FlushInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fog1Srv := httptest.NewServer(transport.NewHTTPHandler("fog1/d01-s01", f1))
+	t.Cleanup(fog1Srv.Close)
+
+	client := transport.NewHTTPTransport(5 * time.Second)
+	client.AddPeer("fog1/d01-s01", fog1Srv.URL)
+	client.AddPeer("fog2/d01", fog2Srv.URL)
+	client.AddPeer("cloud", cloudSrv.URL)
+
+	return &deployment{
+		fog1: f1, fog2: f2, cloud: cl,
+		fog1URL: fog1Srv.URL, fog2URL: fog2Srv.URL, cloudURL: cloudSrv.URL,
+		client: client,
+	}
+}
+
+func sensorBatch(at time.Time, vals ...float64) *model.Batch {
+	b := &model.Batch{NodeID: "edge/device-9", TypeName: "weather", Category: model.CategoryUrban, Collected: at}
+	for i, v := range vals {
+		b.Readings = append(b.Readings, model.Reading{
+			SensorID: "station/" + string(rune('a'+i)), TypeName: "weather",
+			Category: model.CategoryUrban, Time: at, Value: v, Unit: "hPa",
+		})
+	}
+	return b
+}
+
+func TestHTTPHierarchyEndToEnd(t *testing.T) {
+	d := deploy(t)
+	ctx := context.Background()
+
+	// A sensor posts a batch envelope to the fog1 node over HTTP.
+	payload, err := protocol.EncodeBatchPayload(sensorBatch(t0, 1013, 1015), aggregate.CodecNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.Send(ctx, transport.Message{
+		From: "edge/device-9", To: "fog1/d01-s01", Kind: transport.KindBatch,
+		Class: "urban", Payload: payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Real-time query against fog1 over HTTP.
+	q, _ := protocol.EncodeJSON(protocol.QueryRequest{SensorID: "station/a"})
+	reply, err := d.client.Send(ctx, transport.Message{
+		From: "app", To: "fog1/d01-s01", Kind: transport.KindQuery, Payload: q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp protocol.QueryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Found || resp.Readings[0].Value != 1013 {
+		t.Fatalf("fog1 query = %+v", resp)
+	}
+
+	// Control-plane flushes push data up: fog1 -> fog2 -> cloud.
+	flushReq, _ := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpFlush})
+	for _, node := range []string{"fog1/d01-s01", "fog2/d01"} {
+		if _, err := d.client.Send(ctx, transport.Message{
+			From: "f2cctl", To: node, Kind: transport.KindControl, Payload: flushReq,
+		}); err != nil {
+			t.Fatalf("flush %s: %v", node, err)
+		}
+	}
+
+	// The cloud has archived the readings.
+	if got := d.cloud.Archive().Len(); got != 1 {
+		t.Fatalf("cloud archive = %d records", got)
+	}
+	hist := d.cloud.Historical("weather", t0.Add(-time.Hour), t0.Add(time.Hour))
+	if len(hist) != 2 {
+		t.Fatalf("historical = %d readings", len(hist))
+	}
+
+	// Status over HTTP reflects the flow.
+	statusReq, _ := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpStatus})
+	reply, err = d.client.Send(ctx, transport.Message{
+		From: "f2cctl", To: "fog1/d01-s01", Kind: transport.KindControl, Payload: statusReq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st protocol.StatusResponse
+	if err := protocol.DecodeJSON(reply, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NodeID != "fog1/d01-s01" || st.PendingBatches != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestHTTPHierarchyBackgroundFlushers(t *testing.T) {
+	d := deploy(t)
+	ctx := context.Background()
+
+	d.fog1.Start()
+	d.fog2.Start()
+	defer func() {
+		if err := d.fog1.Close(ctx); err != nil {
+			t.Errorf("close fog1: %v", err)
+		}
+		if err := d.fog2.Close(ctx); err != nil {
+			t.Errorf("close fog2: %v", err)
+		}
+	}()
+
+	if err := d.fog1.Ingest(sensorBatch(t0, 1020)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for d.cloud.Archive().Len() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("data never reached the cloud via background flushers")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestHTTPOpenDataServedFromHierarchy(t *testing.T) {
+	d := deploy(t)
+	ctx := context.Background()
+	payload, err := protocol.EncodeBatchPayload(sensorBatch(t0, 990), aggregate.CodecZip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.Send(ctx, transport.Message{
+		From: "edge", To: "fog1/d01-s01", Kind: transport.KindBatch, Class: "urban", Payload: payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flushReq, _ := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpFlush})
+	for _, node := range []string{"fog1/d01-s01", "fog2/d01"} {
+		if _, err := d.client.Send(ctx, transport.Message{
+			From: "ctl", To: node, Kind: transport.KindControl, Payload: flushReq,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dissemination over HTTP from the cloud node.
+	srv := httptest.NewServer(d.cloud.OpenDataHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/opendata/v1/types/weather/readings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("open data status = %d", resp.StatusCode)
+	}
+}

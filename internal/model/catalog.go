@@ -1,0 +1,87 @@
+package model
+
+import "fmt"
+
+// Catalog returns the full Sentilo sensor-type catalog of Table I:
+// 5 categories, 21 types, 1,005,019 sensors, 8,583,503,168 bytes/day
+// under the centralized cloud model. The slice is freshly allocated on
+// every call so callers may mutate it.
+//
+// The three noise types are unnamed in the paper ("the noise category
+// includes three different types of information"); we name them by
+// their distinct publication profiles.
+func Catalog() []SensorType {
+	return []SensorType{
+		// Energy monitoring: 7 types x 70,717 sensors.
+		{Name: "electricity_meter", Category: CategoryEnergy, Count: 70717, BytesPerTransaction: 22, DailyBytesPerSensor: 2112},
+		{Name: "external_ambient_conditions", Category: CategoryEnergy, Count: 70717, BytesPerTransaction: 22, DailyBytesPerSensor: 2112},
+		{Name: "gas_meter", Category: CategoryEnergy, Count: 70717, BytesPerTransaction: 22, DailyBytesPerSensor: 2112},
+		{Name: "internal_ambient_conditions", Category: CategoryEnergy, Count: 70717, BytesPerTransaction: 22, DailyBytesPerSensor: 2112},
+		{Name: "network_analyzer", Category: CategoryEnergy, Count: 70717, BytesPerTransaction: 242, DailyBytesPerSensor: 23232},
+		{Name: "solar_thermal_installation", Category: CategoryEnergy, Count: 70717, BytesPerTransaction: 22, DailyBytesPerSensor: 2112},
+		{Name: "temperature", Category: CategoryEnergy, Count: 70717, BytesPerTransaction: 22, DailyBytesPerSensor: 2112},
+
+		// Noise monitoring: 3 types x 10,000 sensors.
+		{Name: "noise_daily_report", Category: CategoryNoise, Count: 10000, BytesPerTransaction: 22, DailyBytesPerSensor: 768},
+		{Name: "noise_level", Category: CategoryNoise, Count: 10000, BytesPerTransaction: 22, DailyBytesPerSensor: 31680},
+		{Name: "noise_peak", Category: CategoryNoise, Count: 10000, BytesPerTransaction: 22, DailyBytesPerSensor: 31680},
+
+		// Garbage collection: 5 container types x 40,000 sensors.
+		{Name: "container_glass", Category: CategoryGarbage, Count: 40000, BytesPerTransaction: 50, DailyBytesPerSensor: 1800},
+		{Name: "container_organic", Category: CategoryGarbage, Count: 40000, BytesPerTransaction: 50, DailyBytesPerSensor: 1800},
+		{Name: "container_paper", Category: CategoryGarbage, Count: 40000, BytesPerTransaction: 50, DailyBytesPerSensor: 1800},
+		{Name: "container_plastic", Category: CategoryGarbage, Count: 40000, BytesPerTransaction: 50, DailyBytesPerSensor: 1800},
+		{Name: "container_refuse", Category: CategoryGarbage, Count: 40000, BytesPerTransaction: 50, DailyBytesPerSensor: 1800},
+
+		// Parking spot: a single type.
+		{Name: "parking_spot", Category: CategoryParking, Count: 80000, BytesPerTransaction: 40, DailyBytesPerSensor: 4000},
+
+		// Urban Lab monitoring: 5 types x 40,000 sensors.
+		{Name: "air_quality", Category: CategoryUrban, Count: 40000, BytesPerTransaction: 144, DailyBytesPerSensor: 13824},
+		{Name: "bicycle_flow", Category: CategoryUrban, Count: 40000, BytesPerTransaction: 22, DailyBytesPerSensor: 3168},
+		{Name: "people_flow", Category: CategoryUrban, Count: 40000, BytesPerTransaction: 22, DailyBytesPerSensor: 3168},
+		{Name: "traffic", Category: CategoryUrban, Count: 40000, BytesPerTransaction: 44, DailyBytesPerSensor: 63360},
+		{Name: "weather", Category: CategoryUrban, Count: 40000, BytesPerTransaction: 120, DailyBytesPerSensor: 34560},
+	}
+}
+
+// CatalogByCategory groups the catalog by category, preserving Table I
+// ordering within each group.
+func CatalogByCategory() map[Category][]SensorType {
+	out := make(map[Category][]SensorType, 5)
+	for _, st := range Catalog() {
+		out[st.Category] = append(out[st.Category], st)
+	}
+	return out
+}
+
+// TypeByName looks a sensor type up in the catalog.
+func TypeByName(name string) (SensorType, error) {
+	for _, st := range Catalog() {
+		if st.Name == name {
+			return st, nil
+		}
+	}
+	return SensorType{}, fmt.Errorf("sensor type %q not in catalog", name)
+}
+
+// CatalogTotals summarizes the catalog the way Table I's "total number"
+// rows do.
+type CatalogTotals struct {
+	Sensors             int
+	BytesPerTransaction int64
+	DailyBytes          int64
+	DailyBytesF2C       int64
+}
+
+// Totals computes city-wide totals over a set of sensor types.
+func Totals(types []SensorType) CatalogTotals {
+	var t CatalogTotals
+	for _, st := range types {
+		t.Sensors += st.Count
+		t.BytesPerTransaction += int64(st.BytesPerTransaction)
+		t.DailyBytes += st.DailyBytesTotal()
+		t.DailyBytesF2C += st.Category.KeptBytes(st.DailyBytesTotal())
+	}
+	return t
+}

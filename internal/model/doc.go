@@ -1,0 +1,10 @@
+// Package model defines the core data model of the F2C smart-city data
+// management system: sensor categories, the Sentilo-derived sensor-type
+// catalog from Table I of the paper, readings, and batches.
+//
+// The catalog carries the exact published parameters (sensor counts,
+// bytes per transaction, bytes per day per sensor) so that the
+// experiment harnesses can regenerate the paper's Table I cell by cell,
+// and so the synthetic workload generator produces traffic with the
+// published volume profile.
+package model

@@ -1,0 +1,295 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestCatalogMatchesTableITotals(t *testing.T) {
+	got := Totals(Catalog())
+	if want := 1005019; got.Sensors != want {
+		t.Errorf("total sensors = %d, want %d", got.Sensors, want)
+	}
+	if want := int64(1082); got.BytesPerTransaction != want {
+		t.Errorf("total bytes/transaction = %d, want %d", got.BytesPerTransaction, want)
+	}
+	if want := int64(8583503168); got.DailyBytes != want {
+		t.Errorf("total daily bytes (cloud) = %d, want %d", got.DailyBytes, want)
+	}
+	if want := int64(5036071584); got.DailyBytesF2C != want {
+		t.Errorf("total daily bytes (F2C) = %d, want %d", got.DailyBytesF2C, want)
+	}
+}
+
+func TestCatalogPerCategoryTotals(t *testing.T) {
+	tests := []struct {
+		cat      Category
+		sensors  int
+		perTx    int64
+		daily    int64
+		dailyF2C int64
+		numTypes int
+	}{
+		{CategoryEnergy, 495019, 374, 2539023168, 1269511584, 7},
+		{CategoryNoise, 30000, 66, 641280000, 160320000, 3},
+		{CategoryGarbage, 200000, 250, 360000000, 108000000, 5},
+		{CategoryParking, 80000, 40, 320000000, 192000000, 1},
+		{CategoryUrban, 200000, 352, 4723200000, 3306240000, 5},
+	}
+	byCat := CatalogByCategory()
+	for _, tc := range tests {
+		t.Run(tc.cat.String(), func(t *testing.T) {
+			types := byCat[tc.cat]
+			if len(types) != tc.numTypes {
+				t.Fatalf("got %d types, want %d", len(types), tc.numTypes)
+			}
+			tot := Totals(types)
+			if tot.Sensors != tc.sensors {
+				t.Errorf("sensors = %d, want %d", tot.Sensors, tc.sensors)
+			}
+			if tot.BytesPerTransaction != tc.perTx {
+				t.Errorf("bytes/tx = %d, want %d", tot.BytesPerTransaction, tc.perTx)
+			}
+			if tot.DailyBytes != tc.daily {
+				t.Errorf("daily = %d, want %d", tot.DailyBytes, tc.daily)
+			}
+			if tot.DailyBytesF2C != tc.dailyF2C {
+				t.Errorf("daily F2C = %d, want %d", tot.DailyBytesF2C, tc.dailyF2C)
+			}
+		})
+	}
+}
+
+func TestCatalogValidates(t *testing.T) {
+	for _, st := range Catalog() {
+		if err := st.Validate(); err != nil {
+			t.Errorf("catalog entry invalid: %v", err)
+		}
+	}
+}
+
+func TestRedundantShares(t *testing.T) {
+	tests := []struct {
+		cat  Category
+		want float64
+	}{
+		{CategoryEnergy, 0.50},
+		{CategoryNoise, 0.75},
+		{CategoryGarbage, 0.70},
+		{CategoryParking, 0.40},
+		{CategoryUrban, 0.30},
+	}
+	for _, tc := range tests {
+		got := tc.cat.RedundantShare()
+		if diff := got - tc.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%s redundant share = %v, want %v", tc.cat, got, tc.want)
+		}
+	}
+}
+
+func TestKeptBytesExactOnTableICells(t *testing.T) {
+	// Spot-check published F2C cells against integer arithmetic.
+	tests := []struct {
+		name string
+		raw  int64
+		cat  Category
+		want int64
+	}{
+		{"electricity per-tx", 1555774, CategoryEnergy, 777887},
+		{"network_analyzer per-day", 1642897344, CategoryEnergy, 821448672},
+		{"noise row1 per-day", 7680000, CategoryNoise, 1920000},
+		{"container per-day", 72000000, CategoryGarbage, 21600000},
+		{"parking per-day", 320000000, CategoryParking, 192000000},
+		{"traffic per-day", 2534400000, CategoryUrban, 1774080000},
+		{"weather per-day", 1382400000, CategoryUrban, 967680000},
+	}
+	for _, tc := range tests {
+		if got := tc.cat.KeptBytes(tc.raw); got != tc.want {
+			t.Errorf("%s: KeptBytes(%d) = %d, want %d", tc.name, tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestTransactionsPerDay(t *testing.T) {
+	byName := map[string]float64{
+		"electricity_meter": 96,
+		"network_analyzer":  96,
+		"noise_level":       1440,
+		"container_glass":   36,
+		"parking_spot":      100,
+		"air_quality":       96,
+		"bicycle_flow":      144,
+		"traffic":           1440,
+		"weather":           288,
+	}
+	for name, want := range byName {
+		st, err := TypeByName(name)
+		if err != nil {
+			t.Fatalf("TypeByName(%q): %v", name, err)
+		}
+		if got := st.TransactionsPerDay(); got != want {
+			t.Errorf("%s transactions/day = %v, want %v", name, got, want)
+		}
+	}
+	// The paper's first noise type is intentionally non-integer.
+	st, err := TypeByName("noise_daily_report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpd := st.TransactionsPerDay(); tpd <= 34 || tpd >= 35 {
+		t.Errorf("noise_daily_report transactions/day = %v, want (34,35)", tpd)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	st, err := TypeByName("electricity_meter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.Interval(), 15*time.Minute; got != want {
+		t.Errorf("interval = %v, want %v", got, want)
+	}
+	if (SensorType{}).Interval() != 0 {
+		t.Error("zero sensor type should have zero interval")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range Categories() {
+		if !c.Valid() {
+			t.Errorf("%v not valid", c)
+		}
+		parsed, err := ParseCategory(c.String())
+		if err != nil {
+			t.Errorf("ParseCategory(%q): %v", c.String(), err)
+		}
+		if parsed != c {
+			t.Errorf("round trip %v -> %v", c, parsed)
+		}
+	}
+	if _, err := ParseCategory("nope"); err == nil {
+		t.Error("ParseCategory should fail on unknown name")
+	}
+	if Category(0).Valid() || Category(99).Valid() {
+		t.Error("out-of-range categories must be invalid")
+	}
+}
+
+func TestReadingValidate(t *testing.T) {
+	good := Reading{
+		SensorID: "s1", TypeName: "traffic", Category: CategoryUrban,
+		Time: time.Unix(100, 0), Value: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid reading rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		mut  func(*Reading)
+	}{
+		{"empty sensor", func(r *Reading) { r.SensorID = "" }},
+		{"empty type", func(r *Reading) { r.TypeName = "" }},
+		{"bad category", func(r *Reading) { r.Category = 0 }},
+		{"zero time", func(r *Reading) { r.Time = time.Time{} }},
+	}
+	for _, tc := range tests {
+		r := good
+		tc.mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestBatchValidateAndClone(t *testing.T) {
+	b := &Batch{
+		NodeID:   "fog-1",
+		TypeName: "traffic",
+		Category: CategoryUrban,
+		Readings: []Reading{
+			{SensorID: "s1", TypeName: "traffic", Category: CategoryUrban, Time: time.Unix(1, 0)},
+			{SensorID: "s2", TypeName: "traffic", Category: CategoryUrban, Time: time.Unix(2, 0)},
+		},
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	cp := b.Clone()
+	cp.Readings[0].SensorID = "mutated"
+	if b.Readings[0].SensorID != "s1" {
+		t.Error("Clone must not alias the readings slice")
+	}
+	if cp.Len() != 2 || b.Len() != 2 {
+		t.Errorf("Len mismatch: %d, %d", cp.Len(), b.Len())
+	}
+
+	b.Readings[1].TypeName = "weather"
+	if err := b.Validate(); err == nil {
+		t.Error("batch with mixed types must fail validation")
+	}
+	if err := (&Batch{TypeName: "x"}).Validate(); err == nil {
+		t.Error("batch without node id must fail validation")
+	}
+	if err := (&Batch{NodeID: "n"}).Validate(); err == nil {
+		t.Error("batch without type must fail validation")
+	}
+}
+
+func TestAgeString(t *testing.T) {
+	if AgeRealTime.String() != "real-time" || AgeRecent.String() != "recent" ||
+		AgeHistorical.String() != "historical" {
+		t.Error("unexpected Age strings")
+	}
+	if Age(42).String() == "" {
+		t.Error("unknown age must still render")
+	}
+}
+
+func TestTypeByNameUnknown(t *testing.T) {
+	if _, err := TypeByName("flux_capacitor"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestReadingJSONRoundTrip(t *testing.T) {
+	want := Reading{
+		SensorID: "bcn/d1/s1/temperature/0", TypeName: "temperature",
+		Category: CategoryEnergy, Time: time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC),
+		Value: 21.5, Unit: "C", Location: GeoPoint{Lat: 41.38, Lon: 2.17},
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Reading
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestBatchJSONRoundTrip(t *testing.T) {
+	want := &Batch{
+		NodeID: "fog1/d01-s01", TypeName: "traffic", Category: CategoryUrban,
+		Collected: time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC),
+		Readings: []Reading{{
+			SensorID: "s", TypeName: "traffic", Category: CategoryUrban,
+			Time: time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC), Value: 42,
+		}},
+		WireBytes: 77,
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Batch
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeID != want.NodeID || got.WireBytes != 77 || len(got.Readings) != 1 {
+		t.Errorf("round trip = %+v", got)
+	}
+}

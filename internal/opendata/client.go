@@ -1,0 +1,140 @@
+// Package opendata is the consumer-side SDK for the cloud's
+// data-dissemination interface: a typed HTTP client civic applications
+// use to read the published smart-city data (categories, days,
+// readings, windowed summaries).
+package opendata
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+)
+
+// ErrForbidden is returned for types the city does not publish
+// (privacy-restricted data).
+var ErrForbidden = errors.New("opendata: type is not public open data")
+
+// CategoryInfo is one entry of the categories listing.
+type CategoryInfo struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+}
+
+// Client talks to one open-data endpoint.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the base URL ("http://host:port").
+func NewClient(baseURL string, timeout time.Duration) (*Client, error) {
+	if baseURL == "" {
+		return nil, errors.New("opendata: empty base URL")
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: timeout},
+	}, nil
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("opendata: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("opendata: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("opendata: read body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusForbidden:
+		return fmt.Errorf("%w: %s", ErrForbidden, strings.TrimSpace(string(body)))
+	default:
+		return fmt.Errorf("opendata: %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("opendata: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Categories lists the published categories with record counts.
+func (c *Client) Categories(ctx context.Context) ([]CategoryInfo, error) {
+	var out []CategoryInfo
+	if err := c.get(ctx, "/opendata/v1/categories", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Days lists the UTC days with archived data.
+func (c *Client) Days(ctx context.Context) ([]string, error) {
+	var out []string
+	if err := c.get(ctx, "/opendata/v1/days", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func rangeQuery(from, to time.Time) string {
+	q := url.Values{}
+	if !from.IsZero() {
+		q.Set("fromUnixNano", strconv.FormatInt(from.UnixNano(), 10))
+	}
+	if !to.IsZero() {
+		q.Set("toUnixNano", strconv.FormatInt(to.UnixNano(), 10))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// Readings fetches published readings of a type in [from, to]; zero
+// times mean unbounded.
+func (c *Client) Readings(ctx context.Context, typeName string, from, to time.Time) ([]model.Reading, error) {
+	var out []model.Reading
+	path := "/opendata/v1/types/" + url.PathEscape(typeName) + "/readings" + rangeQuery(from, to)
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary fetches windowed aggregates of a type in [from, to].
+func (c *Client) Summary(ctx context.Context, typeName string, from, to time.Time, window time.Duration) ([]aggregate.WindowSummary, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("opendata: non-positive window %v", window)
+	}
+	q := rangeQuery(from, to)
+	sep := "?"
+	if q != "" {
+		sep = "&"
+	}
+	path := "/opendata/v1/types/" + url.PathEscape(typeName) + "/summary" + q +
+		sep + "windowSeconds=" + strconv.FormatInt(int64(window/time.Second), 10)
+	var out []aggregate.WindowSummary
+	if err := c.get(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

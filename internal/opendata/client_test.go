@@ -1,0 +1,135 @@
+package opendata
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"f2c/internal/cloud"
+	"f2c/internal/model"
+	"f2c/internal/sim"
+)
+
+var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func server(t *testing.T) (*cloud.Node, *httptest.Server) {
+	t.Helper()
+	cl, err := cloud.New(cloud.Config{ID: "cloud", City: "bcn", Clock: sim.NewVirtualClock(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cl.OpenDataHandler())
+	t.Cleanup(srv.Close)
+	return cl, srv
+}
+
+func populate(t *testing.T, cl *cloud.Node) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		at := t0.Add(time.Duration(i*30) * time.Minute)
+		b := &model.Batch{
+			NodeID: "fog2/d01", TypeName: "weather", Category: model.CategoryUrban, Collected: at,
+			Readings: []model.Reading{{
+				SensorID: "w1", TypeName: "weather", Category: model.CategoryUrban,
+				Time: at, Value: float64(1000 + i), Unit: "hPa",
+			}},
+		}
+		if err := cl.Preserve(b, "fog2/d01"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	cl, srv := server(t)
+	populate(t, cl)
+	c, err := NewClient(srv.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cats, err := c.Categories(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 5 {
+		t.Errorf("categories = %d", len(cats))
+	}
+
+	days, err := c.Days(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 1 || days[0] != "2017-06-01" {
+		t.Errorf("days = %v", days)
+	}
+
+	readings, err := c.Readings(ctx, "weather", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 3 { // 0, 30, 60 minutes
+		t.Errorf("readings = %d, want 3", len(readings))
+	}
+
+	// Unbounded range.
+	readings, err = c.Readings(ctx, "weather", time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 4 {
+		t.Errorf("unbounded readings = %d, want 4", len(readings))
+	}
+
+	windows, err := c.Summary(ctx, "weather", t0, t0.Add(2*time.Hour), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 || windows[0].Count != 2 {
+		t.Errorf("windows = %+v", windows)
+	}
+}
+
+func TestClientForbidden(t *testing.T) {
+	_, srv := server(t)
+	c, err := NewClient(srv.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Readings(context.Background(), "people_flow", time.Time{}, time.Time{})
+	if !errors.Is(err, ErrForbidden) {
+		t.Errorf("err = %v, want ErrForbidden", err)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient("", time.Second); err == nil {
+		t.Error("empty base URL must fail")
+	}
+	c, err := NewClient("http://127.0.0.1:0", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Summary(context.Background(), "weather", time.Time{}, time.Time{}, 0); err == nil {
+		t.Error("zero window must fail")
+	}
+	// Unreachable server surfaces a transport error.
+	if _, err := c.Days(context.Background()); err == nil {
+		t.Error("unreachable server must fail")
+	}
+}
+
+func TestClientBadStatus(t *testing.T) {
+	_, srv := server(t)
+	c, err := NewClient(srv.URL, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bogus path under the handler returns 404.
+	if err := c.get(context.Background(), "/opendata/v1/nope", &struct{}{}); err == nil {
+		t.Error("404 must fail")
+	}
+}

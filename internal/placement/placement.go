@@ -1,0 +1,259 @@
+// Package placement implements the paper's §IV.C processing-placement
+// policy: "applications will be executed at the lowest fog layer that
+// provides the required computing capabilities and the lowest fog
+// layer that contains the required data set", with a cost model to
+// choose between fetching missing data from a neighbor fog node or
+// from a node at a higher layer.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+// ComputeClass grades how demanding a service is.
+type ComputeClass int
+
+const (
+	// ComputeLight fits the combined capacity of a fog layer-1 node.
+	ComputeLight ComputeClass = iota + 1
+	// ComputeMedium needs a fog layer-2 node ("more complex and
+	// sophisticated computing").
+	ComputeMedium
+	// ComputeHeavy needs the cloud ("deep computing complex
+	// applications").
+	ComputeHeavy
+)
+
+// String implements fmt.Stringer.
+func (c ComputeClass) String() string {
+	switch c {
+	case ComputeLight:
+		return "light"
+	case ComputeMedium:
+		return "medium"
+	case ComputeHeavy:
+		return "heavy"
+	default:
+		return fmt.Sprintf("compute(%d)", int(c))
+	}
+}
+
+// ServiceSpec describes a service to place.
+type ServiceSpec struct {
+	// Name labels the service.
+	Name string
+	// TypeName is the sensor type the service consumes.
+	TypeName string
+	// Window is how far back the service needs data (0 = latest
+	// reading only).
+	Window time.Duration
+	// DataBytes estimates the input volume to move if the data is
+	// not local.
+	DataBytes int64
+	// Compute grades the processing demand.
+	Compute ComputeClass
+	// MaxLatency bounds the acceptable data-access round trip; 0
+	// means unconstrained. Critical real-time services set this
+	// tightly.
+	MaxLatency time.Duration
+}
+
+// Validate checks the spec.
+func (s ServiceSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return errors.New("placement: service needs a name")
+	case s.TypeName == "":
+		return fmt.Errorf("placement: service %q needs a data type", s.Name)
+	case s.Compute < ComputeLight || s.Compute > ComputeHeavy:
+		return fmt.Errorf("placement: service %q has invalid compute class", s.Name)
+	case s.Window < 0 || s.DataBytes < 0 || s.MaxLatency < 0:
+		return fmt.Errorf("placement: service %q has negative parameters", s.Name)
+	}
+	return nil
+}
+
+// Decision is the planner's output.
+type Decision struct {
+	// Layer is where the service should execute.
+	Layer topology.Layer
+	// DataLayer is the lowest layer holding the required window.
+	DataLayer topology.Layer
+	// AccessRTT estimates the data-access round trip the service
+	// will observe (0 when data is local to the execution layer).
+	AccessRTT time.Duration
+	// Reason explains the choice for operators.
+	Reason string
+}
+
+// ErrUnplaceable is returned when no layer satisfies the service's
+// latency bound.
+var ErrUnplaceable = errors.New("placement: no layer satisfies the latency bound")
+
+// Config parameterizes a Planner with the deployment's retention
+// windows and inter-layer links.
+type Config struct {
+	// Fog1Retention and Fog2Retention bound which data ages each
+	// layer still holds.
+	Fog1Retention time.Duration
+	Fog2Retention time.Duration
+	// Fog1Link, Fog2Link, CloudLink model access to each layer from
+	// the service's edge viewpoint.
+	Fog1Link  transport.LinkProfile
+	Fog2Link  transport.LinkProfile
+	CloudLink transport.LinkProfile
+	// NeighborLink models fetching from a sibling fog layer-1 node
+	// (§IV.C neighbor option).
+	NeighborLink transport.LinkProfile
+}
+
+// DefaultConfig mirrors the deployment defaults used across the
+// repository: an hour of data at fog layer 1, a day at fog layer 2.
+func DefaultConfig() Config {
+	return Config{
+		Fog1Retention: time.Hour,
+		Fog2Retention: 24 * time.Hour,
+		Fog1Link:      transport.EdgeLink,
+		Fog2Link:      transport.MetroLink,
+		CloudLink:     transport.WANLink,
+		NeighborLink:  transport.MetroLink,
+	}
+}
+
+// Planner decides execution layers.
+type Planner struct {
+	cfg Config
+}
+
+// NewPlanner builds a planner.
+func NewPlanner(cfg Config) *Planner {
+	if cfg.Fog1Retention <= 0 {
+		cfg.Fog1Retention = time.Hour
+	}
+	if cfg.Fog2Retention < cfg.Fog1Retention {
+		cfg.Fog2Retention = 24 * cfg.Fog1Retention
+	}
+	return &Planner{cfg: cfg}
+}
+
+// minLayerFor maps compute demand to the lowest capable layer.
+func minLayerFor(c ComputeClass) topology.Layer {
+	switch c {
+	case ComputeLight:
+		return topology.LayerFog1
+	case ComputeMedium:
+		return topology.LayerFog2
+	default:
+		return topology.LayerCloud
+	}
+}
+
+// dataLayerFor maps the required data age to the lowest layer still
+// holding it.
+func (p *Planner) dataLayerFor(window time.Duration) topology.Layer {
+	switch {
+	case window <= p.cfg.Fog1Retention:
+		return topology.LayerFog1
+	case window <= p.cfg.Fog2Retention:
+		return topology.LayerFog2
+	default:
+		return topology.LayerCloud
+	}
+}
+
+// linkFor returns the access link of a layer from the edge.
+func (p *Planner) linkFor(l topology.Layer) transport.LinkProfile {
+	switch l {
+	case topology.LayerFog1:
+		return p.cfg.Fog1Link
+	case topology.LayerFog2:
+		return p.cfg.Fog2Link
+	default:
+		return p.cfg.CloudLink
+	}
+}
+
+// Place decides where a service executes.
+func (p *Planner) Place(spec ServiceSpec) (Decision, error) {
+	if err := spec.Validate(); err != nil {
+		return Decision{}, err
+	}
+	dataLayer := p.dataLayerFor(spec.Window)
+	execLayer := minLayerFor(spec.Compute)
+	if dataLayer > execLayer {
+		// Data only exists higher up: execute where the data is
+		// rather than moving historical volumes down.
+		execLayer = dataLayer
+	}
+	var rtt time.Duration
+	reason := fmt.Sprintf("lowest capable layer %s holds the %v window locally", execLayer, spec.Window)
+	if execLayer > dataLayer {
+		// Compute demand forced the service above its data; account
+		// the one-time upward transfer of the input set.
+		link := p.linkFor(execLayer)
+		rtt = 2*link.Latency + link.TransferTime(spec.DataBytes) - link.Latency
+		reason = fmt.Sprintf("compute class %s forces layer %s; inputs move up once", spec.Compute, execLayer)
+	}
+	if spec.MaxLatency > 0 {
+		access := 2 * p.linkFor(execLayer).Latency
+		if execLayer == topology.LayerFog1 {
+			// Service co-located with the data inside the fog node.
+			access = p.cfg.Fog1Link.Latency
+		}
+		if access > spec.MaxLatency {
+			return Decision{}, fmt.Errorf("%w: service %q needs <= %v, layer %s offers %v",
+				ErrUnplaceable, spec.Name, spec.MaxLatency, execLayer, access)
+		}
+		rtt = access
+	}
+	return Decision{Layer: execLayer, DataLayer: dataLayer, AccessRTT: rtt, Reason: reason}, nil
+}
+
+// Source identifies where missing data should be fetched from.
+type Source int
+
+const (
+	// SourceNeighbor fetches from a sibling fog layer-1 node.
+	SourceNeighbor Source = iota + 1
+	// SourceParent fetches from the upper layer.
+	SourceParent
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	if s == SourceNeighbor {
+		return "neighbor"
+	}
+	return "parent"
+}
+
+// ChooseSource implements the paper's neighbor-vs-parent cost
+// comparison: pick the option with the lower estimated transfer time
+// for the given volume.
+func (p *Planner) ChooseSource(bytes int64) (Source, time.Duration) {
+	neighbor := p.cfg.NeighborLink.TransferTime(bytes) + p.cfg.NeighborLink.Latency
+	parent := p.cfg.Fog2Link.TransferTime(bytes) + p.cfg.Fog2Link.Latency
+	if neighbor <= parent {
+		return SourceNeighbor, neighbor
+	}
+	return SourceParent, parent
+}
+
+// CentralizedAccessRTT estimates the paper's §IV.D centralized
+// real-time read: the data first travels to the cloud, is stored,
+// and is then read back — "two times data transfer through the same
+// path".
+func (p *Planner) CentralizedAccessRTT(bytes int64) time.Duration {
+	oneWay := p.cfg.CloudLink.TransferTime(bytes)
+	return 2*oneWay + 2*p.cfg.CloudLink.Latency
+}
+
+// FogAccessRTT estimates the F2C real-time read at fog layer 1.
+func (p *Planner) FogAccessRTT(bytes int64) time.Duration {
+	return p.cfg.Fog1Link.TransferTime(bytes) + p.cfg.Fog1Link.Latency
+}

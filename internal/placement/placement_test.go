@@ -1,0 +1,207 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+func planner() *Planner { return NewPlanner(DefaultConfig()) }
+
+func TestPlaceCriticalRealTimeAtFog1(t *testing.T) {
+	d, err := planner().Place(ServiceSpec{
+		Name: "traffic-alert", TypeName: "traffic",
+		Window: 5 * time.Minute, Compute: ComputeLight, MaxLatency: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layer != topology.LayerFog1 {
+		t.Errorf("layer = %v, want fog1", d.Layer)
+	}
+	if d.DataLayer != topology.LayerFog1 {
+		t.Errorf("data layer = %v, want fog1", d.DataLayer)
+	}
+	if d.AccessRTT > 10*time.Millisecond {
+		t.Errorf("access RTT = %v, exceeds the bound", d.AccessRTT)
+	}
+}
+
+func TestPlaceDeepAnalyticsAtCloud(t *testing.T) {
+	d, err := planner().Place(ServiceSpec{
+		Name: "city-planning", TypeName: "traffic",
+		Window: 30 * 24 * time.Hour, Compute: ComputeHeavy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layer != topology.LayerCloud || d.DataLayer != topology.LayerCloud {
+		t.Errorf("decision = %+v, want cloud/cloud", d)
+	}
+}
+
+func TestPlaceMediumComputeRecentData(t *testing.T) {
+	// Recent (12h) data lives at fog2; medium compute also fits
+	// fog2.
+	d, err := planner().Place(ServiceSpec{
+		Name: "district-report", TypeName: "weather",
+		Window: 12 * time.Hour, Compute: ComputeMedium,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layer != topology.LayerFog2 || d.DataLayer != topology.LayerFog2 {
+		t.Errorf("decision = %+v, want fog2/fog2", d)
+	}
+}
+
+func TestPlaceComputeForcesAboveData(t *testing.T) {
+	// Fresh data (fog1) but heavy compute: run at cloud, ship inputs
+	// up once.
+	d, err := planner().Place(ServiceSpec{
+		Name: "ml-train", TypeName: "air_quality",
+		Window: 10 * time.Minute, Compute: ComputeHeavy, DataBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layer != topology.LayerCloud || d.DataLayer != topology.LayerFog1 {
+		t.Errorf("decision = %+v", d)
+	}
+	if d.AccessRTT <= 0 {
+		t.Error("moving inputs up must cost something")
+	}
+}
+
+func TestPlaceHistoricalDataForcesUp(t *testing.T) {
+	// Light compute but week-old data: data only exists at cloud.
+	d, err := planner().Place(ServiceSpec{
+		Name: "weekly-trend", TypeName: "noise_level",
+		Window: 7 * 24 * time.Hour, Compute: ComputeLight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layer != topology.LayerCloud {
+		t.Errorf("layer = %v, want cloud (data is historical)", d.Layer)
+	}
+}
+
+func TestPlaceUnplaceable(t *testing.T) {
+	// Historical data + 1ms latency bound: impossible.
+	_, err := planner().Place(ServiceSpec{
+		Name: "impossible", TypeName: "traffic",
+		Window: 7 * 24 * time.Hour, Compute: ComputeLight, MaxLatency: time.Millisecond,
+	})
+	if !errors.Is(err, ErrUnplaceable) {
+		t.Errorf("err = %v, want ErrUnplaceable", err)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	bad := []ServiceSpec{
+		{},
+		{Name: "x"},
+		{Name: "x", TypeName: "t"},
+		{Name: "x", TypeName: "t", Compute: ComputeLight, Window: -time.Second},
+	}
+	for i, spec := range bad {
+		if _, err := planner().Place(spec); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestChooseSource(t *testing.T) {
+	// Neighbor faster for small volumes with symmetric links.
+	cfg := DefaultConfig()
+	cfg.NeighborLink = transport.LinkProfile{Latency: 2 * time.Millisecond, Bandwidth: 1_000_000}
+	cfg.Fog2Link = transport.LinkProfile{Latency: 8 * time.Millisecond, Bandwidth: 100_000_000}
+	p := NewPlanner(cfg)
+	src, cost := p.ChooseSource(10_000)
+	if src != SourceNeighbor {
+		t.Errorf("small fetch source = %v, want neighbor (cost %v)", src, cost)
+	}
+	// Large volumes favor the fat parent pipe.
+	src, _ = p.ChooseSource(100_000_000)
+	if src != SourceParent {
+		t.Errorf("large fetch source = %v, want parent", src)
+	}
+}
+
+func TestCentralizedVsFogAccess(t *testing.T) {
+	p := planner()
+	const payload = 1024
+	central := p.CentralizedAccessRTT(payload)
+	fog := p.FogAccessRTT(payload)
+	if fog >= central {
+		t.Errorf("fog access %v not faster than centralized %v", fog, central)
+	}
+	// The paper's claim: centralized pays the path twice.
+	if central < 4*transport.WANLink.Latency {
+		t.Errorf("centralized RTT %v should include two full transfers", central)
+	}
+}
+
+func TestNewPlannerDefaultsDegenerateConfig(t *testing.T) {
+	p := NewPlanner(Config{})
+	d, err := p.Place(ServiceSpec{Name: "s", TypeName: "t", Compute: ComputeLight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Layer != topology.LayerFog1 {
+		t.Errorf("layer = %v", d.Layer)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if ComputeLight.String() != "light" || ComputeMedium.String() != "medium" || ComputeHeavy.String() != "heavy" {
+		t.Error("compute class strings")
+	}
+	if ComputeClass(9).String() != "compute(9)" {
+		t.Error("unknown compute class")
+	}
+	if SourceNeighbor.String() != "neighbor" || SourceParent.String() != "parent" {
+		t.Error("source strings")
+	}
+}
+
+func TestPlaceInvariantsProperty(t *testing.T) {
+	p := planner()
+	prop := func(windowMin uint16, compute uint8, bytes uint32) bool {
+		spec := ServiceSpec{
+			Name:      "svc",
+			TypeName:  "traffic",
+			Window:    time.Duration(windowMin) * time.Minute,
+			Compute:   ComputeClass(compute%3 + 1),
+			DataBytes: int64(bytes),
+		}
+		d, err := p.Place(spec)
+		if err != nil {
+			return false
+		}
+		// The service never runs below the layer holding its data,
+		// and never below the lowest capable layer for its class.
+		if d.Layer < d.DataLayer {
+			return false
+		}
+		switch spec.Compute {
+		case ComputeMedium:
+			if d.Layer < topology.LayerFog2 {
+				return false
+			}
+		case ComputeHeavy:
+			if d.Layer != topology.LayerCloud {
+				return false
+			}
+		}
+		return d.AccessRTT >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package protocol defines the application payloads exchanged between
+// F2C layers over any transport: batch envelopes (wire-encoded,
+// optionally compressed batches with codec framing), data queries, and
+// control commands.
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/sensor"
+)
+
+// Envelope framing for batch payloads.
+const (
+	envelopeMagic   = 0xF2
+	envelopeVersion = 1
+	envelopeHeader  = 3 // magic, version, codec
+)
+
+// EncodeBatchPayload seals a batch for an upward transfer: wire-encode
+// then compress with the codec. The returned payload is self-framing.
+func EncodeBatchPayload(b *model.Batch, codec aggregate.Codec) ([]byte, error) {
+	if !codec.Valid() {
+		return nil, fmt.Errorf("protocol: invalid codec %d", int(codec))
+	}
+	body, err := aggregate.Compress(codec, sensor.EncodeBatch(b))
+	if err != nil {
+		return nil, fmt.Errorf("protocol: seal batch: %w", err)
+	}
+	out := make([]byte, 0, envelopeHeader+len(body))
+	out = append(out, envelopeMagic, envelopeVersion, byte(codec))
+	return append(out, body...), nil
+}
+
+// DecodeBatchPayload opens a batch envelope.
+func DecodeBatchPayload(payload []byte) (*model.Batch, aggregate.Codec, error) {
+	if len(payload) < envelopeHeader {
+		return nil, 0, fmt.Errorf("protocol: payload too short (%d bytes)", len(payload))
+	}
+	if payload[0] != envelopeMagic {
+		return nil, 0, fmt.Errorf("protocol: bad magic 0x%02x", payload[0])
+	}
+	if payload[1] != envelopeVersion {
+		return nil, 0, fmt.Errorf("protocol: unsupported version %d", payload[1])
+	}
+	codec := aggregate.Codec(payload[2])
+	if !codec.Valid() {
+		return nil, 0, fmt.Errorf("protocol: invalid codec %d", payload[2])
+	}
+	wire, err := aggregate.Decompress(codec, payload[envelopeHeader:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
+	}
+	b, err := sensor.DecodeBatch(wire)
+	if err != nil {
+		return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
+	}
+	return b, codec, nil
+}
+
+// QueryRequest asks a node for data. Exactly one of SensorID (latest
+// reading) or TypeName (range query) must be set.
+type QueryRequest struct {
+	SensorID string `json:"sensorId,omitempty"`
+	TypeName string `json:"type,omitempty"`
+	FromUnix int64  `json:"fromUnixNano,omitempty"`
+	ToUnix   int64  `json:"toUnixNano,omitempty"`
+}
+
+// Validate checks request shape.
+func (q QueryRequest) Validate() error {
+	switch {
+	case q.SensorID == "" && q.TypeName == "":
+		return fmt.Errorf("protocol: query needs sensorId or type")
+	case q.SensorID != "" && q.TypeName != "":
+		return fmt.Errorf("protocol: query must not set both sensorId and type")
+	case q.TypeName != "" && q.FromUnix > q.ToUnix:
+		return fmt.Errorf("protocol: query range inverted")
+	}
+	return nil
+}
+
+// Range returns the [from, to] instants of a range query.
+func (q QueryRequest) Range() (from, to time.Time) {
+	return time.Unix(0, q.FromUnix), time.Unix(0, q.ToUnix)
+}
+
+// QueryResponse carries query results.
+type QueryResponse struct {
+	Found    bool            `json:"found"`
+	Readings []model.Reading `json:"readings,omitempty"`
+}
+
+// SummaryRequest asks a node for a decomposable aggregate over a type
+// range — the hierarchical processing path: partials computed where
+// the data lives, merged by the requester.
+type SummaryRequest struct {
+	TypeName string `json:"type"`
+	FromUnix int64  `json:"fromUnixNano"`
+	ToUnix   int64  `json:"toUnixNano"`
+}
+
+// Validate checks request shape.
+func (q SummaryRequest) Validate() error {
+	if q.TypeName == "" {
+		return fmt.Errorf("protocol: summary needs a type")
+	}
+	if q.FromUnix > q.ToUnix {
+		return fmt.Errorf("protocol: summary range inverted")
+	}
+	return nil
+}
+
+// Range returns the [from, to] instants.
+func (q SummaryRequest) Range() (from, to time.Time) {
+	return time.Unix(0, q.FromUnix), time.Unix(0, q.ToUnix)
+}
+
+// SummaryResponse carries the partial aggregate.
+type SummaryResponse struct {
+	Summary aggregate.Summary `json:"summary"`
+}
+
+// ControlOp enumerates control commands.
+type ControlOp string
+
+const (
+	// OpFlush forces an immediate upward flush.
+	OpFlush ControlOp = "flush"
+	// OpStatus requests a status report.
+	OpStatus ControlOp = "status"
+)
+
+// ControlRequest is a control-plane command.
+type ControlRequest struct {
+	Op ControlOp `json:"op"`
+}
+
+// StatusResponse reports node state.
+type StatusResponse struct {
+	NodeID          string  `json:"nodeId"`
+	Layer           string  `json:"layer"`
+	StoredReadings  int64   `json:"storedReadings"`
+	StoredSeries    int     `json:"storedSeries"`
+	PendingBatches  int     `json:"pendingBatches"`
+	IngestedBatches int64   `json:"ingestedBatches"`
+	DedupEliminated float64 `json:"dedupEliminated"`
+}
+
+// EncodeJSON marshals any protocol value.
+func EncodeJSON(v any) ([]byte, error) {
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encode: %w", err)
+	}
+	return out, nil
+}
+
+// DecodeJSON unmarshals into v.
+func DecodeJSON(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("protocol: decode: %w", err)
+	}
+	return nil
+}

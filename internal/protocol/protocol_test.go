@@ -1,0 +1,154 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+)
+
+var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func sampleBatch() *model.Batch {
+	return &model.Batch{
+		NodeID: "fog1/d01-s01", TypeName: "temperature", Category: model.CategoryEnergy,
+		Collected: t0,
+		Readings: []model.Reading{
+			{SensorID: "a", TypeName: "temperature", Category: model.CategoryEnergy, Time: t0, Value: 21.5, Unit: "C"},
+			{SensorID: "b", TypeName: "temperature", Category: model.CategoryEnergy, Time: t0, Value: 22, Unit: "C"},
+		},
+	}
+}
+
+func TestBatchPayloadRoundTrip(t *testing.T) {
+	for _, codec := range []aggregate.Codec{aggregate.CodecNone, aggregate.CodecFlate, aggregate.CodecGzip, aggregate.CodecZip} {
+		t.Run(codec.String(), func(t *testing.T) {
+			b := sampleBatch()
+			payload, err := EncodeBatchPayload(b, codec)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, gotCodec, err := DecodeBatchPayload(payload)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if gotCodec != codec {
+				t.Errorf("codec = %v, want %v", gotCodec, codec)
+			}
+			if got.NodeID != b.NodeID || len(got.Readings) != 2 || got.Readings[1].Value != 22 {
+				t.Errorf("batch = %+v", got)
+			}
+		})
+	}
+}
+
+func TestBatchPayloadErrors(t *testing.T) {
+	if _, err := EncodeBatchPayload(sampleBatch(), aggregate.Codec(99)); err == nil {
+		t.Error("invalid codec must fail")
+	}
+	cases := map[string][]byte{
+		"short":       {0xF2},
+		"bad magic":   {0x00, 1, 1, 'x'},
+		"bad version": {0xF2, 9, 1, 'x'},
+		"bad codec":   {0xF2, 1, 99, 'x'},
+		"bad body":    {0xF2, 1, byte(aggregate.CodecGzip), 'x', 'y'},
+	}
+	for name, payload := range cases {
+		if _, _, err := DecodeBatchPayload(payload); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestQueryRequestValidate(t *testing.T) {
+	good := []QueryRequest{
+		{SensorID: "s"},
+		{TypeName: "traffic", FromUnix: 0, ToUnix: 100},
+	}
+	for i, q := range good {
+		if err := q.Validate(); err != nil {
+			t.Errorf("good %d rejected: %v", i, err)
+		}
+	}
+	bad := []QueryRequest{
+		{},
+		{SensorID: "s", TypeName: "t"},
+		{TypeName: "t", FromUnix: 100, ToUnix: 0},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad %d accepted", i)
+		}
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	q := QueryRequest{TypeName: "t", FromUnix: t0.UnixNano(), ToUnix: t0.Add(time.Hour).UnixNano()}
+	from, to := q.Range()
+	if !from.Equal(t0) || !to.Equal(t0.Add(time.Hour)) {
+		t.Errorf("range = %v .. %v", from, to)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	req := QueryRequest{SensorID: "s1"}
+	data, err := EncodeJSON(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got QueryRequest
+	if err := DecodeJSON(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Errorf("round trip = %+v", got)
+	}
+	if err := DecodeJSON([]byte("{nope"), &got); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := EncodeJSON(make(chan int)); err == nil {
+		t.Error("expected encode error for unsupported type")
+	}
+}
+
+func TestCompressedEnvelopeSmallerOnRedundantBatch(t *testing.T) {
+	b := sampleBatch()
+	for i := 0; i < 500; i++ {
+		b.Readings = append(b.Readings, model.Reading{
+			SensorID: "c", TypeName: "temperature", Category: model.CategoryEnergy,
+			Time: t0, Value: 21.5, Unit: "C",
+		})
+	}
+	raw, err := EncodeBatchPayload(b, aggregate.CodecNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := EncodeBatchPayload(b, aggregate.CodecZip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zipped) >= len(raw)/2 {
+		t.Errorf("zip envelope %d bytes, want < half of raw %d", len(zipped), len(raw))
+	}
+}
+
+func TestSummaryRequestValidate(t *testing.T) {
+	good := SummaryRequest{TypeName: "traffic", FromUnix: 0, ToUnix: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good request rejected: %v", err)
+	}
+	from, to := good.Range()
+	if !from.Before(to) {
+		t.Errorf("range = %v .. %v", from, to)
+	}
+	bad := []SummaryRequest{
+		{},
+		{TypeName: "t", FromUnix: 100, ToUnix: 0},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad %d accepted", i)
+		}
+	}
+}

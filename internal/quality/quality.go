@@ -1,0 +1,211 @@
+// Package quality implements the SCC-DLC data-quality phase: it
+// appraises the quality level of collected data at fog layer 1 so
+// that downstream blocks (processing, preservation) can rely on
+// already-checked data — the paper notes no further quality phase is
+// needed past acquisition (§II).
+package quality
+
+import (
+	"fmt"
+	"time"
+
+	"f2c/internal/model"
+	"f2c/internal/sensor"
+)
+
+// Verdict classifies one reading.
+type Verdict int
+
+const (
+	// VerdictOK means the reading passed all rules.
+	VerdictOK Verdict = iota + 1
+	// VerdictSuspect means the reading is usable but flagged (e.g.
+	// stale timestamp).
+	VerdictSuspect
+	// VerdictReject means the reading must not flow downstream.
+	VerdictReject
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictSuspect:
+		return "suspect"
+	case VerdictReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Rule checks one reading against the current instant.
+type Rule interface {
+	// Name identifies the rule in reports.
+	Name() string
+	// Check returns the verdict for r observed at now.
+	Check(r model.Reading, now time.Time) Verdict
+}
+
+// RangeRule rejects values outside the sensor type's plausible range,
+// with a tolerance margin (fraction of the range) marking suspects.
+type RangeRule struct {
+	// Margin widens the accept band for the suspect verdict; 0.1
+	// means values up to 10% of the span outside the range are
+	// suspect rather than rejected.
+	Margin float64
+}
+
+var _ Rule = RangeRule{}
+
+// Name implements Rule.
+func (RangeRule) Name() string { return "range" }
+
+// Check implements Rule.
+func (rr RangeRule) Check(r model.Reading, _ time.Time) Verdict {
+	spec := sensor.SpecFor(r.TypeName)
+	if r.Value >= spec.Min && r.Value <= spec.Max {
+		return VerdictOK
+	}
+	span := spec.Max - spec.Min
+	slack := span * rr.Margin
+	if r.Value >= spec.Min-slack && r.Value <= spec.Max+slack {
+		return VerdictSuspect
+	}
+	return VerdictReject
+}
+
+// FreshnessRule flags readings whose timestamp is too old or in the
+// future relative to collection time.
+type FreshnessRule struct {
+	// MaxAge is the oldest acceptable reading; older is suspect,
+	// 2x older is rejected.
+	MaxAge time.Duration
+	// MaxSkew is how far into the future a timestamp may be before
+	// rejection (clock skew allowance).
+	MaxSkew time.Duration
+}
+
+var _ Rule = FreshnessRule{}
+
+// Name implements Rule.
+func (FreshnessRule) Name() string { return "freshness" }
+
+// Check implements Rule.
+func (fr FreshnessRule) Check(r model.Reading, now time.Time) Verdict {
+	if r.Time.After(now.Add(fr.MaxSkew)) {
+		return VerdictReject
+	}
+	age := now.Sub(r.Time)
+	switch {
+	case age > 2*fr.MaxAge:
+		return VerdictReject
+	case age > fr.MaxAge:
+		return VerdictSuspect
+	default:
+		return VerdictOK
+	}
+}
+
+// StructuralRule rejects readings that fail model validation.
+type StructuralRule struct{}
+
+var _ Rule = StructuralRule{}
+
+// Name implements Rule.
+func (StructuralRule) Name() string { return "structural" }
+
+// Check implements Rule.
+func (StructuralRule) Check(r model.Reading, _ time.Time) Verdict {
+	if err := r.Validate(); err != nil {
+		return VerdictReject
+	}
+	return VerdictOK
+}
+
+// Report summarizes an assessment over a batch.
+type Report struct {
+	Checked  int
+	OK       int
+	Suspect  int
+	Rejected int
+	// ByRule counts non-OK verdicts per rule name.
+	ByRule map[string]int
+}
+
+// Score is the fraction of readings that were not rejected, weighting
+// suspects at half.
+func (rep Report) Score() float64 {
+	if rep.Checked == 0 {
+		return 1
+	}
+	return (float64(rep.OK) + 0.5*float64(rep.Suspect)) / float64(rep.Checked)
+}
+
+// Assessor applies an ordered rule set to batches.
+type Assessor struct {
+	rules []Rule
+}
+
+// DefaultRules returns the standard acquisition-phase rule set.
+func DefaultRules() []Rule {
+	return []Rule{
+		StructuralRule{},
+		RangeRule{Margin: 0.1},
+		FreshnessRule{MaxAge: time.Hour, MaxSkew: 5 * time.Minute},
+	}
+}
+
+// NewAssessor creates an assessor; nil rules means DefaultRules.
+func NewAssessor(rules []Rule) *Assessor {
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	rs := make([]Rule, len(rules))
+	copy(rs, rules)
+	return &Assessor{rules: rs}
+}
+
+// Assess filters a batch: rejected readings are removed, suspect ones
+// kept, and a report returned. The input batch is not modified.
+func (a *Assessor) Assess(b *model.Batch, now time.Time) (*model.Batch, Report) {
+	rep := Report{ByRule: make(map[string]int)}
+	out := *b
+	out.Readings = make([]model.Reading, 0, len(b.Readings))
+	for i := range b.Readings {
+		r := b.Readings[i]
+		rep.Checked++
+		verdict, rule := a.check(r, now)
+		switch verdict {
+		case VerdictReject:
+			rep.Rejected++
+			rep.ByRule[rule]++
+		case VerdictSuspect:
+			rep.Suspect++
+			rep.ByRule[rule]++
+			out.Readings = append(out.Readings, r)
+		default:
+			rep.OK++
+			out.Readings = append(out.Readings, r)
+		}
+	}
+	return &out, rep
+}
+
+// check returns the worst verdict across rules and the rule that
+// produced it; evaluation short-circuits on reject.
+func (a *Assessor) check(r model.Reading, now time.Time) (Verdict, string) {
+	worst, worstRule := VerdictOK, ""
+	for _, rule := range a.rules {
+		switch rule.Check(r, now) {
+		case VerdictReject:
+			return VerdictReject, rule.Name()
+		case VerdictSuspect:
+			if worst != VerdictSuspect {
+				worst, worstRule = VerdictSuspect, rule.Name()
+			}
+		}
+	}
+	return worst, worstRule
+}

@@ -1,0 +1,141 @@
+package quality
+
+import (
+	"testing"
+	"time"
+
+	"f2c/internal/model"
+)
+
+var now = time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func reading(val float64, at time.Time) model.Reading {
+	return model.Reading{
+		SensorID: "s1", TypeName: "temperature", Category: model.CategoryEnergy,
+		Time: at, Value: val, Unit: "C",
+	}
+}
+
+func TestRangeRule(t *testing.T) {
+	rr := RangeRule{Margin: 0.1}
+	// temperature spec: 5..40, span 35, slack 3.5.
+	tests := []struct {
+		val  float64
+		want Verdict
+	}{
+		{20, VerdictOK},
+		{5, VerdictOK},
+		{40, VerdictOK},
+		{42, VerdictSuspect},
+		{2, VerdictSuspect},
+		{100, VerdictReject},
+		{-30, VerdictReject},
+	}
+	for _, tc := range tests {
+		if got := rr.Check(reading(tc.val, now), now); got != tc.want {
+			t.Errorf("value %v: verdict %v, want %v", tc.val, got, tc.want)
+		}
+	}
+}
+
+func TestFreshnessRule(t *testing.T) {
+	fr := FreshnessRule{MaxAge: time.Hour, MaxSkew: 5 * time.Minute}
+	tests := []struct {
+		at   time.Time
+		want Verdict
+	}{
+		{now, VerdictOK},
+		{now.Add(-30 * time.Minute), VerdictOK},
+		{now.Add(-90 * time.Minute), VerdictSuspect},
+		{now.Add(-3 * time.Hour), VerdictReject},
+		{now.Add(2 * time.Minute), VerdictOK},
+		{now.Add(10 * time.Minute), VerdictReject},
+	}
+	for i, tc := range tests {
+		if got := fr.Check(reading(20, tc.at), now); got != tc.want {
+			t.Errorf("case %d (%v): verdict %v, want %v", i, tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestStructuralRule(t *testing.T) {
+	sr := StructuralRule{}
+	if got := sr.Check(reading(20, now), now); got != VerdictOK {
+		t.Errorf("valid reading: %v", got)
+	}
+	bad := reading(20, now)
+	bad.SensorID = ""
+	if got := sr.Check(bad, now); got != VerdictReject {
+		t.Errorf("invalid reading: %v, want reject", got)
+	}
+}
+
+func TestAssessorFiltersAndReports(t *testing.T) {
+	a := NewAssessor(nil)
+	b := &model.Batch{
+		NodeID: "n", TypeName: "temperature", Category: model.CategoryEnergy, Collected: now,
+		Readings: []model.Reading{
+			reading(20, now),                      // ok
+			reading(42, now),                      // suspect (range margin)
+			reading(500, now),                     // reject (range)
+			reading(20, now.Add(-90*time.Minute)), // suspect (freshness)
+			reading(20, now.Add(-24*time.Hour)),   // reject (freshness)
+		},
+	}
+	got, rep := a.Assess(b, now)
+	if len(got.Readings) != 3 {
+		t.Fatalf("kept %d readings, want 3", len(got.Readings))
+	}
+	if rep.Checked != 5 || rep.OK != 1 || rep.Suspect != 2 || rep.Rejected != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.ByRule["range"] != 2 || rep.ByRule["freshness"] != 2 {
+		t.Errorf("by-rule = %v", rep.ByRule)
+	}
+	if s := rep.Score(); s != (1+0.5*2)/5 {
+		t.Errorf("score = %v", s)
+	}
+	if len(b.Readings) != 5 {
+		t.Error("Assess mutated its input")
+	}
+}
+
+func TestAssessorEmptyBatch(t *testing.T) {
+	a := NewAssessor(nil)
+	got, rep := a.Assess(&model.Batch{NodeID: "n", TypeName: "temperature", Category: model.CategoryEnergy}, now)
+	if len(got.Readings) != 0 || rep.Checked != 0 {
+		t.Errorf("got %+v, report %+v", got, rep)
+	}
+	if rep.Score() != 1 {
+		t.Errorf("empty score = %v, want 1", rep.Score())
+	}
+}
+
+func TestAssessorCustomRules(t *testing.T) {
+	rejectAll := ruleFunc{name: "never", fn: func(model.Reading, time.Time) Verdict { return VerdictReject }}
+	a := NewAssessor([]Rule{rejectAll})
+	got, rep := a.Assess(&model.Batch{
+		NodeID: "n", TypeName: "temperature", Category: model.CategoryEnergy,
+		Readings: []model.Reading{reading(20, now)},
+	}, now)
+	if len(got.Readings) != 0 || rep.Rejected != 1 || rep.ByRule["never"] != 1 {
+		t.Errorf("custom rule not applied: %+v", rep)
+	}
+}
+
+type ruleFunc struct {
+	name string
+	fn   func(model.Reading, time.Time) Verdict
+}
+
+func (r ruleFunc) Name() string                                 { return r.name }
+func (r ruleFunc) Check(m model.Reading, now time.Time) Verdict { return r.fn(m, now) }
+
+func TestVerdictString(t *testing.T) {
+	if VerdictOK.String() != "ok" || VerdictSuspect.String() != "suspect" || VerdictReject.String() != "reject" {
+		t.Error("unexpected verdict strings")
+	}
+	if Verdict(9).String() != "verdict(9)" {
+		t.Error("unknown verdict should render numerically")
+	}
+}

@@ -1,0 +1,194 @@
+// Package service implements the data-processing block's real-time
+// path: lightweight rule-based services that run inside fog layer-1
+// nodes on just-collected data (paper §IV.C: "critical real-time
+// services will be executed at fog layer 1 in order to have a faster
+// access to the (just generated) real-time data").
+//
+// An Engine attaches to a fog node as its BatchObserver; rules
+// evaluate each surviving reading (or a sliding window average) and
+// emit alerts synchronously with local data — no network hop.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"f2c/internal/model"
+)
+
+// Rule describes one alerting condition over a sensor type.
+type Rule struct {
+	// Name labels emitted alerts.
+	Name string
+	// TypeName selects the sensor type the rule watches.
+	TypeName string
+	// Min and Max bound the acceptable value; readings outside
+	// [Min, Max] alert. Use -Inf/+Inf semantics by picking wide
+	// bounds.
+	Min, Max float64
+	// Window, when positive, evaluates the mean over a sliding
+	// window per sensor instead of individual readings — smoothing
+	// out single-sample spikes.
+	Window time.Duration
+	// MinSamples is the minimum window population before a window
+	// rule may alert (default 1).
+	MinSamples int
+}
+
+// Validate checks the rule.
+func (r Rule) Validate() error {
+	switch {
+	case r.Name == "":
+		return fmt.Errorf("service: rule needs a name")
+	case r.TypeName == "":
+		return fmt.Errorf("service: rule %q needs a type", r.Name)
+	case r.Min > r.Max:
+		return fmt.Errorf("service: rule %q has inverted bounds [%v, %v]", r.Name, r.Min, r.Max)
+	case r.Window < 0:
+		return fmt.Errorf("service: rule %q has negative window", r.Name)
+	}
+	return nil
+}
+
+// Alert is one rule violation.
+type Alert struct {
+	Rule     string    `json:"rule"`
+	SensorID string    `json:"sensorId"`
+	TypeName string    `json:"type"`
+	Value    float64   `json:"value"`
+	At       time.Time `json:"at"`
+	Windowed bool      `json:"windowed"`
+}
+
+// String implements fmt.Stringer.
+func (a Alert) String() string {
+	kind := "reading"
+	if a.Windowed {
+		kind = "window-mean"
+	}
+	return fmt.Sprintf("alert[%s] %s %s %s=%.2f at %s",
+		a.Rule, a.SensorID, a.TypeName, kind, a.Value, a.At.Format(time.RFC3339))
+}
+
+// Sink receives alerts. Implementations must be fast; the engine
+// calls them on the ingest path.
+type Sink func(Alert)
+
+// sample is one retained observation for window rules.
+type sample struct {
+	at  time.Time
+	val float64
+}
+
+// Engine evaluates rules against observed batches. It implements
+// fognode.BatchObserver. Safe for concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	byType  map[string][]Rule
+	windows map[windowKey][]sample
+	sink    Sink
+
+	evaluated int64
+	alerted   int64
+}
+
+type windowKey struct {
+	rule   string
+	sensor string
+}
+
+// NewEngine validates the rules and builds an engine. A nil sink
+// drops alerts (the Alerts counter still advances).
+func NewEngine(rules []Rule, sink Sink) (*Engine, error) {
+	e := &Engine{
+		byType:  make(map[string][]Rule),
+		windows: make(map[windowKey][]sample),
+		sink:    sink,
+	}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if r.MinSamples < 1 {
+			r.MinSamples = 1
+		}
+		e.byType[r.TypeName] = append(e.byType[r.TypeName], r)
+	}
+	return e, nil
+}
+
+// ObserveBatch evaluates every rule watching the batch's type.
+func (e *Engine) ObserveBatch(b *model.Batch) {
+	e.mu.Lock()
+	rules := e.byType[b.TypeName]
+	if len(rules) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	var fired []Alert
+	for i := range b.Readings {
+		r := &b.Readings[i]
+		for _, rule := range rules {
+			e.evaluated++
+			if alert, ok := e.evalLocked(rule, r); ok {
+				e.alerted++
+				fired = append(fired, alert)
+			}
+		}
+	}
+	sink := e.sink
+	e.mu.Unlock()
+	// Deliver outside the lock: sinks may call back into the engine.
+	if sink != nil {
+		for _, a := range fired {
+			sink(a)
+		}
+	}
+}
+
+func (e *Engine) evalLocked(rule Rule, r *model.Reading) (Alert, bool) {
+	if rule.Window <= 0 {
+		if r.Value < rule.Min || r.Value > rule.Max {
+			return Alert{
+				Rule: rule.Name, SensorID: r.SensorID, TypeName: r.TypeName,
+				Value: r.Value, At: r.Time,
+			}, true
+		}
+		return Alert{}, false
+	}
+	key := windowKey{rule: rule.Name, sensor: r.SensorID}
+	cutoff := r.Time.Add(-rule.Window)
+	win := e.windows[key]
+	win = append(win, sample{at: r.Time, val: r.Value})
+	// Drop expired samples (append-mostly streams keep this cheap).
+	keep := win[:0]
+	for _, s := range win {
+		if s.at.After(cutoff) {
+			keep = append(keep, s)
+		}
+	}
+	e.windows[key] = keep
+	if len(keep) < rule.MinSamples {
+		return Alert{}, false
+	}
+	var sum float64
+	for _, s := range keep {
+		sum += s.val
+	}
+	mean := sum / float64(len(keep))
+	if mean < rule.Min || mean > rule.Max {
+		return Alert{
+			Rule: rule.Name, SensorID: r.SensorID, TypeName: r.TypeName,
+			Value: mean, At: r.Time, Windowed: true,
+		}, true
+	}
+	return Alert{}, false
+}
+
+// Stats reports evaluations and alerts so far.
+func (e *Engine) Stats() (evaluated, alerted int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evaluated, e.alerted
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/fognode"
+	"f2c/internal/model"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+)
+
+var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func trafficBatch(at time.Time, vals map[string]float64) *model.Batch {
+	b := &model.Batch{NodeID: "edge", TypeName: "traffic", Category: model.CategoryUrban, Collected: at}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		b.Readings = append(b.Readings, model.Reading{
+			SensorID: k, TypeName: "traffic", Category: model.CategoryUrban,
+			Time: at, Value: vals[k], Unit: "km/h",
+		})
+	}
+	return b
+}
+
+func TestThresholdRuleFires(t *testing.T) {
+	var alerts []Alert
+	e, err := NewEngine([]Rule{
+		{Name: "congestion", TypeName: "traffic", Min: 10, Max: 200},
+	}, func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveBatch(trafficBatch(t0, map[string]float64{"ok": 60, "jam": 5, "fast": 250}))
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	for _, a := range alerts {
+		if a.Rule != "congestion" || a.Windowed {
+			t.Errorf("alert = %+v", a)
+		}
+	}
+	evaluated, alerted := e.Stats()
+	if evaluated != 3 || alerted != 2 {
+		t.Errorf("stats = %d/%d", evaluated, alerted)
+	}
+}
+
+func TestWindowRuleSmoothsSpikes(t *testing.T) {
+	var alerts []Alert
+	e, err := NewEngine([]Rule{
+		{Name: "sustained-jam", TypeName: "traffic", Min: 20, Max: 200,
+			Window: 3 * time.Minute, MinSamples: 3},
+	}, func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One spike among healthy samples: mean stays in bounds.
+	for i, v := range []float64{60, 5, 70} {
+		e.ObserveBatch(trafficBatch(t0.Add(time.Duration(i)*time.Minute), map[string]float64{"loop": v}))
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("spike alerted despite window smoothing: %v", alerts)
+	}
+	// Sustained congestion: the mean crosses the bound.
+	for i, v := range []float64{8, 6, 7} {
+		e.ObserveBatch(trafficBatch(t0.Add(time.Duration(3+i)*time.Minute), map[string]float64{"loop": v}))
+	}
+	if len(alerts) == 0 {
+		t.Fatal("sustained congestion never alerted")
+	}
+	if !alerts[0].Windowed {
+		t.Errorf("alert = %+v, want windowed", alerts[0])
+	}
+	if alerts[0].String() == "" {
+		t.Error("alert must render")
+	}
+}
+
+func TestWindowExpiresOldSamples(t *testing.T) {
+	var alerts []Alert
+	e, err := NewEngine([]Rule{
+		{Name: "w", TypeName: "traffic", Min: 20, Max: 200, Window: 5 * time.Minute, MinSamples: 2},
+	}, func(a Alert) { alerts = append(alerts, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveBatch(trafficBatch(t0, map[string]float64{"loop": 5}))
+	// An hour later: the old jam sample has expired; a single new
+	// low reading is below MinSamples, so no alert.
+	e.ObserveBatch(trafficBatch(t0.Add(time.Hour), map[string]float64{"loop": 5}))
+	if len(alerts) != 0 {
+		t.Fatalf("expired samples still alerted: %v", alerts)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{},
+		{Name: "x"},
+		{Name: "x", TypeName: "t", Min: 10, Max: 5},
+		{Name: "x", TypeName: "t", Max: 1, Window: -time.Second},
+	}
+	for i, r := range bad {
+		if _, err := NewEngine([]Rule{r}, nil); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNilSinkCountsAlerts(t *testing.T) {
+	e, err := NewEngine([]Rule{{Name: "r", TypeName: "traffic", Min: 10, Max: 20}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveBatch(trafficBatch(t0, map[string]float64{"s": 99}))
+	if _, alerted := e.Stats(); alerted != 1 {
+		t.Errorf("alerted = %d", alerted)
+	}
+}
+
+func TestUnwatchedTypeIgnored(t *testing.T) {
+	e, err := NewEngine([]Rule{{Name: "r", TypeName: "weather", Min: 0, Max: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveBatch(trafficBatch(t0, map[string]float64{"s": 99}))
+	if evaluated, _ := e.Stats(); evaluated != 0 {
+		t.Errorf("evaluated = %d, want 0", evaluated)
+	}
+}
+
+// TestEngineAttachedToFogNode runs the service on the real ingest
+// path, as a critical fog layer-1 service would.
+func TestEngineAttachedToFogNode(t *testing.T) {
+	var mu sync.Mutex
+	var alerts []Alert
+	engine, err := NewEngine([]Rule{
+		{Name: "congestion", TypeName: "traffic", Min: 10, Max: 200},
+	}, func(a Alert) {
+		mu.Lock()
+		defer mu.Unlock()
+		alerts = append(alerts, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := fognode.New(fognode.Config{
+		Spec: topology.NodeSpec{
+			ID: "fog1/d01-s01", Layer: topology.LayerFog1, Parent: "fog2/d01", Name: "s01",
+		},
+		Clock:    sim.NewVirtualClock(t0),
+		Codec:    aggregate.CodecNone,
+		Dedup:    true,
+		Quality:  true,
+		Observer: engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Ingest(trafficBatch(t0, map[string]float64{"loop": 5})); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate is eliminated before the service sees it: no
+	// second alert for the same stale value.
+	if err := n.Ingest(trafficBatch(t0.Add(time.Minute), map[string]float64{"loop": 5})); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v, want exactly 1 (dedup runs before services)", alerts)
+	}
+	if alerts[0].SensorID != "loop" || alerts[0].Value != 5 {
+		t.Errorf("alert = %+v", alerts[0])
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	e, err := NewEngine([]Rule{{Name: "r", TypeName: "traffic", Min: 0, Max: 50}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				e.ObserveBatch(trafficBatch(t0.Add(time.Duration(j)*time.Second),
+					map[string]float64{"s": float64(j)}))
+			}
+		}(i)
+	}
+	wg.Wait()
+	evaluated, _ := e.Stats()
+	if evaluated != 800 {
+		t.Errorf("evaluated = %d, want 800", evaluated)
+	}
+}

@@ -1,0 +1,168 @@
+// Package store is the storage substrate of the F2C hierarchy: a
+// time-series store with retention for the fog layers (temporal data,
+// real-time reads) and a permanent classified archive for the cloud
+// layer (the data-preservation block's classification + archive
+// phases).
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"f2c/internal/model"
+)
+
+// Stats summarizes store contents.
+type Stats struct {
+	Readings int64
+	Series   int
+	// ApproxBytes estimates stored payload volume using the in-memory
+	// reading footprint.
+	ApproxBytes int64
+}
+
+// approxReadingBytes is the accounting weight of one stored reading.
+const approxReadingBytes = 96
+
+// TimeSeries is an in-memory time-series store holding readings
+// grouped by sensor type, with optional time-based retention. It
+// serves both the fog layers (retention > 0: temporal storage for
+// real-time access) and scratch processing. Safe for concurrent use.
+type TimeSeries struct {
+	mu        sync.RWMutex
+	retention time.Duration
+	byType    map[string][]model.Reading
+	dirty     map[string]bool // needs sort before range query
+	latest    map[string]model.Reading
+	count     int64
+}
+
+// NewTimeSeries creates a store. retention 0 keeps data forever.
+func NewTimeSeries(retention time.Duration) *TimeSeries {
+	return &TimeSeries{
+		retention: retention,
+		byType:    make(map[string][]model.Reading),
+		dirty:     make(map[string]bool),
+		latest:    make(map[string]model.Reading),
+	}
+}
+
+// Retention returns the configured retention window.
+func (s *TimeSeries) Retention() time.Duration { return s.retention }
+
+// Append stores every reading of the batch.
+func (s *TimeSeries) Append(b *model.Batch) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("store append: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	series := s.byType[b.TypeName]
+	for i := range b.Readings {
+		r := b.Readings[i]
+		if n := len(series); n > 0 && r.Time.Before(series[n-1].Time) {
+			s.dirty[b.TypeName] = true
+		}
+		series = append(series, r)
+		s.count++
+		if cur, ok := s.latest[r.SensorID]; !ok || !r.Time.Before(cur.Time) {
+			s.latest[r.SensorID] = r
+		}
+	}
+	s.byType[b.TypeName] = series
+	return nil
+}
+
+// Latest returns the most recent reading of a sensor — the real-time
+// read path that makes fog layer 1 fast for critical services.
+func (s *TimeSeries) Latest(sensorID string) (model.Reading, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.latest[sensorID]
+	return r, ok
+}
+
+// QueryRange returns readings of a type within [from, to], sorted by
+// time. The returned slice is a copy.
+func (s *TimeSeries) QueryRange(typeName string, from, to time.Time) []model.Reading {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortLocked(typeName)
+	series := s.byType[typeName]
+	lo := sort.Search(len(series), func(i int) bool { return !series[i].Time.Before(from) })
+	hi := sort.Search(len(series), func(i int) bool { return series[i].Time.After(to) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]model.Reading, hi-lo)
+	copy(out, series[lo:hi])
+	return out
+}
+
+// Types returns the sorted sensor-type names present.
+func (s *TimeSeries) Types() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byType))
+	for t := range s.byType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evict drops readings older than the retention window relative to
+// now and returns how many were removed. A retention of 0 never
+// evicts (permanent storage).
+func (s *TimeSeries) Evict(now time.Time) int {
+	if s.retention <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.retention)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for typ := range s.byType {
+		s.sortLocked(typ)
+		series := s.byType[typ]
+		lo := sort.Search(len(series), func(i int) bool { return !series[i].Time.Before(cutoff) })
+		if lo == 0 {
+			continue
+		}
+		evicted += lo
+		s.count -= int64(lo)
+		remaining := make([]model.Reading, len(series)-lo)
+		copy(remaining, series[lo:])
+		if len(remaining) == 0 {
+			delete(s.byType, typ)
+			delete(s.dirty, typ)
+		} else {
+			s.byType[typ] = remaining
+		}
+	}
+	// latest entries are kept even past retention: the newest value
+	// of a sensor remains addressable for real-time reads.
+	return evicted
+}
+
+// Stats implements the store accounting used by node status reports.
+func (s *TimeSeries) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Readings:    s.count,
+		Series:      len(s.byType),
+		ApproxBytes: s.count * approxReadingBytes,
+	}
+}
+
+func (s *TimeSeries) sortLocked(typeName string) {
+	if !s.dirty[typeName] {
+		return
+	}
+	series := s.byType[typeName]
+	sort.SliceStable(series, func(i, j int) bool { return series[i].Time.Before(series[j].Time) })
+	s.dirty[typeName] = false
+}

@@ -1,0 +1,36 @@
+package topology
+
+import "f2c/internal/model"
+
+// BarcelonaDistricts returns the city's ten administrative districts
+// with their real neighbourhood ("barri") counts, which total the 73
+// sections the paper maps to fog layer-1 nodes, and approximate
+// district centroids.
+func BarcelonaDistricts() []District {
+	return []District{
+		{Name: "Ciutat Vella", Sections: 4, Centroid: model.GeoPoint{Lat: 41.3802, Lon: 2.1734}},
+		{Name: "Eixample", Sections: 6, Centroid: model.GeoPoint{Lat: 41.3917, Lon: 2.1649}},
+		{Name: "Sants-Montjuic", Sections: 8, Centroid: model.GeoPoint{Lat: 41.3727, Lon: 2.1421}},
+		{Name: "Les Corts", Sections: 3, Centroid: model.GeoPoint{Lat: 41.3839, Lon: 2.1187}},
+		{Name: "Sarria-Sant Gervasi", Sections: 6, Centroid: model.GeoPoint{Lat: 41.4011, Lon: 2.1219}},
+		{Name: "Gracia", Sections: 5, Centroid: model.GeoPoint{Lat: 41.4028, Lon: 2.1528}},
+		{Name: "Horta-Guinardo", Sections: 11, Centroid: model.GeoPoint{Lat: 41.4182, Lon: 2.1674}},
+		{Name: "Nou Barris", Sections: 13, Centroid: model.GeoPoint{Lat: 41.4416, Lon: 2.1773}},
+		{Name: "Sant Andreu", Sections: 7, Centroid: model.GeoPoint{Lat: 41.4353, Lon: 2.1897}},
+		{Name: "Sant Marti", Sections: 10, Centroid: model.GeoPoint{Lat: 41.4095, Lon: 2.2045}},
+	}
+}
+
+// Barcelona builds the paper's Fig. 6 topology: 73 fog layer-1 nodes
+// (one per section, ~1 km² each), 10 fog layer-2 nodes (one per
+// district), and one cloud node.
+func Barcelona() *Topology {
+	t, err := New("Barcelona", BarcelonaDistricts())
+	if err != nil {
+		// The preset is a compile-time constant input; failure is a
+		// programming error, acceptable to panic at initialization
+		// per the style guide.
+		panic("topology: invalid Barcelona preset: " + err.Error())
+	}
+	return t
+}

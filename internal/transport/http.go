@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTP header names of the wire protocol. HeaderTo is exported for
+// gateways that host several nodes behind one port and route by the
+// addressed node (f2cd's all-in-one mode).
+const (
+	headerFrom  = "X-F2C-From"
+	headerKind  = "X-F2C-Kind"
+	headerClass = "X-F2C-Class"
+	// HeaderTo names the addressed node.
+	HeaderTo = "X-F2C-To"
+
+	// MessagePath is the endpoint path all F2C nodes serve.
+	MessagePath = "/f2c/v1/message"
+)
+
+// NewHTTPHandler exposes a transport.Handler over HTTP: POST
+// MessagePath with the payload as body and routing metadata in
+// headers. The reply payload is the response body.
+func NewHTTPHandler(name string, h Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(MessagePath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		msg := Message{
+			From:    r.Header.Get(headerFrom),
+			To:      name,
+			Kind:    Kind(r.Header.Get(headerKind)),
+			Class:   r.Header.Get(headerClass),
+			Payload: body,
+		}
+		reply, err := h.Handle(r.Context(), msg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(reply)
+	})
+	return mux
+}
+
+// HTTPTransport is a Transport that routes messages to peers' HTTP
+// base URLs. Safe for concurrent use.
+type HTTPTransport struct {
+	mu     sync.RWMutex
+	peers  map[string]string // endpoint name -> base URL
+	client *http.Client
+}
+
+// NewHTTPTransport creates a transport with the given request
+// timeout.
+func NewHTTPTransport(timeout time.Duration) *HTTPTransport {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &HTTPTransport{
+		peers:  make(map[string]string),
+		client: &http.Client{Timeout: timeout},
+	}
+}
+
+// AddPeer registers the base URL ("http://host:port") of an endpoint.
+func (t *HTTPTransport) AddPeer(name, baseURL string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[name] = strings.TrimRight(baseURL, "/")
+}
+
+var _ Transport = (*HTTPTransport)(nil)
+
+// Send implements Transport.
+func (t *HTTPTransport) Send(ctx context.Context, msg Message) ([]byte, error) {
+	t.mu.RLock()
+	base, ok := t.peers[msg.To]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, msg.To)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+MessagePath, strings.NewReader(string(msg.Payload)))
+	if err != nil {
+		return nil, fmt.Errorf("transport http: build request: %w", err)
+	}
+	req.Header.Set(headerFrom, msg.From)
+	req.Header.Set(HeaderTo, msg.To)
+	req.Header.Set(headerKind, string(msg.Kind))
+	req.Header.Set(headerClass, msg.Class)
+	req.Header.Set("Content-Type", "application/octet-stream")
+
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport http: %s -> %s: %w", msg.From, msg.To, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("transport http: read reply: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &RemoteError{Endpoint: msg.To, Msg: strings.TrimSpace(string(body))}
+	}
+	return body, nil
+}

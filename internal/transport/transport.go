@@ -1,0 +1,93 @@
+// Package transport is the network substrate of the F2C hierarchy.
+// The paper's city network (sensor links, metro fog links, WAN cloud
+// uplinks over 3G/4G) is substituted by two interchangeable
+// implementations of the same Transport interface: an in-process
+// simulated network with per-link latency/bandwidth/loss profiles
+// (deterministic, used by simulations, tests and latency benchmarks)
+// and a real net/http transport (used by the f2cd daemon and
+// multi-process integration tests). Both account traffic identically,
+// which is what the paper's evaluation measures.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Kind labels the protocol message types exchanged between layers.
+type Kind string
+
+const (
+	// KindBatch carries an encoded (possibly compressed) batch
+	// moving upward.
+	KindBatch Kind = "batch"
+	// KindSummary carries a decomposable aggregate summary.
+	KindSummary Kind = "summary"
+	// KindQuery requests data (real-time or historical).
+	KindQuery Kind = "query"
+	// KindControl carries control-plane commands (flush, status).
+	KindControl Kind = "control"
+)
+
+// Message is a framed request delivered to an endpoint.
+type Message struct {
+	// From and To are endpoint names (node IDs).
+	From, To string
+	// Kind selects the handler behaviour.
+	Kind Kind
+	// Class tags the traffic for accounting (sensor category name).
+	Class string
+	// Payload is the opaque body.
+	Payload []byte
+}
+
+// WireSize is the accounted on-the-wire size of the message:
+// payload plus a fixed small framing overhead.
+func (m Message) WireSize() int64 {
+	const framing = 32
+	return int64(len(m.Payload)) + framing
+}
+
+// Handler processes a delivered message and returns an optional
+// reply payload.
+type Handler interface {
+	Handle(ctx context.Context, msg Message) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, msg Message) ([]byte, error)
+
+var _ Handler = HandlerFunc(nil)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(ctx context.Context, msg Message) ([]byte, error) {
+	return f(ctx, msg)
+}
+
+// Transport delivers a message to its destination endpoint and returns
+// the reply.
+type Transport interface {
+	Send(ctx context.Context, msg Message) ([]byte, error)
+}
+
+// Sentinel errors shared by all transports.
+var (
+	// ErrUnknownEndpoint means the destination is not registered /
+	// not routable.
+	ErrUnknownEndpoint = errors.New("transport: unknown endpoint")
+	// ErrDropped means the (simulated) link lost the message.
+	ErrDropped = errors.New("transport: message dropped")
+)
+
+// RemoteError wraps an application-level failure returned by the
+// remote handler, preserving the endpoint for diagnosis.
+type RemoteError struct {
+	Endpoint string
+	Msg      string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Endpoint, e.Msg)
+}
