@@ -7,16 +7,21 @@ package f2c
 
 import (
 	"context"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"f2c/internal/aggregate"
 	"f2c/internal/core"
 	"f2c/internal/experiment"
+	"f2c/internal/fognode"
 	"f2c/internal/model"
 	"f2c/internal/placement"
 	"f2c/internal/sensor"
 	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
 )
 
 var benchEpoch = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
@@ -336,4 +341,182 @@ func BenchmarkPlannerPlace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Parallel-pipeline benchmarks: the sharded concurrent ingest path
+// and the bounded-concurrency hierarchy drain, each against its
+// serial configuration (PendingShards/FlushWorkers/FlushConcurrency
+// = 1), so the speedup of the concurrent data path is measured
+// directly.
+
+const benchSensorsPerBatch = 100
+
+// benchIngestNode builds a leaf node flushing to a discard sink, with
+// a tiny retention window so periodic flushes keep the temporal store
+// (and benchmark memory) bounded.
+func benchIngestNode(b *testing.B, shards, workers int) *fognode.Node {
+	b.Helper()
+	net := transport.NewSimNetwork()
+	net.Register("sink", transport.HandlerFunc(func(context.Context, transport.Message) ([]byte, error) {
+		return []byte("ok"), nil
+	}))
+	n, err := fognode.New(fognode.Config{
+		Spec:          topology.NodeSpec{ID: "fog1/bench", Layer: topology.LayerFog1, Parent: "sink", Name: "bench"},
+		Clock:         sim.NewVirtualClock(benchEpoch.Add(time.Second)),
+		Transport:     net,
+		Retention:     time.Millisecond,
+		Codec:         aggregate.CodecNone,
+		Dedup:         true,
+		Quality:       true,
+		PendingShards: shards,
+		FlushWorkers:  workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// benchIngestGenerators builds one deterministic generator per
+// worker, each emitting a different catalog type so concurrent
+// ingests land on different shards (Redundancy 0: every reading is
+// fresh and survives the elimination stage).
+func benchIngestGenerators(b *testing.B, count int) []*sensor.Generator {
+	b.Helper()
+	catalog := model.Catalog()
+	gens := make([]*sensor.Generator, count)
+	for i := range gens {
+		g, err := sensor.NewGenerator(sensor.Config{
+			Type: catalog[i%len(catalog)], NodeID: "edge", Sensors: benchSensorsPerBatch,
+			Seed: int64(i + 1), Redundancy: 0,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens[i] = g
+	}
+	return gens
+}
+
+// BenchmarkParallelIngest measures acquisition-pipeline throughput on
+// one fog node: the serial sub-benchmark drives the single-shard,
+// single-goroutine configuration; the parallel one drives the sharded
+// pipeline from GOMAXPROCS goroutines, one sensor type each.
+func BenchmarkParallelIngest(b *testing.B) {
+	const flushEvery = 64
+	b.Run("serial", func(b *testing.B) {
+		n := benchIngestNode(b, 1, 1)
+		gens := benchIngestGenerators(b, runtime.GOMAXPROCS(0))
+		ctx := context.Background()
+		b.SetBytes(benchSensorsPerBatch * 96)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := n.Ingest(gens[i%len(gens)].Next(benchEpoch)); err != nil {
+				b.Fatal(err)
+			}
+			if i%flushEvery == flushEvery-1 {
+				_ = n.Flush(ctx)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		n := benchIngestNode(b, 0, 0)
+		gens := benchIngestGenerators(b, runtime.GOMAXPROCS(0))
+		var next atomic.Int32
+		b.SetBytes(benchSensorsPerBatch * 96)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			gen := gens[int(next.Add(1)-1)%len(gens)]
+			ctx := context.Background()
+			i := 0
+			for pb.Next() {
+				if err := n.Ingest(gen.Next(benchEpoch)); err != nil {
+					b.Error(err)
+					return
+				}
+				if i++; i%flushEvery == 0 {
+					_ = n.Flush(ctx)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkParallelFlushAll measures draining the full 83-node
+// Barcelona hierarchy over links with (emulated) 1ms latency: serial
+// flushes nodes and batches one at a time, paying every round trip
+// back to back; parallel overlaps them with the bounded node- and
+// batch-level worker pools — the win the paper's tunable upward
+// movement needs at city scale.
+func BenchmarkParallelFlushAll(b *testing.B) {
+	typeNames := []string{"temperature", "traffic"}
+	run := func(b *testing.B, concurrency, workers int) {
+		clock := sim.NewVirtualClock(benchEpoch)
+		sys, err := core.NewSystem(core.Options{
+			Clock:            clock,
+			Codec:            aggregate.CodecZip,
+			Fog1Retention:    time.Millisecond,
+			Fog2Retention:    time.Millisecond,
+			Emulate:          true,
+			FlushConcurrency: concurrency,
+			FlushWorkers:     workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Uniform fast links keep the benchmark short; the serial vs
+		// parallel ratio, not the absolute RTT, is the measurement.
+		uplink := transport.LinkProfile{Latency: time.Millisecond}
+		for _, id := range sys.Fog1IDs() {
+			spec, _ := sys.Topology().Node(id)
+			sys.Network().SetLink(id, spec.Parent, uplink)
+		}
+		for _, id := range sys.Fog2IDs() {
+			sys.Network().SetLink(id, core.CloudID, uplink)
+		}
+		// One template batch per (node, type); re-ingested every
+		// iteration (ingest leaves its input batch unmodified).
+		var batches [][]*model.Batch
+		for i, id := range sys.Fog1IDs() {
+			var perNode []*model.Batch
+			for _, name := range typeNames {
+				st, err := model.TypeByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, err := sensor.NewGenerator(sensor.Config{
+					Type: st, NodeID: id, Sensors: 50, Seed: int64(i + 1), Redundancy: 0,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				perNode = append(perNode, gen.Next(benchEpoch))
+			}
+			batches = append(batches, perNode)
+		}
+		ctx := context.Background()
+		readings := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			clock.Advance(time.Hour) // expire the previous round from the fog stores
+			for ni, id := range sys.Fog1IDs() {
+				for _, batch := range batches[ni] {
+					if err := sys.IngestAt(id, batch); err != nil {
+						b.Fatal(err)
+					}
+					readings += len(batch.Readings)
+				}
+			}
+			sys.Cloud().Expire(clock.Now()) // bound archive growth across iterations
+			b.StartTimer()
+			if err := sys.FlushAll(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(readings)/b.Elapsed().Seconds(), "readings/s")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0, 0) })
 }

@@ -11,6 +11,16 @@
 // fog layers, and classification, permanent archiving and open-data
 // dissemination at the cloud.
 //
+// The upward data path is concurrent and sharded end to end: each fog
+// node runs its acquisition pipeline as composable stages over
+// hash-sharded per-type buffers (concurrent ingests of different
+// sensor types never contend), flushes move batches upward through a
+// bounded worker pool, and system-wide drains (FlushAll, Close)
+// operate on the nodes of a layer in parallel under a concurrency
+// bound, layer 1 before layer 2. See README.md for the full
+// architecture and the tuning knobs (PendingShards, FlushWorkers,
+// FlushConcurrency).
+//
 // Quick start:
 //
 //	sys, err := f2c.NewSystem(f2c.Options{

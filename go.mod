@@ -1,0 +1,3 @@
+module f2c
+
+go 1.24

@@ -7,60 +7,82 @@ package aggregate
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"f2c/internal/model"
+	"f2c/internal/shard"
 )
+
+// dedupShards is the fixed shard count (a power of two). Because all
+// readings of a batch share one sensor type, Filter takes exactly one
+// shard lock per batch, and concurrent filters of different types
+// never contend.
+const dedupShards = 16
+
+// dedupShard holds the elimination state of the sensor types hashing
+// to it.
+type dedupShard struct {
+	mu   sync.Mutex
+	last map[string]float64
+	seen map[string]struct{}
+}
 
 // Deduper performs redundant-data elimination: a reading is redundant
 // when the same sensor re-reports its previously kept value (the
 // paper's weather-measurement example). The deduper is stateful across
 // batches — exactly like a fog node observing its sensors over time —
-// and safe for concurrent use.
+// and safe for concurrent use. Its state is sharded by sensor type so
+// the concurrent ingest path does not serialize on one lock.
 type Deduper struct {
-	mu   sync.Mutex
-	last map[string]float64
-	seen map[string]struct{}
+	shards [dedupShards]dedupShard
 
-	in   int64
-	kept int64
+	in   atomic.Int64
+	kept atomic.Int64
 }
 
 // NewDeduper creates an empty deduper.
 func NewDeduper() *Deduper {
-	return &Deduper{
-		last: make(map[string]float64),
-		seen: make(map[string]struct{}),
+	d := &Deduper{}
+	for i := range d.shards {
+		d.shards[i].last = make(map[string]float64)
+		d.shards[i].seen = make(map[string]struct{})
 	}
+	return d
+}
+
+func (d *Deduper) shardFor(typeName string) *dedupShard {
+	return &d.shards[shard.FNV32a(typeName)&(dedupShards-1)]
 }
 
 // Filter returns a new batch containing only non-redundant readings.
-// The input batch is not modified.
+// The input batch is not modified. All readings are expected to share
+// the batch's sensor type (model.Batch.Validate enforces this), which
+// is what makes one shard lock per batch sufficient.
 func (d *Deduper) Filter(b *model.Batch) *model.Batch {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	sh := d.shardFor(b.TypeName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	out := *b
 	out.Readings = make([]model.Reading, 0, len(b.Readings))
 	for i := range b.Readings {
 		r := b.Readings[i]
-		d.in++
 		key := r.Key()
-		if _, ok := d.seen[key]; ok && d.last[key] == r.Value {
+		if _, ok := sh.seen[key]; ok && sh.last[key] == r.Value {
 			continue // redundant: same sensor, same value
 		}
-		d.seen[key] = struct{}{}
-		d.last[key] = r.Value
-		d.kept++
+		sh.seen[key] = struct{}{}
+		sh.last[key] = r.Value
 		out.Readings = append(out.Readings, r)
 	}
+	d.in.Add(int64(len(b.Readings)))
+	d.kept.Add(int64(len(out.Readings)))
 	return &out
 }
 
 // Stats returns the number of readings observed and kept so far.
 func (d *Deduper) Stats() (in, kept int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.in, d.kept
+	return d.in.Load(), d.kept.Load()
 }
 
 // EliminatedShare returns the measured fraction of readings removed.
@@ -74,11 +96,15 @@ func (d *Deduper) EliminatedShare() float64 {
 
 // Reset clears the deduper's sensor memory and statistics.
 func (d *Deduper) Reset() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.last = make(map[string]float64)
-	d.seen = make(map[string]struct{})
-	d.in, d.kept = 0, 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		sh.last = make(map[string]float64)
+		sh.seen = make(map[string]struct{})
+		sh.mu.Unlock()
+	}
+	d.in.Store(0)
+	d.kept.Store(0)
 }
 
 // DedupIntraBatch removes duplicates within a single batch without any

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"f2c/internal/aggregate"
@@ -61,8 +62,24 @@ type Options struct {
 	// Emulate enables wall-clock latency emulation on the simulated
 	// network (latency benchmarks only).
 	Emulate bool
-	// Seed drives deterministic network behaviour.
+	// Seed drives the simulated network's loss draws. With lossy
+	// links the draw order — and therefore the exact drop pattern —
+	// is only reproducible when flushing is serial (FlushConcurrency
+	// and FlushWorkers set to 1); with the default concurrent
+	// flushing the draws interleave with goroutine scheduling.
+	// Lossless simulations stay fully deterministic either way.
 	Seed int64
+	// FlushConcurrency bounds how many fog nodes FlushAll, Start and
+	// Close operate on in parallel within one layer. Draining is
+	// network-bound, so the default (8) is independent of GOMAXPROCS;
+	// 1 restores the serial path.
+	FlushConcurrency int
+	// FlushWorkers bounds each node's concurrent encode+send workers
+	// during a flush (see fognode.Config.FlushWorkers).
+	FlushWorkers int
+	// PendingShards sets each node's pending-buffer shard count (see
+	// fognode.Config.PendingShards).
+	PendingShards int
 }
 
 func (o *Options) applyDefaults() {
@@ -95,6 +112,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Registry == nil {
 		o.Registry = metrics.NewRegistry()
+	}
+	if o.FlushConcurrency <= 0 {
+		o.FlushConcurrency = 8
 	}
 }
 
@@ -168,6 +188,8 @@ func NewSystem(opts Options) (*System, error) {
 			Dedup:         false, // layer 1 already eliminated redundancy
 			Quality:       false, // quality is checked once, at acquisition
 			Registry:      opts.Registry,
+			PendingShards: opts.PendingShards,
+			FlushWorkers:  opts.FlushWorkers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: fog2 %s: %w", spec.ID, err)
@@ -190,6 +212,8 @@ func NewSystem(opts Options) (*System, error) {
 			Dedup:         opts.Dedup,
 			Quality:       opts.Quality,
 			Registry:      opts.Registry,
+			PendingShards: opts.PendingShards,
+			FlushWorkers:  opts.FlushWorkers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: fog1 %s: %w", spec.ID, err)
@@ -274,24 +298,46 @@ func (s *System) IngestAt(fog1ID string, b *model.Batch) error {
 	return n.Ingest(b)
 }
 
-// FlushAll synchronously flushes every layer-1 node and then every
-// layer-2 node, draining all pending data to the cloud.
-func (s *System) FlushAll(ctx context.Context) error {
-	var errs []error
-	for _, id := range s.fog1IDs {
-		if err := s.fog1[id].Flush(ctx); err != nil {
-			errs = append(errs, err)
-		}
+// forEachFog runs fn over the identified fog nodes with bounded
+// concurrency (Options.FlushConcurrency) and returns the nodes'
+// errors joined in ID order. Every node is dispatched even when the
+// context is already cancelled — matching the old serial loops, and
+// required by Close, which must stop every background flusher — and
+// each node's own sends observe the context.
+func (s *System) forEachFog(ctx context.Context, ids []string, nodes map[string]*fognode.Node, fn func(context.Context, *fognode.Node) error) error {
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, s.opts.FlushConcurrency)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, n *fognode.Node) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(ctx, n)
+		}(i, nodes[id])
 	}
-	for _, id := range s.fog2IDs {
-		if err := s.fog2[id].Flush(ctx); err != nil {
-			errs = append(errs, err)
-		}
-	}
+	wg.Wait()
 	return errors.Join(errs...)
 }
 
+// FlushAll flushes every layer-1 node and then every layer-2 node,
+// draining all pending data to the cloud. Nodes within a layer flush
+// in parallel (bounded by Options.FlushConcurrency); the barrier
+// between layers preserves the serial drain guarantee that layer 2
+// forwards what layer 1 just delivered.
+func (s *System) FlushAll(ctx context.Context) error {
+	err1 := s.forEachFog(ctx, s.fog1IDs, s.fog1, func(ctx context.Context, n *fognode.Node) error {
+		return n.Flush(ctx)
+	})
+	err2 := s.forEachFog(ctx, s.fog2IDs, s.fog2, func(ctx context.Context, n *fognode.Node) error {
+		return n.Flush(ctx)
+	})
+	return errors.Join(err1, err2)
+}
+
 // Start launches every node's background flusher (wall-clock mode).
+// Node.Start only spawns a goroutine, so plain loops suffice.
 func (s *System) Start() {
 	for _, id := range s.fog1IDs {
 		s.fog1[id].Start()
@@ -301,20 +347,16 @@ func (s *System) Start() {
 	}
 }
 
-// Close stops all background flushers and drains pending data.
+// Close stops all background flushers and drains pending data, layer
+// 1 first so its final flushes land before layer 2 drains.
 func (s *System) Close(ctx context.Context) error {
-	var errs []error
-	for _, id := range s.fog1IDs {
-		if err := s.fog1[id].Close(ctx); err != nil {
-			errs = append(errs, err)
-		}
-	}
-	for _, id := range s.fog2IDs {
-		if err := s.fog2[id].Close(ctx); err != nil {
-			errs = append(errs, err)
-		}
-	}
-	return errors.Join(errs...)
+	err1 := s.forEachFog(ctx, s.fog1IDs, s.fog1, func(ctx context.Context, n *fognode.Node) error {
+		return n.Close(ctx)
+	})
+	err2 := s.forEachFog(ctx, s.fog2IDs, s.fog2, func(ctx context.Context, n *fognode.Node) error {
+		return n.Close(ctx)
+	})
+	return errors.Join(err1, err2)
 }
 
 // LatestAtFog serves the paper's critical real-time read: directly

@@ -5,6 +5,12 @@
 // combination of child batches at layer 2, and the periodic upward
 // flusher whose frequency "can be strategically decided in order to
 // accommodate it to the network traffic".
+//
+// The acquisition pipeline is a sequence of composable Stage values
+// running over hash-sharded per-type state, so concurrent Ingest
+// calls on different sensor types never contend on a node-wide lock,
+// and flushes move the sharded pending buffers upward with a bounded
+// worker pool.
 package fognode
 
 import (
@@ -52,19 +58,33 @@ type Config struct {
 	Dedup bool
 	// Quality enables the data-quality phase on ingest.
 	Quality bool
+	// Stages appends scenario-specific acquisition stages (filtering,
+	// enrichment) after the built-in dedup and quality stages and
+	// before description + storage. Stages must be safe for
+	// concurrent use.
+	Stages []Stage
 	// Registry receives node metrics; nil allocates a private one.
 	Registry *metrics.Registry
 	// Observer, when set, sees every batch that survives the
 	// acquisition pipeline — the hook local real-time services
 	// (paper §IV.C) attach to. Called synchronously on the ingest
-	// path; implementations must be fast and must not retain the
-	// batch.
+	// path; implementations must be fast, safe for concurrent use,
+	// and must not retain the batch.
 	Observer BatchObserver
 	// MaxPendingReadings bounds the per-type upward buffer during
 	// parent outages; when exceeded, the oldest readings are shed
 	// and counted in the <node>.flush.shed metric. Zero means
 	// unbounded.
 	MaxPendingReadings int
+	// PendingShards sets how many hash shards back the per-type
+	// pending buffers and description tags (rounded up to a power of
+	// two). Zero selects the default (16); 1 restores a single
+	// buffer.
+	PendingShards int
+	// FlushWorkers bounds how many batches a flush encodes and sends
+	// concurrently. Sends are network-bound, so the default (4) is
+	// independent of GOMAXPROCS; 1 restores the serial flush path.
+	FlushWorkers int
 }
 
 // BatchObserver receives post-pipeline batches.
@@ -94,6 +114,9 @@ func (c *Config) applyDefaults() error {
 	if c.City == "" {
 		c.City = "city"
 	}
+	if c.FlushWorkers <= 0 {
+		c.FlushWorkers = 4
+	}
 	return nil
 }
 
@@ -102,12 +125,11 @@ type Node struct {
 	cfg       Config
 	store     *store.TimeSeries
 	deduper   *aggregate.Deduper
-	assessor  *quality.Assessor
 	describer *describe.Describer
+	stages    []Stage
 
-	mu      sync.Mutex
-	pending map[string]*model.Batch
-	tags    map[string]describe.Tags
+	shards    []pendingShard
+	shardMask uint32
 
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
@@ -133,12 +155,11 @@ func New(cfg Config) (*Node, error) {
 		cfg:       cfg,
 		store:     store.NewTimeSeries(cfg.Retention),
 		deduper:   aggregate.NewDeduper(),
-		assessor:  quality.NewAssessor(nil),
 		describer: describe.NewDescriber(cfg.City, district, cfg.Spec.Name, cfg.Spec.Centroid, "f2c"),
-		pending:   make(map[string]*model.Batch),
-		tags:      make(map[string]describe.Tags),
+		shards:    newPendingShards(cfg.PendingShards),
 		lc:        newLifecycle(),
 	}
+	n.shardMask = uint32(len(n.shards) - 1)
 	reg := cfg.Registry
 	prefix := cfg.Spec.ID + "."
 	n.ingestedBatches = reg.Counter(prefix + "ingest.batches")
@@ -148,6 +169,17 @@ func New(cfg Config) (*Node, error) {
 	n.flushErrors = reg.Counter(prefix + "flush.errors")
 	n.rejectedReads = reg.Counter(prefix + "ingest.rejected")
 	n.shedReads = reg.Counter(prefix + "flush.shed")
+
+	if cfg.Dedup {
+		n.stages = append(n.stages, dedupStage{deduper: n.deduper})
+	}
+	if cfg.Quality {
+		n.stages = append(n.stages, qualityStage{
+			assessor: quality.NewAssessor(nil),
+			rejected: n.rejectedReads,
+		})
+	}
+	n.stages = append(n.stages, cfg.Stages...)
 	return n, nil
 }
 
@@ -158,29 +190,29 @@ func (n *Node) ID() string { return n.cfg.Spec.ID }
 func (n *Node) Layer() topology.Layer { return n.cfg.Spec.Layer }
 
 // Ingest runs the acquisition pipeline on a batch: redundant-data
-// elimination (when enabled), quality assessment, description
-// tagging, temporal storage, and queueing for the next upward flush.
+// elimination (when enabled), quality assessment, any configured
+// custom stages, description tagging, temporal storage, and queueing
+// for the next upward flush. Safe to call concurrently; ingests of
+// different sensor types proceed on disjoint shards.
 func (n *Node) Ingest(b *model.Batch) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
 	}
 	n.ingestedBatches.Inc()
 
-	if n.cfg.Dedup {
-		b = n.deduper.Filter(b)
+	sc := &StageContext{NodeID: n.cfg.Spec.ID, Now: n.cfg.Clock.Now(), Score: 1}
+	for _, stage := range n.stages {
+		var err error
+		if b, err = stage.Process(sc, b); err != nil {
+			return fmt.Errorf("fognode %s: ingest: stage %s: %w", n.cfg.Spec.ID, stage.Name(), err)
+		}
 	}
-	score := 1.0
-	if n.cfg.Quality {
-		var rep quality.Report
-		b, rep = n.assessor.Assess(b, n.cfg.Clock.Now())
-		score = rep.Score()
-		n.rejectedReads.Add(int64(rep.Rejected))
-	}
-	tags := n.describer.Describe(b, score)
+	tags := n.describer.Describe(b, sc.Score)
 
-	n.mu.Lock()
-	n.tags[b.TypeName] = tags
-	n.mu.Unlock()
+	sh := n.shardFor(b.TypeName)
+	sh.mu.Lock()
+	sh.tags[b.TypeName] = tags
+	sh.mu.Unlock()
 
 	if len(b.Readings) == 0 {
 		return nil
@@ -190,7 +222,7 @@ func (n *Node) Ingest(b *model.Batch) error {
 	if err := n.store.Append(b); err != nil {
 		return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
 	}
-	n.enqueue(b)
+	n.enqueue(sh, b)
 	if n.cfg.Observer != nil {
 		n.cfg.Observer.ObserveBatch(b)
 	}
@@ -200,25 +232,34 @@ func (n *Node) Ingest(b *model.Batch) error {
 // enqueue merges a filtered batch into the per-type pending buffer
 // that the next flush will move upward, shedding the oldest readings
 // when a bound is configured and exceeded (prolonged parent outage).
-func (n *Node) enqueue(b *model.Batch) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	cur, ok := n.pending[b.TypeName]
+func (n *Node) enqueue(sh *pendingShard, b *model.Batch) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.pending[b.TypeName]
 	if !ok {
 		cp := b.Clone()
 		cp.NodeID = n.cfg.Spec.ID // upward batches carry this node's identity
-		n.pending[b.TypeName] = cp
+		sh.pending[b.TypeName] = cp
 		cur = cp
 	} else {
 		cur.Readings = append(cur.Readings, b.Readings...)
 	}
-	if max := n.cfg.MaxPendingReadings; max > 0 && len(cur.Readings) > max {
-		shed := len(cur.Readings) - max
-		n.shedReads.Add(int64(shed))
-		kept := make([]model.Reading, max)
-		copy(kept, cur.Readings[shed:])
-		cur.Readings = kept
+	n.boundPendingLocked(cur)
+}
+
+// boundPendingLocked sheds the oldest readings of a pending batch
+// when the configured bound is exceeded. The caller holds the lock of
+// the shard owning the batch.
+func (n *Node) boundPendingLocked(cur *model.Batch) {
+	max := n.cfg.MaxPendingReadings
+	if max <= 0 || len(cur.Readings) <= max {
+		return
 	}
+	shed := len(cur.Readings) - max
+	n.shedReads.Add(int64(shed))
+	kept := make([]model.Reading, max)
+	copy(kept, cur.Readings[shed:])
+	cur.Readings = kept
 }
 
 // ShedReadings reports how many buffered readings were dropped under
@@ -227,9 +268,14 @@ func (n *Node) ShedReadings() int64 { return n.shedReads.Value() }
 
 // PendingBatches returns how many per-type batches await flushing.
 func (n *Node) PendingBatches() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.pending)
+	total := 0
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		total += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Latest serves the real-time read path.
@@ -244,9 +290,10 @@ func (n *Node) Query(typeName string, from, to time.Time) []model.Reading {
 
 // Tags returns the latest description tags for a type.
 func (n *Node) Tags(typeName string) (describe.Tags, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	t, ok := n.tags[typeName]
+	sh := n.shardFor(typeName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.tags[typeName]
 	return t, ok
 }
 
@@ -275,31 +322,33 @@ func (n *Node) FlushCategory(ctx context.Context, cat model.Category) error {
 	return n.flush(ctx, func(b *model.Batch) bool { return b.Category == cat })
 }
 
-// flush moves pending batches matching the filter (nil = all) upward.
+// flush moves pending batches matching the filter (nil = all) upward,
+// encoding and sending with a bounded worker pool. Within one flush,
+// each sensor type is exactly one in-flight batch, so worker
+// interleaving cannot reorder a type's readings. (As before the
+// refactor, two overlapping Flush calls can deliver a type's batches
+// out of order when the earlier one fails and requeues.)
 func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	defer n.store.Evict(n.cfg.Clock.Now())
-	if n.PendingBatches() == 0 {
-		return nil
-	}
 
-	n.mu.Lock()
-	types := make([]string, 0, len(n.pending))
-	for typ, b := range n.pending {
-		if match == nil || match(b) {
-			types = append(types, typ)
+	var batches []*model.Batch
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		for typ, b := range sh.pending {
+			if match == nil || match(b) {
+				batches = append(batches, b)
+				delete(sh.pending, typ)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	sort.Strings(types)
-	batches := make([]*model.Batch, 0, len(types))
-	for _, typ := range types {
-		batches = append(batches, n.pending[typ])
-		delete(n.pending, typ)
-	}
-	n.mu.Unlock()
-
 	if len(batches) == 0 {
 		return nil
 	}
+	// Deterministic send/error order for tests and accounting.
+	sort.Slice(batches, func(i, j int) bool { return batches[i].TypeName < batches[j].TypeName })
+
 	if n.cfg.Spec.Parent == "" {
 		for _, b := range batches {
 			n.requeue(b)
@@ -313,48 +362,92 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 		return fmt.Errorf("fognode %s: no transport configured", n.cfg.Spec.ID)
 	}
 
-	var errs []error
 	now := n.cfg.Clock.Now()
-	for _, b := range batches {
-		b.Collected = now
-		payload, err := protocol.EncodeBatchPayload(b, n.cfg.Codec)
-		if err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		msg := transport.Message{
-			From:    n.cfg.Spec.ID,
-			To:      n.cfg.Spec.Parent,
-			Kind:    transport.KindBatch,
-			Class:   b.Category.String(),
-			Payload: payload,
-		}
-		if _, err := n.cfg.Transport.Send(ctx, msg); err != nil {
-			n.flushErrors.Inc()
-			n.requeue(b)
-			errs = append(errs, fmt.Errorf("fognode %s: flush %s: %w", n.cfg.Spec.ID, b.TypeName, err))
-			continue
-		}
-		n.flushedBatches.Inc()
-		n.flushedBytes.Add(msg.WireSize())
+	errs := make([]error, len(batches))
+	workers := n.cfg.FlushWorkers
+	if workers > len(batches) {
+		workers = len(batches)
 	}
+	if workers <= 1 {
+		for i, b := range batches {
+			errs[i] = n.sendBatch(ctx, b, now)
+		}
+		return errors.Join(errs...)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = n.sendBatch(ctx, batches[i], now)
+			}
+		}()
+	}
+	for i := range batches {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// requeue puts a failed batch back at the front of the pending
-// buffer.
-func (n *Node) requeue(b *model.Batch) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	cur, ok := n.pending[b.TypeName]
-	if !ok {
-		n.pending[b.TypeName] = b
-		return
+// sendBatch encodes one sealed batch and sends it to the parent,
+// requeueing it on transport failure.
+func (n *Node) sendBatch(ctx context.Context, b *model.Batch, now time.Time) error {
+	// Concurrent child flushes interleave arrival order at a combining
+	// layer-2 node; sealing restores time order (ties broken by sensor
+	// then value) so upward payloads — and their compressed sizes —
+	// are deterministic for a given set of readings.
+	sort.SliceStable(b.Readings, func(i, j int) bool {
+		ri, rj := &b.Readings[i], &b.Readings[j]
+		if !ri.Time.Equal(rj.Time) {
+			return ri.Time.Before(rj.Time)
+		}
+		if ri.SensorID != rj.SensorID {
+			return ri.SensorID < rj.SensorID
+		}
+		return ri.Value < rj.Value
+	})
+	b.Collected = now
+	payload, err := protocol.EncodeBatchPayload(b, n.cfg.Codec)
+	if err != nil {
+		return err
 	}
-	// Preserve time order: failed batch first, newer readings after.
-	merged := b.Clone()
-	merged.Readings = append(merged.Readings, cur.Readings...)
-	n.pending[b.TypeName] = merged
+	msg := transport.Message{
+		From:    n.cfg.Spec.ID,
+		To:      n.cfg.Spec.Parent,
+		Kind:    transport.KindBatch,
+		Class:   b.Category.String(),
+		Payload: payload,
+	}
+	if _, err := n.cfg.Transport.Send(ctx, msg); err != nil {
+		n.flushErrors.Inc()
+		n.requeue(b)
+		return fmt.Errorf("fognode %s: flush %s: %w", n.cfg.Spec.ID, b.TypeName, err)
+	}
+	n.flushedBatches.Inc()
+	n.flushedBytes.Add(msg.WireSize())
+	return nil
+}
+
+// requeue puts a failed batch back at the front of the pending
+// buffer, re-applying the MaxPendingReadings bound so the buffer
+// stays bounded across repeated flush failures (parent outage).
+func (n *Node) requeue(b *model.Batch) {
+	sh := n.shardFor(b.TypeName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.pending[b.TypeName]
+	if ok {
+		// Preserve time order: failed batch first, newer readings after.
+		merged := b.Clone()
+		merged.Readings = append(merged.Readings, cur.Readings...)
+		b = merged
+	}
+	sh.pending[b.TypeName] = b
+	n.boundPendingLocked(b)
 }
 
 // Status reports the node's state.

@@ -1,0 +1,203 @@
+package fognode
+
+// Race-focused coverage for the sharded concurrent ingest/flush
+// pipeline. These tests are meaningful under `go test -race` (CI runs
+// them that way) but also assert reading conservation, so they catch
+// lost updates even without the race detector.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+)
+
+// raceTypes are distinct sensor types spread across categories so
+// concurrent ingests exercise different shards. val maps a loop index
+// into the type's plausible range, keeping the quality stage from
+// rejecting anything (conservation assertions need every reading
+// kept).
+var raceTypes = []struct {
+	name string
+	cat  model.Category
+	val  func(i int) float64
+}{
+	{"temperature", model.CategoryEnergy, func(i int) float64 { return 5 + float64(i%30) }},
+	{"traffic", model.CategoryUrban, func(i int) float64 { return float64(i % 100) }},
+	{"noise_level", model.CategoryNoise, func(i int) float64 { return 30 + float64(i%70) }},
+	{"parking_spot", model.CategoryParking, func(i int) float64 { return float64(i % 2) }},
+}
+
+func raceBatch(typ string, cat model.Category, sensor int, val float64, at time.Time) *model.Batch {
+	return &model.Batch{
+		NodeID: "edge", TypeName: typ, Category: cat, Collected: at,
+		Readings: []model.Reading{{
+			SensorID: fmt.Sprintf("%s/%d", typ, sensor), TypeName: typ, Category: cat,
+			Time: at, Value: val,
+		}},
+	}
+}
+
+// TestConcurrentIngestFlushQueryRace hammers one node with parallel
+// ingests of several types, concurrent flushes, and concurrent reads,
+// then verifies no reading was lost or duplicated: everything ingested
+// ends up delivered to the parent once the final flush succeeds.
+func TestConcurrentIngestFlushQueryRace(t *testing.T) {
+	var delivered atomic.Int64
+	net := transport.NewSimNetwork()
+	net.Register("fog2/d01", transport.HandlerFunc(func(_ context.Context, msg transport.Message) ([]byte, error) {
+		b, _, err := protocol.DecodeBatchPayload(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		delivered.Add(int64(len(b.Readings)))
+		return []byte("ok"), nil
+	}))
+	n, err := New(Config{
+		Spec:      fog1Spec(),
+		Clock:     sim.NewVirtualClock(t0),
+		Transport: net,
+		Codec:     aggregate.CodecNone,
+		Quality:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perWorker = 200
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	// Two ingest workers per type: same-type ingests contend on one
+	// shard, cross-type ingests must not.
+	for _, rt := range raceTypes {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(rt struct {
+				name string
+				cat  model.Category
+				val  func(i int) float64
+			}, w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					// Millisecond spacing keeps timestamps within the
+					// freshness rule's clock-skew allowance.
+					at := t0.Add(time.Duration(w*perWorker+i) * time.Millisecond)
+					b := raceBatch(rt.name, rt.cat, w, rt.val(i), at)
+					if err := n.Ingest(b); err != nil {
+						t.Errorf("ingest %s: %v", rt.name, err)
+						return
+					}
+				}
+			}(rt, w)
+		}
+	}
+	// Concurrent flusher and readers.
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = n.Flush(ctx)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.Latest("temperature/0")
+				n.Query("traffic", t0, t0.Add(time.Hour))
+				n.Tags("noise_level")
+				n.Status()
+			}
+		}
+	}()
+	done := make(chan struct{})
+	go func() { // close stop once all ingest workers are finished
+		defer close(done)
+		wg.Wait()
+	}()
+	// Wait for the 8 ingest workers by counting ingested readings.
+	want := int64(len(raceTypes) * 2 * perWorker)
+	deadline := time.After(30 * time.Second)
+	for n.ingestedReads.Value() < want {
+		select {
+		case <-deadline:
+			t.Fatalf("ingest stalled: %d of %d readings", n.ingestedReads.Value(), want)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+
+	if err := n.Flush(ctx); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if got := delivered.Load(); got != want {
+		t.Errorf("delivered %d readings, ingested %d: concurrent pipeline lost or duplicated data", got, want)
+	}
+	if n.PendingBatches() != 0 {
+		t.Errorf("pending after final flush = %d", n.PendingBatches())
+	}
+	if shed := n.ShedReadings(); shed != 0 {
+		t.Errorf("shed %d readings with no bound configured", shed)
+	}
+}
+
+// TestParallelFlushWorkersRequeueOnFailure verifies the worker-pool
+// flush keeps per-type requeue-on-failure semantics: with a parent
+// that fails half the types, failed types stay queued and successful
+// ones drain.
+func TestParallelFlushWorkersRequeueOnFailure(t *testing.T) {
+	net := transport.NewSimNetwork()
+	net.Register("fog2/d01", transport.HandlerFunc(func(_ context.Context, msg transport.Message) ([]byte, error) {
+		b, _, err := protocol.DecodeBatchPayload(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if b.TypeName == "temperature" || b.TypeName == "traffic" {
+			return nil, fmt.Errorf("rejecting %s", b.TypeName)
+		}
+		return []byte("ok"), nil
+	}))
+	n, err := New(Config{
+		Spec:         fog1Spec(),
+		Clock:        sim.NewVirtualClock(t0),
+		Transport:    net,
+		Codec:        aggregate.CodecNone,
+		FlushWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range raceTypes {
+		if err := n.Ingest(raceBatch(rt.name, rt.cat, 0, float64(i), t0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Flush(context.Background()); err == nil {
+		t.Fatal("expected a joined flush error for the rejected types")
+	}
+	if got := n.PendingBatches(); got != 2 {
+		t.Errorf("pending after partial flush = %d, want 2 (rejected types requeued)", got)
+	}
+	if _, ok := n.Tags("temperature"); !ok {
+		t.Error("tags lost for requeued type")
+	}
+}

@@ -1,0 +1,81 @@
+package fognode
+
+import (
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/metrics"
+	"f2c/internal/model"
+	"f2c/internal/quality"
+)
+
+// StageContext carries per-ingest state through the acquisition
+// pipeline. Stages may read and update it; the node seeds it with the
+// ingest instant and a perfect quality score.
+type StageContext struct {
+	// NodeID identifies the node running the pipeline.
+	NodeID string
+	// Now is the ingest instant (virtual in simulations).
+	Now time.Time
+	// Score is the batch quality score in [0,1], recorded in the
+	// description tags. The quality stage overwrites it; custom
+	// stages may refine it further.
+	Score float64
+}
+
+// Stage is one composable step of the acquisition pipeline. A stage
+// receives the batch produced by the previous stage and returns the
+// batch the next stage sees; it must not mutate the input batch
+// (copy-on-write, as aggregate.Deduper and quality.Assessor do).
+// Returning an error aborts the ingest. Stages run on the concurrent
+// ingest path and must be safe for concurrent use.
+type Stage interface {
+	// Name identifies the stage in error messages.
+	Name() string
+	// Process transforms the batch.
+	Process(sc *StageContext, b *model.Batch) (*model.Batch, error)
+}
+
+// StageFunc adapts a function to the Stage interface.
+func StageFunc(name string, fn func(sc *StageContext, b *model.Batch) (*model.Batch, error)) Stage {
+	return funcStage{name: name, fn: fn}
+}
+
+type funcStage struct {
+	name string
+	fn   func(sc *StageContext, b *model.Batch) (*model.Batch, error)
+}
+
+func (s funcStage) Name() string { return s.name }
+
+func (s funcStage) Process(sc *StageContext, b *model.Batch) (*model.Batch, error) {
+	return s.fn(sc, b)
+}
+
+// dedupStage is the redundant-data-elimination phase (paper §V.A).
+type dedupStage struct {
+	deduper *aggregate.Deduper
+}
+
+func (s dedupStage) Name() string { return "dedup" }
+
+func (s dedupStage) Process(_ *StageContext, b *model.Batch) (*model.Batch, error) {
+	return s.deduper.Filter(b), nil
+}
+
+// qualityStage is the data-quality phase: rejected readings are
+// dropped, the batch score lands in the stage context for the
+// description phase that follows the pipeline.
+type qualityStage struct {
+	assessor *quality.Assessor
+	rejected *metrics.Counter
+}
+
+func (s qualityStage) Name() string { return "quality" }
+
+func (s qualityStage) Process(sc *StageContext, b *model.Batch) (*model.Batch, error) {
+	b, rep := s.assessor.Assess(b, sc.Now)
+	sc.Score = rep.Score()
+	s.rejected.Add(int64(rep.Rejected))
+	return b, nil
+}

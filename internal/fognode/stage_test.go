@@ -1,0 +1,175 @@
+package fognode
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+)
+
+// TestCustomStagesRun wires a scenario-specific filtering stage and an
+// enrichment stage into the pipeline and checks they run after the
+// built-ins and before storage.
+func TestCustomStagesRun(t *testing.T) {
+	drop := StageFunc("drop-negative", func(_ *StageContext, b *model.Batch) (*model.Batch, error) {
+		out := *b
+		out.Readings = nil
+		for _, r := range b.Readings {
+			if r.Value >= 0 {
+				out.Readings = append(out.Readings, r)
+			}
+		}
+		return &out, nil
+	})
+	enrich := StageFunc("unit-enrich", func(_ *StageContext, b *model.Batch) (*model.Batch, error) {
+		out := b.Clone()
+		for i := range out.Readings {
+			out.Readings[i].Unit = "C"
+		}
+		return out, nil
+	})
+	n, err := New(Config{
+		Spec:   fog1Spec(),
+		Clock:  sim.NewVirtualClock(t0),
+		Stages: []Stage{drop, enrich},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Ingest(batchOf(map[string]float64{"a": -5, "b": 20}, t0)); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Query("temperature", t0, t0.Add(time.Hour))
+	if len(got) != 1 {
+		t.Fatalf("stored %d readings, want 1 (negative filtered)", len(got))
+	}
+	if got[0].Value != 20 || got[0].Unit != "C" {
+		t.Errorf("stored reading = %+v, want enriched value 20", got[0])
+	}
+}
+
+// TestStageErrorAbortsIngest checks a failing stage aborts the ingest
+// with the stage name in the error and stores nothing.
+func TestStageErrorAbortsIngest(t *testing.T) {
+	boom := errors.New("boom")
+	n, err := New(Config{
+		Spec:  fog1Spec(),
+		Clock: sim.NewVirtualClock(t0),
+		Stages: []Stage{StageFunc("exploding", func(*StageContext, *model.Batch) (*model.Batch, error) {
+			return nil, boom
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n.Ingest(batchOf(map[string]float64{"a": 20}, t0))
+	if !errors.Is(err, boom) {
+		t.Fatalf("ingest err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "exploding") {
+		t.Errorf("err %q does not name the failing stage", err)
+	}
+	if got := n.Query("temperature", t0, t0.Add(time.Hour)); len(got) != 0 {
+		t.Errorf("stored %d readings after aborted ingest", len(got))
+	}
+	if n.PendingBatches() != 0 {
+		t.Error("aborted ingest left pending data")
+	}
+}
+
+// TestStageContextScoreReachesTags checks a custom stage can refine
+// the quality score the description phase records.
+func TestStageContextScoreReachesTags(t *testing.T) {
+	n, err := New(Config{
+		Spec:  fog1Spec(),
+		Clock: sim.NewVirtualClock(t0),
+		Stages: []Stage{StageFunc("downgrade", func(sc *StageContext, b *model.Batch) (*model.Batch, error) {
+			sc.Score = 0.25
+			return b, nil
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Ingest(batchOf(map[string]float64{"a": 20}, t0)); err != nil {
+		t.Fatal(err)
+	}
+	tags, ok := n.Tags("temperature")
+	if !ok || tags.QualityScore != 0.25 {
+		t.Errorf("tags = %+v ok=%v, want quality score 0.25", tags, ok)
+	}
+}
+
+// TestRequeueReappliesPendingBound reproduces the parent-outage growth
+// bug: data ingested while a flush is in flight merges with the
+// requeued failed batch, and the MaxPendingReadings bound must be
+// re-applied so the buffer cannot exceed the configured limit.
+func TestRequeueReappliesPendingBound(t *testing.T) {
+	clock := sim.NewVirtualClock(t0)
+	var n *Node
+	net := transport.NewSimNetwork()
+	fail := true
+	var got *model.Batch
+	net.Register("fog2/d01", transport.HandlerFunc(func(_ context.Context, msg transport.Message) ([]byte, error) {
+		if fail {
+			// Simulate concurrent arrivals during the in-flight flush:
+			// these land in pending before the failed batch requeues.
+			for i := 0; i < 3; i++ {
+				b := batchOf(map[string]float64{"s": float64(10 + i)}, t0.Add(time.Duration(i+1)*time.Minute))
+				if err := n.Ingest(b); err != nil {
+					return nil, err
+				}
+			}
+			return nil, errors.New("parent outage")
+		}
+		b, _, err := protocol.DecodeBatchPayload(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		got = b
+		return []byte("ok"), nil
+	}))
+	var err error
+	n, err = New(Config{
+		Spec:               fog1Spec(),
+		Clock:              clock,
+		Transport:          net,
+		Codec:              aggregate.CodecNone,
+		MaxPendingReadings: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b := batchOf(map[string]float64{"s": float64(i)}, t0.Add(time.Duration(i)*time.Second))
+		if err := n.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Flush(context.Background()); err == nil {
+		t.Fatal("expected flush failure")
+	}
+	// 3 failed + 3 ingested-during-flush readings merged: the bound
+	// must shed the 3 oldest instead of keeping all 6.
+	if shed := n.ShedReadings(); shed != 3 {
+		t.Errorf("shed = %d, want 3 (requeue must re-apply the bound)", shed)
+	}
+	fail = false
+	if err := n.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || len(got.Readings) != 3 {
+		t.Fatalf("recovered batch = %+v, want the 3 newest readings", got)
+	}
+	if got.Readings[0].Value != 10 || got.Readings[2].Value != 12 {
+		t.Errorf("kept values = %v..%v, want 10..12 (newest kept, oldest shed)",
+			got.Readings[0].Value, got.Readings[2].Value)
+	}
+}

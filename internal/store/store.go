@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"f2c/internal/model"
+	"f2c/internal/shard"
 )
 
 // Stats summarizes store contents.
@@ -26,71 +28,111 @@ type Stats struct {
 // approxReadingBytes is the accounting weight of one stored reading.
 const approxReadingBytes = 96
 
+// storeShards is the fixed shard count (a power of two) for both the
+// per-type series maps and the per-sensor latest maps. Appends of
+// different sensor types land on different series shards, so the
+// concurrent ingest path scales instead of serializing on one lock.
+const storeShards = 16
+
+// seriesShard holds the readings of the sensor types hashing to it.
+type seriesShard struct {
+	mu     sync.RWMutex
+	byType map[string][]model.Reading
+	dirty  map[string]bool // needs sort before range query
+}
+
+// latestShard holds the newest reading of the sensors hashing to it.
+type latestShard struct {
+	mu       sync.RWMutex
+	bySensor map[string]model.Reading
+}
+
 // TimeSeries is an in-memory time-series store holding readings
 // grouped by sensor type, with optional time-based retention. It
 // serves both the fog layers (retention > 0: temporal storage for
-// real-time access) and scratch processing. Safe for concurrent use.
+// real-time access) and scratch processing. Safe for concurrent use;
+// state is hash-sharded so concurrent appends of different types and
+// reads of different sensors do not contend.
 type TimeSeries struct {
-	mu        sync.RWMutex
 	retention time.Duration
-	byType    map[string][]model.Reading
-	dirty     map[string]bool // needs sort before range query
-	latest    map[string]model.Reading
-	count     int64
+	count     atomic.Int64
+	series    [storeShards]seriesShard
+	latest    [storeShards]latestShard
 }
 
 // NewTimeSeries creates a store. retention 0 keeps data forever.
 func NewTimeSeries(retention time.Duration) *TimeSeries {
-	return &TimeSeries{
-		retention: retention,
-		byType:    make(map[string][]model.Reading),
-		dirty:     make(map[string]bool),
-		latest:    make(map[string]model.Reading),
+	s := &TimeSeries{retention: retention}
+	for i := range s.series {
+		s.series[i].byType = make(map[string][]model.Reading)
+		s.series[i].dirty = make(map[string]bool)
 	}
+	for i := range s.latest {
+		s.latest[i].bySensor = make(map[string]model.Reading)
+	}
+	return s
 }
 
 // Retention returns the configured retention window.
 func (s *TimeSeries) Retention() time.Duration { return s.retention }
+
+func (s *TimeSeries) seriesShardFor(typeName string) *seriesShard {
+	return &s.series[shard.FNV32a(typeName)&(storeShards-1)]
+}
+
+func (s *TimeSeries) latestShardFor(sensorID string) *latestShard {
+	return &s.latest[shard.FNV32a(sensorID)&(storeShards-1)]
+}
 
 // Append stores every reading of the batch.
 func (s *TimeSeries) Append(b *model.Batch) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("store append: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	series := s.byType[b.TypeName]
+	sh := s.seriesShardFor(b.TypeName)
+	sh.mu.Lock()
+	series := sh.byType[b.TypeName]
 	for i := range b.Readings {
 		r := b.Readings[i]
 		if n := len(series); n > 0 && r.Time.Before(series[n-1].Time) {
-			s.dirty[b.TypeName] = true
+			sh.dirty[b.TypeName] = true
 		}
 		series = append(series, r)
-		s.count++
-		if cur, ok := s.latest[r.SensorID]; !ok || !r.Time.Before(cur.Time) {
-			s.latest[r.SensorID] = r
-		}
 	}
-	s.byType[b.TypeName] = series
+	sh.byType[b.TypeName] = series
+	sh.mu.Unlock()
+	s.count.Add(int64(len(b.Readings)))
+
+	for i := range b.Readings {
+		r := b.Readings[i]
+		ls := s.latestShardFor(r.SensorID)
+		ls.mu.Lock()
+		if cur, ok := ls.bySensor[r.SensorID]; !ok || !r.Time.Before(cur.Time) {
+			ls.bySensor[r.SensorID] = r
+		}
+		ls.mu.Unlock()
+	}
 	return nil
 }
 
 // Latest returns the most recent reading of a sensor — the real-time
 // read path that makes fog layer 1 fast for critical services.
 func (s *TimeSeries) Latest(sensorID string) (model.Reading, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.latest[sensorID]
+	ls := s.latestShardFor(sensorID)
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	r, ok := ls.bySensor[sensorID]
 	return r, ok
 }
 
 // QueryRange returns readings of a type within [from, to], sorted by
 // time. The returned slice is a copy.
 func (s *TimeSeries) QueryRange(typeName string, from, to time.Time) []model.Reading {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sortLocked(typeName)
-	series := s.byType[typeName]
+	sh := s.seriesShardFor(typeName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sortLocked(sh, typeName)
+	series := sh.byType[typeName]
 	lo := sort.Search(len(series), func(i int) bool { return !series[i].Time.Before(from) })
 	hi := sort.Search(len(series), func(i int) bool { return series[i].Time.After(to) })
 	if lo >= hi {
@@ -103,11 +145,14 @@ func (s *TimeSeries) QueryRange(typeName string, from, to time.Time) []model.Rea
 
 // Types returns the sorted sensor-type names present.
 func (s *TimeSeries) Types() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byType))
-	for t := range s.byType {
-		out = append(out, t)
+	var out []string
+	for i := range s.series {
+		sh := &s.series[i]
+		sh.mu.RLock()
+		for t := range sh.byType {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -121,27 +166,30 @@ func (s *TimeSeries) Evict(now time.Time) int {
 		return 0
 	}
 	cutoff := now.Add(-s.retention)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	evicted := 0
-	for typ := range s.byType {
-		s.sortLocked(typ)
-		series := s.byType[typ]
-		lo := sort.Search(len(series), func(i int) bool { return !series[i].Time.Before(cutoff) })
-		if lo == 0 {
-			continue
+	for i := range s.series {
+		sh := &s.series[i]
+		sh.mu.Lock()
+		for typ := range sh.byType {
+			sortLocked(sh, typ)
+			series := sh.byType[typ]
+			lo := sort.Search(len(series), func(i int) bool { return !series[i].Time.Before(cutoff) })
+			if lo == 0 {
+				continue
+			}
+			evicted += lo
+			remaining := make([]model.Reading, len(series)-lo)
+			copy(remaining, series[lo:])
+			if len(remaining) == 0 {
+				delete(sh.byType, typ)
+				delete(sh.dirty, typ)
+			} else {
+				sh.byType[typ] = remaining
+			}
 		}
-		evicted += lo
-		s.count -= int64(lo)
-		remaining := make([]model.Reading, len(series)-lo)
-		copy(remaining, series[lo:])
-		if len(remaining) == 0 {
-			delete(s.byType, typ)
-			delete(s.dirty, typ)
-		} else {
-			s.byType[typ] = remaining
-		}
+		sh.mu.Unlock()
 	}
+	s.count.Add(int64(-evicted))
 	// latest entries are kept even past retention: the newest value
 	// of a sensor remains addressable for real-time reads.
 	return evicted
@@ -149,20 +197,26 @@ func (s *TimeSeries) Evict(now time.Time) int {
 
 // Stats implements the store accounting used by node status reports.
 func (s *TimeSeries) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	series := 0
+	for i := range s.series {
+		sh := &s.series[i]
+		sh.mu.RLock()
+		series += len(sh.byType)
+		sh.mu.RUnlock()
+	}
+	count := s.count.Load()
 	return Stats{
-		Readings:    s.count,
-		Series:      len(s.byType),
-		ApproxBytes: s.count * approxReadingBytes,
+		Readings:    count,
+		Series:      series,
+		ApproxBytes: count * approxReadingBytes,
 	}
 }
 
-func (s *TimeSeries) sortLocked(typeName string) {
-	if !s.dirty[typeName] {
+func sortLocked(sh *seriesShard, typeName string) {
+	if !sh.dirty[typeName] {
 		return
 	}
-	series := s.byType[typeName]
+	series := sh.byType[typeName]
 	sort.SliceStable(series, func(i, j int) bool { return series[i].Time.Before(series[j].Time) })
-	s.dirty[typeName] = false
+	sh.dirty[typeName] = false
 }

@@ -54,6 +54,9 @@ type SimNetwork struct {
 	endpoints map[string]Handler
 	links     map[[2]string]LinkProfile
 	def       LinkProfile
+	// rngMu guards only the loss draws, so lossless sends (the common
+	// case on the now-concurrent flush path) never serialize on it.
+	rngMu     sync.Mutex
 	rng       *rand.Rand
 	matrix    *metrics.TrafficMatrix
 	hopOf     func(from, to string) metrics.Hop
@@ -146,11 +149,13 @@ func (n *SimNetwork) Send(ctx context.Context, msg Message) ([]byte, error) {
 	}
 	link := n.Link(msg.From, msg.To)
 
-	n.mu.Lock()
-	lost := link.Loss > 0 && n.rng.Float64() < link.Loss
-	n.mu.Unlock()
-	if lost {
-		return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, msg.From, msg.To)
+	if link.Loss > 0 {
+		n.rngMu.Lock()
+		lost := n.rng.Float64() < link.Loss
+		n.rngMu.Unlock()
+		if lost {
+			return nil, fmt.Errorf("%w: %s -> %s", ErrDropped, msg.From, msg.To)
+		}
 	}
 
 	if n.matrix != nil && n.hopOf != nil {
