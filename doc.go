@@ -21,6 +21,20 @@
 // architecture and the tuning knobs (PendingShards, FlushWorkers,
 // FlushConcurrency).
 //
+// The seal/open wire path (encode -> compress -> envelope and back)
+// is amortized zero-allocation under steady load: codec encoder and
+// inflater state is pooled and reset between batches
+// (aggregate.AppendCompress/AppendDecompress), batch encoding and
+// envelope sealing append into reused buffers
+// (sensor.AppendBatch, protocol.Sealer), decoding parses the payload
+// in place with per-batch string interning, and every fog-node flush
+// worker reuses a scratch struct across flushes. Decompression is
+// bounded (aggregate.SizeLimitError) so corrupt or hostile payloads
+// cannot exhaust memory. Benchmarks: BenchmarkSealBatch,
+// BenchmarkOpenBatch (internal/protocol), BenchmarkFlushHot
+// (internal/fognode); scripts/bench.sh records them in
+// BENCH_PR2.json.
+//
 // Quick start:
 //
 //	sys, err := f2c.NewSystem(f2c.Options{

@@ -1,12 +1,7 @@
 package aggregate
 
 import (
-	"archive/zip"
-	"bytes"
-	"compress/flate"
-	"compress/gzip"
 	"fmt"
-	"io"
 )
 
 // Codec selects a compression format for upward batch transfers. The
@@ -50,108 +45,40 @@ func (c Codec) Valid() bool { return c >= CodecNone && c <= CodecZip }
 const zipEntryName = "payload"
 
 // Compress encodes data with the codec at the default compression
-// level.
+// level, returning a freshly allocated frame. Hot paths should prefer
+// AppendCompress, which reuses pooled encoder state and appends into
+// a caller-supplied buffer.
 func Compress(c Codec, data []byte) ([]byte, error) {
-	switch c {
-	case CodecNone:
-		out := make([]byte, len(data))
-		copy(out, data)
-		return out, nil
-	case CodecFlate:
-		var buf bytes.Buffer
-		w, err := flate.NewWriter(&buf, flate.DefaultCompression)
-		if err != nil {
-			return nil, fmt.Errorf("compress flate: %w", err)
-		}
-		if _, err := w.Write(data); err != nil {
-			return nil, fmt.Errorf("compress flate: %w", err)
-		}
-		if err := w.Close(); err != nil {
-			return nil, fmt.Errorf("compress flate: %w", err)
-		}
-		return buf.Bytes(), nil
-	case CodecGzip:
-		var buf bytes.Buffer
-		w := gzip.NewWriter(&buf)
-		if _, err := w.Write(data); err != nil {
-			return nil, fmt.Errorf("compress gzip: %w", err)
-		}
-		if err := w.Close(); err != nil {
-			return nil, fmt.Errorf("compress gzip: %w", err)
-		}
-		return buf.Bytes(), nil
-	case CodecZip:
-		var buf bytes.Buffer
-		zw := zip.NewWriter(&buf)
-		f, err := zw.Create(zipEntryName)
-		if err != nil {
-			return nil, fmt.Errorf("compress zip: %w", err)
-		}
-		if _, err := f.Write(data); err != nil {
-			return nil, fmt.Errorf("compress zip: %w", err)
-		}
-		if err := zw.Close(); err != nil {
-			return nil, fmt.Errorf("compress zip: %w", err)
-		}
-		return buf.Bytes(), nil
-	default:
-		return nil, fmt.Errorf("compress: unknown codec %d", int(c))
+	out, err := AppendCompress(make([]byte, 0, compressedSizeGuess(c, len(data))), c, data)
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
-// Decompress reverses Compress.
-func Decompress(c Codec, data []byte) ([]byte, error) {
-	switch c {
-	case CodecNone:
-		out := make([]byte, len(data))
-		copy(out, data)
-		return out, nil
-	case CodecFlate:
-		r := flate.NewReader(bytes.NewReader(data))
-		defer r.Close()
-		out, err := io.ReadAll(r)
-		if err != nil {
-			return nil, fmt.Errorf("decompress flate: %w", err)
-		}
-		return out, nil
-	case CodecGzip:
-		r, err := gzip.NewReader(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("decompress gzip: %w", err)
-		}
-		defer r.Close()
-		out, err := io.ReadAll(r)
-		if err != nil {
-			return nil, fmt.Errorf("decompress gzip: %w", err)
-		}
-		return out, nil
-	case CodecZip:
-		zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
-		if err != nil {
-			return nil, fmt.Errorf("decompress zip: %w", err)
-		}
-		for _, f := range zr.File {
-			if f.Name != zipEntryName {
-				continue
-			}
-			rc, err := f.Open()
-			if err != nil {
-				return nil, fmt.Errorf("decompress zip: %w", err)
-			}
-			out, err := io.ReadAll(rc)
-			closeErr := rc.Close()
-			if err != nil {
-				return nil, fmt.Errorf("decompress zip: %w", err)
-			}
-			if closeErr != nil {
-				return nil, fmt.Errorf("decompress zip: %w", closeErr)
-			}
-			return out, nil
-		}
-		return nil, fmt.Errorf("decompress zip: entry %q not found", zipEntryName)
-	default:
-		return nil, fmt.Errorf("decompress: unknown codec %d", int(c))
+// compressedSizeGuess pre-sizes a Compress output buffer: framed
+// codecs carry a fixed overhead, and deflate output on redundant
+// sensor text lands well below the input size.
+func compressedSizeGuess(c Codec, n int) int {
+	if c == CodecNone {
+		return n
 	}
+	return n/2 + 64
+}
+
+// Decompress reverses Compress, bounding output at
+// DefaultMaxDecompressedSize (a corrupt or hostile payload fails with
+// *SizeLimitError instead of exhausting memory). Hot paths should
+// prefer AppendDecompress, which also takes an explicit limit.
+func Decompress(c Codec, data []byte) ([]byte, error) {
+	out, err := AppendDecompress(nil, c, data, 0)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = []byte{}
+	}
+	return out, nil
 }
 
 // Ratio returns compressed/original size (the paper's "format factor"

@@ -1,0 +1,79 @@
+package fognode
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sensor"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+// BenchmarkFlushHot drives the full hot flush path end to end: ingest
+// -> pending buffer -> worker seal (encode + compress + envelope) ->
+// transport -> parent open (decompress + decode). The parent endpoint
+// opens every payload like a real combining node would, so both sides
+// of the wire path are measured.
+func BenchmarkFlushHot(b *testing.B) {
+	for _, codec := range []aggregate.Codec{aggregate.CodecNone, aggregate.CodecFlate, aggregate.CodecGzip} {
+		b.Run(codec.String(), func(b *testing.B) {
+			net := transport.NewSimNetwork()
+			net.Register("fog2/d01", transport.HandlerFunc(
+				func(ctx context.Context, msg transport.Message) ([]byte, error) {
+					if _, _, err := protocol.DecodeBatchPayload(msg.Payload); err != nil {
+						return nil, err
+					}
+					return []byte("ok"), nil
+				}))
+			clock := sim.NewVirtualClock(t0)
+			n, err := New(Config{
+				Spec: topology.NodeSpec{
+					ID: "fog1/bench", Layer: topology.LayerFog1, Parent: "fog2/d01", Name: "bench",
+				},
+				City:      "barcelona",
+				Clock:     clock,
+				Transport: net,
+				Codec:     codec,
+				Retention: time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := model.TypeByName("temperature")
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := sensor.NewGenerator(sensor.Config{
+				Type: st, NodeID: "edge", Sensors: 200, Seed: 1, Redundancy: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A fixed set of pre-generated batches keeps generator cost
+			// out of the loop while varying payload bytes.
+			batches := make([]*model.Batch, 16)
+			for i := range batches {
+				batches[i] = g.Next(t0.Add(time.Duration(i) * time.Second))
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clock.Advance(10 * time.Second)
+				batch := batches[i%len(batches)]
+				batch.Collected = clock.Now()
+				if err := n.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+				if err := n.Flush(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -139,7 +139,44 @@ type Node struct {
 	rejectedReads   *metrics.Counter
 	shedReads       *metrics.Counter
 
+	// scratch recycles per-flush-worker buffers (wire encoding,
+	// sealed payload, collected batch slice) so steady-state flushes
+	// do not touch the heap.
+	scratch sync.Pool
+
 	lc *lifecycle
+}
+
+// flushScratch is the reusable state of one flush worker: the
+// sealer's wire-encode buffer, the sealed-payload buffer handed to
+// the transport, and the batch slice the flush collector fills.
+// Payload buffers may be reused immediately after Transport.Send
+// returns (transports do not retain them — see transport.Transport).
+type flushScratch struct {
+	sealer  protocol.Sealer
+	payload []byte
+	batches []*model.Batch
+}
+
+func (n *Node) getScratch() *flushScratch {
+	if sc, ok := n.scratch.Get().(*flushScratch); ok {
+		return sc
+	}
+	return &flushScratch{}
+}
+
+func (n *Node) putScratch(sc *flushScratch) {
+	for i := range sc.batches {
+		sc.batches[i] = nil // do not retain flushed batches
+	}
+	sc.batches = sc.batches[:0]
+	// Don't let one outlier batch pin a giant buffer in the pool.
+	const maxKeep = 1 << 20
+	if cap(sc.payload) > maxKeep {
+		sc.payload = nil
+	}
+	sc.sealer.Trim(maxKeep)
+	n.scratch.Put(sc)
 }
 
 // New builds a node.
@@ -331,7 +368,9 @@ func (n *Node) FlushCategory(ctx context.Context, cat model.Category) error {
 func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	defer n.store.Evict(n.cfg.Clock.Now())
 
-	var batches []*model.Batch
+	sc := n.getScratch()
+	defer n.putScratch(sc)
+	batches := sc.batches
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.mu.Lock()
@@ -343,6 +382,7 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 		}
 		sh.mu.Unlock()
 	}
+	sc.batches = batches
 	if len(batches) == 0 {
 		return nil
 	}
@@ -370,7 +410,7 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	}
 	if workers <= 1 {
 		for i, b := range batches {
-			errs[i] = n.sendBatch(ctx, b, now)
+			errs[i] = n.sendBatch(ctx, b, now, sc)
 		}
 		return errors.Join(errs...)
 	}
@@ -380,8 +420,10 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wsc := n.getScratch()
+			defer n.putScratch(wsc)
 			for i := range jobs {
-				errs[i] = n.sendBatch(ctx, batches[i], now)
+				errs[i] = n.sendBatch(ctx, batches[i], now, wsc)
 			}
 		}()
 	}
@@ -393,9 +435,9 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	return errors.Join(errs...)
 }
 
-// sendBatch encodes one sealed batch and sends it to the parent,
-// requeueing it on transport failure.
-func (n *Node) sendBatch(ctx context.Context, b *model.Batch, now time.Time) error {
+// sendBatch seals one batch into the worker's scratch buffers and
+// sends it to the parent, requeueing it on transport failure.
+func (n *Node) sendBatch(ctx context.Context, b *model.Batch, now time.Time, sc *flushScratch) error {
 	// Concurrent child flushes interleave arrival order at a combining
 	// layer-2 node; sealing restores time order (ties broken by sensor
 	// then value) so upward payloads — and their compressed sizes —
@@ -411,10 +453,11 @@ func (n *Node) sendBatch(ctx context.Context, b *model.Batch, now time.Time) err
 		return ri.Value < rj.Value
 	})
 	b.Collected = now
-	payload, err := protocol.EncodeBatchPayload(b, n.cfg.Codec)
+	payload, err := sc.sealer.Seal(sc.payload[:0], b, n.cfg.Codec)
 	if err != nil {
 		return err
 	}
+	sc.payload = payload
 	msg := transport.Message{
 		From:    n.cfg.Spec.ID,
 		To:      n.cfg.Spec.Parent,

@@ -1,0 +1,120 @@
+package fognode
+
+// Race coverage for the zero-allocation wire path: pooled codec state
+// (flate/gzip writers, inflaters, wire scratch) driven from many
+// concurrent flush workers and handlers at once. Meaningful under
+// `go test -race`; conservation assertions also catch buffer-aliasing
+// bugs (a reused payload buffer observed by two sends would corrupt a
+// batch and fail decode or lose readings) without the detector.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+// TestConcurrentFlushPooledCodecsRace runs overlapping Flush calls,
+// each fanning out to FlushWorkers sealing goroutines, for every
+// compressing codec, with a decoding parent. Every reading ingested
+// must arrive at the parent exactly once: a pooled encoder or scratch
+// buffer shared between two workers would break payload bytes (decode
+// error) or deliver a stale batch (conservation failure).
+func TestConcurrentFlushPooledCodecsRace(t *testing.T) {
+	for _, codec := range []aggregate.Codec{aggregate.CodecFlate, aggregate.CodecGzip, aggregate.CodecZip} {
+		t.Run(codec.String(), func(t *testing.T) {
+			var delivered atomic.Int64
+			net := transport.NewSimNetwork()
+			net.Register("fog2/d01", transport.HandlerFunc(func(_ context.Context, msg transport.Message) ([]byte, error) {
+				b, gotCodec, err := protocol.DecodeBatchPayload(msg.Payload)
+				if err != nil {
+					return nil, err
+				}
+				if gotCodec != codec {
+					t.Errorf("delivered codec %v, want %v", gotCodec, codec)
+				}
+				delivered.Add(int64(len(b.Readings)))
+				return []byte("ok"), nil
+			}))
+			n, err := New(Config{
+				Spec: topology.NodeSpec{
+					ID: "fog1/race", Layer: topology.LayerFog1, Parent: "fog2/d01", Name: "race",
+				},
+				Clock:        sim.NewVirtualClock(t0),
+				Transport:    net,
+				Codec:        codec,
+				FlushWorkers: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const perWorker = 60
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			var ingested atomic.Int64
+			for w := 0; w < len(raceTypes)*2; w++ {
+				rt := raceTypes[w%len(raceTypes)]
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						at := t0.Add(time.Duration(worker*perWorker+i) * time.Millisecond)
+						b := raceBatch(rt.name, rt.cat, worker, rt.val(i), at)
+						if err := n.Ingest(b); err != nil {
+							t.Errorf("ingest: %v", err)
+							return
+						}
+						ingested.Add(1)
+						if i%10 == 0 {
+							if err := n.Flush(ctx); err != nil {
+								t.Errorf("flush: %v", err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			// Competing whole-node flushers so several flush()
+			// invocations (each with its own worker pool drawing
+			// scratch from the shared pool) overlap.
+			stop := make(chan struct{})
+			for f := 0; f < 3; f++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							_ = n.Flush(ctx)
+						}
+					}
+				}()
+			}
+			// Stop the competing flushers once every ingest is
+			// accounted for, then wait out all goroutines.
+			for ingested.Load() < int64(len(raceTypes)*2*perWorker) {
+				time.Sleep(time.Millisecond)
+			}
+			close(stop)
+			wg.Wait()
+
+			if err := n.Flush(ctx); err != nil {
+				t.Fatalf("final flush: %v", err)
+			}
+			want := int64(len(raceTypes) * 2 * perWorker)
+			if got := delivered.Load(); got != want {
+				t.Fatalf("delivered %d readings, want %d", got, want)
+			}
+		})
+	}
+}

@@ -7,6 +7,8 @@ package protocol
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"f2c/internal/aggregate"
@@ -21,20 +23,91 @@ const (
 	envelopeHeader  = 3 // magic, version, codec
 )
 
-// EncodeBatchPayload seals a batch for an upward transfer: wire-encode
-// then compress with the codec. The returned payload is self-framing.
-func EncodeBatchPayload(b *model.Batch, codec aggregate.Codec) ([]byte, error) {
+// maxBatchWireSize bounds the decompressed wire size
+// DecodeBatchPayload accepts. Atomic because receive paths decode
+// concurrently with any configuration change.
+var maxBatchWireSize atomic.Int64
+
+// MaxBatchWireSize returns the current decompressed-size bound; zero
+// means aggregate.DefaultMaxDecompressedSize.
+func MaxBatchWireSize() int { return int(maxBatchWireSize.Load()) }
+
+// SetMaxBatchWireSize bounds the decompressed wire size
+// DecodeBatchPayload accepts; a corrupt or hostile envelope beyond it
+// fails with *aggregate.SizeLimitError instead of exhausting memory.
+// Zero (the default) selects aggregate.DefaultMaxDecompressedSize.
+// Safe to call while decoders are running.
+func SetMaxBatchWireSize(n int) { maxBatchWireSize.Store(int64(n)) }
+
+// maxPooledBufCap bounds the capacity of scratch buffers returned to
+// reuse pools (the fmt stdlib pattern): one giant batch must not pin
+// its buffer in the pool until the next GC. Typical sealed batches
+// are well under this, so the steady state stays allocation-free.
+const maxPooledBufCap = 1 << 20
+
+// Sealer seals batch envelopes while reusing its intermediate
+// wire-encoding buffer across calls. The zero value is ready to use;
+// a Sealer must not be used concurrently. Each fog-node flush worker
+// owns one, so steady-state sealing performs no heap allocation
+// beyond growing the caller's destination buffer.
+type Sealer struct {
+	wire []byte
+}
+
+// Trim releases the sealer's internal buffer if it has grown past
+// max bytes (<= 0 selects a 1MB default). Callers that pool Sealers
+// should Trim before putting one back so an outlier batch does not
+// stay resident.
+func (s *Sealer) Trim(max int) {
+	if max <= 0 {
+		max = maxPooledBufCap
+	}
+	if cap(s.wire) > max {
+		s.wire = nil
+	}
+}
+
+// Seal appends the sealed envelope of b (header + compressed wire
+// encoding, same bytes as EncodeBatchPayload) to dst and returns the
+// extended slice.
+func (s *Sealer) Seal(dst []byte, b *model.Batch, codec aggregate.Codec) ([]byte, error) {
 	if !codec.Valid() {
 		return nil, fmt.Errorf("protocol: invalid codec %d", int(codec))
 	}
-	body, err := aggregate.Compress(codec, sensor.EncodeBatch(b))
+	s.wire = sensor.AppendBatch(s.wire[:0], b)
+	dst = append(dst, envelopeMagic, envelopeVersion, byte(codec))
+	out, err := aggregate.AppendCompress(dst, codec, s.wire)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: seal batch: %w", err)
 	}
-	out := make([]byte, 0, envelopeHeader+len(body))
-	out = append(out, envelopeMagic, envelopeVersion, byte(codec))
-	return append(out, body...), nil
+	return out, nil
 }
+
+var sealerPool = sync.Pool{New: func() any { return new(Sealer) }}
+
+// AppendBatchPayload appends the sealed envelope of b to dst using a
+// pooled Sealer. Callers on a hot loop should hold their own Sealer
+// instead.
+func AppendBatchPayload(dst []byte, b *model.Batch, codec aggregate.Codec) ([]byte, error) {
+	s := sealerPool.Get().(*Sealer)
+	out, err := s.Seal(dst, b, codec)
+	s.Trim(0)
+	sealerPool.Put(s)
+	return out, err
+}
+
+// EncodeBatchPayload seals a batch for an upward transfer: wire-encode
+// then compress with the codec. The returned payload is self-framing
+// and freshly allocated; hot paths should prefer Sealer.Seal or
+// AppendBatchPayload to reuse buffers.
+func EncodeBatchPayload(b *model.Batch, codec aggregate.Codec) ([]byte, error) {
+	return AppendBatchPayload(make([]byte, 0, envelopeHeader+64+len(b.Readings)*16), b, codec)
+}
+
+// openBufPool recycles the decompression scratch of
+// DecodeBatchPayload. DecodeBatch copies every string it keeps, so
+// the wire buffer can be reused as soon as decoding returns.
+var openBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // DecodeBatchPayload opens a batch envelope.
 func DecodeBatchPayload(payload []byte) (*model.Batch, aggregate.Codec, error) {
@@ -51,11 +124,38 @@ func DecodeBatchPayload(payload []byte) (*model.Batch, aggregate.Codec, error) {
 	if !codec.Valid() {
 		return nil, 0, fmt.Errorf("protocol: invalid codec %d", payload[2])
 	}
-	wire, err := aggregate.Decompress(codec, payload[envelopeHeader:])
+	if codec == aggregate.CodecNone {
+		// The body already is the wire text and DecodeBatch never
+		// aliases its input, so parse in place instead of copying
+		// through the scratch pool. Same size bound as the codecs.
+		body := payload[envelopeHeader:]
+		max := MaxBatchWireSize()
+		if max <= 0 {
+			max = aggregate.DefaultMaxDecompressedSize
+		}
+		if len(body) > max {
+			return nil, 0, fmt.Errorf("protocol: open batch: %w",
+				&aggregate.SizeLimitError{Codec: codec, Limit: max})
+		}
+		b, err := sensor.DecodeBatch(body)
+		if err != nil {
+			return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
+		}
+		return b, codec, nil
+	}
+	bufp := openBufPool.Get().(*[]byte)
+	wire, err := aggregate.AppendDecompress((*bufp)[:0], codec, payload[envelopeHeader:], MaxBatchWireSize())
+	if cap(wire) <= maxPooledBufCap { // don't let one giant batch pin pool memory
+		*bufp = wire[:0]
+	} else {
+		*bufp = nil
+	}
 	if err != nil {
+		openBufPool.Put(bufp)
 		return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
 	}
 	b, err := sensor.DecodeBatch(wire)
+	openBufPool.Put(bufp)
 	if err != nil {
 		return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
 	}

@@ -1,7 +1,6 @@
 package sensor
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -35,38 +34,30 @@ const (
 	columnarVersion = 1
 )
 
-func putString(buf *bytes.Buffer, s string) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], uint64(len(s)))
-	buf.Write(tmp[:n])
-	buf.WriteString(s)
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
 }
 
-func putUvarint(buf *bytes.Buffer, v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	buf.Write(tmp[:n])
-}
-
-func putVarint(buf *bytes.Buffer, v int64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(tmp[:], v)
-	buf.Write(tmp[:n])
-}
-
-// EncodeBatchColumnar renders a batch in the columnar delta format.
+// EncodeBatchColumnar renders a batch in the columnar delta format as
+// a fresh slice.
 func EncodeBatchColumnar(b *model.Batch) []byte {
-	var buf bytes.Buffer
-	buf.Grow(64 + len(b.Readings)*12)
-	buf.WriteString(columnarMagic)
-	buf.WriteByte(columnarVersion)
-	putString(&buf, b.NodeID)
-	putString(&buf, b.TypeName)
-	buf.WriteByte(byte(b.Category))
+	return AppendBatchColumnar(make([]byte, 0, 64+len(b.Readings)*12), b)
+}
+
+// AppendBatchColumnar appends the columnar delta encoding of b to dst
+// and returns the extended slice. Output is byte-identical to
+// EncodeBatchColumnar.
+func AppendBatchColumnar(dst []byte, b *model.Batch) []byte {
+	dst = append(dst, columnarMagic...)
+	dst = append(dst, columnarVersion)
+	dst = appendString(dst, b.NodeID)
+	dst = appendString(dst, b.TypeName)
+	dst = append(dst, byte(b.Category))
 	var ts [8]byte
 	binary.BigEndian.PutUint64(ts[:], uint64(b.Collected.UnixNano()))
-	buf.Write(ts[:])
-	putUvarint(&buf, uint64(len(b.Readings)))
+	dst = append(dst, ts[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Readings)))
 
 	// Sensor-ID and unit dictionaries, sorted for determinism.
 	idSet := make(map[string]struct{}, len(b.Readings))
@@ -93,33 +84,33 @@ func EncodeBatchColumnar(b *model.Batch) []byte {
 	for i, u := range units {
 		unitIdx[u] = uint64(i)
 	}
-	putUvarint(&buf, uint64(len(ids)))
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
 	for _, id := range ids {
-		putString(&buf, id)
+		dst = appendString(dst, id)
 	}
-	putUvarint(&buf, uint64(len(units)))
+	dst = binary.AppendUvarint(dst, uint64(len(units)))
 	for _, u := range units {
-		putString(&buf, u)
+		dst = appendString(dst, u)
 	}
 
 	prevTime := b.Collected.UnixNano()
 	var prevBits uint64
 	for i := range b.Readings {
 		r := &b.Readings[i]
-		putUvarint(&buf, idIdx[r.SensorID])
+		dst = binary.AppendUvarint(dst, idIdx[r.SensorID])
 		t := r.Time.UnixNano()
-		putVarint(&buf, t-prevTime)
+		dst = binary.AppendVarint(dst, t-prevTime)
 		prevTime = t
 		bits := math.Float64bits(r.Value)
-		putUvarint(&buf, bits^prevBits)
+		dst = binary.AppendUvarint(dst, bits^prevBits)
 		prevBits = bits
-		putUvarint(&buf, unitIdx[r.Unit])
+		dst = binary.AppendUvarint(dst, unitIdx[r.Unit])
 		var geo [8]byte
 		binary.BigEndian.PutUint32(geo[:4], math.Float32bits(float32(r.Location.Lat)))
 		binary.BigEndian.PutUint32(geo[4:], math.Float32bits(float32(r.Location.Lon)))
-		buf.Write(geo[:])
+		dst = append(dst, geo[:]...)
 	}
-	return buf.Bytes()
+	return dst
 }
 
 type columnarReader struct {
@@ -216,6 +207,13 @@ func DecodeBatchColumnar(data []byte) (*model.Batch, error) {
 	if nDict > count && nDict > 0 && count > 0 {
 		return nil, fmt.Errorf("columnar: dictionary size %d exceeds count %d", nDict, count)
 	}
+	// Every dictionary entry costs at least one payload byte, so a
+	// size beyond the remaining bytes is corrupt; without this bound a
+	// hostile header (count 0, huge nDict) forces a massive
+	// allocation before any entry fails to parse.
+	if nDict > uint64(len(data)-r.off) {
+		return nil, fmt.Errorf("columnar: dictionary size %d overruns payload", nDict)
+	}
 	ids := make([]string, nDict)
 	for i := range ids {
 		if ids[i], err = r.str(); err != nil {
@@ -226,8 +224,8 @@ func DecodeBatchColumnar(data []byte) (*model.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nUnits > uint64(len(data)) {
-		return nil, fmt.Errorf("columnar: unit dictionary size %d exceeds payload bound", nUnits)
+	if nUnits > uint64(len(data)-r.off) {
+		return nil, fmt.Errorf("columnar: unit dictionary size %d overruns payload", nUnits)
 	}
 	units := make([]string, nUnits)
 	for i := range units {

@@ -1,0 +1,110 @@
+package store
+
+// Coverage for the lock-path optimizations: the QueryRange read-lock
+// fast path (sorted series never take the shard write lock) and the
+// per-batch latest-shard grouping in Append.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"f2c/internal/model"
+)
+
+// TestQueryRangeFastPathAfterSort: an out-of-order append marks the
+// series dirty; the first query sorts under the write lock, and every
+// later query must still see sorted data via the read-lock path.
+func TestQueryRangeFastPathAfterSort(t *testing.T) {
+	s := NewTimeSeries(0)
+	if err := s.Append(batchAt("n", "traffic", t0.Add(time.Minute), "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(batchAt("n", "traffic", t0, "a")); err != nil { // out of order -> dirty
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		got := s.QueryRange("traffic", t0, t0.Add(time.Hour))
+		if len(got) != 2 || got[0].SensorID != "a" || got[1].SensorID != "b" {
+			t.Fatalf("round %d: QueryRange = %+v", round, got)
+		}
+	}
+}
+
+// TestQueryRangeConcurrentReaders drives many concurrent readers of a
+// sorted series together with same-shard writers; under -race this
+// exercises the RLock fast path against concurrent Appends, and the
+// results must always be sorted.
+func TestQueryRangeConcurrentReaders(t *testing.T) {
+	s := NewTimeSeries(0)
+	const writes = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				at := t0.Add(time.Duration(worker*writes+i) * time.Second)
+				if err := s.Append(batchAt("n", "traffic", at, fmt.Sprintf("s%d", worker))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				got := s.QueryRange("traffic", t0, t0.Add(time.Hour))
+				for j := 1; j < len(got); j++ {
+					if got[j].Time.Before(got[j-1].Time) {
+						t.Errorf("unsorted result at %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAppendGroupedLatestLargeBatch pushes a batch larger than the
+// stack-allocated shard-index scratch (512 readings) so the heap
+// fallback path runs, and verifies every sensor's latest reading
+// lands correctly whichever shard it hashes to.
+func TestAppendGroupedLatestLargeBatch(t *testing.T) {
+	s := NewTimeSeries(0)
+	const sensors = 700
+	b := &model.Batch{NodeID: "n", TypeName: "traffic", Category: model.CategoryUrban, Collected: t0}
+	for i := 0; i < sensors; i++ {
+		b.Readings = append(b.Readings, model.Reading{
+			SensorID: fmt.Sprintf("s%03d", i), TypeName: "traffic", Category: model.CategoryUrban,
+			Time: t0.Add(time.Duration(i) * time.Second), Value: float64(i),
+		})
+	}
+	if err := s.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch with older timestamps must not regress latest.
+	older := b.Clone()
+	for i := range older.Readings {
+		older.Readings[i].Time = t0.Add(-time.Minute)
+		older.Readings[i].Value = -1
+	}
+	if err := s.Append(older); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sensors; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		r, ok := s.Latest(id)
+		if !ok {
+			t.Fatalf("Latest(%s) missing", id)
+		}
+		if r.Value != float64(i) {
+			t.Fatalf("Latest(%s) = %v, want %v (older batch overwrote newer)", id, r.Value, float64(i))
+		}
+	}
+}

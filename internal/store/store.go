@@ -103,12 +103,36 @@ func (s *TimeSeries) Append(b *model.Batch) error {
 	sh.mu.Unlock()
 	s.count.Add(int64(len(b.Readings)))
 
+	// Group the latest-map updates by shard so each shard lock is
+	// taken once per batch instead of once per reading.
+	if len(b.Readings) == 0 {
+		return nil
+	}
+	var idxArr [512]uint8
+	idx := idxArr[:0]
+	if len(b.Readings) > len(idxArr) {
+		idx = make([]uint8, 0, len(b.Readings))
+	}
+	var used [storeShards]bool
 	for i := range b.Readings {
-		r := b.Readings[i]
-		ls := s.latestShardFor(r.SensorID)
+		j := uint8(shard.FNV32a(b.Readings[i].SensorID) & (storeShards - 1))
+		idx = append(idx, j)
+		used[j] = true
+	}
+	for si := 0; si < storeShards; si++ {
+		if !used[si] {
+			continue
+		}
+		ls := &s.latest[si]
 		ls.mu.Lock()
-		if cur, ok := ls.bySensor[r.SensorID]; !ok || !r.Time.Before(cur.Time) {
-			ls.bySensor[r.SensorID] = r
+		for i := range b.Readings {
+			if idx[i] != uint8(si) {
+				continue
+			}
+			r := b.Readings[i]
+			if cur, ok := ls.bySensor[r.SensorID]; !ok || !r.Time.Before(cur.Time) {
+				ls.bySensor[r.SensorID] = r
+			}
 		}
 		ls.mu.Unlock()
 	}
@@ -126,12 +150,29 @@ func (s *TimeSeries) Latest(sensorID string) (model.Reading, bool) {
 }
 
 // QueryRange returns readings of a type within [from, to], sorted by
-// time. The returned slice is a copy.
+// time. The returned slice is a copy. Already-sorted series (the
+// steady state: appends arrive in time order) are served entirely
+// under the read lock, so concurrent readers of a shard do not
+// serialize with each other; the write lock is taken only when an
+// out-of-order append left the series in need of a sort.
 func (s *TimeSeries) QueryRange(typeName string, from, to time.Time) []model.Reading {
 	sh := s.seriesShardFor(typeName)
+	sh.mu.RLock()
+	if !sh.dirty[typeName] {
+		out := queryRangeLocked(sh, typeName, from, to)
+		sh.mu.RUnlock()
+		return out
+	}
+	sh.mu.RUnlock()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sortLocked(sh, typeName)
+	return queryRangeLocked(sh, typeName, from, to)
+}
+
+// queryRangeLocked copies the [from, to] window of a sorted series.
+// The caller holds the shard lock (read or write).
+func queryRangeLocked(sh *seriesShard, typeName string, from, to time.Time) []model.Reading {
 	series := sh.byType[typeName]
 	lo := sort.Search(len(series), func(i int) bool { return !series[i].Time.Before(from) })
 	hi := sort.Search(len(series), func(i int) bool { return series[i].Time.After(to) })

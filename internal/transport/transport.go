@@ -67,6 +67,12 @@ func (f HandlerFunc) Handle(ctx context.Context, msg Message) ([]byte, error) {
 
 // Transport delivers a message to its destination endpoint and returns
 // the reply.
+//
+// Implementations must not retain msg.Payload after Send returns:
+// senders on the hot flush path seal payloads into reusable buffers
+// and overwrite them on the next send. SimNetwork delivers
+// synchronously and HTTPTransport copies the payload into the request
+// body, so both satisfy the contract.
 type Transport interface {
 	Send(ctx context.Context, msg Message) ([]byte, error)
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# bench.sh — run the wire-path benchmarks (seal, open, end-to-end
+# flush) and refresh BENCH_PR2.json, the perf-trajectory record for
+# the zero-allocation wire path PR.
+#
+# Usage:
+#   scripts/bench.sh [benchtime] [out.json] [count]
+#
+# benchtime defaults to 300x (a fixed iteration count keeps runs
+# comparable across machines) and count to 5: each benchmark runs
+# count times and the best (minimum ns/op) run is recorded, the same
+# best-of-5 methodology the committed "before" block was measured
+# with. out defaults to BENCH_PR2.json in the repo root. The current
+# run is recorded under "after"; the committed "before" block
+# (numbers measured on the pre-change encoders) is preserved so the
+# improvement stays visible. Re-run on your own machine to compare
+# like with like — before/after only mean anything from the same
+# hardware.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-300x}"
+OUT="${2:-BENCH_PR2.json}"
+COUNT="${3:-5}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test ./internal/protocol/ ./internal/fognode/ \
+	-run '^$' -bench 'SealBatch|OpenBatch|FlushHot' \
+	-benchtime "$BENCHTIME" -count "$COUNT" | tee "$TMP"
+
+python3 - "$TMP" "$OUT" "$BENCHTIME, best of $COUNT" <<'EOF'
+import json, re, sys
+
+raw, out, benchtime = sys.argv[1], sys.argv[2], sys.argv[3]
+
+bench = {}
+# The (?:-\d+)? strips go test's GOMAXPROCS suffix ("...-8") so keys
+# stay comparable across machines with different core counts.
+pat = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?")
+for line in open(raw):
+    m = pat.match(line)
+    if not m:
+        continue
+    name, ns, bop, aop = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    if bop is not None:
+        entry["bytes_per_op"] = float(bop)
+    if aop is not None:
+        entry["allocs_per_op"] = int(aop)
+    cur = bench.get(name)
+    if cur is None or entry["ns_per_op"] < cur["ns_per_op"]:
+        bench[name] = entry  # best of -count runs
+
+doc = {}
+try:
+    with open(out) as f:
+        doc = json.load(f)
+except (OSError, ValueError):
+    pass
+doc.setdefault("description",
+    "Seal/open/flush hot-path benchmarks, best of N runs. 'before' was "
+    "measured on the pre-pooling encoders (fresh flate/gzip state per "
+    "batch, scanner+Split decoder); 'after' on the pooled append-based "
+    "wire path. Regenerate 'after' with scripts/bench.sh.")
+doc["benchtime"] = benchtime
+doc["after"] = bench
+doc.setdefault("before", {})
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print("wrote", out)
+EOF
