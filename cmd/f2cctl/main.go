@@ -4,8 +4,15 @@
 //	f2cctl -node http://localhost:8082 flush
 //	f2cctl -node http://localhost:8082 latest <sensorID>
 //	f2cctl -node http://localhost:8082 range <type> <fromRFC3339> <toRFC3339>
+//	f2cctl -node http://localhost:8082 sum <type> <fromRFC3339> <toRFC3339>
 //	f2cctl dlc        # print the SCC-DLC -> F2C phase mapping
 //	f2cctl topology   # print the Barcelona Fig. 6 layout
+//
+// Range scans are paged: the node returns at most -limit readings per
+// response and f2cctl follows the page cursor until the scan is
+// complete. sum asks the node for a decomposable count/mean/min/max
+// summary computed where the data lives — only the summary-sized
+// answer crosses the network.
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"time"
 
 	"f2c/internal/core"
+	"f2c/internal/model"
 	"f2c/internal/protocol"
+	"f2c/internal/query"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
 )
@@ -34,12 +43,13 @@ func run(args []string) error {
 	nodeURL := fs.String("node", "", "target node base URL")
 	nodeID := fs.String("node-id", "cloud", "addressed node id (all-in-one gateways route by it)")
 	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	limit := fs.Int("limit", 0, "readings per range page (0 = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: status|flush|latest|range|dlc|topology")
+		return errors.New("need a command: status|flush|latest|range|sum|dlc|topology")
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -112,47 +122,90 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return printReadings(reply)
+		page, err := protocol.DecodeQueryPage(reply)
+		if err != nil {
+			return err
+		}
+		if !page.Found {
+			fmt.Println("no data")
+			return nil
+		}
+		printReadings(page.Readings)
+		return nil
 	case "range":
-		if len(rest) != 3 {
-			return errors.New("usage: range <type> <fromRFC3339> <toRFC3339>")
-		}
-		from, err := time.Parse(time.RFC3339, rest[1])
+		from, to, err := parseRangeArgs("range", rest)
 		if err != nil {
-			return fmt.Errorf("parse from: %w", err)
+			return err
 		}
-		to, err := time.Parse(time.RFC3339, rest[2])
+		// Stream the scan page by page through the query engine: no
+		// response materializes more than the node's page limit of
+		// readings, and pages print as they arrive.
+		eng, err := query.New(query.Config{
+			Self: "f2cctl", Transport: tr, CloudID: target, PageLimit: *limit,
+		})
 		if err != nil {
-			return fmt.Errorf("parse to: %w", err)
+			return err
 		}
-		req, err := protocol.EncodeJSON(protocol.QueryRequest{
+		total := 0
+		err = eng.RangePages(ctx, target, rest[0], from, to, func(page protocol.QueryPage) error {
+			printReadings(page.Readings)
+			total += len(page.Readings)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if total == 0 {
+			fmt.Println("no data")
+		}
+		return nil
+	case "sum":
+		from, to, err := parseRangeArgs("sum", rest)
+		if err != nil {
+			return err
+		}
+		req, err := protocol.EncodeJSON(protocol.SummaryRequest{
 			TypeName: rest[0], FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
 		})
 		if err != nil {
 			return err
 		}
-		reply, err := send(transport.KindQuery, req)
+		reply, err := send(transport.KindSummary, req)
 		if err != nil {
 			return err
 		}
-		return printReadings(reply)
+		var resp protocol.SummaryResponse
+		if err := protocol.DecodeJSON(reply, &resp); err != nil {
+			return err
+		}
+		s := resp.Summary
+		if s.Count == 0 {
+			fmt.Println("no data")
+			return nil
+		}
+		fmt.Printf("count %d  mean %.3f  min %.3f  max %.3f\n", s.Count, s.Avg(), s.Min, s.Max)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func printReadings(reply []byte) error {
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
-		return err
+func parseRangeArgs(cmd string, rest []string) (from, to time.Time, err error) {
+	if len(rest) != 3 {
+		return from, to, fmt.Errorf("usage: %s <type> <fromRFC3339> <toRFC3339>", cmd)
 	}
-	if !resp.Found {
-		fmt.Println("no data")
-		return nil
+	if from, err = time.Parse(time.RFC3339, rest[1]); err != nil {
+		return from, to, fmt.Errorf("parse from: %w", err)
 	}
-	for _, r := range resp.Readings {
+	if to, err = time.Parse(time.RFC3339, rest[2]); err != nil {
+		return from, to, fmt.Errorf("parse to: %w", err)
+	}
+	return from, to, nil
+}
+
+func printReadings(readings []model.Reading) {
+	for _, r := range readings {
 		fmt.Printf("%s  %s  %.3f %s  (%.5f, %.5f)\n",
 			r.Time.Format(time.RFC3339), r.SensorID, r.Value, r.Unit, r.Location.Lat, r.Location.Lon)
 	}
-	return nil
 }

@@ -79,12 +79,29 @@ func TestRemoteStatusAndQueries(t *testing.T) {
 		"2017-06-01T00:00:00Z", "2017-06-01T01:00:00Z"}); err != nil {
 		t.Errorf("range: %v", err)
 	}
+	// Paged range: -limit 1 forces the cursor walk over every page.
+	if err := run([]string{"-node", srv.URL, "-limit", "1", "range", "traffic",
+		"2017-06-01T00:00:00Z", "2017-06-01T01:00:00Z"}); err != nil {
+		t.Errorf("paged range: %v", err)
+	}
+	// Aggregate push-down: only the summary crosses the wire.
+	if err := run([]string{"-node", srv.URL, "sum", "traffic",
+		"2017-06-01T00:00:00Z", "2017-06-01T01:00:00Z"}); err != nil {
+		t.Errorf("sum: %v", err)
+	}
+	if err := run([]string{"-node", srv.URL, "sum", "ghost",
+		"2017-06-01T00:00:00Z", "2017-06-01T01:00:00Z"}); err != nil {
+		t.Errorf("sum miss should print 'no data', not error: %v", err)
+	}
 	// Usage errors.
 	if err := run([]string{"-node", srv.URL, "latest"}); err == nil {
 		t.Error("latest without args must fail")
 	}
 	if err := run([]string{"-node", srv.URL, "range", "traffic", "not-a-time", "also-not"}); err == nil {
 		t.Error("bad times must fail")
+	}
+	if err := run([]string{"-node", srv.URL, "sum", "traffic", "bad", "worse"}); err == nil {
+		t.Error("bad sum times must fail")
 	}
 }
 

@@ -91,8 +91,8 @@ func TestAllInOneRouter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+	resp, err := protocol.DecodeQueryPage(reply)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.Found || resp.Readings[0].Value != 44 {

@@ -35,6 +35,22 @@
 // (internal/fognode); scripts/bench.sh records them in
 // BENCH_PR2.json.
 //
+// The read path is federated through a hierarchical query engine
+// (internal/query). A tier-routing planner orders fog layer 1 (local
+// store, then sibling nodes), fog layer 2 (the parent district) and
+// the cloud, pruning tiers whose retention window cannot hold the
+// requested range and stopping at the first tier authoritative for
+// it; sibling probes scatter-gather concurrently with
+// first-useful-result cancellation. Range results stream in bounded
+// binary pages over the same sealed-batch wire path the flushes use
+// (protocol.QueryPage, limit/cursor on protocol.QueryRequest), so no
+// response materializes more than the configured page limit of
+// readings. Aggregate queries (count/mean/min/max over a type range)
+// push down to the owning tier as decomposable summaries and merge at
+// the requester — only summary-sized payloads cross the WAN.
+// Benchmarks: BenchmarkQueryFanout, BenchmarkQueryPushdown
+// (internal/query); scripts/bench.sh records them in BENCH_PR3.json.
+//
 // Quick start:
 //
 //	sys, err := f2c.NewSystem(f2c.Options{

@@ -91,5 +91,23 @@ func run() error {
 	adv := sys.Planner()
 	fmt.Printf("\ncost model: fog access %v vs centralized two-transfer access %v\n",
 		adv.FogAccessRTT(1024), adv.CentralizedAccessRTT(1024))
+
+	// Path 3: the hierarchical query engine. The federated range read
+	// is planned over retention windows (local store first, siblings
+	// scatter-gathered, then parent and cloud), and the aggregate is
+	// pushed down so only a summary-sized payload crosses the network.
+	readings, src, err := sys.QueryWithFallback(ctx, section, "traffic",
+		start.Add(-5*time.Minute), start.Add(time.Minute), 1024)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfederated range query: %d reading(s) served by the %s tier\n", len(readings), src)
+	sum, src, err := sys.Aggregate(ctx, section, "traffic",
+		start.Add(-5*time.Minute), start.Add(time.Minute))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("push-down aggregate (%s tier): count=%d mean=%.1f min=%.1f max=%.1f km/h\n",
+		src, sum.Count, sum.Avg(), sum.Min, sum.Max)
 	return nil
 }

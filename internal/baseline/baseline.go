@@ -17,6 +17,7 @@ import (
 	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
+	"f2c/internal/query"
 	"f2c/internal/sim"
 	"f2c/internal/transport"
 )
@@ -98,28 +99,29 @@ func (s *System) Collect(ctx context.Context, b *model.Batch) error {
 	return nil
 }
 
+// client builds a paged query client acting for one caller endpoint.
+func (s *System) client(clientID string) *query.Engine {
+	eng, err := query.New(query.Config{
+		Self: clientID, Transport: s.net, CloudID: CloudID,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("baseline: query client: %v", err)) // only a nil transport can fail
+	}
+	return eng
+}
+
 // Latest reads a sensor's newest value from the cloud over the WAN —
 // the paper's centralized real-time access, paying the remote round
 // trip.
 func (s *System) Latest(ctx context.Context, clientID, sensorID string) (model.Reading, error) {
-	req, err := protocol.EncodeJSON(protocol.QueryRequest{SensorID: sensorID})
-	if err != nil {
-		return model.Reading{}, err
-	}
-	reply, err := s.net.Send(ctx, transport.Message{
-		From: clientID, To: CloudID, Kind: transport.KindQuery, Payload: req,
-	})
+	r, ok, err := s.client(clientID).LatestFrom(ctx, CloudID, sensorID)
 	if err != nil {
 		return model.Reading{}, fmt.Errorf("baseline latest: %w", err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
-		return model.Reading{}, err
-	}
-	if !resp.Found || len(resp.Readings) == 0 {
+	if !ok {
 		return model.Reading{}, fmt.Errorf("baseline latest: sensor %q: %w", sensorID, errNotFound)
 	}
-	return resp.Readings[0], nil
+	return r, nil
 }
 
 var errNotFound = errors.New("not found")
@@ -127,25 +129,14 @@ var errNotFound = errors.New("not found")
 // IsNotFound reports whether err is a missing-sensor error.
 func IsNotFound(err error) bool { return errors.Is(err, errNotFound) }
 
-// Historical reads a type range from the cloud.
+// Historical reads a type range from the cloud, streaming the scan in
+// bounded pages.
 func (s *System) Historical(ctx context.Context, clientID, typeName string, from, to time.Time) ([]model.Reading, error) {
-	req, err := protocol.EncodeJSON(protocol.QueryRequest{
-		TypeName: typeName, FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	reply, err := s.net.Send(ctx, transport.Message{
-		From: clientID, To: CloudID, Kind: transport.KindQuery, Payload: req,
-	})
+	readings, err := s.client(clientID).RangeFrom(ctx, CloudID, typeName, from, to)
 	if err != nil {
 		return nil, fmt.Errorf("baseline historical: %w", err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
-		return nil, err
-	}
-	return resp.Readings, nil
+	return readings, nil
 }
 
 // Cloud exposes the baseline's cloud node.

@@ -31,6 +31,13 @@ type Config struct {
 	Clock sim.Clock
 	// Registry receives metrics; nil allocates a private one.
 	Registry *metrics.Registry
+	// Codec compresses query response pages travelling back down the
+	// WAN (default zip, matching the upward path).
+	Codec aggregate.Codec
+	// MaxQueryPage bounds how many readings one query response may
+	// carry; historical scans over the archive stream in
+	// cursor-linked pages. Zero selects protocol.DefaultPageLimit.
+	MaxQueryPage int
 }
 
 // Node is the cloud layer. Safe for concurrent use.
@@ -56,6 +63,15 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.City == "" {
 		cfg.City = "city"
+	}
+	if cfg.Codec == 0 {
+		cfg.Codec = aggregate.CodecZip
+	}
+	if !cfg.Codec.Valid() {
+		return nil, fmt.Errorf("cloud: invalid codec %d", int(cfg.Codec))
+	}
+	if cfg.MaxQueryPage <= 0 {
+		cfg.MaxQueryPage = protocol.DefaultPageLimit
 	}
 	return &Node{
 		cfg:             cfg,
@@ -97,6 +113,17 @@ func (n *Node) Preserve(b *model.Batch, from string) error {
 // paper's historical data served to deep-processing applications.
 func (n *Node) Historical(typeName string, from, to time.Time) []model.Reading {
 	return n.series.QueryRange(typeName, from, to)
+}
+
+// HistoricalPage serves one bounded page of the historical scan: at
+// most min(limit, MaxQueryPage) readings plus the cursor resuming the
+// scan, so a query over the whole archive streams instead of
+// materializing one unbounded response.
+func (n *Node) HistoricalPage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error) {
+	if limit <= 0 || limit > n.cfg.MaxQueryPage {
+		limit = n.cfg.MaxQueryPage
+	}
+	return n.series.QueryRangePage(typeName, from, to, limit, cursor)
 }
 
 // Latest serves point lookups (slow path compared to fog layer 1: the
@@ -161,18 +188,23 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 		if err := req.Validate(); err != nil {
 			return nil, err
 		}
-		var resp protocol.QueryResponse
+		var page protocol.QueryPage
 		if req.SensorID != "" {
 			if r, ok := n.Latest(req.SensorID); ok {
-				resp.Found = true
-				resp.Readings = []model.Reading{r}
+				page.Found = true
+				page.Readings = []model.Reading{r}
 			}
 		} else {
 			from, to := req.Range()
-			resp.Readings = n.Historical(req.TypeName, from, to)
-			resp.Found = len(resp.Readings) > 0
+			readings, next, err := n.HistoricalPage(req.TypeName, from, to, req.Limit, req.Cursor)
+			if err != nil {
+				return nil, fmt.Errorf("cloud: query: %w", err)
+			}
+			page.Readings = readings
+			page.NextCursor = next
+			page.Found = len(readings) > 0 || next != ""
 		}
-		return protocol.EncodeJSON(resp)
+		return protocol.EncodeQueryPage(n.cfg.ID, page, n.cfg.Codec)
 	case transport.KindSummary:
 		var req protocol.SummaryRequest
 		if err := protocol.DecodeJSON(msg.Payload, &req); err != nil {

@@ -124,8 +124,8 @@ func TestHandleBatchAndQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+	resp, err := protocol.DecodeQueryPage(reply)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.Found || len(resp.Readings) != 1 || resp.Readings[0].Value != 42 {
@@ -138,7 +138,7 @@ func TestHandleBatchAndQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = protocol.DecodeJSON(reply, &resp)
+	resp, _ = protocol.DecodeQueryPage(reply)
 	if !resp.Found {
 		t.Error("latest by sensor not found")
 	}

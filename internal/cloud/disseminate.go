@@ -20,9 +20,13 @@ import (
 //
 //	GET /opendata/v1/categories
 //	GET /opendata/v1/days
-//	GET /opendata/v1/types/{type}/readings?fromUnixNano=&toUnixNano=
+//	GET /opendata/v1/types/{type}/readings?fromUnixNano=&toUnixNano=&limit=&cursor=
 //	GET /opendata/v1/types/{type}/summary?fromUnixNano=&toUnixNano=&windowSeconds=
 //	GET /opendata/v1/status
+//
+// Readings are served from the archive of record in bounded pages:
+// limit caps the readings per response (clamped to the node's page
+// limit) and the X-Next-Cursor response header resumes the scan.
 func (n *Node) OpenDataHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /opendata/v1/categories", n.serveCategories)
@@ -89,9 +93,27 @@ func (n *Node) serveReadings(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad time range: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	readings := n.Historical(typeName, from, to)
+	limit := n.cfg.MaxQueryPage
+	if s := r.URL.Query().Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if v < limit {
+			limit = v
+		}
+	}
+	readings, next, err := n.archive.ReadingsPage(typeName, from, to, limit, r.URL.Query().Get("cursor"))
+	if err != nil {
+		http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+		return
+	}
 	if readings == nil {
 		readings = []model.Reading{}
+	}
+	if next != "" {
+		w.Header().Set("X-Next-Cursor", next)
 	}
 	writeJSON(w, readings)
 }

@@ -72,7 +72,8 @@ func (s *System) RemoteSummary(ctx context.Context, fromID, targetID, typeName s
 		return aggregate.Summary{}, err
 	}
 	reply, err := s.net.Send(ctx, transport.Message{
-		From: fromID, To: targetID, Kind: transport.KindSummary, Payload: req,
+		From: fromID, To: targetID, Kind: transport.KindSummary,
+		Class: transport.ClassQuery, Payload: req,
 	})
 	if err != nil {
 		return aggregate.Summary{}, fmt.Errorf("core: remote summary: %w", err)

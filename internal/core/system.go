@@ -22,7 +22,7 @@ import (
 	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/placement"
-	"f2c/internal/protocol"
+	"f2c/internal/query"
 	"f2c/internal/sensor"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
@@ -80,6 +80,10 @@ type Options struct {
 	// PendingShards sets each node's pending-buffer shard count (see
 	// fognode.Config.PendingShards).
 	PendingShards int
+	// QueryPageLimit bounds readings per query response page on every
+	// node (see fognode.Config.MaxQueryPage); zero selects
+	// protocol.DefaultPageLimit.
+	QueryPageLimit int
 }
 
 func (o *Options) applyDefaults() {
@@ -169,6 +173,7 @@ func NewSystem(opts Options) (*System, error) {
 
 	cl, err := cloud.New(cloud.Config{
 		ID: CloudID, City: opts.City, Clock: opts.Clock, Registry: opts.Registry,
+		Codec: opts.Codec, MaxQueryPage: opts.QueryPageLimit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -190,6 +195,7 @@ func NewSystem(opts Options) (*System, error) {
 			Registry:      opts.Registry,
 			PendingShards: opts.PendingShards,
 			FlushWorkers:  opts.FlushWorkers,
+			MaxQueryPage:  opts.QueryPageLimit,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: fog2 %s: %w", spec.ID, err)
@@ -214,6 +220,7 @@ func NewSystem(opts Options) (*System, error) {
 			Registry:      opts.Registry,
 			PendingShards: opts.PendingShards,
 			FlushWorkers:  opts.FlushWorkers,
+			MaxQueryPage:  opts.QueryPageLimit,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: fog1 %s: %w", spec.ID, err)
@@ -370,27 +377,50 @@ func (s *System) LatestAtFog(fog1ID, sensorID string) (model.Reading, bool, erro
 	return r, found, nil
 }
 
+// QueryEngine builds a hierarchical query engine acting for the
+// given requester endpoint. Fog layer-1 requesters get the full plan
+// — in-process local store, sibling scatter-gather, parent district,
+// cloud — wired from the topology and retention windows; any other
+// endpoint name (a fog2 node, an external client) gets a pure
+// network client whose range queries go to the cloud and whose
+// aggregates push down to the district partials.
+func (s *System) QueryEngine(requesterID string) *query.Engine {
+	cfg := query.Config{
+		Self:          requesterID,
+		Transport:     s.net,
+		Clock:         s.opts.Clock,
+		Fog1Retention: s.opts.Fog1Retention,
+		Fog2Retention: s.opts.Fog2Retention,
+		Districts:     s.Fog2IDs(),
+		CloudID:       CloudID,
+		PreferNeighbor: func(estBytes int64) bool {
+			src, _ := s.Planner().ChooseSource(estBytes)
+			return src == placement.SourceNeighbor
+		},
+	}
+	if n, ok := s.fog1[requesterID]; ok {
+		spec, _ := s.topo.Node(requesterID)
+		cfg.Local = n
+		cfg.Siblings = s.topo.Neighbors(requesterID)
+		cfg.Parent = spec.Parent
+	}
+	eng, err := query.New(cfg)
+	if err != nil {
+		// Config is fully under our control; only a nil transport can
+		// fail, and the system always has one.
+		panic(fmt.Sprintf("core: query engine: %v", err))
+	}
+	return eng
+}
+
 // LatestFromCloud reads a sensor's newest value from the cloud over
 // the network — the centralized access pattern, for comparison.
 func (s *System) LatestFromCloud(ctx context.Context, clientFog1ID, sensorID string) (model.Reading, bool, error) {
-	req, err := protocol.EncodeJSON(protocol.QueryRequest{SensorID: sensorID})
-	if err != nil {
-		return model.Reading{}, false, err
-	}
-	reply, err := s.net.Send(ctx, transport.Message{
-		From: clientFog1ID, To: CloudID, Kind: transport.KindQuery, Payload: req,
-	})
+	r, ok, err := s.QueryEngine(clientFog1ID).LatestFrom(ctx, CloudID, sensorID)
 	if err != nil {
 		return model.Reading{}, false, fmt.Errorf("core: cloud read: %w", err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
-		return model.Reading{}, false, err
-	}
-	if !resp.Found || len(resp.Readings) == 0 {
-		return model.Reading{}, false, nil
-	}
-	return resp.Readings[0], true, nil
+	return r, ok, nil
 }
 
 // FallbackSource labels where QueryWithFallback found the data.
@@ -398,62 +428,50 @@ type FallbackSource string
 
 // Fallback sources.
 const (
-	SourceLocal    FallbackSource = "local"
-	SourceNeighbor FallbackSource = "neighbor"
-	SourceParent   FallbackSource = "parent"
+	SourceLocal    FallbackSource = FallbackSource(query.SourceLocal)
+	SourceNeighbor FallbackSource = FallbackSource(query.SourceNeighbor)
+	SourceParent   FallbackSource = FallbackSource(query.SourceParent)
+	SourceCloud    FallbackSource = FallbackSource(query.SourceCloud)
 )
 
 // QueryWithFallback implements the paper's §IV.C data-access policy
-// for a service running at a fog layer-1 node: serve locally when the
-// node holds the data; otherwise consult the cost model and fetch
-// from either a sibling fog node or the parent layer, whichever is
-// cheaper for the estimated volume.
+// for a service running at a fog layer-1 node, via the hierarchical
+// query engine: serve locally when the node holds the data; otherwise
+// consult the cost model and scatter-gather the sibling fog nodes or
+// walk up to the parent district and the cloud archive — skipping
+// tiers whose retention window cannot hold the range, and stopping at
+// the first tier that is authoritative for it (so an empty answer
+// from such a tier is a definitive empty, not a miss).
 func (s *System) QueryWithFallback(ctx context.Context, fog1ID, typeName string, from, to time.Time, estBytes int64) ([]model.Reading, FallbackSource, error) {
-	n, ok := s.fog1[fog1ID]
-	if !ok {
+	if _, ok := s.fog1[fog1ID]; !ok {
 		return nil, "", fmt.Errorf("core: unknown fog1 node %q", fog1ID)
 	}
-	if local := n.Query(typeName, from, to); len(local) > 0 {
-		return local, SourceLocal, nil
-	}
-	src, _ := s.Planner().ChooseSource(estBytes)
-	if src == placement.SourceNeighbor {
-		for _, nbr := range s.topo.Neighbors(fog1ID) {
-			readings, err := s.QueryNeighbor(ctx, fog1ID, nbr, typeName, from, to)
-			if err != nil {
-				continue // try the next sibling; parent is the backstop
-			}
-			if len(readings) > 0 {
-				return readings, SourceNeighbor, nil
-			}
-		}
-	}
-	spec, _ := s.topo.Node(fog1ID)
-	readings, err := s.QueryNeighbor(ctx, fog1ID, spec.Parent, typeName, from, to)
+	readings, src, err := s.QueryEngine(fog1ID).Range(ctx, typeName, from, to, estBytes)
 	if err != nil {
-		return nil, "", fmt.Errorf("core: parent fallback: %w", err)
+		return nil, "", fmt.Errorf("core: fallback query: %w", err)
 	}
-	return readings, SourceParent, nil
+	return readings, FallbackSource(src), nil
 }
 
 // QueryNeighbor reads a type range from a sibling fog layer-1 node
-// over the network (§IV.C neighbor data access).
+// over the network (§IV.C neighbor data access). The scan is paged:
+// no single response carries more than the target's page limit.
 func (s *System) QueryNeighbor(ctx context.Context, fromID, neighborID, typeName string, from, to time.Time) ([]model.Reading, error) {
-	req, err := protocol.EncodeJSON(protocol.QueryRequest{
-		TypeName: typeName, FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	reply, err := s.net.Send(ctx, transport.Message{
-		From: fromID, To: neighborID, Kind: transport.KindQuery, Payload: req,
-	})
+	readings, err := s.QueryEngine(fromID).RangeFrom(ctx, neighborID, typeName, from, to)
 	if err != nil {
 		return nil, fmt.Errorf("core: neighbor read: %w", err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
-		return nil, err
+	return readings, nil
+}
+
+// Aggregate executes a count/mean/min/max aggregate over a type range
+// with summary push-down: district partials (or the cloud archive for
+// historical ranges) compute where the data lives and merge at the
+// requester, so only summary-sized payloads cross the WAN.
+func (s *System) Aggregate(ctx context.Context, requesterID, typeName string, from, to time.Time) (aggregate.Summary, FallbackSource, error) {
+	sum, src, err := s.QueryEngine(requesterID).Aggregate(ctx, typeName, from, to)
+	if err != nil {
+		return aggregate.Summary{}, "", fmt.Errorf("core: aggregate: %w", err)
 	}
-	return resp.Readings, nil
+	return sum, FallbackSource(src), nil
 }

@@ -85,6 +85,10 @@ type Config struct {
 	// concurrently. Sends are network-bound, so the default (4) is
 	// independent of GOMAXPROCS; 1 restores the serial flush path.
 	FlushWorkers int
+	// MaxQueryPage bounds how many readings one query response may
+	// carry; larger range scans stream in cursor-linked pages. Zero
+	// selects protocol.DefaultPageLimit.
+	MaxQueryPage int
 }
 
 // BatchObserver receives post-pipeline batches.
@@ -116,6 +120,9 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.FlushWorkers <= 0 {
 		c.FlushWorkers = 4
+	}
+	if c.MaxQueryPage <= 0 {
+		c.MaxQueryPage = protocol.DefaultPageLimit
 	}
 	return nil
 }
@@ -323,6 +330,16 @@ func (n *Node) Latest(sensorID string) (model.Reading, bool) {
 // Query serves range reads from the temporal store.
 func (n *Node) Query(typeName string, from, to time.Time) []model.Reading {
 	return n.store.QueryRange(typeName, from, to)
+}
+
+// QueryPage serves one bounded page of a range read: at most
+// min(limit, MaxQueryPage) readings plus the cursor resuming the
+// scan. It implements query.LocalStore.
+func (n *Node) QueryPage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error) {
+	if limit <= 0 || limit > n.cfg.MaxQueryPage {
+		limit = n.cfg.MaxQueryPage
+	}
+	return n.store.QueryRangePage(typeName, from, to, limit, cursor)
 }
 
 // Tags returns the latest description tags for a type.
@@ -546,6 +563,10 @@ func (n *Node) handleSummary(payload []byte) ([]byte, error) {
 	return protocol.EncodeJSON(protocol.SummaryResponse{Summary: sum})
 }
 
+// handleQuery serves the binary paged read protocol: latest lookups
+// return a one-reading page, range scans return at most MaxQueryPage
+// readings plus a resume cursor. Pages travel the sealed-batch wire
+// path compressed with the node's upward codec.
 func (n *Node) handleQuery(payload []byte) ([]byte, error) {
 	var req protocol.QueryRequest
 	if err := protocol.DecodeJSON(payload, &req); err != nil {
@@ -554,18 +575,23 @@ func (n *Node) handleQuery(payload []byte) ([]byte, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	var resp protocol.QueryResponse
+	var page protocol.QueryPage
 	if req.SensorID != "" {
 		if r, ok := n.Latest(req.SensorID); ok {
-			resp.Found = true
-			resp.Readings = []model.Reading{r}
+			page.Found = true
+			page.Readings = []model.Reading{r}
 		}
 	} else {
 		from, to := req.Range()
-		resp.Readings = n.Query(req.TypeName, from, to)
-		resp.Found = len(resp.Readings) > 0
+		readings, next, err := n.QueryPage(req.TypeName, from, to, req.Limit, req.Cursor)
+		if err != nil {
+			return nil, fmt.Errorf("fognode %s: query: %w", n.cfg.Spec.ID, err)
+		}
+		page.Readings = readings
+		page.NextCursor = next
+		page.Found = len(readings) > 0 || next != ""
 	}
-	return protocol.EncodeJSON(resp)
+	return protocol.EncodeQueryPage(n.cfg.Spec.ID, page, n.cfg.Codec)
 }
 
 func (n *Node) handleControl(ctx context.Context, payload []byte) ([]byte, error) {

@@ -291,8 +291,8 @@ func TestHandleQueryLatestAndRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+	resp, err := protocol.DecodeQueryPage(reply)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.Found || len(resp.Readings) != 1 || resp.Readings[0].Value != 20 {
@@ -307,7 +307,8 @@ func TestHandleQueryLatestAndRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+	resp, err = protocol.DecodeQueryPage(reply)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.Found || len(resp.Readings) != 1 {
@@ -317,7 +318,7 @@ func TestHandleQueryLatestAndRange(t *testing.T) {
 	// Miss.
 	req, _ = protocol.EncodeJSON(protocol.QueryRequest{SensorID: "ghost"})
 	reply, _ = n.Handle(context.Background(), transport.Message{Kind: transport.KindQuery, Payload: req})
-	_ = protocol.DecodeJSON(reply, &resp)
+	resp, _ = protocol.DecodeQueryPage(reply)
 	if resp.Found {
 		t.Error("ghost sensor should not be found")
 	}

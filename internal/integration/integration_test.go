@@ -14,6 +14,7 @@ import (
 	"f2c/internal/fognode"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
+	"f2c/internal/query"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
@@ -22,11 +23,13 @@ import (
 var t0 = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
 
 // deployment is a loopback city: 1 fog1 + 1 fog2 + cloud, each behind
-// its own HTTP server.
+// its own HTTP server — the same wiring the f2cd daemon assembles
+// from its flags, driven over real sockets.
 type deployment struct {
 	fog1  *fognode.Node
 	fog2  *fognode.Node
 	cloud *cloud.Node
+	clock *sim.VirtualClock
 
 	fog1URL, fog2URL, cloudURL string
 	client                     *transport.HTTPTransport
@@ -36,7 +39,7 @@ func deploy(t *testing.T) *deployment {
 	t.Helper()
 	clock := sim.NewVirtualClock(t0)
 
-	cl, err := cloud.New(cloud.Config{ID: "cloud", City: "loopback", Clock: clock})
+	cl, err := cloud.New(cloud.Config{ID: "cloud", City: "loopback", Clock: clock, MaxQueryPage: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func deploy(t *testing.T) *deployment {
 	client.AddPeer("cloud", cloudSrv.URL)
 
 	return &deployment{
-		fog1: f1, fog2: f2, cloud: cl,
+		fog1: f1, fog2: f2, cloud: cl, clock: clock,
 		fog1URL: fog1Srv.URL, fog2URL: fog2Srv.URL, cloudURL: cloudSrv.URL,
 		client: client,
 	}
@@ -122,8 +125,8 @@ func TestHTTPHierarchyEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var resp protocol.QueryResponse
-	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+	resp, err := protocol.DecodeQueryPage(reply)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.Found || resp.Readings[0].Value != 1013 {
@@ -191,6 +194,140 @@ func TestHTTPHierarchyBackgroundFlushers(t *testing.T) {
 			t.Fatal("data never reached the cloud via background flushers")
 		case <-time.After(10 * time.Millisecond):
 		}
+	}
+}
+
+// federatedBatch builds one sensor's stream with distinct timestamps
+// so paged scans have an ordered window to walk.
+func federatedBatch(at time.Time, n int) *model.Batch {
+	b := &model.Batch{NodeID: "edge/device-7", TypeName: "weather", Category: model.CategoryUrban, Collected: at}
+	for i := 0; i < n; i++ {
+		b.Readings = append(b.Readings, model.Reading{
+			SensorID: "station/walk", TypeName: "weather", Category: model.CategoryUrban,
+			Time: at.Add(time.Duration(i) * time.Second), Value: 1000 + float64(i), Unit: "hPa",
+		})
+	}
+	return b
+}
+
+// TestHTTPFederatedQueryAndAggregate drives the hierarchical query
+// engine through real sockets: a federated range query routed by the
+// tier planner, a manual page-cursor walk against the cloud (each
+// response bounded by the server's page limit), and an aggregate
+// push-down where only summary-sized payloads cross the wire.
+func TestHTTPFederatedQueryAndAggregate(t *testing.T) {
+	d := deploy(t)
+	ctx := context.Background()
+	const total = 25
+
+	payload, err := protocol.EncodeBatchPayload(federatedBatch(t0, total), aggregate.CodecZip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.Send(ctx, transport.Message{
+		From: "edge/device-7", To: "fog1/d01-s01", Kind: transport.KindBatch,
+		Class: "urban", Payload: payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flushReq, _ := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpFlush})
+	for _, node := range []string{"fog1/d01-s01", "fog2/d01"} {
+		if _, err := d.client.Send(ctx, transport.Message{
+			From: "ctl", To: node, Kind: transport.KindControl, Payload: flushReq,
+		}); err != nil {
+			t.Fatalf("flush %s: %v", node, err)
+		}
+	}
+
+	eng, err := query.New(query.Config{
+		Self:      "app",
+		Transport: d.client,
+		Clock:     d.clock,
+		Siblings:  []string{"fog1/d01-s01"},
+		Parent:    "fog2/d01",
+		Districts: []string{"fog2/d01"},
+		CloudID:   "cloud",
+		PageLimit: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recent range: the planner routes to the fog layer-1 tier.
+	readings, src, err := eng.Range(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != query.SourceNeighbor || len(readings) != total {
+		t.Fatalf("recent range = %d readings from %v", len(readings), src)
+	}
+
+	// Aggregate push-down over the recent window: the district
+	// computes the partial; only the summary crosses the wire.
+	sum, src, err := eng.Aggregate(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != query.SourceParent || sum.Count != total || sum.Min != 1000 || sum.Max != 1000+total-1 {
+		t.Fatalf("aggregate = %+v from %v", sum, src)
+	}
+
+	// Manual page-cursor walk against the cloud over HTTP: the server
+	// was deployed with MaxQueryPage 4, so no response may carry more.
+	var walked []model.Reading
+	cursor, pages := "", 0
+	for {
+		req, _ := protocol.EncodeJSON(protocol.QueryRequest{
+			TypeName: "weather",
+			FromUnix: t0.Add(-time.Minute).UnixNano(), ToUnix: t0.Add(time.Hour).UnixNano(),
+			Limit: 100, Cursor: cursor, // ask big: the server clamps to its limit
+		})
+		reply, err := d.client.Send(ctx, transport.Message{
+			From: "app", To: "cloud", Kind: transport.KindQuery,
+			Class: transport.ClassQuery, Payload: req,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, err := protocol.DecodeQueryPage(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Readings) > 4 {
+			t.Fatalf("page %d carries %d readings, server page limit is 4", pages, len(page.Readings))
+		}
+		walked = append(walked, page.Readings...)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != total || pages != (total+3)/4 {
+		t.Fatalf("cursor walk = %d readings in %d pages, want %d in %d", len(walked), pages, total, (total+3)/4)
+	}
+	for i := 1; i < len(walked); i++ {
+		if walked[i].Time.Before(walked[i-1].Time) {
+			t.Fatalf("walk out of order at %d", i)
+		}
+	}
+
+	// Two days later the fog windows have passed: the same federated
+	// query must be routed straight to the cloud archive, paged.
+	d.clock.Advance(48 * time.Hour)
+	readings, src, err = eng.Range(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != query.SourceCloud || len(readings) != total {
+		t.Fatalf("historical range = %d readings from %v", len(readings), src)
+	}
+	sum, src, err = eng.Aggregate(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != query.SourceCloud || sum.Count != total {
+		t.Fatalf("historical aggregate = %+v from %v", sum, src)
 	}
 }
 

@@ -5,6 +5,7 @@
 package protocol
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -162,13 +163,28 @@ func DecodeBatchPayload(payload []byte) (*model.Batch, aggregate.Codec, error) {
 	return b, codec, nil
 }
 
+// DefaultPageLimit is the server-side bound on readings per query
+// response page when the node's configuration does not override it.
+// Historical scans stream in pages of at most this many readings
+// instead of materializing one unbounded response.
+const DefaultPageLimit = 1024
+
 // QueryRequest asks a node for data. Exactly one of SensorID (latest
-// reading) or TypeName (range query) must be set.
+// reading) or TypeName (range query) must be set. Range queries are
+// paged: Limit bounds the readings per response (servers clamp it to
+// their configured page limit) and Cursor resumes a scan from where
+// the previous page's NextCursor left off.
 type QueryRequest struct {
 	SensorID string `json:"sensorId,omitempty"`
 	TypeName string `json:"type,omitempty"`
 	FromUnix int64  `json:"fromUnixNano,omitempty"`
 	ToUnix   int64  `json:"toUnixNano,omitempty"`
+	// Limit is the maximum readings the response page may carry;
+	// 0 selects the server's configured page limit.
+	Limit int `json:"limit,omitempty"`
+	// Cursor is the opaque resume position returned by the previous
+	// page; empty starts the scan at the beginning of the range.
+	Cursor string `json:"cursor,omitempty"`
 }
 
 // Validate checks request shape.
@@ -180,6 +196,10 @@ func (q QueryRequest) Validate() error {
 		return fmt.Errorf("protocol: query must not set both sensorId and type")
 	case q.TypeName != "" && q.FromUnix > q.ToUnix:
 		return fmt.Errorf("protocol: query range inverted")
+	case q.Limit < 0:
+		return fmt.Errorf("protocol: negative page limit %d", q.Limit)
+	case q.Cursor != "" && q.TypeName == "":
+		return fmt.Errorf("protocol: cursor is only valid on range queries")
 	}
 	return nil
 }
@@ -189,10 +209,110 @@ func (q QueryRequest) Range() (from, to time.Time) {
 	return time.Unix(0, q.FromUnix), time.Unix(0, q.ToUnix)
 }
 
-// QueryResponse carries query results.
-type QueryResponse struct {
-	Found    bool            `json:"found"`
-	Readings []model.Reading `json:"readings,omitempty"`
+// Query page framing. A page is a small binary header (magic,
+// version, flags, cursor) followed — when the page carries readings —
+// by a sealed batch envelope, the same zero-allocation wire path
+// upward flushes use. Replacing the old JSON []model.Reading payload
+// with the sealed-batch path makes responses compressed, bounded and
+// cheap to decode.
+const (
+	pageMagic     = 0xF3
+	pageVersion   = 1
+	pageFlagFound = 1 << 0
+	pageFlagMore  = 1 << 1
+	// maxPageCursorLen bounds the cursor field a decoder accepts, so
+	// a corrupt length prefix cannot force a huge allocation.
+	maxPageCursorLen = 1 << 10
+)
+
+// QueryPage is one bounded page of query results.
+type QueryPage struct {
+	// Found reports whether the query matched anything (for latest
+	// lookups: the sensor exists; for range scans: this page or a
+	// later one carries readings).
+	Found bool
+	// NextCursor resumes the scan after this page; empty means the
+	// scan is complete.
+	NextCursor string
+	// Readings is the page's payload, at most the server's page limit.
+	Readings []model.Reading
+}
+
+// HasMore reports whether another page follows.
+func (p QueryPage) HasMore() bool { return p.NextCursor != "" }
+
+// AppendQueryPage appends the binary encoding of a page to dst and
+// returns the extended slice. nodeID names the answering node (it
+// becomes the embedded batch's origin). All readings of a page must
+// share one sensor type — pages are produced from single-type range
+// scans or single-sensor latest lookups.
+func AppendQueryPage(dst []byte, nodeID string, p QueryPage, codec aggregate.Codec) ([]byte, error) {
+	if len(p.NextCursor) > maxPageCursorLen {
+		return nil, fmt.Errorf("protocol: cursor too long (%d bytes)", len(p.NextCursor))
+	}
+	flags := byte(0)
+	if p.Found {
+		flags |= pageFlagFound
+	}
+	if p.NextCursor != "" {
+		flags |= pageFlagMore
+	}
+	dst = append(dst, pageMagic, pageVersion, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(p.NextCursor)))
+	dst = append(dst, p.NextCursor...)
+	if len(p.Readings) == 0 {
+		return dst, nil
+	}
+	b := &model.Batch{
+		NodeID:    nodeID,
+		TypeName:  p.Readings[0].TypeName,
+		Category:  p.Readings[0].Category,
+		Collected: p.Readings[len(p.Readings)-1].Time,
+		Readings:  p.Readings,
+	}
+	out, err := AppendBatchPayload(dst, b, codec)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: seal query page: %w", err)
+	}
+	return out, nil
+}
+
+// EncodeQueryPage renders a page as a fresh payload.
+func EncodeQueryPage(nodeID string, p QueryPage, codec aggregate.Codec) ([]byte, error) {
+	return AppendQueryPage(make([]byte, 0, 16+len(p.NextCursor)+len(p.Readings)*16), nodeID, p, codec)
+}
+
+// DecodeQueryPage opens a binary query page.
+func DecodeQueryPage(payload []byte) (QueryPage, error) {
+	if len(payload) < 3 {
+		return QueryPage{}, fmt.Errorf("protocol: page too short (%d bytes)", len(payload))
+	}
+	if payload[0] != pageMagic {
+		return QueryPage{}, fmt.Errorf("protocol: bad page magic 0x%02x", payload[0])
+	}
+	if payload[1] != pageVersion {
+		return QueryPage{}, fmt.Errorf("protocol: unsupported page version %d", payload[1])
+	}
+	flags := payload[2]
+	rest := payload[3:]
+	n, used := binary.Uvarint(rest)
+	if used <= 0 || n > maxPageCursorLen || uint64(len(rest)-used) < n {
+		return QueryPage{}, fmt.Errorf("protocol: corrupt page cursor length")
+	}
+	p := QueryPage{
+		Found:      flags&pageFlagFound != 0,
+		NextCursor: string(rest[used : used+int(n)]),
+	}
+	rest = rest[used+int(n):]
+	if len(rest) == 0 {
+		return p, nil
+	}
+	b, _, err := DecodeBatchPayload(rest)
+	if err != nil {
+		return QueryPage{}, fmt.Errorf("protocol: open query page: %w", err)
+	}
+	p.Readings = b.Readings
+	return p, nil
 }
 
 // SummaryRequest asks a node for a decomposable aggregate over a type

@@ -1,0 +1,83 @@
+package query_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"f2c/internal/core"
+	"f2c/internal/metrics"
+	"f2c/internal/transport"
+)
+
+// queryWireBytes sums the query-class traffic over every hop, both
+// directions — the bytes-on-wire cost of the read path.
+func queryWireBytes(m *metrics.TrafficMatrix) int64 {
+	var total int64
+	for _, hop := range metrics.Hops() {
+		total += m.BytesByClass(hop, transport.ClassQuery)
+	}
+	return total
+}
+
+// BenchmarkQueryFanout measures the scatter-gather raw-readings path:
+// a federated range query whose answer lives at a sibling fog node,
+// fanned out concurrently and shipped back as binary pages. The
+// wire-B/op metric is the bytes-on-wire per query, the figure the
+// push-down benchmark is compared against.
+func BenchmarkQueryFanout(b *testing.B) {
+	s, _ := newCity(b, core.Options{})
+	ctx := context.Background()
+	ids := s.Fog1IDs()
+	if err := s.IngestAt(ids[1], trafficBatch("bench", 500, t0)); err != nil {
+		b.Fatal(err)
+	}
+	eng := s.QueryEngine(ids[0])
+	m := s.Matrix()
+	m.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readings, src, err := eng.Range(ctx, "traffic", t0.Add(-time.Minute), t0.Add(time.Hour), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(readings) != 500 || src != "neighbor" {
+			b.Fatalf("fanout = %d readings from %v", len(readings), src)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(queryWireBytes(m))/float64(b.N), "wire-B/op")
+}
+
+// BenchmarkQueryPushdown measures the summary push-down path over the
+// same shape of data: the aggregate executes where the data lives and
+// only summary-sized partials cross the WAN. Compare wire-B/op with
+// BenchmarkQueryFanout for the raw-vs-pushdown bytes-on-wire ratio.
+func BenchmarkQueryPushdown(b *testing.B) {
+	s, clock := newCity(b, core.Options{})
+	ctx := context.Background()
+	if err := s.IngestAt(s.Fog1IDs()[0], trafficBatch("bench", 500, t0)); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.FlushAll(ctx); err != nil {
+		b.Fatal(err)
+	}
+	clock.Advance(48 * time.Hour) // historical: the cloud archive owns the range
+	eng := s.QueryEngine(s.Fog2IDs()[0])
+	m := s.Matrix()
+	m.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, src, err := eng.Aggregate(ctx, "traffic", t0, t0.Add(time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Count != 500 || src != "cloud" {
+			b.Fatalf("pushdown = %+v from %v", sum, src)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(queryWireBytes(m))/float64(b.N), "wire-B/op")
+}

@@ -1,0 +1,541 @@
+// Package query implements the hierarchical read path of the F2C
+// architecture — the dissemination half of the SCC-DLC (paper §IV.C).
+// An Engine plans and executes federated queries over the three-tier
+// hierarchy:
+//
+//   - a tier-routing planner orders fog layer 1 (local store, then
+//     siblings), fog layer 2 (parent district) and the cloud, pruning
+//     tiers whose retention window cannot contain the requested range;
+//   - a scatter-gather executor fans out to sibling fog nodes
+//     concurrently with a context deadline and cancels the remaining
+//     probes as soon as the first useful result arrives;
+//   - range scans stream in bounded binary pages (protocol.QueryPage,
+//     the sealed-batch wire path) instead of one unbounded response;
+//   - aggregate queries (count/mean/min/max over a type range) are
+//     pushed down to the tier owning the range: partials are computed
+//     where the data lives and merged at the requester, so only
+//     summary-sized payloads cross the WAN.
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+)
+
+// Source labels the tier that answered a query.
+type Source string
+
+// Answer sources, lowest tier first.
+const (
+	SourceLocal    Source = "local"
+	SourceNeighbor Source = "neighbor"
+	SourceParent   Source = "parent"
+	SourceCloud    Source = "cloud"
+)
+
+// LocalStore is the in-process store of the node an Engine acts for.
+// fognode.Node implements it; a pure network client leaves it nil.
+type LocalStore interface {
+	// QueryPage serves one bounded page of a range read.
+	QueryPage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error)
+	// Latest serves the real-time point read.
+	Latest(sensorID string) (model.Reading, bool)
+}
+
+// Config wires an Engine into the hierarchy, all topology knowledge
+// reduced to plain endpoint names so the package stays independent of
+// the topology layer.
+type Config struct {
+	// Self is the requesting endpoint name (the From of every
+	// message the engine sends).
+	Self string
+	// Transport reaches the other tiers.
+	Transport transport.Transport
+	// Clock provides "now" for retention-window pruning (virtual in
+	// simulations). Nil selects the wall clock.
+	Clock sim.Clock
+	// Fog1Retention and Fog2Retention are the deployment's temporal
+	// windows, used to prune tiers that cannot hold a range. Zero
+	// selects the repository defaults (1h / 24h).
+	Fog1Retention time.Duration
+	Fog2Retention time.Duration
+	// Siblings are the fog layer-1 neighbors to scatter-gather over
+	// (empty disables the neighbor tier).
+	Siblings []string
+	// Parent is the fog layer-2 node above Self (empty disables the
+	// parent tier).
+	Parent string
+	// Districts are all fog layer-2 endpoints, the owner set for
+	// aggregate push-down over recent windows (empty routes
+	// aggregates straight to the cloud).
+	Districts []string
+	// CloudID is the cloud endpoint (default "cloud").
+	CloudID string
+	// Local is Self's in-process store, consulted before any network
+	// hop; nil for pure clients.
+	Local LocalStore
+	// PageLimit bounds the readings requested per response page
+	// (default protocol.DefaultPageLimit).
+	PageLimit int
+	// FanoutTimeout bounds each scatter-gather round (default 2s).
+	FanoutTimeout time.Duration
+	// PreferNeighbor is the §IV.C cost-model hook deciding whether a
+	// miss of estBytes is cheaper to fetch from a sibling than from
+	// the parent; nil always tries siblings first.
+	PreferNeighbor func(estBytes int64) bool
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Transport == nil {
+		return errors.New("query: config needs a transport")
+	}
+	if c.Clock == nil {
+		c.Clock = sim.WallClock{}
+	}
+	if c.Fog1Retention <= 0 {
+		c.Fog1Retention = time.Hour
+	}
+	if c.Fog2Retention < c.Fog1Retention {
+		c.Fog2Retention = 24 * time.Hour
+	}
+	if c.CloudID == "" {
+		c.CloudID = "cloud"
+	}
+	if c.PageLimit <= 0 {
+		c.PageLimit = protocol.DefaultPageLimit
+	}
+	if c.FanoutTimeout <= 0 {
+		c.FanoutTimeout = 2 * time.Second
+	}
+	return nil
+}
+
+// Engine executes hierarchical queries for one requester. Safe for
+// concurrent use.
+type Engine struct {
+	cfg Config
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Tier identifies a query-plan step.
+type Tier int
+
+// Plan tiers, in probe order.
+const (
+	TierLocal Tier = iota + 1
+	TierSiblings
+	TierParent
+	TierCloud
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierLocal:
+		return "local"
+	case TierSiblings:
+		return "siblings"
+	case TierParent:
+		return "parent"
+	case TierCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Step is one planned probe.
+type Step struct {
+	Tier Tier
+	// Targets are the endpoints this step consults (empty for
+	// TierLocal).
+	Targets []string
+	// Authoritative marks a step whose empty-but-successful result is
+	// final within the requester's data domain: the tier's retention
+	// window contains the whole range and the tier combines
+	// everything the requester's own branch of the hierarchy holds,
+	// so walking higher would not find the branch's data. An empty
+	// result from an authoritative tier stops the walk instead of
+	// falling through. Note the domain is the branch, not the city:
+	// the parent district combines only its own children, matching
+	// the paper's policy of serving a section's reads from the lowest
+	// layer of its branch — cross-district reads go through the
+	// aggregate push-down (which gathers every district) or a direct
+	// cloud query (Engine.RangeFrom).
+	Authoritative bool
+}
+
+// PlanRange orders the tiers a range query over [from, to] must
+// consult, relative to now. A fog tier is probed when its retention
+// window *overlaps* the range — it may hold at least the fresh slice,
+// including readings not yet flushed upward — and pruned when the
+// whole range predates the window, where probing would waste a round
+// trip (the pre-refactor serial fallback probed every tier
+// regardless). A tier is authoritative only when its window
+// *contains* the whole range: then nothing above it can hold more,
+// and its empty answer ends the walk. The local store is always
+// consulted first when present — it is free.
+func (e *Engine) PlanRange(now, from, to time.Time, estBytes int64) []Step {
+	var steps []Step
+	if e.cfg.Local != nil {
+		steps = append(steps, Step{Tier: TierLocal})
+	}
+	overlapsFog1 := !to.Before(now.Add(-e.cfg.Fog1Retention))
+	overlapsFog2 := !to.Before(now.Add(-e.cfg.Fog2Retention))
+	containsFog2 := !from.Before(now.Add(-e.cfg.Fog2Retention))
+	if overlapsFog1 && len(e.cfg.Siblings) > 0 && (e.cfg.PreferNeighbor == nil || e.cfg.PreferNeighbor(estBytes)) {
+		steps = append(steps, Step{Tier: TierSiblings, Targets: e.cfg.Siblings})
+	}
+	if overlapsFog2 && e.cfg.Parent != "" {
+		// The parent combines everything its children flushed; when
+		// its window contains the range it is the district's backstop
+		// (recency bounded by the child flush interval, as before the
+		// refactor). When the range extends past the window the
+		// parent can only answer partially, so an empty answer falls
+		// through to the cloud.
+		steps = append(steps, Step{Tier: TierParent, Targets: []string{e.cfg.Parent}, Authoritative: containsFog2})
+	}
+	steps = append(steps, Step{Tier: TierCloud, Targets: []string{e.cfg.CloudID}, Authoritative: true})
+	return steps
+}
+
+// Range executes a federated range query: the planned tiers are
+// probed lowest-first and the first useful (non-empty) result is
+// returned with its source. An authoritative tier that answers empty
+// ends the walk — "tier cannot hold range" falls through, "tier
+// authoritative for range but empty" does not. A tier that fails
+// (network, remote error) falls through to the next; the last error
+// is returned only if no tier could answer.
+func (e *Engine) Range(ctx context.Context, typeName string, from, to time.Time, estBytes int64) ([]model.Reading, Source, error) {
+	steps := e.PlanRange(e.cfg.Clock.Now(), from, to, estBytes)
+	var errs []error
+	for _, st := range steps {
+		switch st.Tier {
+		case TierLocal:
+			readings, err := e.localRange(typeName, from, to)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			if len(readings) > 0 {
+				return readings, SourceLocal, nil
+			}
+		case TierSiblings:
+			readings, err := e.fanOutRange(ctx, st.Targets, typeName, from, to)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			if len(readings) > 0 {
+				return readings, SourceNeighbor, nil
+			}
+		case TierParent, TierCloud:
+			readings, err := e.RangeFrom(ctx, st.Targets[0], typeName, from, to)
+			src := SourceParent
+			if st.Tier == TierCloud {
+				src = SourceCloud
+			}
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			if len(readings) > 0 || st.Authoritative {
+				return readings, src, nil
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return nil, "", fmt.Errorf("query: all tiers failed: %w", errors.Join(errs...))
+	}
+	return nil, "", nil
+}
+
+// localRange drains the local store page by page (free, in-process).
+func (e *Engine) localRange(typeName string, from, to time.Time) ([]model.Reading, error) {
+	var out []model.Reading
+	cursor := ""
+	for {
+		page, next, err := e.cfg.Local.QueryPage(typeName, from, to, e.cfg.PageLimit, cursor)
+		if err != nil {
+			return nil, fmt.Errorf("query: local scan: %w", err)
+		}
+		out = append(out, page...)
+		if next == "" {
+			return out, nil
+		}
+		if next == cursor {
+			return nil, fmt.Errorf("query: local scan stalled at cursor %q", cursor)
+		}
+		cursor = next
+	}
+}
+
+// RangeFrom walks a paged range scan against one endpoint until the
+// cursor is exhausted. No response materializes more than the page
+// limit of readings.
+func (e *Engine) RangeFrom(ctx context.Context, target, typeName string, from, to time.Time) ([]model.Reading, error) {
+	var out []model.Reading
+	err := e.walkPages(ctx, target, typeName, from, to, "", func(page protocol.QueryPage) error {
+		out = append(out, page.Readings...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RangePages streams a paged range scan against one endpoint,
+// invoking fn with each page as it arrives, so callers (CLIs,
+// exporters) can process a scan larger than memory page by page. A
+// non-nil error from fn stops the walk and is returned.
+func (e *Engine) RangePages(ctx context.Context, target, typeName string, from, to time.Time, fn func(page protocol.QueryPage) error) error {
+	return e.walkPages(ctx, target, typeName, from, to, "", fn)
+}
+
+// walkPages is the single implementation of the cursor walk: fetch,
+// hand the page to fn, follow NextCursor until exhausted, and fail on
+// a stalled cursor (a buggy or hostile server echoing the request
+// cursor back would otherwise loop forever or silently truncate).
+func (e *Engine) walkPages(ctx context.Context, target, typeName string, from, to time.Time, cursor string, fn func(page protocol.QueryPage) error) error {
+	for {
+		page, err := e.queryPage(ctx, target, protocol.QueryRequest{
+			TypeName: typeName,
+			FromUnix: from.UnixNano(),
+			ToUnix:   to.UnixNano(),
+			Limit:    e.cfg.PageLimit,
+			Cursor:   cursor,
+		})
+		if err != nil {
+			return err
+		}
+		if err := fn(page); err != nil {
+			return err
+		}
+		if page.NextCursor == "" {
+			return nil
+		}
+		if page.NextCursor == cursor {
+			return fmt.Errorf("query: %s returned a stalled cursor %q", target, cursor)
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// fanOutRange is the scatter-gather executor: it probes every target
+// concurrently under one deadline and, as soon as a probe returns a
+// useful (non-empty) first page, cancels the remaining probes and
+// walks the winner's remaining pages. All-empty gathers return nil;
+// an error is reported only when every probe failed.
+func (e *Engine) fanOutRange(ctx context.Context, targets []string, typeName string, from, to time.Time) ([]model.Reading, error) {
+	fctx, cancel := context.WithTimeout(ctx, e.cfg.FanoutTimeout)
+	defer cancel()
+	type probe struct {
+		target string
+		page   protocol.QueryPage
+		err    error
+	}
+	results := make(chan probe, len(targets))
+	req := protocol.QueryRequest{
+		TypeName: typeName,
+		FromUnix: from.UnixNano(),
+		ToUnix:   to.UnixNano(),
+		Limit:    e.cfg.PageLimit,
+	}
+	for _, target := range targets {
+		go func(target string) {
+			page, err := e.queryPage(fctx, target, req)
+			results <- probe{target: target, page: page, err: err}
+		}(target)
+	}
+	var errs []error
+	for range targets {
+		r := <-results
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		if len(r.page.Readings) == 0 {
+			continue
+		}
+		cancel() // first useful result: stop the losing probes
+		readings := r.page.Readings
+		if r.page.NextCursor != "" {
+			rest, err := e.resumeRange(ctx, r.target, typeName, from, to, r.page.NextCursor)
+			if err != nil {
+				return nil, err
+			}
+			readings = append(readings, rest...)
+		}
+		return readings, nil
+	}
+	if len(errs) == len(targets) && len(targets) > 0 {
+		return nil, fmt.Errorf("query: all %d siblings failed: %w", len(targets), errors.Join(errs...))
+	}
+	return nil, nil
+}
+
+// resumeRange continues a paged walk from a cursor (the tail of a
+// fan-out winner's scan, run under the caller's context rather than
+// the expired fan-out deadline).
+func (e *Engine) resumeRange(ctx context.Context, target, typeName string, from, to time.Time, cursor string) ([]model.Reading, error) {
+	var out []model.Reading
+	err := e.walkPages(ctx, target, typeName, from, to, cursor, func(page protocol.QueryPage) error {
+		out = append(out, page.Readings...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Latest serves the point read: the local store first (the paper's
+// critical real-time path — no network hop), then the cloud, which
+// holds the whole city's newest preserved values.
+func (e *Engine) Latest(ctx context.Context, sensorID string) (model.Reading, bool, Source, error) {
+	if e.cfg.Local != nil {
+		if r, ok := e.cfg.Local.Latest(sensorID); ok {
+			return r, true, SourceLocal, nil
+		}
+	}
+	r, ok, err := e.LatestFrom(ctx, e.cfg.CloudID, sensorID)
+	return r, ok, SourceCloud, err
+}
+
+// LatestFrom reads a sensor's newest value from one endpoint over the
+// network.
+func (e *Engine) LatestFrom(ctx context.Context, target, sensorID string) (model.Reading, bool, error) {
+	page, err := e.queryPage(ctx, target, protocol.QueryRequest{SensorID: sensorID})
+	if err != nil {
+		return model.Reading{}, false, err
+	}
+	if !page.Found || len(page.Readings) == 0 {
+		return model.Reading{}, false, nil
+	}
+	return page.Readings[0], true, nil
+}
+
+// Aggregate executes a decomposable count/mean/min/max aggregate over
+// a type range with summary push-down: the partials are computed by
+// the tier owning the range and merged here, so only summary-sized
+// payloads cross the network — never raw readings. Ranges within the
+// fog layer-2 window gather one partial per district; older ranges
+// ask the cloud archive for a single summary.
+//
+// Lossless merging requires disjoint partials, and the fog layer-1
+// stores overlap their districts' stores (a node retains what it has
+// already flushed), so the fog1 tier is deliberately not consulted:
+// aggregate recency is bounded by the child flush interval, and
+// readings ingested but not yet flushed upward are visible to Range
+// (which probes fog1) before they are visible to Aggregate.
+func (e *Engine) Aggregate(ctx context.Context, typeName string, from, to time.Time) (aggregate.Summary, Source, error) {
+	now := e.cfg.Clock.Now()
+	inFog2 := !from.Before(now.Add(-e.cfg.Fog2Retention))
+	if inFog2 && len(e.cfg.Districts) > 0 {
+		sum, err := e.gatherSummaries(ctx, e.cfg.Districts, typeName, from, to)
+		if err == nil {
+			return sum, SourceParent, nil
+		}
+		// A district failed: the cloud still holds everything flushed;
+		// fall through rather than returning a lossy partial merge.
+	}
+	sum, err := e.SummaryFrom(ctx, e.cfg.CloudID, typeName, from, to)
+	if err != nil {
+		return aggregate.Summary{}, "", err
+	}
+	return sum, SourceCloud, nil
+}
+
+// gatherSummaries fans a summary request out to every owner and
+// merges the partials. Unlike fanOutRange this is a full gather — a
+// partial aggregate needs every owner's answer, so any failure fails
+// the round.
+func (e *Engine) gatherSummaries(ctx context.Context, targets []string, typeName string, from, to time.Time) (aggregate.Summary, error) {
+	fctx, cancel := context.WithTimeout(ctx, e.cfg.FanoutTimeout)
+	defer cancel()
+	type partial struct {
+		sum aggregate.Summary
+		err error
+	}
+	results := make(chan partial, len(targets))
+	for _, target := range targets {
+		go func(target string) {
+			sum, err := e.SummaryFrom(fctx, target, typeName, from, to)
+			results <- partial{sum: sum, err: err}
+		}(target)
+	}
+	total := aggregate.Summary{}
+	var errs []error
+	for range targets {
+		r := <-results
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		total = total.Merge(r.sum)
+	}
+	if len(errs) > 0 {
+		return aggregate.Summary{}, fmt.Errorf("query: gather summaries: %w", errors.Join(errs...))
+	}
+	return total, nil
+}
+
+// SummaryFrom fetches one partial summary from an endpoint.
+func (e *Engine) SummaryFrom(ctx context.Context, target, typeName string, from, to time.Time) (aggregate.Summary, error) {
+	req, err := protocol.EncodeJSON(protocol.SummaryRequest{
+		TypeName: typeName, FromUnix: from.UnixNano(), ToUnix: to.UnixNano(),
+	})
+	if err != nil {
+		return aggregate.Summary{}, err
+	}
+	reply, err := e.cfg.Transport.Send(ctx, transport.Message{
+		From: e.cfg.Self, To: target, Kind: transport.KindSummary,
+		Class: transport.ClassQuery, Payload: req,
+	})
+	if err != nil {
+		return aggregate.Summary{}, fmt.Errorf("query: summary from %s: %w", target, err)
+	}
+	var resp protocol.SummaryResponse
+	if err := protocol.DecodeJSON(reply, &resp); err != nil {
+		return aggregate.Summary{}, err
+	}
+	return resp.Summary, nil
+}
+
+// queryPage sends one query and opens the binary page reply. All
+// engine traffic is tagged transport.ClassQuery so the traffic matrix
+// attributes read bytes separately from sensor flows.
+func (e *Engine) queryPage(ctx context.Context, target string, req protocol.QueryRequest) (protocol.QueryPage, error) {
+	payload, err := protocol.EncodeJSON(req)
+	if err != nil {
+		return protocol.QueryPage{}, err
+	}
+	reply, err := e.cfg.Transport.Send(ctx, transport.Message{
+		From: e.cfg.Self, To: target, Kind: transport.KindQuery,
+		Class: transport.ClassQuery, Payload: payload,
+	})
+	if err != nil {
+		return protocol.QueryPage{}, fmt.Errorf("query: %s: %w", target, err)
+	}
+	page, err := protocol.DecodeQueryPage(reply)
+	if err != nil {
+		return protocol.QueryPage{}, fmt.Errorf("query: %s: %w", target, err)
+	}
+	return page, nil
+}

@@ -50,6 +50,11 @@ type Archive struct {
 	byDay    map[string][]int // "2017-06-01"
 	versions map[recordKey]int
 	readings int64
+	// sorted caches each type's readings in time order for the
+	// historical scan paths, built lazily and invalidated by Put and
+	// Expire, so a page-cursor walk binary-searches a prebuilt slice
+	// instead of re-collecting and re-sorting the type on every page.
+	sorted map[string][]model.Reading
 }
 
 // NewArchive creates an empty archive.
@@ -59,6 +64,7 @@ func NewArchive() *Archive {
 		byType:   make(map[string][]int),
 		byDay:    make(map[string][]int),
 		versions: make(map[recordKey]int),
+		sorted:   make(map[string][]model.Reading),
 	}
 }
 
@@ -84,6 +90,7 @@ func (a *Archive) Put(b *model.Batch, provenance []string, storedAt time.Time) (
 	day := b.Collected.UTC().Format("2006-01-02")
 	a.byDay[day] = append(a.byDay[day], idx)
 	a.readings += int64(len(b.Readings))
+	delete(a.sorted, b.TypeName) // new data: rebuild the scan cache lazily
 	return rec, nil
 }
 
@@ -120,22 +127,85 @@ func (a *Archive) Days() []string {
 	return out
 }
 
+// sortedScan returns the time-sorted readings of a type, building the
+// cache on first use after an invalidation. Warm-cache readers (the
+// steady state of a page walk) are served entirely under the read
+// lock, so concurrent open-data scans do not serialize; the write
+// lock is taken only to rebuild after a Put or Expire. The returned
+// slice is the immutable cache — callers must copy what they keep.
+func (a *Archive) sortedScan(typeName string) []model.Reading {
+	a.mu.RLock()
+	if s, ok := a.sorted[typeName]; ok {
+		a.mu.RUnlock()
+		return s
+	}
+	a.mu.RUnlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s, ok := a.sorted[typeName]; ok { // built while we waited
+		return s
+	}
+	var s []model.Reading
+	for _, idx := range a.byType[typeName] {
+		s = append(s, a.records[idx].Batch.Readings...)
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Time.Before(s[j].Time) })
+	a.sorted[typeName] = s
+	return s
+}
+
+// windowBounds returns the [from, to] bounds within a sorted slice.
+func windowBounds(s []model.Reading, from, to time.Time) (lo, hi int) {
+	lo = sort.Search(len(s), func(i int) bool { return !s[i].Time.Before(from) })
+	hi = sort.Search(len(s), func(i int) bool { return s[i].Time.After(to) })
+	return lo, hi
+}
+
 // Readings returns historical readings of a type within [from, to],
-// time-sorted — the cloud's historical query path.
+// time-sorted — the cloud's historical query path. The returned
+// slice is a copy.
 func (a *Archive) Readings(typeName string, from, to time.Time) []model.Reading {
-	recs := a.ByType(typeName)
-	var out []model.Reading
-	for _, rec := range recs {
-		for i := range rec.Batch.Readings {
-			r := rec.Batch.Readings[i]
-			if r.Time.Before(from) || r.Time.After(to) {
-				continue
-			}
-			out = append(out, r)
+	s := a.sortedScan(typeName)
+	lo, hi := windowBounds(s, from, to)
+	if lo >= hi {
+		return nil
+	}
+	out := make([]model.Reading, hi-lo)
+	copy(out, s[lo:hi])
+	return out
+}
+
+// ReadingsPage returns one bounded page of historical readings of a
+// type within [from, to], plus the cursor resuming the scan (""
+// when complete) — the limit/cursor-aware form of Readings used by
+// the dissemination interfaces. The archive keeps records in arrival
+// order; the scan pages over the lazily built per-type sorted cache,
+// so each page binary-searches the prebuilt slice and copies only
+// the page out. The cursor is stable across calls because archived
+// data is immutable (Expire only removes records older than any live
+// cursor's window, and invalidating writes rebuild the cache with
+// the same time order).
+func (a *Archive) ReadingsPage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error) {
+	var cur Cursor
+	haveCur := cursor != ""
+	if haveCur {
+		var err error
+		if cur, err = ParseCursor(cursor); err != nil {
+			return nil, "", err
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
-	return out
+	s := a.sortedScan(typeName)
+	lo, hi := windowBounds(s, from, to)
+	if lo >= hi {
+		return nil, "", nil
+	}
+	start, end, next := pageWindow(s[lo:hi], limit, cur, haveCur)
+	if start >= end {
+		return nil, next, nil
+	}
+	out := make([]model.Reading, end-start)
+	copy(out, s[lo+start:lo+end])
+	return out, next, nil
 }
 
 // Stats reports archive volume.
@@ -186,10 +256,12 @@ func (a *Archive) Expire(before time.Time) int {
 		return 0
 	}
 	a.records = kept
-	// Rebuild the classification indexes over the surviving records.
+	// Rebuild the classification indexes over the surviving records;
+	// drop every scan cache (record indexes changed).
 	a.byCat = make(map[model.Category][]int)
 	a.byType = make(map[string][]int)
 	a.byDay = make(map[string][]int)
+	a.sorted = make(map[string][]model.Reading)
 	for idx, rec := range a.records {
 		b := rec.Batch
 		a.byCat[b.Category] = append(a.byCat[b.Category], idx)

@@ -8,6 +8,8 @@ package store
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,69 @@ import (
 	"f2c/internal/model"
 	"f2c/internal/shard"
 )
+
+// Cursor is a resume position within a time-sorted range scan: the
+// next page starts at the first reading with Time >= T (unix nanos)
+// after skipping Skip readings whose Time equals T — the readings of
+// that instant already returned by earlier pages. Cursors are
+// time-addressed, so retention eviction between pages (which only
+// removes readings older than any live cursor's window) cannot shift
+// the resume point.
+type Cursor struct {
+	T    int64
+	Skip int
+}
+
+// String renders the cursor in its opaque wire form.
+func (c Cursor) String() string {
+	return strconv.FormatInt(c.T, 10) + "." + strconv.Itoa(c.Skip)
+}
+
+// ParseCursor parses the wire form produced by Cursor.String.
+func ParseCursor(s string) (Cursor, error) {
+	tt, ss, ok := strings.Cut(s, ".")
+	if !ok {
+		return Cursor{}, fmt.Errorf("store: malformed cursor %q", s)
+	}
+	t, err := strconv.ParseInt(tt, 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("store: malformed cursor %q", s)
+	}
+	skip, err := strconv.Atoi(ss)
+	if err != nil || skip < 0 {
+		return Cursor{}, fmt.Errorf("store: malformed cursor %q", s)
+	}
+	return Cursor{T: t, Skip: skip}, nil
+}
+
+// pageWindow applies (limit, cursor) to a time-sorted window and
+// returns the [start, end) bounds of the page plus the follow-up
+// cursor ("" when the scan is complete). limit <= 0 means unbounded.
+func pageWindow(win []model.Reading, limit int, cur Cursor, haveCur bool) (start, end int, next string) {
+	start = 0
+	if haveCur {
+		start = sort.Search(len(win), func(i int) bool { return win[i].Time.UnixNano() >= cur.T })
+		for skip := cur.Skip; skip > 0 && start < len(win) && win[start].Time.UnixNano() == cur.T; skip-- {
+			start++
+		}
+	}
+	end = len(win)
+	if limit > 0 && end-start > limit {
+		end = start + limit
+	}
+	if end >= len(win) || end <= start {
+		return start, end, ""
+	}
+	last := win[end-1].Time.UnixNano()
+	skip := 0
+	for i := end - 1; i >= start && win[i].Time.UnixNano() == last; i-- {
+		skip++
+	}
+	if haveCur && cur.T == last {
+		skip += cur.Skip
+	}
+	return start, end, Cursor{T: last, Skip: skip}.String()
+}
 
 // Stats summarizes store contents.
 type Stats struct {
@@ -168,6 +233,57 @@ func (s *TimeSeries) QueryRange(typeName string, from, to time.Time) []model.Rea
 	defer sh.mu.Unlock()
 	sortLocked(sh, typeName)
 	return queryRangeLocked(sh, typeName, from, to)
+}
+
+// QueryRangePage returns one bounded page of readings of a type
+// within [from, to], time-sorted, plus the cursor resuming the scan
+// ("" when this page completes it). limit <= 0 means unbounded
+// (equivalent to QueryRange); cursor "" starts at the beginning. The
+// scan never materializes more than one page: paging is applied to
+// the sorted series in place and only the page is copied out. Pages
+// over a live series are best-effort — an out-of-order append landing
+// exactly at the cursor instant between two pages can duplicate a
+// reading; archived/historical series are stable.
+func (s *TimeSeries) QueryRangePage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error) {
+	var cur Cursor
+	haveCur := cursor != ""
+	if haveCur {
+		var err error
+		if cur, err = ParseCursor(cursor); err != nil {
+			return nil, "", err
+		}
+	}
+	sh := s.seriesShardFor(typeName)
+	sh.mu.RLock()
+	if !sh.dirty[typeName] {
+		out, next := pageRangeLocked(sh, typeName, from, to, limit, cur, haveCur)
+		sh.mu.RUnlock()
+		return out, next, nil
+	}
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sortLocked(sh, typeName)
+	out, next := pageRangeLocked(sh, typeName, from, to, limit, cur, haveCur)
+	return out, next, nil
+}
+
+// pageRangeLocked copies one page of the [from, to] window of a
+// sorted series. The caller holds the shard lock (read or write).
+func pageRangeLocked(sh *seriesShard, typeName string, from, to time.Time, limit int, cur Cursor, haveCur bool) ([]model.Reading, string) {
+	series := sh.byType[typeName]
+	lo := sort.Search(len(series), func(i int) bool { return !series[i].Time.Before(from) })
+	hi := sort.Search(len(series), func(i int) bool { return series[i].Time.After(to) })
+	if lo >= hi {
+		return nil, ""
+	}
+	start, end, next := pageWindow(series[lo:hi], limit, cur, haveCur)
+	if start >= end {
+		return nil, next
+	}
+	out := make([]model.Reading, end-start)
+	copy(out, series[lo+start:lo+end])
+	return out, next
 }
 
 // queryRangeLocked copies the [from, to] window of a sorted series.

@@ -176,6 +176,13 @@ func (n *SimNetwork) Send(ctx context.Context, msg Message) ([]byte, error) {
 		return nil, &RemoteError{Endpoint: msg.To, Msg: err.Error()}
 	}
 
+	// Account the reply on the reverse hop: query responses carry the
+	// data volume (pages of readings), so counting only requests
+	// would hide most of the read path's traffic.
+	if n.matrix != nil && n.hopOf != nil {
+		n.matrix.Record(n.hopOf(msg.To, msg.From), msg.Class, WireSizeOf(len(reply)))
+	}
+
 	downlink := link.TransferTime(int64(len(reply)))
 	if n.emulate {
 		select {

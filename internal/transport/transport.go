@@ -30,6 +30,12 @@ const (
 	KindControl Kind = "control"
 )
 
+// ClassQuery is the traffic-matrix class tagging query and summary
+// read traffic (requests and replies). Reads are not sensor-category
+// flows; before this class existed they were accounted under the
+// empty class and indistinguishable from untagged traffic.
+const ClassQuery = "query"
+
 // Message is a framed request delivered to an endpoint.
 type Message struct {
 	// From and To are endpoint names (node IDs).
@@ -44,9 +50,14 @@ type Message struct {
 
 // WireSize is the accounted on-the-wire size of the message:
 // payload plus a fixed small framing overhead.
-func (m Message) WireSize() int64 {
+func (m Message) WireSize() int64 { return WireSizeOf(len(m.Payload)) }
+
+// WireSizeOf returns the accounted on-the-wire size of an n-byte
+// payload (request or reply): the payload plus a fixed small framing
+// overhead.
+func WireSizeOf(n int) int64 {
 	const framing = 32
-	return int64(len(m.Payload)) + framing
+	return int64(n) + framing
 }
 
 // Handler processes a delivered message and returns an optional

@@ -92,7 +92,9 @@ func TestSimNetworkTrafficAccounting(t *testing.T) {
 	if _, err := n.Send(context.Background(), Message{From: "src", To: "dst", Class: "noise", Payload: payload}); err != nil {
 		t.Fatal(err)
 	}
-	want := int64(len(payload)) + 32
+	// Both directions are accounted: the request and the echoed reply
+	// (this hopOf maps the reverse hop onto the same segment).
+	want := WireSizeOf(len(payload)) + WireSizeOf(len(payload))
 	if got := m.BytesByClass(metrics.HopFog1ToFog2, "noise"); got != want {
 		t.Errorf("accounted = %d, want %d", got, want)
 	}
