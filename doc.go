@@ -51,6 +51,25 @@
 // Benchmarks: BenchmarkQueryFanout, BenchmarkQueryPushdown
 // (internal/query); scripts/bench.sh records them in BENCH_PR3.json.
 //
+// Both paths are failure-hardened. transport.SimNetwork carries a
+// schedulable fault plane (directed partitions and heals, node
+// crash/restart, latency spikes, lost acknowledgements) driven by the
+// simulation clock. Delivery survives it: failed sends park on
+// per-type retry queues with their delivery sequence frozen (sealed
+// envelope v2), receivers dedupe at-least-once replays with a bounded
+// protocol.ReplayFilter, parent re-probes are gated by jittered
+// exponential backoff, and after repeated failures batches fail over
+// through sibling fog nodes (transport.KindRelay) with origin
+// identity intact. MaxPendingReadings bounds outage buffering, with
+// shed readings counted (Node.DroppedDuringOutage) rather than lost
+// silently; federated reads skip unreachable tiers and flag partial
+// results (query.Engine.RangeDetailed, AggregateDetailed). The
+// internal/chaos harness runs seeded fault schedules over a full city
+// and asserts exactly-once preservation, bounded memory and
+// post-heal convergence; failing runs print the seed that reproduces
+// them (scripts/chaos.sh runs the long sweep; see README "Resilience
+// & chaos testing").
+//
 // Quick start:
 //
 //	sys, err := f2c.NewSystem(f2c.Options{

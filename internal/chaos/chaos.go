@@ -1,0 +1,386 @@
+// Package chaos is the fault-injection harness for the F2C hierarchy:
+// it runs seeded fault schedules — network partitions and heals,
+// node crashes and restarts, latency spikes, lost acknowledgements —
+// over a fully wired simulated city and asserts the end-to-end
+// delivery invariants the architecture promises:
+//
+//   - exactly-once preservation: every reading accepted at a fog
+//     layer-1 node is eventually queryable at the cloud exactly once —
+//     no loss (retry queues + sibling failover survive the outage) and
+//     no double count (at-least-once retries are deduped by delivery
+//     sequence);
+//   - bounded memory: with MaxPendingReadings configured, no node's
+//     upward buffers ever exceed the bound during an outage, and every
+//     reading is either preserved or counted shed — never silently
+//     lost;
+//   - convergence: once every fault heals, bounded recovery rounds
+//     drain every retry queue and pending buffer.
+//
+// Everything a run does — the workload, the fault schedule, the
+// backoff jitter — derives from Scenario.Seed, so a failing run is
+// reproduced by rerunning the seed printed in its error message. (The
+// one caveat: scheduled goroutine interleaving can reorder the
+// simulated network's loss draws between runs; the invariants hold
+// for every interleaving, and the harness keeps flushing serial so
+// draws stay ordered.)
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"f2c/internal/core"
+	"f2c/internal/model"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+)
+
+// epoch is the fixed simulated start instant of every run.
+var epoch = time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// Scenario parameterizes one seeded chaos run.
+type Scenario struct {
+	// Name labels the run in errors and summaries.
+	Name string
+	// Kind selects the fault-schedule generator.
+	Kind ScheduleKind
+	// Seed drives the workload, the fault schedule and the network's
+	// loss draws. Everything a failure message needs to reproduce.
+	Seed int64
+	// Ticks is how many clock ticks the faulted phase runs (default
+	// 96).
+	Ticks int
+	// TickStep is the simulated time per tick (default 30s).
+	TickStep time.Duration
+	// BatchesPerTick is how many edge batches arrive per tick at
+	// random healthy fog layer-1 nodes (default 3).
+	BatchesPerTick int
+	// ReadingsPerBatch sizes each batch (default 5).
+	ReadingsPerBatch int
+	// MaxPendingReadings, when > 0, bounds every node's per-type
+	// upward buffer; the run then asserts the bound holds throughout
+	// and that preserved + shed == accepted instead of exact
+	// delivery.
+	MaxPendingReadings int
+	// ReplyLoss is the probability an upward acknowledgement is lost
+	// during the scheduled loss bursts (default 0.3) — the duplicate
+	// generator exercising the delivery-sequence dedup.
+	ReplyLoss float64
+}
+
+func (s *Scenario) applyDefaults() {
+	if s.Name == "" {
+		s.Name = string(s.Kind)
+	}
+	if s.Ticks <= 0 {
+		s.Ticks = 96
+	}
+	if s.TickStep <= 0 {
+		s.TickStep = 30 * time.Second
+	}
+	if s.BatchesPerTick <= 0 {
+		s.BatchesPerTick = 3
+	}
+	if s.ReadingsPerBatch <= 0 {
+		s.ReadingsPerBatch = 5
+	}
+	if s.ReplyLoss <= 0 {
+		s.ReplyLoss = 0.3
+	}
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Accepted is how many readings fog layer-1 ingest accepted.
+	Accepted int
+	// Preserved is how many readings the cloud archive ended up with.
+	Preserved int
+	// Shed is how many readings the MaxPendingReadings bound dropped
+	// (always 0 for unbounded runs).
+	Shed int64
+	// Duplicates is how many at-least-once duplicate deliveries the
+	// replay filters suppressed across the hierarchy.
+	Duplicates int64
+	// Relayed is how many batches reached the hierarchy through a
+	// sibling relay instead of the direct parent link.
+	Relayed int64
+	// Deferred is how many flushes the backoff gate skipped entirely.
+	Deferred int64
+	// RecoveryRounds is how many flush rounds the post-heal drain
+	// needed to converge.
+	RecoveryRounds int
+}
+
+// chaosTypes is the workload's sensor-type mix (quality and dedup are
+// disabled, so any value is accepted and conserved).
+var chaosTypes = []struct {
+	name string
+	cat  model.Category
+}{
+	{"traffic", model.CategoryUrban},
+	{"noise_level", model.CategoryNoise},
+}
+
+// smallCity is the run topology: 2 districts, 5 sections, 8 nodes
+// total — big enough for sibling failover and cross-district relays,
+// small enough that a sweep of seeds stays fast.
+func smallCity() (*topology.Topology, error) {
+	return topology.New("Chaosville", []topology.District{
+		{Name: "North", Sections: 3, Centroid: model.GeoPoint{Lat: 41.40, Lon: 2.17}},
+		{Name: "South", Sections: 2, Centroid: model.GeoPoint{Lat: 41.37, Lon: 2.15}},
+	})
+}
+
+// failf builds an invariant-violation error that always carries the
+// scenario name and the reproducing seed.
+func (s *Scenario) failf(format string, args ...any) error {
+	return fmt.Errorf("chaos %s (rerun with seed %d): %s", s.Name, s.Seed, fmt.Sprintf(format, args...))
+}
+
+// Run executes one seeded scenario and checks every invariant. The
+// returned error, if any, names the violated invariant and the seed
+// that reproduces it.
+func Run(s Scenario) (Result, error) {
+	s.applyDefaults()
+	var res Result
+	topo, err := smallCity()
+	if err != nil {
+		return res, err
+	}
+	clock := sim.NewVirtualClock(epoch)
+	sys, err := core.NewSystem(core.Options{
+		Topology: topo,
+		Clock:    clock,
+		City:     "Chaosville",
+		Codec:    0, // default zip: the production wire path
+		Seed:     s.Seed,
+		// Serial flushing keeps the network's seeded draws ordered,
+		// so a seed reproduces the same drop pattern.
+		FlushConcurrency:   1,
+		FlushWorkers:       1,
+		MaxPendingReadings: s.MaxPendingReadings,
+		// Backoff/failover tuned to the tick scale: first re-probe
+		// after ~1 tick, relay after 2 consecutive failures.
+		RetryBase:     s.TickStep,
+		RetryMax:      4 * s.TickStep,
+		FailoverAfter: 2,
+		// Local stores are irrelevant to the delivery invariants;
+		// keep retention windows wide so eviction never intersects
+		// the run span.
+		Fog1Retention: 30 * 24 * time.Hour,
+		Fog2Retention: 60 * 24 * time.Hour,
+	})
+	if err != nil {
+		return res, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	net := sys.Network()
+	net.ScheduleFaults(buildSchedule(s, rng, topo))
+
+	// accepted tracks every reading fog layer-1 ingest accepted, by
+	// its globally unique value.
+	accepted := make(map[float64]string) // value -> type
+	nextValue := 0.0
+	fog1IDs := sys.Fog1IDs()
+	allNodes := append(sys.Fog1IDs(), sys.Fog2IDs()...)
+	ctx := context.Background()
+
+	ingestOne := func(now time.Time) error {
+		id := fog1IDs[rng.Intn(len(fog1IDs))]
+		if net.Crashed(id) {
+			return nil // sensors cannot reach a crashed node
+		}
+		typ := chaosTypes[rng.Intn(len(chaosTypes))]
+		b := &model.Batch{
+			NodeID: "edge", TypeName: typ.name, Category: typ.cat, Collected: now,
+		}
+		for i := 0; i < s.ReadingsPerBatch; i++ {
+			nextValue++
+			b.Readings = append(b.Readings, model.Reading{
+				SensorID: fmt.Sprintf("%s/%d", typ.name, rng.Intn(16)),
+				TypeName: typ.name, Category: typ.cat,
+				Time:  now.Add(time.Duration(i) * time.Millisecond),
+				Value: nextValue,
+			})
+		}
+		if err := sys.IngestAt(id, b); err != nil {
+			return s.failf("healthy ingest at %s failed: %v", id, err)
+		}
+		for _, r := range b.Readings {
+			accepted[r.Value] = typ.name
+		}
+		res.Accepted += len(b.Readings)
+		return nil
+	}
+
+	checkBound := func(tick int) error {
+		if s.MaxPendingReadings <= 0 {
+			return nil
+		}
+		// The bound is per type; a node buffers at most len(chaosTypes)
+		// bounded types.
+		limit := s.MaxPendingReadings * len(chaosTypes)
+		for _, id := range allNodes {
+			n := nodeOf(sys, id)
+			if got := n.PendingReadings(); got > limit {
+				return s.failf("tick %d: node %s buffers %d readings, bound is %d",
+					tick, id, got, limit)
+			}
+		}
+		return nil
+	}
+
+	// Faulted phase: ingest, flush, query, verify the memory bound.
+	for tick := 0; tick < s.Ticks; tick++ {
+		clock.Advance(s.TickStep)
+		net.PumpFaults(clock.Now())
+		for i := 0; i < s.BatchesPerTick; i++ {
+			if err := ingestOne(clock.Now()); err != nil {
+				return res, err
+			}
+		}
+		// Flush errors are expected mid-outage: data requeues.
+		_ = sys.FlushAll(ctx)
+		if err := checkBound(tick); err != nil {
+			return res, err
+		}
+		// A read mid-outage must degrade (partial flag, skipped
+		// tiers), never hang or crash the walk.
+		if tick%7 == 3 {
+			requester := fog1IDs[rng.Intn(len(fog1IDs))]
+			if !net.Crashed(requester) {
+				from := clock.Now().Add(-time.Duration(s.Ticks) * s.TickStep)
+				_, _ = sys.QueryEngine(requester).RangeDetailed(ctx, "traffic", from, clock.Now(), 1000)
+			}
+		}
+	}
+
+	// Recovery: heal everything, then drain. Each round advances past
+	// the largest backoff window so deferred nodes re-probe.
+	net.HealAll()
+	const maxRounds = 64
+	drained := false
+	for round := 1; round <= maxRounds; round++ {
+		clock.Advance(4 * s.TickStep)
+		if err := sys.FlushAll(ctx); err != nil {
+			return res, s.failf("recovery round %d flush failed after heal: %v", round, err)
+		}
+		res.RecoveryRounds = round
+		if totalPending(sys, allNodes) == 0 {
+			drained = true
+			break
+		}
+	}
+	if !drained {
+		return res, s.failf("no convergence: %d batches still pending after %d recovery rounds",
+			totalPending(sys, allNodes), maxRounds)
+	}
+
+	// Invariants over the cloud archive.
+	res.Shed = totalShed(sys, allNodes)
+	res.Duplicates = totalDuplicates(sys, allNodes)
+	res.Relayed, res.Deferred = totalRelayedDeferred(sys, allNodes)
+
+	seen := make(map[float64]int, len(accepted))
+	for _, typ := range chaosTypes {
+		for _, r := range sys.Cloud().Historical(typ.name, epoch, clock.Now().Add(time.Hour)) {
+			seen[r.Value]++
+			res.Preserved++
+			if seen[r.Value] > 1 {
+				return res, s.failf("duplicate preservation: %s value %v archived %d times",
+					typ.name, r.Value, seen[r.Value])
+			}
+			if accepted[r.Value] != typ.name {
+				return res, s.failf("phantom reading: %s value %v was never accepted", typ.name, r.Value)
+			}
+		}
+	}
+	if s.MaxPendingReadings > 0 {
+		// Shed and preserved can overlap: a delivered batch whose
+		// acknowledgement was lost sits on the retry queue, and if the
+		// bound trims it, its readings count as shed even though the
+		// receiver preserved them (the sender cannot know). Shed is
+		// therefore an upper bound on loss, and the invariant is
+		// no SILENT loss: every accepted reading that never reached
+		// the cloud must be covered by the shed count.
+		missing := 0
+		for v := range accepted {
+			if seen[v] == 0 {
+				missing++
+			}
+		}
+		if int64(missing) > res.Shed {
+			return res, s.failf("silent loss: %d readings neither preserved nor covered by the shed count (%d)",
+				missing, res.Shed)
+		}
+	} else {
+		if res.Shed != 0 {
+			return res, s.failf("unbounded run shed %d readings", res.Shed)
+		}
+		if res.Preserved != res.Accepted {
+			missing := 0
+			for v := range accepted {
+				if seen[v] == 0 {
+					missing++
+				}
+			}
+			return res, s.failf("exactly-once broken: accepted %d, preserved %d (%d missing)",
+				res.Accepted, res.Preserved, missing)
+		}
+	}
+	return res, nil
+}
+
+// nodeOf returns the fog node behind an ID, at either layer.
+func nodeOf(sys *core.System, id string) interface {
+	PendingBatches() int
+	PendingReadings() int
+	ShedReadings() int64
+	DroppedDuringOutage() int64
+	RelayedBatches() int64
+	DuplicateBatches() int64
+	DeferredFlushes() int64
+} {
+	if n, ok := sys.Fog1(id); ok {
+		return n
+	}
+	if n, ok := sys.Fog2(id); ok {
+		return n
+	}
+	panic("chaos: unknown node " + id)
+}
+
+func totalPending(sys *core.System, ids []string) int {
+	total := 0
+	for _, id := range ids {
+		total += nodeOf(sys, id).PendingBatches()
+	}
+	return total
+}
+
+func totalShed(sys *core.System, ids []string) int64 {
+	var total int64
+	for _, id := range ids {
+		total += nodeOf(sys, id).ShedReadings()
+	}
+	return total
+}
+
+func totalDuplicates(sys *core.System, ids []string) int64 {
+	total := sys.Cloud().DuplicateBatches()
+	for _, id := range ids {
+		total += nodeOf(sys, id).DuplicateBatches()
+	}
+	return total
+}
+
+func totalRelayedDeferred(sys *core.System, ids []string) (relayed, deferred int64) {
+	for _, id := range ids {
+		n := nodeOf(sys, id)
+		relayed += n.RelayedBatches()
+		deferred += n.DeferredFlushes()
+	}
+	return relayed, deferred
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+)
+
+// ScheduleKind selects a fault-schedule generator.
+type ScheduleKind string
+
+const (
+	// KindPartitionHeal cuts directed uplinks (fog1 -> parent,
+	// fog2 -> cloud) for randomized windows and heals them — the
+	// sibling-relay failover path's home turf.
+	KindPartitionHeal ScheduleKind = "partition-heal"
+	// KindCrashRestart takes whole nodes down — a district, then the
+	// cloud itself — and restarts them; while the cloud is dark every
+	// upward path fails and everything must queue.
+	KindCrashRestart ScheduleKind = "crash-restart"
+	// KindRollingChurn crashes and restarts the fog layer-1 nodes in
+	// overlapping waves, the paper's node-churn concern.
+	KindRollingChurn ScheduleKind = "rolling-churn"
+)
+
+// buildSchedule derives a full fault schedule from the scenario seed.
+// Every generated outage heals within the faulted phase (the recovery
+// phase additionally starts with HealAll, so a schedule bug cannot
+// wedge a run), and every kind mixes in reply-loss bursts and a
+// latency spike so the at-least-once dedup and the slow-link path are
+// always exercised.
+func buildSchedule(s Scenario, rng *rand.Rand, topo *topology.Topology) []transport.FaultEvent {
+	at := func(tick int) time.Time { return epoch.Add(time.Duration(tick) * s.TickStep) }
+	span := s.Ticks
+	var ev []transport.FaultEvent
+
+	fog1 := topo.Fog1Nodes()
+	fog2 := topo.Fog2Nodes()
+
+	// window picks a [start, end) tick window inside the faulted
+	// phase's first 3/4, so every outage has time to heal and drain.
+	window := func(minLen, maxLen int) (int, int) {
+		length := minLen + rng.Intn(maxLen-minLen+1)
+		start := 1 + rng.Intn(span*3/4)
+		return start, start + length
+	}
+
+	// Reply-loss bursts on two random fog1 uplinks and one district
+	// uplink: acknowledgements vanish, senders retry, receivers must
+	// dedupe.
+	for i := 0; i < 2; i++ {
+		n := fog1[rng.Intn(len(fog1))]
+		from, to := n.ID, n.Parent
+		a, b := window(span/8, span/4)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultReplyLoss, A: from, B: to, Prob: s.ReplyLoss},
+			transport.FaultEvent{At: at(b), Op: transport.FaultReplyLoss, A: from, B: to, Prob: 0},
+		)
+	}
+	{
+		n := fog2[rng.Intn(len(fog2))]
+		a, b := window(span/8, span/4)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultReplyLoss, A: n.ID, B: n.Parent, Prob: s.ReplyLoss},
+			transport.FaultEvent{At: at(b), Op: transport.FaultReplyLoss, A: n.ID, B: n.Parent, Prob: 0},
+		)
+	}
+
+	// One latency spike on a random district uplink (congestion, not
+	// failure: traffic keeps flowing).
+	{
+		n := fog2[rng.Intn(len(fog2))]
+		a, b := window(span/8, span/4)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultLatency, A: n.ID, B: n.Parent, Extra: 250 * time.Millisecond},
+			transport.FaultEvent{At: at(b), Op: transport.FaultLatency, A: n.ID, B: n.Parent, Extra: 0},
+		)
+	}
+
+	switch s.Kind {
+	case KindPartitionHeal:
+		// Three directed fog1-uplink cuts and one district-uplink cut.
+		for i := 0; i < 3; i++ {
+			n := fog1[rng.Intn(len(fog1))]
+			a, b := window(span/6, span/3)
+			ev = append(ev,
+				transport.FaultEvent{At: at(a), Op: transport.FaultPartition, A: n.ID, B: n.Parent},
+				transport.FaultEvent{At: at(b), Op: transport.FaultHeal, A: n.ID, B: n.Parent},
+			)
+		}
+		n := fog2[rng.Intn(len(fog2))]
+		a, b := window(span/6, span/3)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultPartition, A: n.ID, B: n.Parent},
+			transport.FaultEvent{At: at(b), Op: transport.FaultHeal, A: n.ID, B: n.Parent},
+		)
+
+	case KindCrashRestart:
+		// A whole district dies and comes back...
+		d := fog2[rng.Intn(len(fog2))]
+		a, b := window(span/6, span/3)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: d.ID},
+			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: d.ID},
+		)
+		// ...and later the cloud itself goes dark for a stretch:
+		// every upward path fails, everything queues.
+		a, b = window(span/6, span/4)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: "cloud"},
+			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: "cloud"},
+		)
+
+	case KindRollingChurn:
+		// Overlapping crash waves across every fog1 node, staggered
+		// so at least one sibling per district usually stays up.
+		stagger := max(span/(2*len(fog1)), 1)
+		for round := 0; round < 2; round++ {
+			base := 1 + round*span/3
+			for i, n := range fog1 {
+				start := base + i*stagger
+				length := 2 + rng.Intn(span/8+1)
+				if start+length >= span {
+					length = span - start - 1
+				}
+				if length <= 0 {
+					continue
+				}
+				ev = append(ev,
+					transport.FaultEvent{At: at(start), Op: transport.FaultCrash, A: n.ID},
+					transport.FaultEvent{At: at(start + length), Op: transport.FaultRestart, A: n.ID},
+				)
+			}
+		}
+	}
+	return ev
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// carry; historical scans over the archive stream in
 	// cursor-linked pages. Zero selects protocol.DefaultPageLimit.
 	MaxQueryPage int
+	// ReplayWindow bounds how many recently preserved batch sequences
+	// the cloud remembers per origin for at-least-once dedup. Zero
+	// selects protocol.DefaultReplayWindow.
+	ReplayWindow int
 }
 
 // Node is the cloud layer. Safe for concurrent use.
@@ -45,9 +49,11 @@ type Node struct {
 	cfg     Config
 	archive *store.Archive
 	series  *store.TimeSeries
+	replay  *protocol.ReplayFilter
 
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
+	dupBatches      *metrics.Counter
 }
 
 // New builds a cloud node.
@@ -77,10 +83,16 @@ func New(cfg Config) (*Node, error) {
 		cfg:             cfg,
 		archive:         store.NewArchive(),
 		series:          store.NewTimeSeries(0), // permanent
+		replay:          protocol.NewReplayFilter(cfg.ReplayWindow),
 		ingestedBatches: cfg.Registry.Counter(cfg.ID + ".ingest.batches"),
 		ingestedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.readings"),
+		dupBatches:      cfg.Registry.Counter(cfg.ID + ".ingest.duplicates"),
 	}, nil
 }
+
+// DuplicateBatches reports how many at-least-once duplicate
+// deliveries the cloud's receive path suppressed.
+func (n *Node) DuplicateBatches() int64 { return n.dupBatches.Value() }
 
 // ID returns the endpoint name.
 func (n *Node) ID() string { return n.cfg.ID }
@@ -172,13 +184,21 @@ var _ transport.Handler = (*Node)(nil)
 func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error) {
 	switch msg.Kind {
 	case transport.KindBatch:
-		b, _, err := protocol.DecodeBatchPayload(msg.Payload)
+		b, _, seq, err := protocol.DecodeBatchPayloadSeq(msg.Payload)
 		if err != nil {
 			return nil, err
+		}
+		// At-least-once dedup, keyed by the batch's origin so a copy
+		// arriving through a sibling relay and a direct retry dedupe
+		// against each other (see fognode.Handle).
+		if n.replay.Seen(b.NodeID, seq) {
+			n.dupBatches.Inc()
+			return []byte("ok"), nil
 		}
 		if err := n.Preserve(b, msg.From); err != nil {
 			return nil, err
 		}
+		n.replay.Mark(b.NodeID, seq)
 		return []byte("ok"), nil
 	case transport.KindQuery:
 		var req protocol.QueryRequest

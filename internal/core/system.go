@@ -84,6 +84,22 @@ type Options struct {
 	// node (see fognode.Config.MaxQueryPage); zero selects
 	// protocol.DefaultPageLimit.
 	QueryPageLimit int
+	// MaxPendingReadings bounds each node's per-type upward buffer
+	// during parent outages (see fognode.Config.MaxPendingReadings);
+	// zero keeps the buffers unbounded.
+	MaxPendingReadings int
+	// RetryBase enables jittered exponential backoff + sibling
+	// failover on every fog node's parent link (see
+	// fognode.Config.RetryBase); zero keeps the pre-resilience
+	// always-attempt behavior.
+	RetryBase time.Duration
+	// RetryMax caps the backoff window (default 64 x RetryBase).
+	RetryMax time.Duration
+	// FailoverAfter is how many consecutive parent failures switch a
+	// node to sibling relay (default 3). Fog layer-1 nodes relay
+	// through their district siblings; fog layer-2 nodes through the
+	// other districts.
+	FailoverAfter int
 }
 
 func (o *Options) applyDefaults() {
@@ -169,6 +185,9 @@ func NewSystem(opts Options) (*System, error) {
 		transport.WithDefaultLink(transport.EdgeLink),
 		transport.WithLatencyEmulation(opts.Emulate),
 		transport.WithTrafficMatrix(opts.Matrix, hopOf),
+		// Scheduled fault events (chaos harnesses, failure drills)
+		// fire against the system clock.
+		transport.WithFaultClock(opts.Clock),
 	)
 
 	cl, err := cloud.New(cloud.Config{
@@ -181,21 +200,36 @@ func NewSystem(opts Options) (*System, error) {
 	s.cloud = cl
 	s.net.Register(CloudID, cl)
 
-	for _, spec := range s.topo.Fog2Nodes() {
+	fog2Specs := s.topo.Fog2Nodes()
+	for _, spec := range fog2Specs {
+		// A district's failover siblings are the other districts:
+		// when its own WAN uplink is partitioned, a healthy district
+		// relays the sealed batches to the cloud.
+		var fog2Siblings []string
+		for _, other := range fog2Specs {
+			if other.ID != spec.ID {
+				fog2Siblings = append(fog2Siblings, other.ID)
+			}
+		}
 		n, err := fognode.New(fognode.Config{
-			Spec:          spec,
-			City:          opts.City,
-			Clock:         opts.Clock,
-			Transport:     s.net,
-			Retention:     opts.Fog2Retention,
-			FlushInterval: opts.Fog2FlushInterval,
-			Codec:         opts.Codec,
-			Dedup:         false, // layer 1 already eliminated redundancy
-			Quality:       false, // quality is checked once, at acquisition
-			Registry:      opts.Registry,
-			PendingShards: opts.PendingShards,
-			FlushWorkers:  opts.FlushWorkers,
-			MaxQueryPage:  opts.QueryPageLimit,
+			Spec:               spec,
+			City:               opts.City,
+			Clock:              opts.Clock,
+			Transport:          s.net,
+			Retention:          opts.Fog2Retention,
+			FlushInterval:      opts.Fog2FlushInterval,
+			Codec:              opts.Codec,
+			Dedup:              false, // layer 1 already eliminated redundancy
+			Quality:            false, // quality is checked once, at acquisition
+			Registry:           opts.Registry,
+			PendingShards:      opts.PendingShards,
+			FlushWorkers:       opts.FlushWorkers,
+			MaxQueryPage:       opts.QueryPageLimit,
+			MaxPendingReadings: opts.MaxPendingReadings,
+			Siblings:           fog2Siblings,
+			RetryBase:          opts.RetryBase,
+			RetryMax:           opts.RetryMax,
+			FailoverAfter:      opts.FailoverAfter,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: fog2 %s: %w", spec.ID, err)
@@ -204,23 +238,31 @@ func NewSystem(opts Options) (*System, error) {
 		s.fog2IDs = append(s.fog2IDs, spec.ID)
 		s.net.Register(spec.ID, n)
 		s.net.SetLink(spec.ID, CloudID, transport.WANLink)
+		for _, sib := range fog2Siblings {
+			s.net.SetLink(spec.ID, sib, transport.MetroLink)
+		}
 	}
 
 	for _, spec := range s.topo.Fog1Nodes() {
 		n, err := fognode.New(fognode.Config{
-			Spec:          spec,
-			City:          opts.City,
-			Clock:         opts.Clock,
-			Transport:     s.net,
-			Retention:     opts.Fog1Retention,
-			FlushInterval: opts.Fog1FlushInterval,
-			Codec:         opts.Codec,
-			Dedup:         opts.Dedup,
-			Quality:       opts.Quality,
-			Registry:      opts.Registry,
-			PendingShards: opts.PendingShards,
-			FlushWorkers:  opts.FlushWorkers,
-			MaxQueryPage:  opts.QueryPageLimit,
+			Spec:               spec,
+			City:               opts.City,
+			Clock:              opts.Clock,
+			Transport:          s.net,
+			Retention:          opts.Fog1Retention,
+			FlushInterval:      opts.Fog1FlushInterval,
+			Codec:              opts.Codec,
+			Dedup:              opts.Dedup,
+			Quality:            opts.Quality,
+			Registry:           opts.Registry,
+			PendingShards:      opts.PendingShards,
+			FlushWorkers:       opts.FlushWorkers,
+			MaxQueryPage:       opts.QueryPageLimit,
+			MaxPendingReadings: opts.MaxPendingReadings,
+			Siblings:           s.topo.Neighbors(spec.ID),
+			RetryBase:          opts.RetryBase,
+			RetryMax:           opts.RetryMax,
+			FailoverAfter:      opts.FailoverAfter,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: fog1 %s: %w", spec.ID, err)

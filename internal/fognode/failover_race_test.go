@@ -1,0 +1,163 @@
+package fognode
+
+// Race coverage for the backoff/failover state machine: concurrent
+// ingests and flushes while the parent link flaps and deliveries fall
+// over to a sibling relay. Meaningful under `go test -race` (CI runs
+// it that way); the conservation assertion also catches lost or
+// double-counted batches without the detector.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+)
+
+// flappingNet is a concurrent scriptNet: the parent link availability
+// flips from another goroutine while flush workers are delivering;
+// the sibling relay path stays healthy. Unique readings are counted
+// through a real ReplayFilter, exactly like the production parent.
+type flappingNet struct {
+	parentUp atomic.Bool
+
+	mu     sync.Mutex
+	filter *protocol.ReplayFilter
+	unique int64
+}
+
+func (f *flappingNet) Send(_ context.Context, msg transport.Message) ([]byte, error) {
+	switch msg.Kind {
+	case transport.KindBatch:
+		if !f.parentUp.Load() {
+			return nil, errors.New("parent flapping")
+		}
+	case transport.KindRelay:
+		// Sibling path: always healthy, forwards to the parent.
+	default:
+		return nil, errors.New("unexpected kind")
+	}
+	b, _, seq, err := protocol.DecodeBatchPayloadSeq(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.filter.Seen(b.NodeID, seq) {
+		f.filter.Mark(b.NodeID, seq)
+		f.unique += int64(len(b.Readings))
+	}
+	return []byte("ok"), nil
+}
+
+// TestFailoverFlappingParentRace hammers a node with parallel ingests
+// and flushes while the parent link flaps, then heals the link and
+// asserts conservation: every ingested reading is delivered exactly
+// once (relay and direct paths deduped by sequence).
+func TestFailoverFlappingParentRace(t *testing.T) {
+	net := &flappingNet{filter: protocol.NewReplayFilter(0)}
+	net.parentUp.Store(true)
+	n, err := New(Config{
+		Spec:          fog1Spec(),
+		Clock:         sim.WallClock{}, // real clock: backoff windows expire on their own
+		Transport:     net,
+		Codec:         aggregate.CodecNone,
+		Quality:       true,
+		FlushWorkers:  4,
+		Siblings:      []string{"fog1/d01-s02"},
+		RetryBase:     time.Millisecond,
+		RetryMax:      4 * time.Millisecond,
+		FailoverAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perWorker = 150
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, rt := range raceTypes {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(rt struct {
+				name string
+				cat  model.Category
+				val  func(i int) float64
+			}, w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					at := start.Add(time.Duration(w*perWorker+i) * time.Millisecond)
+					if err := n.Ingest(raceBatch(rt.name, rt.cat, w, rt.val(i), at)); err != nil {
+						t.Errorf("ingest %s: %v", rt.name, err)
+						return
+					}
+				}
+			}(rt, w)
+		}
+	}
+	stop := make(chan struct{})
+	var loops sync.WaitGroup
+	loops.Add(1)
+	go func() { // flusher
+		defer loops.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = n.Flush(ctx)
+			}
+		}
+	}()
+	loops.Add(1)
+	go func() { // link flapper
+		defer loops.Done()
+		up := false
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				net.parentUp.Store(up)
+				up = !up
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	loops.Wait()
+
+	// Heal and drain. Backoff windows are a few milliseconds; retry
+	// until everything is out.
+	net.parentUp.Store(true)
+	want := int64(len(raceTypes) * 2 * perWorker)
+	deadline := time.After(30 * time.Second)
+	for n.PendingBatches() > 0 {
+		_ = n.Flush(ctx)
+		select {
+		case <-deadline:
+			t.Fatalf("drain stalled: %d batches still pending", n.PendingBatches())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	net.mu.Lock()
+	unique := net.unique
+	net.mu.Unlock()
+	if unique != want {
+		t.Errorf("delivered %d unique readings, ingested %d: flapping parent lost or duplicated data", unique, want)
+	}
+	if shed := n.ShedReadings(); shed != 0 {
+		t.Errorf("shed %d readings with no bound configured", shed)
+	}
+	if n.DroppedDuringOutage() != 0 {
+		t.Errorf("outage drops = %d with no bound configured", n.DroppedDuringOutage())
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"f2c/internal/aggregate"
@@ -89,6 +91,31 @@ type Config struct {
 	// carry; larger range scans stream in cursor-linked pages. Zero
 	// selects protocol.DefaultPageLimit.
 	MaxQueryPage int
+	// Siblings are peer fog nodes at this node's own layer that can
+	// relay batches to their parent when this node's parent is
+	// unreachable (the distributed-fog failover path). Empty disables
+	// sibling relay.
+	Siblings []string
+	// RetryBase enables jittered exponential backoff on parent
+	// failures: after a failed flush the parent is re-probed no
+	// sooner than RetryBase (doubling per consecutive failure up to
+	// RetryMax, jittered over [d/2, d]). Zero disables backoff and
+	// failover — every flush attempts the parent, the pre-resilience
+	// behavior.
+	RetryBase time.Duration
+	// RetryMax caps the backoff window (default 64 x RetryBase).
+	RetryMax time.Duration
+	// FailoverAfter is how many consecutive parent failures switch
+	// the node to sibling relay (default 3; effective only with
+	// Siblings configured and RetryBase > 0).
+	FailoverAfter int
+	// FailoverSeed seeds the backoff jitter (0 derives one from the
+	// node ID), keeping chaos runs reproducible.
+	FailoverSeed int64
+	// ReplayWindow bounds how many recently delivered batch sequences
+	// the node remembers per origin for at-least-once dedup on its
+	// receive path. Zero selects protocol.DefaultReplayWindow.
+	ReplayWindow int
 }
 
 // BatchObserver receives post-pipeline batches.
@@ -124,6 +151,12 @@ func (c *Config) applyDefaults() error {
 	if c.MaxQueryPage <= 0 {
 		c.MaxQueryPage = protocol.DefaultPageLimit
 	}
+	if c.RetryBase > 0 && c.RetryMax < c.RetryBase {
+		c.RetryMax = 64 * c.RetryBase
+	}
+	if c.FailoverAfter <= 0 {
+		c.FailoverAfter = 3
+	}
 	return nil
 }
 
@@ -138,6 +171,13 @@ type Node struct {
 	shards    []pendingShard
 	shardMask uint32
 
+	// up is the parent-link retry/backoff/failover state machine;
+	// replay dedupes at-least-once deliveries on the receive path;
+	// seq numbers this node's outgoing sealed batches.
+	up     *upstream
+	replay *protocol.ReplayFilter
+	seq    atomic.Uint64
+
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
 	flushedBatches  *metrics.Counter
@@ -145,6 +185,10 @@ type Node struct {
 	flushErrors     *metrics.Counter
 	rejectedReads   *metrics.Counter
 	shedReads       *metrics.Counter
+	outageDrops     *metrics.Counter
+	relayedBatches  *metrics.Counter
+	deferredFlushes *metrics.Counter
+	dupBatches      *metrics.Counter
 
 	// scratch recycles per-flush-worker buffers (wire encoding,
 	// sealed payload, collected batch slice) so steady-state flushes
@@ -155,14 +199,13 @@ type Node struct {
 }
 
 // flushScratch is the reusable state of one flush worker: the
-// sealer's wire-encode buffer, the sealed-payload buffer handed to
-// the transport, and the batch slice the flush collector fills.
-// Payload buffers may be reused immediately after Transport.Send
-// returns (transports do not retain them — see transport.Transport).
+// sealer's wire-encode buffer and the sealed-payload buffer handed to
+// the transport. Payload buffers may be reused immediately after
+// Transport.Send returns (transports do not retain them — see
+// transport.Transport).
 type flushScratch struct {
 	sealer  protocol.Sealer
 	payload []byte
-	batches []*model.Batch
 }
 
 func (n *Node) getScratch() *flushScratch {
@@ -173,10 +216,6 @@ func (n *Node) getScratch() *flushScratch {
 }
 
 func (n *Node) putScratch(sc *flushScratch) {
-	for i := range sc.batches {
-		sc.batches[i] = nil // do not retain flushed batches
-	}
-	sc.batches = sc.batches[:0]
 	// Don't let one outlier batch pin a giant buffer in the pool.
 	const maxKeep = 1 << 20
 	if cap(sc.payload) > maxKeep {
@@ -201,9 +240,18 @@ func New(cfg Config) (*Node, error) {
 		deduper:   aggregate.NewDeduper(),
 		describer: describe.NewDescriber(cfg.City, district, cfg.Spec.Name, cfg.Spec.Centroid, "f2c"),
 		shards:    newPendingShards(cfg.PendingShards),
+		up:        newUpstream(&cfg),
+		replay:    protocol.NewReplayFilter(cfg.ReplayWindow),
 		lc:        newLifecycle(),
 	}
 	n.shardMask = uint32(len(n.shards) - 1)
+	// Delivery sequences start at a random per-process base: a
+	// restarted node must not reuse its predecessor's sequences, or
+	// the parent's replay filter (which remembers the old process
+	// under the same origin) would falsely dedupe the new process's
+	// first batches. The base is halved for overflow headroom and
+	// forced nonzero (sequence 0 means "unidentified").
+	n.seq.Store(rand.Uint64()>>1 | 1)
 	reg := cfg.Registry
 	prefix := cfg.Spec.ID + "."
 	n.ingestedBatches = reg.Counter(prefix + "ingest.batches")
@@ -213,6 +261,10 @@ func New(cfg Config) (*Node, error) {
 	n.flushErrors = reg.Counter(prefix + "flush.errors")
 	n.rejectedReads = reg.Counter(prefix + "ingest.rejected")
 	n.shedReads = reg.Counter(prefix + "flush.shed")
+	n.outageDrops = reg.Counter(prefix + "flush.dropped_during_outage")
+	n.relayedBatches = reg.Counter(prefix + "flush.relayed")
+	n.deferredFlushes = reg.Counter(prefix + "flush.deferred")
+	n.dupBatches = reg.Counter(prefix + "ingest.duplicates")
 
 	if cfg.Dedup {
 		n.stages = append(n.stages, dedupStage{deduper: n.deduper})
@@ -274,8 +326,9 @@ func (n *Node) Ingest(b *model.Batch) error {
 }
 
 // enqueue merges a filtered batch into the per-type pending buffer
-// that the next flush will move upward, shedding the oldest readings
-// when a bound is configured and exceeded (prolonged parent outage).
+// that the next flush will move upward, shedding the oldest buffered
+// readings when a bound is configured and exceeded (prolonged parent
+// outage).
 func (n *Node) enqueue(sh *pendingShard, b *model.Batch) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -284,39 +337,123 @@ func (n *Node) enqueue(sh *pendingShard, b *model.Batch) {
 		cp := b.Clone()
 		cp.NodeID = n.cfg.Spec.ID // upward batches carry this node's identity
 		sh.pending[b.TypeName] = cp
-		cur = cp
 	} else {
 		cur.Readings = append(cur.Readings, b.Readings...)
 	}
-	n.boundPendingLocked(cur)
+	n.boundTypeLocked(sh, b.TypeName)
 }
 
-// boundPendingLocked sheds the oldest readings of a pending batch
-// when the configured bound is exceeded. The caller holds the lock of
-// the shard owning the batch.
-func (n *Node) boundPendingLocked(cur *model.Batch) {
+// boundTypeLocked enforces MaxPendingReadings across everything a
+// type has buffered upward — the retry queue (failed sends held
+// through an outage) plus the fresh pending buffer — shedding oldest
+// first: the front of the retry queue, then the pending buffer's
+// head. Readings dropped from the retry queue are additionally
+// counted as DroppedDuringOutage: they were lost because the parent
+// stayed unreachable past the buffer budget, the signal operators
+// alarm on. The caller holds the shard lock.
+func (n *Node) boundTypeLocked(sh *pendingShard, typ string) {
 	max := n.cfg.MaxPendingReadings
-	if max <= 0 || len(cur.Readings) <= max {
+	if max <= 0 {
 		return
 	}
-	shed := len(cur.Readings) - max
-	n.shedReads.Add(int64(shed))
-	kept := make([]model.Reading, max)
-	copy(kept, cur.Readings[shed:])
-	cur.Readings = kept
+	total := 0
+	for _, sb := range sh.retry[typ] {
+		total += len(sb.b.Readings)
+	}
+	if p, ok := sh.pending[typ]; ok {
+		total += len(p.Readings)
+	}
+	drop := total - max
+	if drop <= 0 {
+		return
+	}
+	q := sh.retry[typ]
+	for drop > 0 && len(q) > 0 {
+		head := q[0].b
+		k := len(head.Readings)
+		if k > drop {
+			k = drop
+		}
+		head.Readings = head.Readings[k:]
+		n.shedReads.Add(int64(k))
+		n.outageDrops.Add(int64(k))
+		drop -= k
+		if len(head.Readings) == 0 {
+			q[0] = sealedBatch{} // release the emptied batch
+			q = q[1:]
+		}
+	}
+	if len(q) == 0 {
+		delete(sh.retry, typ)
+	} else {
+		sh.retry[typ] = q
+	}
+	if drop > 0 {
+		p := sh.pending[typ]
+		n.shedReads.Add(int64(drop))
+		kept := make([]model.Reading, len(p.Readings)-drop)
+		copy(kept, p.Readings[drop:])
+		p.Readings = kept
+	}
 }
 
 // ShedReadings reports how many buffered readings were dropped under
 // the MaxPendingReadings bound.
 func (n *Node) ShedReadings() int64 { return n.shedReads.Value() }
 
-// PendingBatches returns how many per-type batches await flushing.
+// DroppedDuringOutage reports how many readings the bound shed from
+// the retry queue — data lost because the parent stayed unreachable
+// longer than the configured buffer budget could absorb.
+func (n *Node) DroppedDuringOutage() int64 { return n.outageDrops.Value() }
+
+// RelayedBatches reports how many batches reached the hierarchy
+// through a sibling relay instead of the parent.
+func (n *Node) RelayedBatches() int64 { return n.relayedBatches.Value() }
+
+// DuplicateBatches reports how many at-least-once duplicate
+// deliveries this node's receive path suppressed.
+func (n *Node) DuplicateBatches() int64 { return n.dupBatches.Value() }
+
+// DeferredFlushes reports how many flushes the backoff gate skipped
+// outright (parent inside its retry window, no relay available).
+func (n *Node) DeferredFlushes() int64 { return n.deferredFlushes.Value() }
+
+// UpstreamState reports the parent-link state machine's mode
+// (healthy, backoff or relay).
+func (n *Node) UpstreamState() UpstreamState { return n.up.state() }
+
+// PendingBatches returns how many batches await an upward flush: the
+// per-type pending buffers plus every batch parked on a retry queue.
 func (n *Node) PendingBatches() int {
 	total := 0
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.mu.Lock()
 		total += len(sh.pending)
+		for _, q := range sh.retry {
+			total += len(q)
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// PendingReadings returns how many readings are buffered for upward
+// delivery across all types (pending + retry) — the quantity
+// MaxPendingReadings bounds per type.
+func (n *Node) PendingReadings() int {
+	total := 0
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		for _, b := range sh.pending {
+			total += len(b.Readings)
+		}
+		for _, q := range sh.retry {
+			for _, sb := range q {
+				total += len(sb.b.Readings)
+			}
+		}
 		sh.mu.Unlock()
 	}
 	return total
@@ -376,58 +513,97 @@ func (n *Node) FlushCategory(ctx context.Context, cat model.Category) error {
 	return n.flush(ctx, func(b *model.Batch) bool { return b.Category == cat })
 }
 
+// typeWork is one sensor type's delivery unit for a flush: the retry
+// queue (frozen sequences, oldest first) followed by the fresh
+// pending batch. A worker sends the batches in order and stops at the
+// first failure, requeueing the unsent tail, so one type's readings
+// never arrive out of order within a flush.
+type typeWork struct {
+	typ     string
+	batches []sealedBatch
+}
+
+// errDeferred marks a delivery skipped because the parent link is
+// inside its backoff window and no sibling relay is available. The
+// batch stays queued; the flush reports success (nothing was lost,
+// nothing was attempted).
+var errDeferred = errors.New("fognode: delivery deferred by backoff")
+
 // flush moves pending batches matching the filter (nil = all) upward,
 // encoding and sending with a bounded worker pool. Within one flush,
-// each sensor type is exactly one in-flight batch, so worker
-// interleaving cannot reorder a type's readings. (As before the
-// refactor, two overlapping Flush calls can deliver a type's batches
-// out of order when the earlier one fails and requeues.)
+// each sensor type is one ordered delivery unit (retry queue first,
+// then fresh data), so worker interleaving cannot reorder a type's
+// readings. (As before, two overlapping Flush calls can deliver a
+// type's batches out of order when the earlier one fails and
+// requeues.)
 func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	defer n.store.Evict(n.cfg.Clock.Now())
 
-	sc := n.getScratch()
-	defer n.putScratch(sc)
-	batches := sc.batches
+	now := n.cfg.Clock.Now()
+	if !n.up.attemptAllowed(now) {
+		// Inside the backoff window with no relay available: keep
+		// everything queued and do not burn an attempt.
+		n.deferredFlushes.Inc()
+		return nil
+	}
+
+	var works []typeWork
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.mu.Lock()
+		for typ, q := range sh.retry {
+			if match != nil && !match(q[0].b) {
+				continue
+			}
+			w := typeWork{typ: typ, batches: q}
+			if p, ok := sh.pending[typ]; ok {
+				w.batches = append(w.batches, sealedBatch{b: p})
+				delete(sh.pending, typ)
+			}
+			delete(sh.retry, typ)
+			works = append(works, w)
+		}
 		for typ, b := range sh.pending {
 			if match == nil || match(b) {
-				batches = append(batches, b)
+				works = append(works, typeWork{typ: typ, batches: []sealedBatch{{b: b}}})
 				delete(sh.pending, typ)
 			}
 		}
 		sh.mu.Unlock()
 	}
-	sc.batches = batches
-	if len(batches) == 0 {
+	if len(works) == 0 {
 		return nil
 	}
-	// Deterministic send/error order for tests and accounting.
-	sort.Slice(batches, func(i, j int) bool { return batches[i].TypeName < batches[j].TypeName })
+	// Deterministic send/error order — and deterministic sequence
+	// assignment — for tests and accounting.
+	sort.Slice(works, func(i, j int) bool { return works[i].typ < works[j].typ })
+	for wi := range works {
+		for bi := range works[wi].batches {
+			if works[wi].batches[bi].seq == 0 {
+				works[wi].batches[bi].seq = n.seq.Add(1)
+			}
+		}
+	}
 
 	if n.cfg.Spec.Parent == "" {
-		for _, b := range batches {
-			n.requeue(b)
-		}
+		n.requeueWorks(works)
 		return fmt.Errorf("%w: %s", ErrNoParent, n.cfg.Spec.ID)
 	}
 	if n.cfg.Transport == nil {
-		for _, b := range batches {
-			n.requeue(b)
-		}
+		n.requeueWorks(works)
 		return fmt.Errorf("fognode %s: no transport configured", n.cfg.Spec.ID)
 	}
 
-	now := n.cfg.Clock.Now()
-	errs := make([]error, len(batches))
+	errs := make([]error, len(works))
 	workers := n.cfg.FlushWorkers
-	if workers > len(batches) {
-		workers = len(batches)
+	if workers > len(works) {
+		workers = len(works)
 	}
 	if workers <= 1 {
-		for i, b := range batches {
-			errs[i] = n.sendBatch(ctx, b, now, sc)
+		sc := n.getScratch()
+		defer n.putScratch(sc)
+		for i := range works {
+			errs[i] = n.sendTypeWork(ctx, works[i], now, sc)
 		}
 		return errors.Join(errs...)
 	}
@@ -440,11 +616,11 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 			wsc := n.getScratch()
 			defer n.putScratch(wsc)
 			for i := range jobs {
-				errs[i] = n.sendBatch(ctx, batches[i], now, wsc)
+				errs[i] = n.sendTypeWork(ctx, works[i], now, wsc)
 			}
 		}()
 	}
-	for i := range batches {
+	for i := range works {
 		jobs <- i
 	}
 	close(jobs)
@@ -452,9 +628,36 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	return errors.Join(errs...)
 }
 
-// sendBatch seals one batch into the worker's scratch buffers and
-// sends it to the parent, requeueing it on transport failure.
-func (n *Node) sendBatch(ctx context.Context, b *model.Batch, now time.Time, sc *flushScratch) error {
+// requeueWorks parks every batch of the given works back on its retry
+// queue (sequences preserved).
+func (n *Node) requeueWorks(works []typeWork) {
+	for _, w := range works {
+		n.requeue(w.batches)
+	}
+}
+
+// sendTypeWork delivers one type's batches in order, stopping at the
+// first failure and requeueing the unsent tail. A backoff deferral is
+// not an error: the tail stays queued for a later flush.
+func (n *Node) sendTypeWork(ctx context.Context, w typeWork, now time.Time, sc *flushScratch) error {
+	for i := range w.batches {
+		if err := n.sendBatch(ctx, w.batches[i], now, sc); err != nil {
+			n.requeue(w.batches[i:])
+			if errors.Is(err, errDeferred) {
+				return nil
+			}
+			n.flushErrors.Inc()
+			return fmt.Errorf("fognode %s: flush %s: %w", n.cfg.Spec.ID, w.typ, err)
+		}
+	}
+	return nil
+}
+
+// sendBatch seals one batch into the worker's scratch buffers under
+// its frozen delivery sequence and hands it to the failover state
+// machine: the parent when due, otherwise a sibling relay.
+func (n *Node) sendBatch(ctx context.Context, sb sealedBatch, now time.Time, sc *flushScratch) error {
+	b := sb.b
 	// Concurrent child flushes interleave arrival order at a combining
 	// layer-2 node; sealing restores time order (ties broken by sensor
 	// then value) so upward payloads — and their compressed sizes —
@@ -470,44 +673,83 @@ func (n *Node) sendBatch(ctx context.Context, b *model.Batch, now time.Time, sc 
 		return ri.Value < rj.Value
 	})
 	b.Collected = now
-	payload, err := sc.sealer.Seal(sc.payload[:0], b, n.cfg.Codec)
+	payload, err := sc.sealer.SealSeq(sc.payload[:0], b, n.cfg.Codec, sb.seq)
 	if err != nil {
 		return err
 	}
 	sc.payload = payload
-	msg := transport.Message{
-		From:    n.cfg.Spec.ID,
-		To:      n.cfg.Spec.Parent,
-		Kind:    transport.KindBatch,
-		Class:   b.Category.String(),
-		Payload: payload,
-	}
-	if _, err := n.cfg.Transport.Send(ctx, msg); err != nil {
-		n.flushErrors.Inc()
-		n.requeue(b)
-		return fmt.Errorf("fognode %s: flush %s: %w", n.cfg.Spec.ID, b.TypeName, err)
-	}
-	n.flushedBatches.Inc()
-	n.flushedBytes.Add(msg.WireSize())
-	return nil
+	return n.deliver(ctx, payload, b.Category.String())
 }
 
-// requeue puts a failed batch back at the front of the pending
-// buffer, re-applying the MaxPendingReadings bound so the buffer
-// stays bounded across repeated flush failures (parent outage).
-func (n *Node) requeue(b *model.Batch) {
-	sh := n.shardFor(b.TypeName)
+// deliver runs the failover policy for one sealed payload: probe the
+// parent when the backoff window allows, fall over to sibling relays
+// once the failure threshold is crossed, and defer when neither is
+// available. A parent success heals the state machine.
+func (n *Node) deliver(ctx context.Context, payload []byte, class string) error {
+	now := n.cfg.Clock.Now()
+	var parentErr error
+	if n.up.parentDue(now) {
+		msg := transport.Message{
+			From:    n.cfg.Spec.ID,
+			To:      n.cfg.Spec.Parent,
+			Kind:    transport.KindBatch,
+			Class:   class,
+			Payload: payload,
+		}
+		if _, err := n.cfg.Transport.Send(ctx, msg); err == nil {
+			n.up.onParentSuccess()
+			n.flushedBatches.Inc()
+			n.flushedBytes.Add(msg.WireSize())
+			return nil
+		} else {
+			parentErr = err
+			n.up.onParentFailure(now)
+		}
+	}
+	targets := n.up.relayTargets()
+	if len(targets) == 0 {
+		if parentErr != nil {
+			return parentErr
+		}
+		return errDeferred
+	}
+	var relayErrs []error
+	for _, sibling := range targets {
+		msg := transport.Message{
+			From:    n.cfg.Spec.ID,
+			To:      sibling,
+			Kind:    transport.KindRelay,
+			Class:   class,
+			Payload: payload,
+		}
+		if _, err := n.cfg.Transport.Send(ctx, msg); err == nil {
+			n.relayedBatches.Inc()
+			n.flushedBatches.Inc()
+			n.flushedBytes.Add(msg.WireSize())
+			return nil
+		} else {
+			relayErrs = append(relayErrs, err)
+		}
+	}
+	if parentErr != nil {
+		relayErrs = append([]error{parentErr}, relayErrs...)
+	}
+	return fmt.Errorf("parent and %d sibling relays failed: %w", len(targets), errors.Join(relayErrs...))
+}
+
+// requeue parks failed batches back on their type's retry queue in
+// order, sequences frozen, re-applying the MaxPendingReadings bound
+// so the buffer stays bounded across a long parent outage.
+func (n *Node) requeue(batches []sealedBatch) {
+	if len(batches) == 0 {
+		return
+	}
+	typ := batches[0].b.TypeName
+	sh := n.shardFor(typ)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	cur, ok := sh.pending[b.TypeName]
-	if ok {
-		// Preserve time order: failed batch first, newer readings after.
-		merged := b.Clone()
-		merged.Readings = append(merged.Readings, cur.Readings...)
-		b = merged
-	}
-	sh.pending[b.TypeName] = b
-	n.boundPendingLocked(b)
+	sh.retry[typ] = append(sh.retry[typ], batches...)
+	n.boundTypeLocked(sh, typ)
 }
 
 // Status reports the node's state.
@@ -526,19 +768,34 @@ func (n *Node) Status() protocol.StatusResponse {
 
 var _ transport.Handler = (*Node)(nil)
 
-// Handle implements transport.Handler: child batches, queries and
-// control commands.
+// Handle implements transport.Handler: child batches, sibling relay
+// requests, queries and control commands.
 func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error) {
 	switch msg.Kind {
 	case transport.KindBatch:
-		b, _, err := protocol.DecodeBatchPayload(msg.Payload)
+		b, _, seq, err := protocol.DecodeBatchPayloadSeq(msg.Payload)
 		if err != nil {
 			return nil, err
+		}
+		// At-least-once dedup: a sender whose acknowledgement was lost
+		// retries the same sealed content under the same sequence; the
+		// replay filter recognizes it and the duplicate is acknowledged
+		// without re-ingesting. The filter is keyed by the batch's
+		// origin (not msg.From) so a copy arriving through a sibling
+		// relay and a direct retry dedupe against each other.
+		if n.replay.Seen(b.NodeID, seq) {
+			n.dupBatches.Inc()
+			return []byte("ok"), nil
 		}
 		if err := n.Ingest(b); err != nil {
 			return nil, err
 		}
+		// Mark only after a successful ingest: marking earlier would
+		// blackhole the sender's retry of a batch that failed to land.
+		n.replay.Mark(b.NodeID, seq)
 		return []byte("ok"), nil
+	case transport.KindRelay:
+		return n.handleRelay(ctx, msg)
 	case transport.KindQuery:
 		return n.handleQuery(msg.Payload)
 	case transport.KindSummary:
@@ -548,6 +805,32 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 	default:
 		return nil, fmt.Errorf("fognode %s: unsupported message kind %q", n.cfg.Spec.ID, msg.Kind)
 	}
+}
+
+// handleRelay is the receiving half of sibling failover: a peer whose
+// parent is unreachable hands us a sealed batch, and we forward it to
+// our own parent unchanged — same payload bytes, so the batch keeps
+// its origin identity and delivery sequence and the parent's replay
+// filter can still dedupe it against a direct retry. Relays are never
+// forwarded to another sibling, so a relay can traverse at most one
+// extra hop and cannot loop.
+func (n *Node) handleRelay(ctx context.Context, msg transport.Message) ([]byte, error) {
+	if n.cfg.Spec.Parent == "" {
+		return nil, fmt.Errorf("fognode %s: cannot relay: no parent", n.cfg.Spec.ID)
+	}
+	if n.cfg.Transport == nil {
+		return nil, fmt.Errorf("fognode %s: cannot relay: no transport", n.cfg.Spec.ID)
+	}
+	if _, err := n.cfg.Transport.Send(ctx, transport.Message{
+		From:    n.cfg.Spec.ID,
+		To:      n.cfg.Spec.Parent,
+		Kind:    transport.KindBatch,
+		Class:   msg.Class,
+		Payload: msg.Payload,
+	}); err != nil {
+		return nil, fmt.Errorf("fognode %s: relay to %s: %w", n.cfg.Spec.ID, n.cfg.Spec.Parent, err)
+	}
+	return []byte("ok"), nil
 }
 
 func (n *Node) handleSummary(payload []byte) ([]byte, error) {

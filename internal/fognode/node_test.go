@@ -189,18 +189,24 @@ func TestFlushFailureRequeues(t *testing.T) {
 	if n.PendingBatches() != 1 {
 		t.Fatalf("failed batch not requeued")
 	}
-	// New data arrives, then the parent recovers: one merged batch
-	// with the failed readings first.
+	// New data arrives, then the parent recovers. The failed batch is
+	// frozen on the retry queue (its delivery sequence must stay
+	// stable so the receiver can dedupe a replay), so the recovery
+	// flush delivers two batches: the failed one first, then the
+	// fresh readings.
 	_ = n.Ingest(batchOf(map[string]float64{"a": 21}, t0.Add(time.Minute)))
 	fail = false
 	if err := n.Flush(context.Background()); err != nil {
 		t.Fatalf("second flush: %v", err)
 	}
-	if len(got) != 1 || len(got[0].Readings) != 2 {
+	if len(got) != 2 || len(got[0].Readings) != 1 || len(got[1].Readings) != 1 {
 		t.Fatalf("recovered batches = %+v", got)
 	}
-	if !got[0].Readings[0].Time.Equal(t0) {
+	if !got[0].Readings[0].Time.Equal(t0) || !got[1].Readings[0].Time.Equal(t0.Add(time.Minute)) {
 		t.Error("requeued readings must precede newer ones")
+	}
+	if n.PendingBatches() != 0 {
+		t.Errorf("pending after recovery = %d", n.PendingBatches())
 	}
 }
 

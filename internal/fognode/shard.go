@@ -14,12 +14,26 @@ import (
 // to scan on flush.
 const defaultPendingShards = 16
 
-// pendingShard guards one hash slice of the per-type pending buffers
-// and description tags, so concurrent Ingest calls on different
-// sensor types proceed without contending on a node-wide lock.
+// sealedBatch pairs a batch with the delivery sequence it was (or
+// will be) sealed under. A sequence of zero means "not yet assigned";
+// once a batch has been sent under a sequence, the pairing is frozen
+// so retries after a lost acknowledgement present the same identity
+// and the receiver's replay filter can drop the duplicate.
+type sealedBatch struct {
+	b   *model.Batch
+	seq uint64
+}
+
+// pendingShard guards one hash slice of the per-type pending buffers,
+// retry queues and description tags, so concurrent Ingest calls on
+// different sensor types proceed without contending on a node-wide
+// lock. pending accumulates fresh readings per type; retry holds
+// batches whose upward send failed, FIFO in collection order, each
+// frozen with its delivery sequence.
 type pendingShard struct {
 	mu      sync.Mutex
 	pending map[string]*model.Batch
+	retry   map[string][]sealedBatch
 	tags    map[string]describe.Tags
 }
 
@@ -36,6 +50,7 @@ func newPendingShards(n int) []pendingShard {
 	shards := make([]pendingShard, size)
 	for i := range shards {
 		shards[i].pending = make(map[string]*model.Batch)
+		shards[i].retry = make(map[string][]sealedBatch)
 		shards[i].tags = make(map[string]describe.Tags)
 	}
 	return shards

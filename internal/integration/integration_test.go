@@ -32,6 +32,7 @@ type deployment struct {
 	clock *sim.VirtualClock
 
 	fog1URL, fog2URL, cloudURL string
+	fog1Srv, fog2Srv, cloudSrv *httptest.Server
 	client                     *transport.HTTPTransport
 }
 
@@ -86,6 +87,7 @@ func deploy(t *testing.T) *deployment {
 	return &deployment{
 		fog1: f1, fog2: f2, cloud: cl, clock: clock,
 		fog1URL: fog1Srv.URL, fog2URL: fog2Srv.URL, cloudURL: cloudSrv.URL,
+		fog1Srv: fog1Srv, fog2Srv: fog2Srv, cloudSrv: cloudSrv,
 		client: client,
 	}
 }
@@ -361,5 +363,85 @@ func TestHTTPOpenDataServedFromHierarchy(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Errorf("open data status = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPQueryUnderPartition kills real servers mid-deployment and
+// drives the engine's degraded paths through actual sockets: a
+// federated range with the whole fog layer down answers from the
+// cloud flagged partial; the aggregate push-down falls back to the
+// cloud when the district is down; and with every owner dead the
+// engine errors out instead of hanging.
+func TestHTTPQueryUnderPartition(t *testing.T) {
+	d := deploy(t)
+	ctx := context.Background()
+	const total = 10
+
+	payload, err := protocol.EncodeBatchPayload(federatedBatch(t0, total), aggregate.CodecZip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.Send(ctx, transport.Message{
+		From: "edge/device-7", To: "fog1/d01-s01", Kind: transport.KindBatch,
+		Class: "urban", Payload: payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flushReq, _ := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpFlush})
+	for _, node := range []string{"fog1/d01-s01", "fog2/d01"} {
+		if _, err := d.client.Send(ctx, transport.Message{
+			From: "ctl", To: node, Kind: transport.KindControl, Payload: flushReq,
+		}); err != nil {
+			t.Fatalf("flush %s: %v", node, err)
+		}
+	}
+
+	eng, err := query.New(query.Config{
+		Self:      "app",
+		Transport: d.client,
+		Clock:     d.clock,
+		Siblings:  []string{"fog1/d01-s01"},
+		Parent:    "fog2/d01",
+		Districts: []string{"fog2/d01"},
+		CloudID:   "cloud",
+		PageLimit: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole fog layer goes down; the data survives at the cloud.
+	d.fog1Srv.Close()
+	d.fog2Srv.Close()
+
+	res, err := eng.RangeDetailed(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != query.SourceCloud || len(res.Readings) != total {
+		t.Fatalf("range = %d readings from %v, want %d from cloud", len(res.Readings), res.Source, total)
+	}
+	if !res.Partial || len(res.Unreachable) != 2 {
+		t.Errorf("partial=%v unreachable=%v, want both dead fog tiers reported", res.Partial, res.Unreachable)
+	}
+
+	// Aggregate push-down: the only district owner is dead, so the
+	// engine takes the cloud's complete summary (no silent partial).
+	agg, err := eng.AggregateDetailed(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Partial || agg.Source != query.SourceCloud || agg.Summary.Count != total {
+		t.Fatalf("aggregate = %+v, want complete count %d from cloud", agg, total)
+	}
+
+	// Every owner dead: explicit errors, bounded by the fan-out
+	// timeout — never a hang.
+	d.cloudSrv.Close()
+	if _, err := eng.RangeDetailed(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour), 1000); err == nil {
+		t.Error("range with every tier dead must error")
+	}
+	if _, err := eng.AggregateDetailed(ctx, "weather", t0.Add(-time.Minute), t0.Add(time.Hour)); err == nil {
+		t.Error("aggregate with every owner dead must error")
 	}
 }

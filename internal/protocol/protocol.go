@@ -17,11 +17,17 @@ import (
 	"f2c/internal/sensor"
 )
 
-// Envelope framing for batch payloads.
+// Envelope framing for batch payloads. Version 1 is the original
+// header (magic, version, codec); version 2 appends an 8-byte
+// big-endian delivery sequence so receivers on an at-least-once path
+// can dedupe retried batches (seq 0 = unidentified, never deduped).
+// Decoders accept both; Seal emits v1, SealSeq emits v2.
 const (
-	envelopeMagic   = 0xF2
-	envelopeVersion = 1
-	envelopeHeader  = 3 // magic, version, codec
+	envelopeMagic    = 0xF2
+	envelopeVersion  = 1
+	envelopeVersion2 = 2
+	envelopeHeader   = 3                  // magic, version, codec
+	envelopeHeaderV2 = envelopeHeader + 8 // + big-endian seq
 )
 
 // maxBatchWireSize bounds the decompressed wire size
@@ -84,6 +90,26 @@ func (s *Sealer) Seal(dst []byte, b *model.Batch, codec aggregate.Codec) ([]byte
 	return out, nil
 }
 
+// SealSeq appends the version-2 sealed envelope of b — identical to
+// Seal plus the delivery sequence in the header — to dst. The
+// sequence identifies this sealed content for at-least-once delivery:
+// a sender retrying after a lost acknowledgement reuses the sequence,
+// and the receiver's ReplayFilter drops the duplicate. seq 0 encodes
+// "unidentified" and is never deduped.
+func (s *Sealer) SealSeq(dst []byte, b *model.Batch, codec aggregate.Codec, seq uint64) ([]byte, error) {
+	if !codec.Valid() {
+		return nil, fmt.Errorf("protocol: invalid codec %d", int(codec))
+	}
+	s.wire = sensor.AppendBatch(s.wire[:0], b)
+	dst = append(dst, envelopeMagic, envelopeVersion2, byte(codec))
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	out, err := aggregate.AppendCompress(dst, codec, s.wire)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: seal batch: %w", err)
+	}
+	return out, nil
+}
+
 var sealerPool = sync.Pool{New: func() any { return new(Sealer) }}
 
 // AppendBatchPayload appends the sealed envelope of b to dst using a
@@ -110,42 +136,62 @@ func EncodeBatchPayload(b *model.Batch, codec aggregate.Codec) ([]byte, error) {
 // the wire buffer can be reused as soon as decoding returns.
 var openBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-// DecodeBatchPayload opens a batch envelope.
+// DecodeBatchPayload opens a batch envelope (either version),
+// discarding the delivery sequence. Receive paths that dedupe retries
+// use DecodeBatchPayloadSeq instead.
 func DecodeBatchPayload(payload []byte) (*model.Batch, aggregate.Codec, error) {
+	b, codec, _, err := DecodeBatchPayloadSeq(payload)
+	return b, codec, err
+}
+
+// DecodeBatchPayloadSeq opens a batch envelope and returns the
+// delivery sequence carried by a version-2 header (0 for version-1
+// envelopes and unidentified batches).
+func DecodeBatchPayloadSeq(payload []byte) (*model.Batch, aggregate.Codec, uint64, error) {
 	if len(payload) < envelopeHeader {
-		return nil, 0, fmt.Errorf("protocol: payload too short (%d bytes)", len(payload))
+		return nil, 0, 0, fmt.Errorf("protocol: payload too short (%d bytes)", len(payload))
 	}
 	if payload[0] != envelopeMagic {
-		return nil, 0, fmt.Errorf("protocol: bad magic 0x%02x", payload[0])
-	}
-	if payload[1] != envelopeVersion {
-		return nil, 0, fmt.Errorf("protocol: unsupported version %d", payload[1])
+		return nil, 0, 0, fmt.Errorf("protocol: bad magic 0x%02x", payload[0])
 	}
 	codec := aggregate.Codec(payload[2])
 	if !codec.Valid() {
-		return nil, 0, fmt.Errorf("protocol: invalid codec %d", payload[2])
+		return nil, 0, 0, fmt.Errorf("protocol: invalid codec %d", payload[2])
+	}
+	var seq uint64
+	var body []byte
+	switch payload[1] {
+	case envelopeVersion:
+		body = payload[envelopeHeader:]
+	case envelopeVersion2:
+		if len(payload) < envelopeHeaderV2 {
+			return nil, 0, 0, fmt.Errorf("protocol: v2 payload too short (%d bytes)", len(payload))
+		}
+		seq = binary.BigEndian.Uint64(payload[envelopeHeader:envelopeHeaderV2])
+		body = payload[envelopeHeaderV2:]
+	default:
+		return nil, 0, 0, fmt.Errorf("protocol: unsupported version %d", payload[1])
 	}
 	if codec == aggregate.CodecNone {
 		// The body already is the wire text and DecodeBatch never
 		// aliases its input, so parse in place instead of copying
 		// through the scratch pool. Same size bound as the codecs.
-		body := payload[envelopeHeader:]
 		max := MaxBatchWireSize()
 		if max <= 0 {
 			max = aggregate.DefaultMaxDecompressedSize
 		}
 		if len(body) > max {
-			return nil, 0, fmt.Errorf("protocol: open batch: %w",
+			return nil, 0, 0, fmt.Errorf("protocol: open batch: %w",
 				&aggregate.SizeLimitError{Codec: codec, Limit: max})
 		}
 		b, err := sensor.DecodeBatch(body)
 		if err != nil {
-			return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
+			return nil, 0, 0, fmt.Errorf("protocol: open batch: %w", err)
 		}
-		return b, codec, nil
+		return b, codec, seq, nil
 	}
 	bufp := openBufPool.Get().(*[]byte)
-	wire, err := aggregate.AppendDecompress((*bufp)[:0], codec, payload[envelopeHeader:], MaxBatchWireSize())
+	wire, err := aggregate.AppendDecompress((*bufp)[:0], codec, body, MaxBatchWireSize())
 	if cap(wire) <= maxPooledBufCap { // don't let one giant batch pin pool memory
 		*bufp = wire[:0]
 	} else {
@@ -153,14 +199,14 @@ func DecodeBatchPayload(payload []byte) (*model.Batch, aggregate.Codec, error) {
 	}
 	if err != nil {
 		openBufPool.Put(bufp)
-		return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
+		return nil, 0, 0, fmt.Errorf("protocol: open batch: %w", err)
 	}
 	b, err := sensor.DecodeBatch(wire)
 	openBufPool.Put(bufp)
 	if err != nil {
-		return nil, 0, fmt.Errorf("protocol: open batch: %w", err)
+		return nil, 0, 0, fmt.Errorf("protocol: open batch: %w", err)
 	}
-	return b, codec, nil
+	return b, codec, seq, nil
 }
 
 // DefaultPageLimit is the server-side bound on readings per query

@@ -1,0 +1,127 @@
+package protocol
+
+import "sync"
+
+// DefaultReplayWindow is how many distinct delivery sequences a
+// ReplayFilter remembers per origin when the window is not
+// configured. It only needs to cover the sequences a sender can have
+// in flight or queued for retry at once — far less than 4096 — so the
+// default is generous without letting a single origin pin unbounded
+// memory.
+const DefaultReplayWindow = 4096
+
+// ReplayFilter drops duplicate batch deliveries on an at-least-once
+// path. Senders stamp each sealed batch with a per-origin delivery
+// sequence (Sealer.SealSeq); when an acknowledgement is lost the
+// sender retries the same sealed content with the same sequence, and
+// the receiver consults the filter to keep the retry from being
+// counted twice.
+//
+// Memory is bounded: each origin keeps a FIFO window of the last
+// `window` distinct sequences. Eviction is strictly by insertion
+// order, so a corrupted or hostile sequence value (however large)
+// displaces at most one oldest entry and can never invalidate the
+// rest of the window — and the filter never reports "seen" for a
+// sequence that was not marked, so a fresh batch is never falsely
+// dropped. The tradeoff is that a replay older than the window is no
+// longer recognized; windows are sized far above realistic in-flight
+// counts. Sequence 0 means "unidentified" (a version-1 envelope) and
+// is never tracked nor deduped.
+//
+// Safe for concurrent use.
+type ReplayFilter struct {
+	mu      sync.Mutex
+	window  int
+	origins map[string]*replayWindow
+	dups    int64
+}
+
+// replayWindow is one origin's FIFO of recently seen sequences.
+type replayWindow struct {
+	ring []uint64
+	head int
+	seen map[uint64]struct{}
+}
+
+// NewReplayFilter builds a filter remembering the last `window`
+// distinct sequences per origin (<= 0 selects DefaultReplayWindow).
+func NewReplayFilter(window int) *ReplayFilter {
+	if window <= 0 {
+		window = DefaultReplayWindow
+	}
+	return &ReplayFilter{
+		window:  window,
+		origins: make(map[string]*replayWindow),
+	}
+}
+
+// Seen reports whether (origin, seq) was already marked — a duplicate
+// delivery the receiver should acknowledge without re-ingesting. It
+// also counts the duplicate when seen. seq 0 is never a duplicate.
+func (f *ReplayFilter) Seen(origin string, seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.origins[origin]
+	if !ok {
+		return false
+	}
+	if _, dup := w.seen[seq]; dup {
+		f.dups++
+		return true
+	}
+	return false
+}
+
+// Mark records (origin, seq) as delivered. Call it only after the
+// batch was durably accepted: marking before a failed ingest would
+// blackhole the sender's retry. Marking an already-seen sequence is a
+// no-op.
+func (f *ReplayFilter) Mark(origin string, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.origins[origin]
+	if !ok {
+		w = &replayWindow{
+			ring: make([]uint64, 0, min(f.window, 64)),
+			seen: make(map[uint64]struct{}),
+		}
+		f.origins[origin] = w
+	}
+	if _, dup := w.seen[seq]; dup {
+		return
+	}
+	if len(w.ring) < f.window {
+		w.ring = append(w.ring, seq)
+	} else {
+		delete(w.seen, w.ring[w.head])
+		w.ring[w.head] = seq
+		w.head = (w.head + 1) % f.window
+	}
+	w.seen[seq] = struct{}{}
+}
+
+// Duplicates returns how many duplicate deliveries the filter has
+// suppressed.
+func (f *ReplayFilter) Duplicates() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dups
+}
+
+// Tracked returns how many sequences are currently remembered across
+// all origins (test/diagnostic hook for the memory bound).
+func (f *ReplayFilter) Tracked() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0
+	for _, w := range f.origins {
+		total += len(w.seen)
+	}
+	return total
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"f2c/internal/aggregate"
@@ -214,35 +215,73 @@ func (e *Engine) PlanRange(now, from, to time.Time, estBytes int64) []Step {
 	return steps
 }
 
+// RangeResult is the full answer of a federated range query.
+type RangeResult struct {
+	Readings []model.Reading
+	// Source is the tier that produced the answer.
+	Source Source
+	// Partial marks an answer produced while part of the hierarchy
+	// was unreachable: a tier (or fan-out target) that was planned
+	// before the answering tier failed, so fresher or additional
+	// readings may exist behind the failure. A partition therefore
+	// degrades a federated read instead of failing it — but callers
+	// are told.
+	Partial bool
+	// Unreachable lists the endpoints that failed during the walk
+	// ("local" for the in-process store).
+	Unreachable []string
+}
+
 // Range executes a federated range query: the planned tiers are
 // probed lowest-first and the first useful (non-empty) result is
 // returned with its source. An authoritative tier that answers empty
 // ends the walk — "tier cannot hold range" falls through, "tier
 // authoritative for range but empty" does not. A tier that fails
 // (network, remote error) falls through to the next; the last error
-// is returned only if no tier could answer.
+// is returned only if no tier could answer. Callers that need to
+// know whether a partition degraded the answer use RangeDetailed.
 func (e *Engine) Range(ctx context.Context, typeName string, from, to time.Time, estBytes int64) ([]model.Reading, Source, error) {
+	res, err := e.RangeDetailed(ctx, typeName, from, to, estBytes)
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Readings, res.Source, nil
+}
+
+// RangeDetailed is Range with partition visibility: the result's
+// Partial flag is set when any tier consulted before the answering
+// one was unreachable, and Unreachable names the failed endpoints.
+func (e *Engine) RangeDetailed(ctx context.Context, typeName string, from, to time.Time, estBytes int64) (RangeResult, error) {
 	steps := e.PlanRange(e.cfg.Clock.Now(), from, to, estBytes)
+	var res RangeResult
 	var errs []error
+	answer := func(readings []model.Reading, src Source) RangeResult {
+		res.Readings = readings
+		res.Source = src
+		res.Partial = len(res.Unreachable) > 0
+		return res
+	}
 	for _, st := range steps {
 		switch st.Tier {
 		case TierLocal:
 			readings, err := e.localRange(typeName, from, to)
 			if err != nil {
 				errs = append(errs, err)
+				res.Unreachable = append(res.Unreachable, "local")
 				continue
 			}
 			if len(readings) > 0 {
-				return readings, SourceLocal, nil
+				return answer(readings, SourceLocal), nil
 			}
 		case TierSiblings:
-			readings, err := e.fanOutRange(ctx, st.Targets, typeName, from, to)
+			readings, down, err := e.fanOutRange(ctx, st.Targets, typeName, from, to)
+			res.Unreachable = append(res.Unreachable, down...)
 			if err != nil {
 				errs = append(errs, err)
 				continue
 			}
 			if len(readings) > 0 {
-				return readings, SourceNeighbor, nil
+				return answer(readings, SourceNeighbor), nil
 			}
 		case TierParent, TierCloud:
 			readings, err := e.RangeFrom(ctx, st.Targets[0], typeName, from, to)
@@ -252,17 +291,18 @@ func (e *Engine) Range(ctx context.Context, typeName string, from, to time.Time,
 			}
 			if err != nil {
 				errs = append(errs, err)
+				res.Unreachable = append(res.Unreachable, st.Targets[0])
 				continue
 			}
 			if len(readings) > 0 || st.Authoritative {
-				return readings, src, nil
+				return answer(readings, src), nil
 			}
 		}
 	}
 	if len(errs) > 0 {
-		return nil, "", fmt.Errorf("query: all tiers failed: %w", errors.Join(errs...))
+		return RangeResult{}, fmt.Errorf("query: all tiers failed: %w", errors.Join(errs...))
 	}
-	return nil, "", nil
+	return res, nil
 }
 
 // localRange drains the local store page by page (free, in-process).
@@ -341,8 +381,11 @@ func (e *Engine) walkPages(ctx context.Context, target, typeName string, from, t
 // concurrently under one deadline and, as soon as a probe returns a
 // useful (non-empty) first page, cancels the remaining probes and
 // walks the winner's remaining pages. All-empty gathers return nil;
-// an error is reported only when every probe failed.
-func (e *Engine) fanOutRange(ctx context.Context, targets []string, typeName string, from, to time.Time) ([]model.Reading, error) {
+// an error is reported only when every probe failed. down names the
+// targets whose probes failed before an answer was found — a
+// partitioned sibling is skipped, reported, and never hangs the
+// gather (every probe shares the fan-out deadline).
+func (e *Engine) fanOutRange(ctx context.Context, targets []string, typeName string, from, to time.Time) (readings []model.Reading, down []string, err error) {
 	fctx, cancel := context.WithTimeout(ctx, e.cfg.FanoutTimeout)
 	defer cancel()
 	type probe struct {
@@ -364,30 +407,42 @@ func (e *Engine) fanOutRange(ctx context.Context, targets []string, typeName str
 		}(target)
 	}
 	var errs []error
-	for range targets {
+	var winner *probe
+	for i := 0; i < len(targets); i++ {
 		r := <-results
 		if r.err != nil {
-			errs = append(errs, r.err)
+			// A cancelled loser is not a down endpoint — its probe was
+			// abandoned because the race was already won.
+			if !errors.Is(r.err, context.Canceled) {
+				errs = append(errs, r.err)
+				down = append(down, r.target)
+			}
 			continue
 		}
-		if len(r.page.Readings) == 0 {
-			continue
+		if winner == nil && len(r.page.Readings) > 0 {
+			winner = &r
+			// First useful result: stop the losing probes. The loop
+			// keeps draining so already-failed targets are reported;
+			// cancelled probes return promptly.
+			cancel()
 		}
-		cancel() // first useful result: stop the losing probes
-		readings := r.page.Readings
-		if r.page.NextCursor != "" {
-			rest, err := e.resumeRange(ctx, r.target, typeName, from, to, r.page.NextCursor)
+	}
+	sort.Strings(down) // deterministic order for flags and messages
+	if winner != nil {
+		readings := winner.page.Readings
+		if winner.page.NextCursor != "" {
+			rest, err := e.resumeRange(ctx, winner.target, typeName, from, to, winner.page.NextCursor)
 			if err != nil {
-				return nil, err
+				return nil, down, err
 			}
 			readings = append(readings, rest...)
 		}
-		return readings, nil
+		return readings, down, nil
 	}
 	if len(errs) == len(targets) && len(targets) > 0 {
-		return nil, fmt.Errorf("query: all %d siblings failed: %w", len(targets), errors.Join(errs...))
+		return nil, down, fmt.Errorf("query: all %d siblings failed: %w", len(targets), errors.Join(errs...))
 	}
-	return nil, nil
+	return nil, down, nil
 }
 
 // resumeRange continues a paged walk from a cursor (the tail of a
@@ -445,55 +500,109 @@ func (e *Engine) LatestFrom(ctx context.Context, target, sensorID string) (model
 // readings ingested but not yet flushed upward are visible to Range
 // (which probes fog1) before they are visible to Aggregate.
 func (e *Engine) Aggregate(ctx context.Context, typeName string, from, to time.Time) (aggregate.Summary, Source, error) {
-	now := e.cfg.Clock.Now()
-	inFog2 := !from.Before(now.Add(-e.cfg.Fog2Retention))
-	if inFog2 && len(e.cfg.Districts) > 0 {
-		sum, err := e.gatherSummaries(ctx, e.cfg.Districts, typeName, from, to)
-		if err == nil {
-			return sum, SourceParent, nil
-		}
-		// A district failed: the cloud still holds everything flushed;
-		// fall through rather than returning a lossy partial merge.
-	}
-	sum, err := e.SummaryFrom(ctx, e.cfg.CloudID, typeName, from, to)
+	res, err := e.AggregateDetailed(ctx, typeName, from, to)
 	if err != nil {
 		return aggregate.Summary{}, "", err
 	}
-	return sum, SourceCloud, nil
+	if res.Partial {
+		// The blind API keeps the pre-partition contract: a summary
+		// that silently undercounts is worse than an error. Partition-
+		// aware callers use AggregateDetailed.
+		return aggregate.Summary{}, "", fmt.Errorf(
+			"query: aggregate: only a partial summary available (%d of %d owners unreachable: %v)",
+			len(res.Missing), len(e.cfg.Districts), res.Missing)
+	}
+	return res.Summary, res.Source, nil
+}
+
+// AggregateResult is the full answer of a push-down aggregate.
+type AggregateResult struct {
+	Summary aggregate.Summary
+	// Source is the tier whose partials produced the summary.
+	Source Source
+	// Partial marks a summary merged from an incomplete owner set:
+	// one or more districts were unreachable AND the cloud (which
+	// holds everything flushed and could have answered alone) was
+	// unreachable too. The summary covers only the owners that
+	// answered.
+	Partial bool
+	// Missing names the owners whose partials are absent from a
+	// partial summary.
+	Missing []string
+}
+
+// AggregateDetailed is Aggregate with partition visibility: when some
+// district owners are unreachable it falls back to the cloud archive,
+// and when the cloud is unreachable too it degrades to an explicit
+// partial — the merged summary of the districts that answered, with
+// Partial set and the absent owners named — instead of failing. An
+// error is returned only when no owner at all could answer.
+func (e *Engine) AggregateDetailed(ctx context.Context, typeName string, from, to time.Time) (AggregateResult, error) {
+	now := e.cfg.Clock.Now()
+	inFog2 := !from.Before(now.Add(-e.cfg.Fog2Retention))
+	var partialSum aggregate.Summary
+	var missing []string
+	gathered := false
+	if inFog2 && len(e.cfg.Districts) > 0 {
+		sum, down, err := e.gatherSummaries(ctx, e.cfg.Districts, typeName, from, to)
+		if err == nil && len(down) == 0 {
+			return AggregateResult{Summary: sum, Source: SourceParent}, nil
+		}
+		// Some (or all) districts failed: the cloud still holds
+		// everything flushed; prefer its complete answer over a lossy
+		// partial merge. Remember the partial in case the cloud is
+		// unreachable too.
+		if len(down) < len(e.cfg.Districts) {
+			partialSum, missing, gathered = sum, down, true
+		}
+	}
+	sum, err := e.SummaryFrom(ctx, e.cfg.CloudID, typeName, from, to)
+	if err == nil {
+		return AggregateResult{Summary: sum, Source: SourceCloud}, nil
+	}
+	if gathered {
+		return AggregateResult{Summary: partialSum, Source: SourceParent, Partial: true, Missing: missing}, nil
+	}
+	return AggregateResult{}, err
 }
 
 // gatherSummaries fans a summary request out to every owner and
-// merges the partials. Unlike fanOutRange this is a full gather — a
-// partial aggregate needs every owner's answer, so any failure fails
-// the round.
-func (e *Engine) gatherSummaries(ctx context.Context, targets []string, typeName string, from, to time.Time) (aggregate.Summary, error) {
+// merges the partials of those that answered. down names the owners
+// whose request failed — a lossless aggregate needs every owner, so
+// callers treat a non-empty down as "incomplete" and decide whether
+// to fall back or degrade. err is set when every owner failed.
+func (e *Engine) gatherSummaries(ctx context.Context, targets []string, typeName string, from, to time.Time) (aggregate.Summary, []string, error) {
 	fctx, cancel := context.WithTimeout(ctx, e.cfg.FanoutTimeout)
 	defer cancel()
 	type partial struct {
-		sum aggregate.Summary
-		err error
+		target string
+		sum    aggregate.Summary
+		err    error
 	}
 	results := make(chan partial, len(targets))
 	for _, target := range targets {
 		go func(target string) {
 			sum, err := e.SummaryFrom(fctx, target, typeName, from, to)
-			results <- partial{sum: sum, err: err}
+			results <- partial{target: target, sum: sum, err: err}
 		}(target)
 	}
 	total := aggregate.Summary{}
+	var down []string
 	var errs []error
 	for range targets {
 		r := <-results
 		if r.err != nil {
 			errs = append(errs, r.err)
+			down = append(down, r.target)
 			continue
 		}
 		total = total.Merge(r.sum)
 	}
-	if len(errs) > 0 {
-		return aggregate.Summary{}, fmt.Errorf("query: gather summaries: %w", errors.Join(errs...))
+	sort.Strings(down) // deterministic order for flags and messages
+	if len(down) == len(targets) && len(targets) > 0 {
+		return aggregate.Summary{}, down, fmt.Errorf("query: gather summaries: %w", errors.Join(errs...))
 	}
-	return total, nil
+	return total, down, nil
 }
 
 // SummaryFrom fetches one partial summary from an endpoint.

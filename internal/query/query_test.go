@@ -418,3 +418,135 @@ func TestLatestLocalFirst(t *testing.T) {
 		t.Errorf("local latest crossed the WAN: %d bytes", b)
 	}
 }
+
+// TestRangePartialOnCrashedSiblings drives a federated range query
+// while every sibling is crashed: the walk must skip the dead tier
+// (fast errors, no hang), answer from the parent district, and flag
+// the result as partial with the unreachable endpoints named.
+func TestRangePartialOnCrashedSiblings(t *testing.T) {
+	s, _ := newCity(t, core.Options{})
+	ctx := context.Background()
+	ids := s.Fog1IDs() // d01-s01..s03 share district d01
+	if err := s.IngestAt(ids[1], trafficBatch("pp", 20, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, sib := range []string{ids[1], ids[2]} {
+		s.Network().Crash(sib)
+	}
+	res, err := s.QueryEngine(ids[0]).RangeDetailed(ctx, "traffic", t0.Add(-time.Minute), t0.Add(time.Minute), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != query.SourceParent || len(res.Readings) != 20 {
+		t.Fatalf("range = %d readings from %v, want 20 from parent", len(res.Readings), res.Source)
+	}
+	if !res.Partial {
+		t.Error("result not flagged partial with both siblings down")
+	}
+	if len(res.Unreachable) != 2 {
+		t.Errorf("unreachable = %v, want both siblings", res.Unreachable)
+	}
+	// The blind API keeps working identically.
+	got, src, err := s.QueryWithFallback(ctx, ids[0], "traffic", t0.Add(-time.Minute), t0.Add(time.Minute), 1000)
+	if err != nil || src != core.SourceParent || len(got) != 20 {
+		t.Fatalf("blind fallback = %d from %v, %v", len(got), src, err)
+	}
+}
+
+// TestRangeFanoutSkipsPartitionedSibling partitions one sibling link:
+// the scatter-gather must still win from the healthy sibling and
+// report the partitioned one.
+func TestRangeFanoutSkipsPartitionedSibling(t *testing.T) {
+	s, _ := newCity(t, core.Options{})
+	ctx := context.Background()
+	ids := s.Fog1IDs()
+	if err := s.IngestAt(ids[2], trafficBatch("fan", 15, t0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Network().Partition(ids[0], ids[1]) // the empty sibling is unreachable
+	res, err := s.QueryEngine(ids[0]).RangeDetailed(ctx, "traffic", t0.Add(-time.Minute), t0.Add(time.Minute), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != query.SourceNeighbor || len(res.Readings) != 15 {
+		t.Fatalf("fan-out = %d readings from %v, want 15 from neighbor", len(res.Readings), res.Source)
+	}
+	if !res.Partial || len(res.Unreachable) != 1 || res.Unreachable[0] != ids[1] {
+		t.Errorf("partial=%v unreachable=%v, want the partitioned sibling reported", res.Partial, res.Unreachable)
+	}
+}
+
+// TestAggregateFallsBackToCloudOnDistrictFailure crashes one district
+// owner: the push-down must detect the incomplete gather and take the
+// cloud's complete answer instead of a lossy merge.
+func TestAggregateFallsBackToCloudOnDistrictFailure(t *testing.T) {
+	s, _ := newCity(t, core.Options{})
+	ctx := context.Background()
+	ids := s.Fog1IDs()
+	if err := s.IngestAt(ids[0], trafficBatch("a", 40, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IngestAt(ids[4], trafficBatch("b", 25, t0)); err != nil { // other district
+		t.Fatal(err)
+	}
+	if err := s.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.Network().Crash(s.Fog2IDs()[1])
+	res, err := s.QueryEngine(ids[0]).AggregateDetailed(ctx, "traffic", t0.Add(-time.Minute), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || res.Source != query.SourceCloud || res.Summary.Count != 65 {
+		t.Fatalf("aggregate = %+v, want complete count 65 from cloud", res)
+	}
+}
+
+// TestAggregatePartialWhenCloudUnreachable is the degraded endgame: a
+// district AND the cloud are down, so the engine returns the merged
+// summary of the surviving districts with the explicit partial flag —
+// and the blind Aggregate API refuses the silent undercount.
+func TestAggregatePartialWhenCloudUnreachable(t *testing.T) {
+	s, _ := newCity(t, core.Options{})
+	ctx := context.Background()
+	ids := s.Fog1IDs()
+	if err := s.IngestAt(ids[0], trafficBatch("a", 40, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IngestAt(ids[4], trafficBatch("b", 25, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadDistrict := s.Fog2IDs()[1]
+	s.Network().Crash(deadDistrict)
+	s.Network().Crash(core.CloudID)
+
+	eng := s.QueryEngine(ids[0])
+	res, err := eng.AggregateDetailed(ctx, "traffic", t0.Add(-time.Minute), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Source != query.SourceParent {
+		t.Fatalf("aggregate = %+v, want a partial district merge", res)
+	}
+	if res.Summary.Count != 40 {
+		t.Errorf("partial count = %d, want 40 (only district 1 answered)", res.Summary.Count)
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != deadDistrict {
+		t.Errorf("missing = %v, want [%s]", res.Missing, deadDistrict)
+	}
+	if _, _, err := eng.Aggregate(ctx, "traffic", t0.Add(-time.Minute), t0.Add(time.Hour)); err == nil {
+		t.Error("blind Aggregate must refuse a partial summary")
+	}
+
+	// With every owner down the detailed API finally errors.
+	s.Network().Crash(s.Fog2IDs()[0])
+	if _, err := eng.AggregateDetailed(ctx, "traffic", t0.Add(-time.Minute), t0.Add(time.Hour)); err == nil {
+		t.Error("expected an error with every owner unreachable")
+	}
+}

@@ -62,6 +62,11 @@ type SimNetwork struct {
 	hopOf     func(from, to string) metrics.Hop
 	emulate   bool
 	latencies *metrics.Histogram
+	// faults is the injected-failure state (partitions, crashes,
+	// latency spikes, reply loss, scheduled events); nil until fault
+	// injection is first configured, and inert while nil. See
+	// faults.go.
+	faults *faultPlane
 }
 
 // SimOption configures a SimNetwork.
@@ -139,13 +144,22 @@ var _ Transport = (*SimNetwork)(nil)
 
 // Send implements Transport: it models the uplink transfer, invokes
 // the destination handler synchronously, and models the reply
-// transfer.
+// transfer. When a fault plane is active it is consulted first:
+// scheduled events due at the fault clock's now are applied, then
+// crashes and partitions fail the send before any delivery, and an
+// injected reply-loss fault can fail the send after the handler ran
+// (the at-least-once failure mode receivers must dedupe).
 func (n *SimNetwork) Send(ctx context.Context, msg Message) ([]byte, error) {
 	n.mu.RLock()
 	h, ok := n.endpoints[msg.To]
+	faults := n.faults
 	n.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, msg.To)
+	}
+	extraUp, extraDown, replyLoss, err := faults.admit(msg.From, msg.To)
+	if err != nil {
+		return nil, err
 	}
 	link := n.Link(msg.From, msg.To)
 
@@ -162,7 +176,7 @@ func (n *SimNetwork) Send(ctx context.Context, msg Message) ([]byte, error) {
 		n.matrix.Record(n.hopOf(msg.From, msg.To), msg.Class, msg.WireSize())
 	}
 
-	uplink := link.TransferTime(msg.WireSize())
+	uplink := link.TransferTime(msg.WireSize()) + extraUp
 	if n.emulate {
 		select {
 		case <-time.After(uplink):
@@ -183,7 +197,20 @@ func (n *SimNetwork) Send(ctx context.Context, msg Message) ([]byte, error) {
 		n.matrix.Record(n.hopOf(msg.To, msg.From), msg.Class, WireSizeOf(len(reply)))
 	}
 
-	downlink := link.TransferTime(int64(len(reply)))
+	// Injected reply loss: the handler ran — the receiver processed
+	// the message — but the acknowledgement never makes it back. The
+	// sender must treat this as failure and retry; only receiver-side
+	// dedup keeps the retry from double-counting.
+	if replyLoss > 0 {
+		n.rngMu.Lock()
+		lost := n.rng.Float64() < replyLoss
+		n.rngMu.Unlock()
+		if lost {
+			return nil, fmt.Errorf("%w: reply %s -> %s", ErrDropped, msg.To, msg.From)
+		}
+	}
+
+	downlink := link.TransferTime(int64(len(reply))) + extraDown
 	if n.emulate {
 		select {
 		case <-time.After(downlink):

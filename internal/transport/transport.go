@@ -28,6 +28,12 @@ const (
 	KindQuery Kind = "query"
 	// KindControl carries control-plane commands (flush, status).
 	KindControl Kind = "control"
+	// KindRelay carries a sealed batch that the receiving fog node
+	// must forward to its own parent unchanged — the sibling-failover
+	// path used when the sender's parent is unreachable. The payload
+	// is the same envelope KindBatch carries, so the batch keeps its
+	// origin identity (and delivery sequence) end to end.
+	KindRelay Kind = "relay"
 )
 
 // ClassQuery is the traffic-matrix class tagging query and summary
@@ -93,9 +99,45 @@ var (
 	// ErrUnknownEndpoint means the destination is not registered /
 	// not routable.
 	ErrUnknownEndpoint = errors.New("transport: unknown endpoint")
-	// ErrDropped means the (simulated) link lost the message.
+	// ErrDropped means the (simulated) link lost the message — or,
+	// under an injected reply-loss fault, lost the reply after the
+	// handler ran, so the receiver may have processed the message.
 	ErrDropped = errors.New("transport: message dropped")
+	// ErrPartitioned means an injected network partition severed the
+	// link; the message never reached the destination.
+	ErrPartitioned = errors.New("transport: link partitioned")
+	// ErrNodeDown means an endpoint of the link is crashed; the
+	// message never reached the destination.
+	ErrNodeDown = errors.New("transport: node down")
 )
+
+// PartitionError reports a send that hit an injected partition. It
+// unwraps to ErrPartitioned.
+type PartitionError struct {
+	From, To string
+}
+
+// Error implements error.
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("transport: link partitioned: %s -> %s", e.From, e.To)
+}
+
+// Unwrap makes errors.Is(err, ErrPartitioned) true.
+func (e *PartitionError) Unwrap() error { return ErrPartitioned }
+
+// DownError reports a send to or from a crashed node. It unwraps to
+// ErrNodeDown.
+type DownError struct {
+	Node string
+}
+
+// Error implements error.
+func (e *DownError) Error() string {
+	return fmt.Sprintf("transport: node down: %s", e.Node)
+}
+
+// Unwrap makes errors.Is(err, ErrNodeDown) true.
+func (e *DownError) Unwrap() error { return ErrNodeDown }
 
 // RemoteError wraps an application-level failure returned by the
 // remote handler, preserving the endpoint for diagnosis.
