@@ -22,7 +22,7 @@ import (
 //	f2cload -node http://localhost:8080 -node-id fog1/d01-s01 ...
 //	f2cctl  -node http://localhost:8080 status   # routes to the cloud
 //	curl http://localhost:8080/opendata/v1/categories
-func runAllInOne(cfgPath, listen string) error {
+func runAllInOne(cfgPath, listen, dataDir string) error {
 	dep := config.Barcelona()
 	if cfgPath != "" {
 		var err error
@@ -34,6 +34,11 @@ func runAllInOne(cfgPath, listen string) error {
 	opts, err := dep.Options(sim.WallClock{})
 	if err != nil {
 		return err
+	}
+	if dataDir != "" {
+		// -data-dir overrides the deployment document: every node in
+		// the hosted hierarchy journals under dataDir/<node id>.
+		opts.DataDir = dataDir
 	}
 	sys, err := core.NewSystem(opts)
 	if err != nil {

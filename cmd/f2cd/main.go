@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
+	"f2c/internal/wal"
 )
 
 func main() {
@@ -57,13 +59,14 @@ func run(args []string) error {
 	retention := fs.Duration("retention", time.Hour, "temporal store retention (fog layers)")
 	dedup := fs.Bool("dedup", true, "redundant-data elimination (fog1)")
 	qual := fs.Bool("quality", true, "data-quality phase (fog1)")
+	dataDir := fs.String("data-dir", "", "durability directory: the node journals its state to a WAL with snapshots under <data-dir>/<id> and recovers it on restart (empty = in-memory)")
 	allInOne := fs.Bool("all-in-one", false, "run the whole hierarchy in this process (demo mode)")
 	cfgPath := fs.String("config", "", "deployment JSON for -all-in-one (default: Barcelona)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *allInOne {
-		return runAllInOne(*cfgPath, *listen)
+		return runAllInOne(*cfgPath, *listen, *dataDir)
 	}
 	if *id == "" {
 		return errors.New("-id is required")
@@ -71,7 +74,7 @@ func run(args []string) error {
 
 	switch *layer {
 	case "cloud":
-		return runCloud(*id, *city, *listen)
+		return runCloud(*id, *city, *listen, durabilityFor(*dataDir, *id))
 	case "fog1", "fog2":
 		codec, err := parseCodec(*codecName)
 		if err != nil {
@@ -95,6 +98,7 @@ func run(args []string) error {
 			Codec:         codec,
 			Dedup:         *dedup && l == topology.LayerFog1,
 			Quality:       *qual && l == topology.LayerFog1,
+			Durability:    durabilityFor(*dataDir, *id),
 		}
 		return runFog(cfg, *parentURL, *listen)
 	default:
@@ -111,8 +115,17 @@ func parseCodec(s string) (aggregate.Codec, error) {
 	return 0, fmt.Errorf("unknown codec %q", s)
 }
 
-func runCloud(id, city, listen string) error {
-	node, err := cloud.New(cloud.Config{ID: id, City: city, Clock: sim.WallClock{}})
+// durabilityFor maps a node id into its WAL directory under dataDir
+// (nil when durability is off).
+func durabilityFor(dataDir, id string) *wal.Config {
+	if dataDir == "" {
+		return nil
+	}
+	return &wal.Config{Dir: filepath.Join(dataDir, id)}
+}
+
+func runCloud(id, city, listen string, durability *wal.Config) error {
+	node, err := cloud.New(cloud.Config{ID: id, City: city, Clock: sim.WallClock{}, Durability: durability})
 	if err != nil {
 		return err
 	}
@@ -120,7 +133,8 @@ func runCloud(id, city, listen string) error {
 	mux.Handle(transport.MessagePath, transport.NewHTTPHandler(id, node))
 	mux.Handle("/opendata/", node.OpenDataHandler())
 	log.Printf("cloud node %s listening on %s (message + open-data API)", id, listen)
-	return serve(listen, mux, func(context.Context) error { return nil })
+	// A durable cloud checkpoints and closes its journal on shutdown.
+	return serve(listen, mux, func(context.Context) error { return node.Close() })
 }
 
 func runFog(cfg fognode.Config, parentURL, listen string) error {

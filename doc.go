@@ -70,6 +70,23 @@
 // them (scripts/chaos.sh runs the long sweep; see README "Resilience
 // & chaos testing").
 //
+// Durability (off by default) makes those guarantees survive process
+// death. A durable node journals its delivery state to an
+// append-only, CRC-framed write-ahead log with generation-rotated
+// snapshots (internal/wal) and recovers it at construction: retry
+// queues with frozen delivery sequences, pending buffers, the
+// sequence counter, and the replay-filter marks that dedupe retried
+// deliveries across the restart; the cloud journals and recovers its
+// archive. Replay is torn-write safe (recovery truncates the corrupt
+// tail back to the last intact record), snapshots rotate atomically,
+// and recovery ordering is snapshot, then log tail, then retry
+// queues. Enable per node (fognode/cloud Config.Durability), per
+// system (core.Options.DataDir, one journal directory per node id),
+// or with f2cd -data-dir; core.System.Reboot simulates a process
+// restart, and the chaos crash-recovery scenario asserts zero loss
+// through crashes at every tier (see README "Durability & recovery";
+// BenchmarkIngestWAL records the overhead in BENCH_PR5.json).
+//
 // Quick start:
 //
 //	sys, err := f2c.NewSystem(f2c.Options{

@@ -14,7 +14,12 @@
 //     reading is either preserved or counted shed — never silently
 //     lost;
 //   - convergence: once every fault heals, bounded recovery rounds
-//     drain every retry queue and pending buffer.
+//     drain every retry queue and pending buffer;
+//   - durable recovery (Scenario.Durable): crashes destroy volatile
+//     state — the victim is rebooted from its write-ahead log at the
+//     crash instant — and the zero-loss contract still holds end to
+//     end: every accepted reading preserved exactly once, nothing
+//     dropped during outages, dedup marks intact across restarts.
 //
 // Everything a run does — the workload, the fault schedule, the
 // backoff jitter — derives from Scenario.Seed, so a failing run is
@@ -29,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"f2c/internal/core"
@@ -68,6 +74,16 @@ type Scenario struct {
 	// during the scheduled loss bursts (default 0.3) — the duplicate
 	// generator exercising the delivery-sequence dedup.
 	ReplyLoss float64
+	// Durable runs the city with per-node write-ahead logs in a
+	// temporary data directory and makes crashes real: the moment a
+	// scheduled crash lands, the victim's in-memory instance is
+	// discarded and rebooted from its journal (its network endpoint
+	// stays dark until the scheduled restart). The run then asserts
+	// the full zero-loss contract — every accepted reading preserved
+	// exactly once and DroppedDuringOutage == 0 — across every crash.
+	// Without Durable, crashes only sever the network and in-memory
+	// state survives, the pre-durability behavior.
+	Durable bool
 }
 
 func (s *Scenario) applyDefaults() {
@@ -111,6 +127,13 @@ type Result struct {
 	// RecoveryRounds is how many flush rounds the post-heal drain
 	// needed to converge.
 	RecoveryRounds int
+	// Dropped is how many readings were shed specifically from retry
+	// queues during outages (the DroppedDuringOutage counter summed
+	// across the hierarchy) — always 0 for unbounded and durable runs.
+	Dropped int64
+	// Reboots is how many crash-instant journal recoveries a durable
+	// run performed (always 0 without Durable).
+	Reboots int
 }
 
 // chaosTypes is the workload's sensor-type mix (quality and dedup are
@@ -149,6 +172,14 @@ func Run(s Scenario) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	var dataDir string
+	if s.Durable {
+		dataDir, err = os.MkdirTemp("", "f2c-chaos-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dataDir)
+	}
 	clock := sim.NewVirtualClock(epoch)
 	sys, err := core.NewSystem(core.Options{
 		Topology: topo,
@@ -171,6 +202,12 @@ func Run(s Scenario) (Result, error) {
 		// the run span.
 		Fog1Retention: 30 * 24 * time.Hour,
 		Fog2Retention: 60 * 24 * time.Hour,
+		// Durable runs journal every node under the temp data dir; a
+		// small checkpoint threshold makes snapshot+truncate cycles
+		// happen inside the run, so recovery exercises snapshot+tail,
+		// not just log replay.
+		DataDir:       dataDir,
+		SnapshotEvery: 48,
 	})
 	if err != nil {
 		return res, err
@@ -232,10 +269,37 @@ func Run(s Scenario) (Result, error) {
 		return nil
 	}
 
+	// Durable crash semantics: the tick loop diffs the crashed set and
+	// reboots every new victim immediately — its volatile state is
+	// gone, only the journal survives — while the network keeps
+	// refusing its traffic until the scheduled restart heals it.
+	prevDown := make(map[string]bool)
+	rebootCrashed := func() error {
+		if !s.Durable {
+			return nil
+		}
+		down := net.DownNodes()
+		cur := make(map[string]bool, len(down))
+		for _, id := range down {
+			cur[id] = true
+			if !prevDown[id] {
+				if err := sys.Reboot(id); err != nil {
+					return s.failf("reboot %s from journal: %v", id, err)
+				}
+				res.Reboots++
+			}
+		}
+		prevDown = cur
+		return nil
+	}
+
 	// Faulted phase: ingest, flush, query, verify the memory bound.
 	for tick := 0; tick < s.Ticks; tick++ {
 		clock.Advance(s.TickStep)
 		net.PumpFaults(clock.Now())
+		if err := rebootCrashed(); err != nil {
+			return res, err
+		}
 		for i := 0; i < s.BatchesPerTick; i++ {
 			if err := ingestOne(clock.Now()); err != nil {
 				return res, err
@@ -280,8 +344,12 @@ func Run(s Scenario) (Result, error) {
 
 	// Invariants over the cloud archive.
 	res.Shed = totalShed(sys, allNodes)
+	res.Dropped = totalDropped(sys, allNodes)
 	res.Duplicates = totalDuplicates(sys, allNodes)
 	res.Relayed, res.Deferred = totalRelayedDeferred(sys, allNodes)
+	if s.Durable && res.Dropped != 0 {
+		return res, s.failf("durable run dropped %d readings during outages", res.Dropped)
+	}
 
 	seen := make(map[float64]int, len(accepted))
 	for _, typ := range chaosTypes {
@@ -364,6 +432,14 @@ func totalShed(sys *core.System, ids []string) int64 {
 	var total int64
 	for _, id := range ids {
 		total += nodeOf(sys, id).ShedReadings()
+	}
+	return total
+}
+
+func totalDropped(sys *core.System, ids []string) int64 {
+	var total int64
+	for _, id := range ids {
+		total += nodeOf(sys, id).DroppedDuringOutage()
 	}
 	return total
 }

@@ -23,6 +23,14 @@ const (
 	// KindRollingChurn crashes and restarts the fog layer-1 nodes in
 	// overlapping waves, the paper's node-churn concern.
 	KindRollingChurn ScheduleKind = "rolling-churn"
+	// KindCrashRecovery is the durability gauntlet: crash/restart
+	// windows land on fog layer-1 nodes, a whole district AND the
+	// cloud within one run. Paired with Scenario.Durable — which
+	// discards each victim's in-memory state at the crash instant and
+	// reboots it from its write-ahead log — it proves recovery is
+	// lossless at every tier; without Durable it behaves like
+	// KindCrashRestart with more victims.
+	KindCrashRecovery ScheduleKind = "crash-recovery"
 )
 
 // buildSchedule derives a full fault schedule from the scenario seed.
@@ -108,6 +116,29 @@ func buildSchedule(s Scenario, rng *rand.Rand, topo *topology.Topology) []transp
 		// ...and later the cloud itself goes dark for a stretch:
 		// every upward path fails, everything queues.
 		a, b = window(span/6, span/4)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: "cloud"},
+			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: "cloud"},
+		)
+
+	case KindCrashRecovery:
+		// Two fog1 victims, one district, then the cloud itself: every
+		// tier of the hierarchy loses a process within one run.
+		for i := 0; i < 2; i++ {
+			n := fog1[rng.Intn(len(fog1))]
+			a, b := window(span/8, span/4)
+			ev = append(ev,
+				transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: n.ID},
+				transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: n.ID},
+			)
+		}
+		d := fog2[rng.Intn(len(fog2))]
+		a, b := window(span/6, span/3)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: d.ID},
+			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: d.ID},
+		)
+		a, b = window(span/8, span/5)
 		ev = append(ev,
 			transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: "cloud"},
 			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: "cloud"},

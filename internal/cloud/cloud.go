@@ -19,6 +19,7 @@ import (
 	"f2c/internal/sim"
 	"f2c/internal/store"
 	"f2c/internal/transport"
+	"f2c/internal/wal"
 )
 
 // Config configures the cloud node.
@@ -42,6 +43,13 @@ type Config struct {
 	// the cloud remembers per origin for at-least-once dedup. Zero
 	// selects protocol.DefaultReplayWindow.
 	ReplayWindow int
+	// Durability, when set, journals every preserved batch (and every
+	// data-destruction cutoff) to a write-ahead log with periodic
+	// snapshots in Durability.Dir, and recovers the archive, the query
+	// series and the replay-filter marks from it at construction — so
+	// archived history survives a cloud restart. Nil (the default)
+	// keeps the node fully in-memory.
+	Durability *wal.Config
 }
 
 // Node is the cloud layer. Safe for concurrent use.
@@ -50,6 +58,7 @@ type Node struct {
 	archive *store.Archive
 	series  *store.TimeSeries
 	replay  *protocol.ReplayFilter
+	journal *cloudJournal // durability log; nil when off
 
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
@@ -79,7 +88,7 @@ func New(cfg Config) (*Node, error) {
 	if cfg.MaxQueryPage <= 0 {
 		cfg.MaxQueryPage = protocol.DefaultPageLimit
 	}
-	return &Node{
+	n := &Node{
 		cfg:             cfg,
 		archive:         store.NewArchive(),
 		series:          store.NewTimeSeries(0), // permanent
@@ -87,7 +96,60 @@ func New(cfg Config) (*Node, error) {
 		ingestedBatches: cfg.Registry.Counter(cfg.ID + ".ingest.batches"),
 		ingestedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.readings"),
 		dupBatches:      cfg.Registry.Counter(cfg.ID + ".ingest.duplicates"),
-	}, nil
+	}
+	if cfg.Durability != nil {
+		j, err := openCloudJournal(*cfg.Durability)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: %w", err)
+		}
+		if err := n.recoverJournal(j); err != nil {
+			_ = j.close()
+			return nil, fmt.Errorf("cloud: %w", err)
+		}
+		n.journal = j
+	}
+	return n, nil
+}
+
+// recoverJournal rebuilds the archive, the query series and the
+// replay-filter marks from a journal: snapshot records first, then the
+// log tail's preserves and expires in order. Metrics are not
+// re-counted — recovered batches were accounted by their first life.
+func (n *Node) recoverJournal(j *cloudJournal) error {
+	rs := &cloudRecovery{}
+	if err := decodeCloudSnapshot(j.store.Snapshot(), rs); err != nil {
+		return err
+	}
+	for _, rec := range j.store.Records() {
+		if err := rs.applyRecord(rec); err != nil {
+			return err
+		}
+	}
+	now := n.cfg.Clock.Now()
+	restore := func(b *model.Batch, prov []string) error {
+		if _, err := n.archive.Put(b, prov, now); err != nil {
+			return err
+		}
+		return n.series.Append(b)
+	}
+	for _, rec := range rs.records {
+		if err := restore(rec.batch, rec.provenance); err != nil {
+			return err
+		}
+	}
+	for _, op := range rs.tail {
+		if op.batch != nil {
+			if err := restore(op.batch, provenanceOf(op.batch.NodeID, op.from, n.cfg.ID)); err != nil {
+				return err
+			}
+		} else {
+			n.archive.Expire(op.before)
+		}
+	}
+	for _, m := range rs.marks {
+		n.replay.Mark(m.origin, m.seq)
+	}
+	return nil
 }
 
 // DuplicateBatches reports how many at-least-once duplicate
@@ -102,19 +164,39 @@ func (n *Node) Archive() *store.Archive { return n.archive }
 
 // Preserve runs the preservation block on an arriving batch:
 // classification (category/type/day indexing), lineage recording, and
-// permanent archiving.
+// permanent archiving. On a durable cloud the batch is journaled
+// before it is applied.
 func (n *Node) Preserve(b *model.Batch, from string) error {
-	provenance := []string{b.NodeID}
-	if from != "" && from != b.NodeID {
-		provenance = append(provenance, from)
+	return n.preserve(b, from, 0)
+}
+
+// preserve journals (durable mode), archives and — when the batch
+// carried a delivery sequence — marks the replay filter, all under
+// the journal mutex so a checkpoint always sees log and state agree.
+// Journaling the mark with the batch closes the recovery hole of
+// separate records: a recovered cloud either has both the batch and
+// its dedup mark or neither, so a sender's retry is either recognized
+// or re-preserves exactly once.
+func (n *Node) preserve(b *model.Batch, from string, seq uint64) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("cloud preserve: %w", err)
 	}
-	provenance = append(provenance, n.cfg.ID)
+	if n.journal != nil {
+		n.journal.mu.Lock()
+		defer n.journal.mu.Unlock()
+		if err := n.journal.appendPreserveLocked(seq, from, b); err != nil {
+			return fmt.Errorf("cloud preserve: %w", err)
+		}
+	}
 	now := n.cfg.Clock.Now()
-	if _, err := n.archive.Put(b, provenance, now); err != nil {
+	if _, err := n.archive.Put(b, provenanceOf(b.NodeID, from, n.cfg.ID), now); err != nil {
 		return fmt.Errorf("cloud preserve: %w", err)
 	}
 	if err := n.series.Append(b); err != nil {
 		return fmt.Errorf("cloud preserve: %w", err)
+	}
+	if seq != 0 {
+		n.replay.Mark(b.NodeID, seq)
 	}
 	n.ingestedBatches.Inc()
 	n.ingestedReads.Add(int64(len(b.Readings)))
@@ -160,9 +242,83 @@ func (n *Node) Analyze(typeName string, from, to time.Time, window time.Duration
 // permanently preserved at cloud layer, unless any expiry time is
 // defined"). Returns the number of destroyed records. The query
 // series keeps its data until its own retention (permanent by
-// default); destruction applies to the archive of record.
+// default); destruction applies to the archive of record. A durable
+// cloud journals the cutoff so recovery does not resurrect destroyed
+// records.
 func (n *Node) Expire(before time.Time) int {
+	if n.journal != nil {
+		n.journal.mu.Lock()
+		defer n.journal.mu.Unlock()
+		_ = n.journal.appendExpireLocked(before)
+	}
 	return n.archive.Expire(before)
+}
+
+// Checkpoint folds a durable cloud's archive and replay-filter marks
+// into a snapshot and truncates the journal, bounding recovery time.
+// No-op on an in-memory cloud.
+func (n *Node) Checkpoint() error {
+	if n.journal == nil {
+		return nil
+	}
+	n.journal.mu.Lock()
+	defer n.journal.mu.Unlock()
+	if n.journal.closed {
+		return nil
+	}
+	recs := n.archive.Records()
+	ars := make([]archivedRecord, len(recs))
+	for i, r := range recs {
+		ars[i] = archivedRecord{provenance: r.Provenance, batch: r.Batch}
+	}
+	data := encodeCloudSnapshot(nil, n.replay.Dump(), ars)
+	if err := n.journal.store.WriteSnapshot(data); err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// maybeCheckpoint runs an automatic checkpoint once the journal has
+// grown past its snapshot threshold; errors are dropped and retried at
+// the next preserve. Because a cloud snapshot rewrites the whole
+// (permanent, ever-growing) archive, the trigger is geometric: the
+// log tail must also be at least a quarter of the archive, so total
+// checkpoint I/O stays linear in data preserved instead of quadratic.
+func (n *Node) maybeCheckpoint() {
+	if n.journal == nil {
+		return
+	}
+	n.journal.mu.Lock()
+	threshold := n.journal.store.SnapshotThreshold()
+	appends := n.journal.store.AppendsSinceSnapshot()
+	due := !n.journal.closed && threshold > 0 && appends >= threshold
+	n.journal.mu.Unlock()
+	if due && appends*4 >= n.archive.Len() {
+		_ = n.Checkpoint()
+	}
+}
+
+// Discard releases a durable cloud's journal file handle without a
+// checkpoint — crash-semantics teardown for restart simulations; the
+// on-disk state stays exactly as the last append left it.
+func (n *Node) Discard() {
+	if n.journal != nil {
+		_ = n.journal.close()
+	}
+}
+
+// Close writes a final checkpoint and closes the journal of a durable
+// cloud; an in-memory cloud closes as a no-op. Safe to call multiple
+// times.
+func (n *Node) Close() error {
+	if n.journal == nil {
+		return nil
+	}
+	err := n.Checkpoint()
+	if cerr := n.journal.close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Status reports cloud state.
@@ -195,10 +351,12 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 			n.dupBatches.Inc()
 			return []byte("ok"), nil
 		}
-		if err := n.Preserve(b, msg.From); err != nil {
+		// preserve journals batch + mark as one record and marks the
+		// filter itself after a successful archive.
+		if err := n.preserve(b, msg.From, seq); err != nil {
 			return nil, err
 		}
-		n.replay.Mark(b.NodeID, seq)
+		n.maybeCheckpoint()
 		return []byte("ok"), nil
 	case transport.KindQuery:
 		var req protocol.QueryRequest

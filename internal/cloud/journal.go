@@ -1,0 +1,223 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"f2c/internal/model"
+	"f2c/internal/sensor"
+	"f2c/internal/wal"
+)
+
+// The cloud journal persists the preservation block: every batch the
+// cloud accepts is journaled (with the delivering hop and its delivery
+// sequence) before it is archived, and data-destruction cutoffs are
+// journaled so recovery does not resurrect expired records. The
+// journal mutex makes append+apply atomic against checkpoints, so a
+// snapshot is always a consistent cut of the archive plus the replay
+// filter deduping at-least-once retries.
+//
+// Snapshot layout (version 1):
+//
+//	[version u8]
+//	[origins uvarint] { [origin string] [n uvarint] { [seq u64] }* }*
+//	[records uvarint] { [provenance uvarint { [node string] }*]
+//	                    [batch bytes (sensor wire, uvarint-framed)] }*
+//
+// Restored records re-enter through the same classification path as
+// live preserves; StoredAt is re-stamped with the recovery clock and
+// version counters restart, which only affects provenance metadata,
+// never the preserved readings.
+const (
+	cloudJournalVersion = 1
+
+	recPreserve = 1
+	recExpire   = 2
+)
+
+type cloudJournal struct {
+	mu     sync.Mutex
+	store  *wal.Store
+	buf    []byte
+	closed bool
+}
+
+func openCloudJournal(cfg wal.Config) (*cloudJournal, error) {
+	st, err := wal.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &cloudJournal{store: st}, nil
+}
+
+// appendPreserve journals one accepted batch. The caller holds j.mu
+// for the whole append+apply sequence.
+func (j *cloudJournal) appendPreserveLocked(seq uint64, from string, b *model.Batch) error {
+	if j.closed {
+		return fmt.Errorf("cloud: journal closed")
+	}
+	j.buf = append(j.buf[:0], recPreserve)
+	j.buf = wal.AppendUint64(j.buf, seq)
+	j.buf = wal.AppendString(j.buf, from)
+	j.buf = sensor.AppendBatch(j.buf, b)
+	return j.store.Append(j.buf)
+}
+
+func (j *cloudJournal) appendExpireLocked(before time.Time) error {
+	if j.closed {
+		return fmt.Errorf("cloud: journal closed")
+	}
+	j.buf = append(j.buf[:0], recExpire)
+	j.buf = wal.AppendUint64(j.buf, uint64(before.UnixNano()))
+	return j.store.Append(j.buf)
+}
+
+func (j *cloudJournal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.store.Close()
+}
+
+// encodeCloudSnapshot folds the archive and filter dump into one
+// snapshot payload.
+func encodeCloudSnapshot(dst []byte, marks map[string][]uint64, records []archivedRecord) []byte {
+	dst = append(dst, cloudJournalVersion)
+	dst = wal.AppendMarkSet(dst, marks)
+	dst = wal.AppendUvarint(dst, uint64(len(records)))
+	var wire []byte
+	for _, rec := range records {
+		dst = wal.AppendUvarint(dst, uint64(len(rec.provenance)))
+		for _, node := range rec.provenance {
+			dst = wal.AppendString(dst, node)
+		}
+		wire = sensor.AppendBatch(wire[:0], rec.batch)
+		dst = wal.AppendBytes(dst, wire)
+	}
+	return dst
+}
+
+// archivedRecord is the snapshot shape of one preserved batch.
+type archivedRecord struct {
+	provenance []string
+	batch      *model.Batch
+}
+
+// cloudRecovery is the decoded durable state of a cloud node: the
+// snapshot's archived records (full provenance), then the journal
+// tail's preserves and expires in log order.
+type cloudRecovery struct {
+	marks   []cloudMark
+	records []archivedRecord
+	tail    []tailOp
+}
+
+type cloudMark struct {
+	origin string
+	seq    uint64
+}
+
+// tailOp is one replayed journal record: a preserve (batch set) or an
+// expire (before set).
+type tailOp struct {
+	batch  *model.Batch
+	from   string
+	before time.Time
+}
+
+func decodeCloudSnapshot(data []byte, rs *cloudRecovery) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if data[0] != cloudJournalVersion {
+		return fmt.Errorf("cloud: unsupported snapshot version %d", data[0])
+	}
+	rest, err := wal.ReadMarkSet(data[1:], func(origin string, seq uint64) {
+		rs.marks = append(rs.marks, cloudMark{origin: origin, seq: seq})
+	})
+	if err != nil {
+		return err
+	}
+	records, rest, err := wal.ReadUvarint(rest)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < records; i++ {
+		var hops uint64
+		hops, rest, err = wal.ReadUvarint(rest)
+		if err != nil {
+			return err
+		}
+		// hops is untrusted: grow the slice by appends instead of
+		// preallocating from a corrupt count.
+		var prov []string
+		for k := uint64(0); k < hops; k++ {
+			var node string
+			node, rest, err = wal.ReadString(rest)
+			if err != nil {
+				return err
+			}
+			prov = append(prov, node)
+		}
+		var wire []byte
+		wire, rest, err = wal.ReadBytes(rest)
+		if err != nil {
+			return err
+		}
+		b, err := sensor.DecodeBatch(wire)
+		if err != nil {
+			return fmt.Errorf("cloud: snapshot batch: %w", err)
+		}
+		rs.records = append(rs.records, archivedRecord{provenance: prov, batch: b})
+	}
+	return nil
+}
+
+func (rs *cloudRecovery) applyRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("cloud: empty journal record")
+	}
+	body := rec[1:]
+	switch rec[0] {
+	case recPreserve:
+		seq, rest, err := wal.ReadUint64(body)
+		if err != nil {
+			return err
+		}
+		from, rest, err := wal.ReadString(rest)
+		if err != nil {
+			return err
+		}
+		b, err := sensor.DecodeBatch(rest)
+		if err != nil {
+			return fmt.Errorf("cloud: journal batch: %w", err)
+		}
+		rs.tail = append(rs.tail, tailOp{batch: b, from: from})
+		if seq != 0 {
+			rs.marks = append(rs.marks, cloudMark{origin: b.NodeID, seq: seq})
+		}
+	case recExpire:
+		ns, _, err := wal.ReadUint64(body)
+		if err != nil {
+			return err
+		}
+		rs.tail = append(rs.tail, tailOp{before: time.Unix(0, int64(ns))})
+	default:
+		return fmt.Errorf("cloud: unknown journal record type %d", rec[0])
+	}
+	return nil
+}
+
+// provenanceOf rebuilds the lineage Preserve records: origin, the
+// delivering hop when distinct, and the cloud endpoint.
+func provenanceOf(origin, from, cloudID string) []string {
+	prov := []string{origin}
+	if from != "" && from != origin {
+		prov = append(prov, from)
+	}
+	return append(prov, cloudID)
+}

@@ -1,0 +1,23 @@
+package cloud
+
+import "testing"
+
+// FuzzCloudSnapshotDecode proves the cloud's snapshot and journal
+// record decoders never panic on arbitrary bytes — corrupt counts and
+// truncated fields must fail with errors, not allocate or crash
+// (CRC framing upstream makes this unlikely, not impossible).
+func FuzzCloudSnapshotDecode(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{cloudJournalVersion}, []byte{recPreserve})
+	// Huge origin/record/hop counts with no bytes behind them.
+	f.Add([]byte{cloudJournalVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+		[]byte{recExpire, 1, 2, 3})
+	valid := encodeCloudSnapshot(nil, map[string][]uint64{"fog2/d01": {1, 2}}, nil)
+	f.Add(valid, []byte{recPreserve, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, snap, rec []byte) {
+		rs := &cloudRecovery{}
+		_ = decodeCloudSnapshot(snap, rs)
+		_ = rs.applyRecord(rec)
+	})
+}

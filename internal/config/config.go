@@ -44,6 +44,11 @@ type Deployment struct {
 	// frequency for specific categories (keyed by category name) —
 	// the paper's per-business-model update policy.
 	Fog1FlushByCategorySeconds map[string]int `json:"fog1FlushByCategorySeconds,omitempty"`
+	// DataDir enables durability: every node journals its delivery
+	// state (the cloud its archive) to a write-ahead log with
+	// snapshots under DataDir/<node id> and recovers it on restart.
+	// Empty keeps the deployment in-memory.
+	DataDir string `json:"dataDir,omitempty"`
 }
 
 // Barcelona returns the deployment matching the paper's use case.
@@ -169,6 +174,7 @@ func (d Deployment) Options(clock sim.Clock) (core.Options, error) {
 		Fog1Retention:       time.Duration(d.Fog1RetentionSeconds) * time.Second,
 		Fog2Retention:       time.Duration(d.Fog2RetentionSeconds) * time.Second,
 		Fog1FlushByCategory: byCat,
+		DataDir:             d.DataDir,
 	}, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
+	"f2c/internal/wal"
 )
 
 // Options configures a System.
@@ -100,6 +102,20 @@ type Options struct {
 	// through their district siblings; fog layer-2 nodes through the
 	// other districts.
 	FailoverAfter int
+	// DataDir enables durability across the hierarchy: every node
+	// journals its delivery state (the cloud its archive) to a
+	// write-ahead log with snapshots under DataDir/<node id>, and
+	// recovers from it at construction — including through
+	// System.Reboot, which simulates a process restart. Empty (the
+	// default) keeps every node in-memory.
+	DataDir string
+	// SnapshotEvery sets each durable node's automatic-checkpoint
+	// record threshold (see wal.Config.SnapshotEvery); zero selects
+	// the wal default, negative disables automatic checkpoints.
+	SnapshotEvery int
+	// WALSyncEveryAppend fsyncs every journal append (see
+	// wal.Config.SyncEveryAppend).
+	WALSyncEveryAppend bool
 }
 
 func (o *Options) applyDefaults() {
@@ -143,11 +159,16 @@ type System struct {
 	opts    Options
 	topo    *topology.Topology
 	net     *transport.SimNetwork
-	fog1    map[string]*fognode.Node
-	fog2    map[string]*fognode.Node
 	fog1IDs []string
 	fog2IDs []string
-	cloud   *cloud.Node
+
+	// nodeMu guards the node maps and the cloud pointer: Reboot
+	// replaces instances while readers (queries, flush drivers) hold
+	// references.
+	nodeMu sync.RWMutex
+	fog1   map[string]*fognode.Node
+	fog2   map[string]*fognode.Node
+	cloud  *cloud.Node
 }
 
 // CloudID is the cloud endpoint name.
@@ -190,47 +211,15 @@ func NewSystem(opts Options) (*System, error) {
 		transport.WithFaultClock(opts.Clock),
 	)
 
-	cl, err := cloud.New(cloud.Config{
-		ID: CloudID, City: opts.City, Clock: opts.Clock, Registry: opts.Registry,
-		Codec: opts.Codec, MaxQueryPage: opts.QueryPageLimit,
-	})
+	cl, err := s.buildCloud()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s.cloud = cl
 	s.net.Register(CloudID, cl)
 
-	fog2Specs := s.topo.Fog2Nodes()
-	for _, spec := range fog2Specs {
-		// A district's failover siblings are the other districts:
-		// when its own WAN uplink is partitioned, a healthy district
-		// relays the sealed batches to the cloud.
-		var fog2Siblings []string
-		for _, other := range fog2Specs {
-			if other.ID != spec.ID {
-				fog2Siblings = append(fog2Siblings, other.ID)
-			}
-		}
-		n, err := fognode.New(fognode.Config{
-			Spec:               spec,
-			City:               opts.City,
-			Clock:              opts.Clock,
-			Transport:          s.net,
-			Retention:          opts.Fog2Retention,
-			FlushInterval:      opts.Fog2FlushInterval,
-			Codec:              opts.Codec,
-			Dedup:              false, // layer 1 already eliminated redundancy
-			Quality:            false, // quality is checked once, at acquisition
-			Registry:           opts.Registry,
-			PendingShards:      opts.PendingShards,
-			FlushWorkers:       opts.FlushWorkers,
-			MaxQueryPage:       opts.QueryPageLimit,
-			MaxPendingReadings: opts.MaxPendingReadings,
-			Siblings:           fog2Siblings,
-			RetryBase:          opts.RetryBase,
-			RetryMax:           opts.RetryMax,
-			FailoverAfter:      opts.FailoverAfter,
-		})
+	for _, spec := range s.topo.Fog2Nodes() {
+		n, err := s.buildFog2(spec)
 		if err != nil {
 			return nil, fmt.Errorf("core: fog2 %s: %w", spec.ID, err)
 		}
@@ -238,32 +227,13 @@ func NewSystem(opts Options) (*System, error) {
 		s.fog2IDs = append(s.fog2IDs, spec.ID)
 		s.net.Register(spec.ID, n)
 		s.net.SetLink(spec.ID, CloudID, transport.WANLink)
-		for _, sib := range fog2Siblings {
+		for _, sib := range s.fog2Siblings(spec.ID) {
 			s.net.SetLink(spec.ID, sib, transport.MetroLink)
 		}
 	}
 
 	for _, spec := range s.topo.Fog1Nodes() {
-		n, err := fognode.New(fognode.Config{
-			Spec:               spec,
-			City:               opts.City,
-			Clock:              opts.Clock,
-			Transport:          s.net,
-			Retention:          opts.Fog1Retention,
-			FlushInterval:      opts.Fog1FlushInterval,
-			Codec:              opts.Codec,
-			Dedup:              opts.Dedup,
-			Quality:            opts.Quality,
-			Registry:           opts.Registry,
-			PendingShards:      opts.PendingShards,
-			FlushWorkers:       opts.FlushWorkers,
-			MaxQueryPage:       opts.QueryPageLimit,
-			MaxPendingReadings: opts.MaxPendingReadings,
-			Siblings:           s.topo.Neighbors(spec.ID),
-			RetryBase:          opts.RetryBase,
-			RetryMax:           opts.RetryMax,
-			FailoverAfter:      opts.FailoverAfter,
-		})
+		n, err := s.buildFog1(spec)
 		if err != nil {
 			return nil, fmt.Errorf("core: fog1 %s: %w", spec.ID, err)
 		}
@@ -281,6 +251,146 @@ func NewSystem(opts Options) (*System, error) {
 	return s, nil
 }
 
+// durabilityFor maps a node onto its WAL directory under DataDir (nil
+// when durability is off). Node ids contain '/' and become nested
+// directories.
+func (s *System) durabilityFor(id string) *wal.Config {
+	if s.opts.DataDir == "" {
+		return nil
+	}
+	return &wal.Config{
+		Dir:             filepath.Join(s.opts.DataDir, id),
+		SnapshotEvery:   s.opts.SnapshotEvery,
+		SyncEveryAppend: s.opts.WALSyncEveryAppend,
+	}
+}
+
+func (s *System) buildCloud() (*cloud.Node, error) {
+	return cloud.New(cloud.Config{
+		ID: CloudID, City: s.opts.City, Clock: s.opts.Clock, Registry: s.opts.Registry,
+		Codec: s.opts.Codec, MaxQueryPage: s.opts.QueryPageLimit,
+		Durability: s.durabilityFor(CloudID),
+	})
+}
+
+// fog2Siblings returns a district's failover siblings: the other
+// districts. When its own WAN uplink is partitioned, a healthy
+// district relays the sealed batches to the cloud.
+func (s *System) fog2Siblings(id string) []string {
+	var sibs []string
+	for _, other := range s.topo.Fog2Nodes() {
+		if other.ID != id {
+			sibs = append(sibs, other.ID)
+		}
+	}
+	return sibs
+}
+
+func (s *System) buildFog2(spec topology.NodeSpec) (*fognode.Node, error) {
+	return fognode.New(fognode.Config{
+		Spec:               spec,
+		City:               s.opts.City,
+		Clock:              s.opts.Clock,
+		Transport:          s.net,
+		Retention:          s.opts.Fog2Retention,
+		FlushInterval:      s.opts.Fog2FlushInterval,
+		Codec:              s.opts.Codec,
+		Dedup:              false, // layer 1 already eliminated redundancy
+		Quality:            false, // quality is checked once, at acquisition
+		Registry:           s.opts.Registry,
+		PendingShards:      s.opts.PendingShards,
+		FlushWorkers:       s.opts.FlushWorkers,
+		MaxQueryPage:       s.opts.QueryPageLimit,
+		MaxPendingReadings: s.opts.MaxPendingReadings,
+		Siblings:           s.fog2Siblings(spec.ID),
+		RetryBase:          s.opts.RetryBase,
+		RetryMax:           s.opts.RetryMax,
+		FailoverAfter:      s.opts.FailoverAfter,
+		Durability:         s.durabilityFor(spec.ID),
+	})
+}
+
+func (s *System) buildFog1(spec topology.NodeSpec) (*fognode.Node, error) {
+	return fognode.New(fognode.Config{
+		Spec:               spec,
+		City:               s.opts.City,
+		Clock:              s.opts.Clock,
+		Transport:          s.net,
+		Retention:          s.opts.Fog1Retention,
+		FlushInterval:      s.opts.Fog1FlushInterval,
+		Codec:              s.opts.Codec,
+		Dedup:              s.opts.Dedup,
+		Quality:            s.opts.Quality,
+		Registry:           s.opts.Registry,
+		PendingShards:      s.opts.PendingShards,
+		FlushWorkers:       s.opts.FlushWorkers,
+		MaxQueryPage:       s.opts.QueryPageLimit,
+		MaxPendingReadings: s.opts.MaxPendingReadings,
+		Siblings:           s.topo.Neighbors(spec.ID),
+		RetryBase:          s.opts.RetryBase,
+		RetryMax:           s.opts.RetryMax,
+		FailoverAfter:      s.opts.FailoverAfter,
+		Durability:         s.durabilityFor(spec.ID),
+	})
+}
+
+// Reboot simulates a process restart of one node, fog or cloud: the
+// current in-memory instance is discarded without a flush — exactly
+// what a crash does — and a fresh instance is built and registered in
+// its place. With durability enabled (Options.DataDir) the fresh
+// instance recovers its delivery state (the cloud its archive) from
+// the node's journal; without it, the node restarts empty, which is
+// the pre-durability loss mode. Intended for fault-injection
+// harnesses; the node's background flusher must not be running.
+func (s *System) Reboot(id string) error {
+	if id == CloudID {
+		// The replaced instance's journal handle is released (crash
+		// semantics: no flush, no checkpoint) before recovery opens
+		// the same directory, so reboot loops do not leak descriptors.
+		s.Cloud().Discard()
+		cl, err := s.buildCloud()
+		if err != nil {
+			return fmt.Errorf("core: reboot %s: %w", id, err)
+		}
+		s.nodeMu.Lock()
+		s.cloud = cl
+		s.nodeMu.Unlock()
+		s.net.Register(CloudID, cl)
+		return nil
+	}
+	spec, ok := s.topo.Node(id)
+	if !ok {
+		return fmt.Errorf("core: reboot: unknown node %q", id)
+	}
+	switch spec.Layer {
+	case topology.LayerFog2:
+		if old, ok := s.Fog2(id); ok {
+			old.Discard()
+		}
+		n, err := s.buildFog2(spec)
+		if err != nil {
+			return fmt.Errorf("core: reboot %s: %w", id, err)
+		}
+		s.nodeMu.Lock()
+		s.fog2[id] = n
+		s.nodeMu.Unlock()
+		s.net.Register(id, n)
+	default:
+		if old, ok := s.Fog1(id); ok {
+			old.Discard()
+		}
+		n, err := s.buildFog1(spec)
+		if err != nil {
+			return fmt.Errorf("core: reboot %s: %w", id, err)
+		}
+		s.nodeMu.Lock()
+		s.fog1[id] = n
+		s.nodeMu.Unlock()
+		s.net.Register(id, n)
+	}
+	return nil
+}
+
 // Topology returns the system's hierarchy.
 func (s *System) Topology() *topology.Topology { return s.topo }
 
@@ -290,17 +400,26 @@ func (s *System) Network() *transport.SimNetwork { return s.net }
 // Matrix exposes the traffic accounting.
 func (s *System) Matrix() *metrics.TrafficMatrix { return s.opts.Matrix }
 
-// Cloud returns the cloud node.
-func (s *System) Cloud() *cloud.Node { return s.cloud }
+// Cloud returns the cloud node (the current instance, after any
+// Reboot).
+func (s *System) Cloud() *cloud.Node {
+	s.nodeMu.RLock()
+	defer s.nodeMu.RUnlock()
+	return s.cloud
+}
 
 // Fog1 returns a layer-1 node.
 func (s *System) Fog1(id string) (*fognode.Node, bool) {
+	s.nodeMu.RLock()
+	defer s.nodeMu.RUnlock()
 	n, ok := s.fog1[id]
 	return n, ok
 }
 
 // Fog2 returns a layer-2 node.
 func (s *System) Fog2(id string) (*fognode.Node, bool) {
+	s.nodeMu.RLock()
+	defer s.nodeMu.RUnlock()
 	n, ok := s.fog2[id]
 	return n, ok
 }
@@ -338,7 +457,7 @@ func (s *System) Planner() *placement.Planner {
 // analytic Table I harness separately reproduces the paper's fixed
 // per-transaction charges.)
 func (s *System) IngestAt(fog1ID string, b *model.Batch) error {
-	n, ok := s.fog1[fog1ID]
+	n, ok := s.Fog1(fog1ID)
 	if !ok {
 		return fmt.Errorf("core: unknown fog1 node %q", fog1ID)
 	}
@@ -353,18 +472,24 @@ func (s *System) IngestAt(fog1ID string, b *model.Batch) error {
 // context is already cancelled — matching the old serial loops, and
 // required by Close, which must stop every background flusher — and
 // each node's own sends observe the context.
-func (s *System) forEachFog(ctx context.Context, ids []string, nodes map[string]*fognode.Node, fn func(context.Context, *fognode.Node) error) error {
+func (s *System) forEachFog(ctx context.Context, ids []string, get func(string) (*fognode.Node, bool), fn func(context.Context, *fognode.Node) error) error {
 	errs := make([]error, len(ids))
 	sem := make(chan struct{}, s.opts.FlushConcurrency)
 	var wg sync.WaitGroup
 	for i, id := range ids {
+		// Resolve the current instance at dispatch time so a Reboot
+		// between layers operates on the replacement, not a stale node.
+		n, ok := get(id)
+		if !ok {
+			continue
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, n *fognode.Node) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			errs[i] = fn(ctx, n)
-		}(i, nodes[id])
+		}(i, n)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -376,10 +501,10 @@ func (s *System) forEachFog(ctx context.Context, ids []string, nodes map[string]
 // between layers preserves the serial drain guarantee that layer 2
 // forwards what layer 1 just delivered.
 func (s *System) FlushAll(ctx context.Context) error {
-	err1 := s.forEachFog(ctx, s.fog1IDs, s.fog1, func(ctx context.Context, n *fognode.Node) error {
+	err1 := s.forEachFog(ctx, s.fog1IDs, s.Fog1, func(ctx context.Context, n *fognode.Node) error {
 		return n.Flush(ctx)
 	})
-	err2 := s.forEachFog(ctx, s.fog2IDs, s.fog2, func(ctx context.Context, n *fognode.Node) error {
+	err2 := s.forEachFog(ctx, s.fog2IDs, s.Fog2, func(ctx context.Context, n *fognode.Node) error {
 		return n.Flush(ctx)
 	})
 	return errors.Join(err1, err2)
@@ -389,29 +514,35 @@ func (s *System) FlushAll(ctx context.Context) error {
 // Node.Start only spawns a goroutine, so plain loops suffice.
 func (s *System) Start() {
 	for _, id := range s.fog1IDs {
-		s.fog1[id].Start()
+		if n, ok := s.Fog1(id); ok {
+			n.Start()
+		}
 	}
 	for _, id := range s.fog2IDs {
-		s.fog2[id].Start()
+		if n, ok := s.Fog2(id); ok {
+			n.Start()
+		}
 	}
 }
 
 // Close stops all background flushers and drains pending data, layer
-// 1 first so its final flushes land before layer 2 drains.
+// 1 first so its final flushes land before layer 2 drains; a durable
+// cloud then writes its final checkpoint and closes its journal.
 func (s *System) Close(ctx context.Context) error {
-	err1 := s.forEachFog(ctx, s.fog1IDs, s.fog1, func(ctx context.Context, n *fognode.Node) error {
+	err1 := s.forEachFog(ctx, s.fog1IDs, s.Fog1, func(ctx context.Context, n *fognode.Node) error {
 		return n.Close(ctx)
 	})
-	err2 := s.forEachFog(ctx, s.fog2IDs, s.fog2, func(ctx context.Context, n *fognode.Node) error {
+	err2 := s.forEachFog(ctx, s.fog2IDs, s.Fog2, func(ctx context.Context, n *fognode.Node) error {
 		return n.Close(ctx)
 	})
-	return errors.Join(err1, err2)
+	err3 := s.Cloud().Close()
+	return errors.Join(err1, err2, err3)
 }
 
 // LatestAtFog serves the paper's critical real-time read: directly
 // from the local fog layer-1 node, no network hop.
 func (s *System) LatestAtFog(fog1ID, sensorID string) (model.Reading, bool, error) {
-	n, ok := s.fog1[fog1ID]
+	n, ok := s.Fog1(fog1ID)
 	if !ok {
 		return model.Reading{}, false, fmt.Errorf("core: unknown fog1 node %q", fog1ID)
 	}
@@ -440,7 +571,7 @@ func (s *System) QueryEngine(requesterID string) *query.Engine {
 			return src == placement.SourceNeighbor
 		},
 	}
-	if n, ok := s.fog1[requesterID]; ok {
+	if n, ok := s.Fog1(requesterID); ok {
 		spec, _ := s.topo.Node(requesterID)
 		cfg.Local = n
 		cfg.Siblings = s.topo.Neighbors(requesterID)
@@ -485,7 +616,7 @@ const (
 // the first tier that is authoritative for it (so an empty answer
 // from such a tier is a definitive empty, not a miss).
 func (s *System) QueryWithFallback(ctx context.Context, fog1ID, typeName string, from, to time.Time, estBytes int64) ([]model.Reading, FallbackSource, error) {
-	if _, ok := s.fog1[fog1ID]; !ok {
+	if _, ok := s.Fog1(fog1ID); !ok {
 		return nil, "", fmt.Errorf("core: unknown fog1 node %q", fog1ID)
 	}
 	readings, src, err := s.QueryEngine(fog1ID).Range(ctx, typeName, from, to, estBytes)

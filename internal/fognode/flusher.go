@@ -83,11 +83,35 @@ func (n *Node) run() {
 
 // Close stops the background flusher (if running), waits for it to
 // exit, then performs a final synchronous flush so no pending data is
-// lost on shutdown. Safe to call multiple times.
+// lost on shutdown. A durable node additionally writes a final
+// checkpoint and closes its journal, so the next start recovers from
+// the snapshot alone. Safe to call multiple times.
 func (n *Node) Close(ctx context.Context) error {
 	n.lc.end()
-	if n.cfg.Spec.Parent == "" && n.PendingBatches() == 0 {
-		return nil
+	var err error
+	if n.cfg.Spec.Parent != "" || n.PendingBatches() > 0 {
+		err = n.Flush(ctx)
 	}
-	return n.Flush(ctx)
+	if n.journal != nil {
+		if cerr := n.Checkpoint(); err == nil {
+			err = cerr
+		}
+		if cerr := n.journal.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Discard tears the node down with crash semantics: the background
+// flusher (if any) is stopped, but nothing is flushed or
+// checkpointed — the journal file handle is simply released, leaving
+// the on-disk state exactly as the last append left it. Used when an
+// instance is replaced by a restart simulation; a real crash gets the
+// same on-disk picture without the courtesy of the close.
+func (n *Node) Discard() {
+	n.lc.end()
+	if n.journal != nil {
+		_ = n.journal.close()
+	}
 }

@@ -1,0 +1,496 @@
+package fognode
+
+import (
+	"fmt"
+	"sync"
+
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/sensor"
+	"f2c/internal/wal"
+)
+
+// The fog-node journal persists exactly the state the upward-delivery
+// guarantee depends on, as one record per state transition:
+//
+//	recBatch   readings accepted into the per-type pending buffer;
+//	           when the batch arrived sequenced over the transport,
+//	           the record also carries its (origin, seq) replay-filter
+//	           mark, so acceptance and dedup state commit atomically —
+//	           a recovered receiver either has both the batch and its
+//	           mark or neither, and a sender's retry is either
+//	           recognized or re-accepted exactly once
+//	recSeal    a pending buffer frozen under a delivery sequence
+//	           (it becomes one retry-queue batch until committed)
+//	recCommit  a sealed batch delivered and acknowledged upward
+//	recShed    readings dropped oldest-first by MaxPendingReadings
+//
+// Record appends happen under the same locks as the state changes
+// they describe (the pending-shard mutex), so replaying the log
+// reproduces the per-type state machine transition by transition.
+// Recovery ordering is snapshot first, then the log tail, then the
+// retry queues and pending buffers are installed into the shards.
+//
+// recBatch is the acceptance gate: if it cannot be appended the
+// ingest fails and the sender retries. The other records are
+// best-effort — losing one degrades toward re-delivery (which the
+// receiver-side replay filter absorbs) rather than loss.
+const (
+	journalVersion = 1
+
+	recBatch  = 1
+	recSeal   = 2
+	recCommit = 3
+	recShed   = 4
+)
+
+// journal wraps the node's wal.Store with the record codec. Its mutex
+// serializes appends and excludes them during checkpoints.
+type journal struct {
+	mu     sync.Mutex
+	store  *wal.Store
+	buf    []byte // record-encode scratch, reused under mu
+	closed bool
+}
+
+func openJournal(cfg wal.Config) (*journal, error) {
+	st, err := wal.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{store: st}, nil
+}
+
+// appendBatch journals readings accepted into the pending buffer,
+// together with the delivery mark (origin, seq) of the transport hop
+// that carried them (zero when the batch arrived unsequenced — a
+// local edge ingest or a v1 envelope). The batch is logged with the
+// node's own identity — the shape the pending buffer holds and a
+// recovered flush would send.
+func (j *journal) appendBatch(nodeID string, b *model.Batch, origin string, seq uint64) error {
+	up := model.Batch{
+		NodeID:    nodeID,
+		TypeName:  b.TypeName,
+		Category:  b.Category,
+		Collected: b.Collected,
+		Readings:  b.Readings,
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("fognode: journal closed")
+	}
+	j.buf = append(j.buf[:0], recBatch)
+	j.buf = wal.AppendUint64(j.buf, seq)
+	j.buf = wal.AppendString(j.buf, origin)
+	j.buf = sensor.AppendBatch(j.buf, &up)
+	return j.store.Append(j.buf)
+}
+
+func (j *journal) appendSeal(typ string, seq uint64, count int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.buf = append(j.buf[:0], recSeal)
+	j.buf = wal.AppendUint64(j.buf, seq)
+	j.buf = wal.AppendUvarint(j.buf, uint64(count))
+	j.buf = wal.AppendString(j.buf, typ)
+	return j.store.Append(j.buf)
+}
+
+func (j *journal) appendCommit(typ string, seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.buf = append(j.buf[:0], recCommit)
+	j.buf = wal.AppendUint64(j.buf, seq)
+	j.buf = wal.AppendString(j.buf, typ)
+	return j.store.Append(j.buf)
+}
+
+func (j *journal) appendShed(typ string, count int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.buf = append(j.buf[:0], recShed)
+	j.buf = wal.AppendUvarint(j.buf, uint64(count))
+	j.buf = wal.AppendString(j.buf, typ)
+	return j.store.Append(j.buf)
+}
+
+// checkpointDue reports whether the log has grown past the automatic
+// snapshot threshold.
+func (j *journal) checkpointDue() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return false
+	}
+	t := j.store.SnapshotThreshold()
+	return t > 0 && j.store.AppendsSinceSnapshot() >= t
+}
+
+// checkpoint folds the node's current delivery state into a snapshot
+// and rotates the log. The caller holds every pending-shard mutex and
+// the flush-exclusion lock, so the encoded state is consistent and no
+// record can race the rotation.
+func (j *journal) checkpoint(seqCounter uint64, filter *protocol.ReplayFilter, shards []pendingShard) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	data := encodeNodeSnapshot(nil, seqCounter, filter.Dump(), shards)
+	return j.store.WriteSnapshot(data)
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.store.Close()
+}
+
+// Snapshot layout (version 1):
+//
+//	[version u8]
+//	[seq counter u64]
+//	[origins uvarint] { [origin string] [n uvarint] { [seq u64] }* }*
+//	[entries uvarint] { [kind u8: 0 pending, 1 sealed] [seq u64]
+//	                    [batch bytes (sensor wire, uvarint-framed)] }*
+//
+// Entries are grouped per type — sealed batches in retry-queue order,
+// then the pending buffer — and route by the embedded batch's type on
+// decode.
+const (
+	snapEntryPending = 0
+	snapEntrySealed  = 1
+)
+
+func encodeNodeSnapshot(dst []byte, seqCounter uint64, marks map[string][]uint64, shards []pendingShard) []byte {
+	dst = append(dst, journalVersion)
+	dst = wal.AppendUint64(dst, seqCounter)
+	dst = wal.AppendMarkSet(dst, marks)
+	entries := 0
+	for i := range shards {
+		sh := &shards[i]
+		for _, q := range sh.retry {
+			entries += len(q)
+		}
+		entries += len(sh.pending)
+	}
+	dst = wal.AppendUvarint(dst, uint64(entries))
+	var wire []byte
+	appendEntry := func(kind byte, seq uint64, b *model.Batch) {
+		dst = append(dst, kind)
+		dst = wal.AppendUint64(dst, seq)
+		wire = sensor.AppendBatch(wire[:0], b)
+		dst = wal.AppendBytes(dst, wire)
+	}
+	for i := range shards {
+		sh := &shards[i]
+		for _, q := range sh.retry {
+			for _, sb := range q {
+				appendEntry(snapEntrySealed, sb.seq, sb.b)
+			}
+		}
+		for _, b := range sh.pending {
+			appendEntry(snapEntryPending, 0, b)
+		}
+	}
+	return dst
+}
+
+// recoveryState accumulates the replayed delivery state before it is
+// installed into a node.
+type recoveryState struct {
+	seqCounter uint64
+	sawSeq     bool
+	marks      []markEntry
+	types      map[string]*typeRecovery
+	// stored collects every replayed batch for the local time-series
+	// store: recovery restores real-time reads over the checkpoint
+	// window, not just the undelivered buffers.
+	stored []*model.Batch
+}
+
+type markEntry struct {
+	origin string
+	seq    uint64
+}
+
+type typeRecovery struct {
+	groups  []sealedBatch // retry queue, seal order
+	pending *model.Batch
+}
+
+func newRecoveryState() *recoveryState {
+	return &recoveryState{types: make(map[string]*typeRecovery)}
+}
+
+func (rs *recoveryState) typeState(typ string) *typeRecovery {
+	tr, ok := rs.types[typ]
+	if !ok {
+		tr = &typeRecovery{}
+		rs.types[typ] = tr
+	}
+	return tr
+}
+
+func (rs *recoveryState) noteSeq(seq uint64) {
+	if !rs.sawSeq || seq > rs.seqCounter {
+		rs.seqCounter = seq
+	}
+	rs.sawSeq = true
+}
+
+func decodeNodeSnapshot(data []byte, rs *recoveryState) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if data[0] != journalVersion {
+		return fmt.Errorf("fognode: unsupported snapshot version %d", data[0])
+	}
+	rest := data[1:]
+	seqCounter, rest, err := wal.ReadUint64(rest)
+	if err != nil {
+		return err
+	}
+	rs.noteSeq(seqCounter)
+	rest, err = wal.ReadMarkSet(rest, func(origin string, seq uint64) {
+		rs.marks = append(rs.marks, markEntry{origin: origin, seq: seq})
+	})
+	if err != nil {
+		return err
+	}
+	entries, rest, err := wal.ReadUvarint(rest)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < entries; i++ {
+		if len(rest) == 0 {
+			return fmt.Errorf("fognode: truncated snapshot entry")
+		}
+		kind := rest[0]
+		rest = rest[1:]
+		var seq uint64
+		seq, rest, err = wal.ReadUint64(rest)
+		if err != nil {
+			return err
+		}
+		var wire []byte
+		wire, rest, err = wal.ReadBytes(rest)
+		if err != nil {
+			return err
+		}
+		b, err := sensor.DecodeBatch(wire)
+		if err != nil {
+			return fmt.Errorf("fognode: snapshot batch: %w", err)
+		}
+		tr := rs.typeState(b.TypeName)
+		switch kind {
+		case snapEntrySealed:
+			// Clone: rs.stored keeps b for the local-store replay, and
+			// a shed replayed from the tail trims the group's readings
+			// in place — that must not eat into the store's copy.
+			tr.groups = append(tr.groups, sealedBatch{b: b.Clone(), seq: seq})
+			rs.noteSeq(seq)
+		case snapEntryPending:
+			// Clone: rs.stored keeps b for the local-store replay, and
+			// the pending buffer must not mutate it when later entries
+			// merge in.
+			if tr.pending == nil {
+				tr.pending = b.Clone()
+			} else {
+				tr.pending.Readings = append(tr.pending.Readings, b.Readings...)
+			}
+		default:
+			return fmt.Errorf("fognode: unknown snapshot entry kind %d", kind)
+		}
+		rs.stored = append(rs.stored, b)
+	}
+	return nil
+}
+
+// applyRecord replays one log record onto the recovery state, the same
+// transition the live path journaled.
+func (rs *recoveryState) applyRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("fognode: empty journal record")
+	}
+	body := rec[1:]
+	switch rec[0] {
+	case recBatch:
+		seq, rest, err := wal.ReadUint64(body)
+		if err != nil {
+			return err
+		}
+		origin, rest, err := wal.ReadString(rest)
+		if err != nil {
+			return err
+		}
+		b, err := sensor.DecodeBatch(rest)
+		if err != nil {
+			return fmt.Errorf("fognode: journal batch: %w", err)
+		}
+		if seq != 0 {
+			// The acceptance carried a delivery mark: restore it with
+			// the batch so a recovered receiver still dedupes the
+			// sender's retry.
+			rs.marks = append(rs.marks, markEntry{origin: origin, seq: seq})
+		}
+		tr := rs.typeState(b.TypeName)
+		// Clone for the same reason as the snapshot pending entries:
+		// the merge below must not grow the stored batch.
+		if tr.pending == nil {
+			tr.pending = b.Clone()
+		} else {
+			tr.pending.Readings = append(tr.pending.Readings, b.Readings...)
+		}
+		rs.stored = append(rs.stored, b)
+	case recSeal:
+		seq, rest, err := wal.ReadUint64(body)
+		if err != nil {
+			return err
+		}
+		count, rest, err := wal.ReadUvarint(rest)
+		if err != nil {
+			return err
+		}
+		typ, _, err := wal.ReadString(rest)
+		if err != nil {
+			return err
+		}
+		rs.noteSeq(seq)
+		tr := rs.typeState(typ)
+		if tr.pending == nil {
+			return nil // seal of an empty buffer: nothing to freeze
+		}
+		b := tr.pending
+		// The seal covers the whole pending buffer; the journaled
+		// count double-checks replay consistency and bounds the group
+		// defensively if the two ever disagree.
+		if n := int(count); n < len(b.Readings) {
+			head := &model.Batch{
+				NodeID: b.NodeID, TypeName: b.TypeName, Category: b.Category,
+				Collected: b.Collected, Readings: b.Readings[:n:n],
+			}
+			tr.pending = &model.Batch{
+				NodeID: b.NodeID, TypeName: b.TypeName, Category: b.Category,
+				Collected: b.Collected, Readings: b.Readings[n:],
+			}
+			b = head
+		} else {
+			tr.pending = nil
+		}
+		tr.groups = append(tr.groups, sealedBatch{b: b, seq: seq})
+	case recCommit:
+		seq, rest, err := wal.ReadUint64(body)
+		if err != nil {
+			return err
+		}
+		typ, _, err := wal.ReadString(rest)
+		if err != nil {
+			return err
+		}
+		// The committed sequence was used by this node even if its
+		// seal record was lost: keep the recovered counter past it so
+		// a fresh batch can never reuse a sequence the parent already
+		// marked (which would be silently deduped — loss, not re-delivery).
+		rs.noteSeq(seq)
+		tr := rs.typeState(typ)
+		for i, g := range tr.groups {
+			if g.seq == seq {
+				tr.groups = append(tr.groups[:i], tr.groups[i+1:]...)
+				break
+			}
+		}
+	case recShed:
+		count, rest, err := wal.ReadUvarint(body)
+		if err != nil {
+			return err
+		}
+		typ, _, err := wal.ReadString(rest)
+		if err != nil {
+			return err
+		}
+		rs.typeState(typ).shed(int(count))
+	default:
+		return fmt.Errorf("fognode: unknown journal record type %d", rec[0])
+	}
+	return nil
+}
+
+// shed mirrors boundTypeLocked: drop oldest first — retry-queue heads,
+// then the pending buffer's head.
+func (tr *typeRecovery) shed(drop int) {
+	for drop > 0 && len(tr.groups) > 0 {
+		head := tr.groups[0].b
+		k := min(len(head.Readings), drop)
+		head.Readings = head.Readings[k:]
+		drop -= k
+		if len(head.Readings) == 0 {
+			tr.groups = tr.groups[1:]
+		}
+	}
+	if drop > 0 && tr.pending != nil {
+		k := min(len(tr.pending.Readings), drop)
+		tr.pending.Readings = tr.pending.Readings[k:]
+		if len(tr.pending.Readings) == 0 {
+			tr.pending = nil
+		}
+	}
+}
+
+// recover rebuilds the node's delivery state from the journal opened
+// at construction: snapshot, then the log tail, then installation into
+// the pending shards, retry queues, sequence counter, replay filter
+// and the local time-series store. Metrics are not re-counted —
+// recovered state was already accounted by its first life.
+func (n *Node) recover(j *journal) error {
+	rs := newRecoveryState()
+	if err := decodeNodeSnapshot(j.store.Snapshot(), rs); err != nil {
+		return err
+	}
+	for _, rec := range j.store.Records() {
+		if err := rs.applyRecord(rec); err != nil {
+			return err
+		}
+	}
+	for typ, tr := range rs.types {
+		if len(tr.groups) == 0 && tr.pending == nil {
+			continue
+		}
+		sh := n.shardFor(typ)
+		if len(tr.groups) > 0 {
+			sh.retry[typ] = tr.groups
+		}
+		if tr.pending != nil {
+			sh.pending[typ] = tr.pending
+		}
+	}
+	if rs.sawSeq {
+		n.seq.Store(rs.seqCounter)
+	}
+	for _, m := range rs.marks {
+		n.replay.Mark(m.origin, m.seq)
+	}
+	for _, b := range rs.stored {
+		if len(b.Readings) == 0 {
+			continue
+		}
+		if err := n.store.Append(b); err != nil {
+			return fmt.Errorf("fognode %s: recover store: %w", n.cfg.Spec.ID, err)
+		}
+	}
+	return nil
+}

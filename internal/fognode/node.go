@@ -33,6 +33,7 @@ import (
 	"f2c/internal/store"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
+	"f2c/internal/wal"
 )
 
 // ErrNoParent is returned by Flush on a node with no upward peer.
@@ -116,6 +117,15 @@ type Config struct {
 	// the node remembers per origin for at-least-once dedup on its
 	// receive path. Zero selects protocol.DefaultReplayWindow.
 	ReplayWindow int
+	// Durability, when set, makes the node journal its upward-delivery
+	// state (accepted readings, sealed delivery sequences, commits,
+	// sheds, replay-filter marks) to a write-ahead log with periodic
+	// snapshots in Durability.Dir, and recover that state at
+	// construction — so a restarted node resumes with its pending
+	// shards, retry queues, sequence counter and dedup marks intact
+	// instead of starting empty. Nil (the default) keeps the node
+	// fully in-memory.
+	Durability *wal.Config
 }
 
 // BatchObserver receives post-pipeline batches.
@@ -177,6 +187,14 @@ type Node struct {
 	up     *upstream
 	replay *protocol.ReplayFilter
 	seq    atomic.Uint64
+
+	// journal is the durability write-ahead log (nil when off).
+	// flightMu excludes checkpoints (write side) from flushes (read
+	// side): a checkpoint must not run while collected batches are in
+	// flight outside the shards, or their seal records could rotate
+	// away while the batches still await a retry.
+	journal  *journal
+	flightMu sync.RWMutex
 
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
@@ -276,6 +294,18 @@ func New(cfg Config) (*Node, error) {
 		})
 	}
 	n.stages = append(n.stages, cfg.Stages...)
+
+	if cfg.Durability != nil {
+		j, err := openJournal(*cfg.Durability)
+		if err != nil {
+			return nil, fmt.Errorf("fognode %s: %w", cfg.Spec.ID, err)
+		}
+		if err := n.recover(j); err != nil {
+			_ = j.close()
+			return nil, fmt.Errorf("fognode %s: %w", cfg.Spec.ID, err)
+		}
+		n.journal = j
+	}
 	return n, nil
 }
 
@@ -291,6 +321,15 @@ func (n *Node) Layer() topology.Layer { return n.cfg.Spec.Layer }
 // for the next upward flush. Safe to call concurrently; ingests of
 // different sensor types proceed on disjoint shards.
 func (n *Node) Ingest(b *model.Batch) error {
+	return n.ingest(b, "", 0)
+}
+
+// ingest is Ingest plus the delivery mark of the transport hop that
+// carried the batch (origin/seq zero for local edge ingests). On a
+// durable node the mark is journaled atomically with the acceptance,
+// so a recovered receiver either has both the readings and the dedup
+// mark or neither — never a replayed batch it would re-accept.
+func (n *Node) ingest(b *model.Batch, origin string, seq uint64) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
 	}
@@ -315,10 +354,16 @@ func (n *Node) Ingest(b *model.Batch) error {
 	}
 	n.ingestedReads.Add(int64(len(b.Readings)))
 
+	// The enqueue is the durable acceptance gate and runs before the
+	// local store append: a journal-rejected ingest must leave no
+	// trace, or the sender's retry would duplicate readings in the
+	// store.
+	if err := n.enqueue(sh, b, origin, seq); err != nil {
+		return err
+	}
 	if err := n.store.Append(b); err != nil {
 		return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
 	}
-	n.enqueue(sh, b)
 	if n.cfg.Observer != nil {
 		n.cfg.Observer.ObserveBatch(b)
 	}
@@ -328,10 +373,18 @@ func (n *Node) Ingest(b *model.Batch) error {
 // enqueue merges a filtered batch into the per-type pending buffer
 // that the next flush will move upward, shedding the oldest buffered
 // readings when a bound is configured and exceeded (prolonged parent
-// outage).
-func (n *Node) enqueue(sh *pendingShard, b *model.Batch) {
+// outage). On a durable node the acceptance is journaled first, under
+// the shard lock, so the log's record order matches the buffer's
+// reading order; a journal failure rejects the ingest (the sender
+// retries) instead of accepting data the node cannot preserve.
+func (n *Node) enqueue(sh *pendingShard, b *model.Batch, origin string, seq uint64) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if n.journal != nil {
+		if err := n.journal.appendBatch(n.cfg.Spec.ID, b, origin, seq); err != nil {
+			return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
+		}
+	}
 	cur, ok := sh.pending[b.TypeName]
 	if !ok {
 		cp := b.Clone()
@@ -341,6 +394,7 @@ func (n *Node) enqueue(sh *pendingShard, b *model.Batch) {
 		cur.Readings = append(cur.Readings, b.Readings...)
 	}
 	n.boundTypeLocked(sh, b.TypeName)
+	return nil
 }
 
 // boundTypeLocked enforces MaxPendingReadings across everything a
@@ -366,6 +420,12 @@ func (n *Node) boundTypeLocked(sh *pendingShard, typ string) {
 	drop := total - max
 	if drop <= 0 {
 		return
+	}
+	if n.journal != nil {
+		// Journal the shed so recovery does not resurrect readings the
+		// bound already dropped. Best-effort: losing the record
+		// degrades toward re-delivery, never toward loss.
+		_ = n.journal.appendShed(typ, drop)
 	}
 	q := sh.retry[typ]
 	for drop > 0 && len(q) > 0 {
@@ -498,8 +558,15 @@ func (n *Node) DedupStats() (in, kept int64) { return n.deduper.Stats() }
 // Flush seals all pending batches and sends them to the parent,
 // compressed with the configured codec. Batches that fail to send
 // stay queued for the next flush. It also applies retention eviction.
+// On a durable node a flush is also the checkpoint safe point: when
+// the journal has grown past its snapshot threshold, the delivery
+// state is folded into a snapshot and the log truncated.
 func (n *Node) Flush(ctx context.Context) error {
-	return n.flush(ctx, nil)
+	n.flightMu.RLock()
+	err := n.flush(ctx, nil)
+	n.flightMu.RUnlock()
+	n.maybeCheckpoint()
+	return err
 }
 
 // FlushCategory moves only one category's pending data upward — the
@@ -510,7 +577,47 @@ func (n *Node) FlushCategory(ctx context.Context, cat model.Category) error {
 	if !cat.Valid() {
 		return fmt.Errorf("fognode %s: flush: invalid category %d", n.cfg.Spec.ID, int(cat))
 	}
-	return n.flush(ctx, func(b *model.Batch) bool { return b.Category == cat })
+	n.flightMu.RLock()
+	err := n.flush(ctx, func(b *model.Batch) bool { return b.Category == cat })
+	n.flightMu.RUnlock()
+	n.maybeCheckpoint()
+	return err
+}
+
+// Checkpoint folds a durable node's delivery state — pending buffers,
+// retry queues, sequence counter, replay-filter marks — into a
+// snapshot and truncates the journal, bounding recovery time. It is a
+// no-op on an in-memory node. Checkpoints exclude flushes (collected
+// batches in flight outside the shards must not lose their seal
+// records to a rotation) and hold every shard lock while encoding, so
+// the snapshot is a consistent cut.
+func (n *Node) Checkpoint() error {
+	if n.journal == nil {
+		return nil
+	}
+	n.flightMu.Lock()
+	defer n.flightMu.Unlock()
+	for i := range n.shards {
+		n.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range n.shards {
+			n.shards[i].mu.Unlock()
+		}
+	}()
+	if err := n.journal.checkpoint(n.seq.Load(), n.replay, n.shards); err != nil {
+		return fmt.Errorf("fognode %s: checkpoint: %w", n.cfg.Spec.ID, err)
+	}
+	return nil
+}
+
+// maybeCheckpoint runs an automatic checkpoint when the journal has
+// grown past its snapshot threshold. Errors are deliberately dropped:
+// the journal keeps growing and the next safe point retries.
+func (n *Node) maybeCheckpoint() {
+	if n.journal != nil && n.journal.checkpointDue() {
+		_ = n.Checkpoint()
+	}
 }
 
 // typeWork is one sensor type's delivery unit for a flush: the retry
@@ -547,6 +654,20 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 		return nil
 	}
 
+	// seal freezes a pending buffer under its delivery sequence. It
+	// runs under the shard lock so that, on a durable node, the seal
+	// record lands in the journal strictly after the acceptance
+	// records it covers and before any later ingest of the type.
+	seal := func(typ string, p *model.Batch) sealedBatch {
+		sb := sealedBatch{b: p, seq: n.seq.Add(1)}
+		if n.journal != nil {
+			// Best-effort: a lost seal record degrades toward
+			// re-delivery under a fresh sequence, which the receiver's
+			// replay filter absorbs.
+			_ = n.journal.appendSeal(typ, sb.seq, len(p.Readings))
+		}
+		return sb
+	}
 	var works []typeWork
 	for i := range n.shards {
 		sh := &n.shards[i]
@@ -557,7 +678,7 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 			}
 			w := typeWork{typ: typ, batches: q}
 			if p, ok := sh.pending[typ]; ok {
-				w.batches = append(w.batches, sealedBatch{b: p})
+				w.batches = append(w.batches, seal(typ, p))
 				delete(sh.pending, typ)
 			}
 			delete(sh.retry, typ)
@@ -565,7 +686,7 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 		}
 		for typ, b := range sh.pending {
 			if match == nil || match(b) {
-				works = append(works, typeWork{typ: typ, batches: []sealedBatch{{b: b}}})
+				works = append(works, typeWork{typ: typ, batches: []sealedBatch{seal(typ, b)}})
 				delete(sh.pending, typ)
 			}
 		}
@@ -574,16 +695,10 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	if len(works) == 0 {
 		return nil
 	}
-	// Deterministic send/error order — and deterministic sequence
-	// assignment — for tests and accounting.
+	// Deterministic send/error order for tests and accounting. (Retry
+	// batches keep their frozen sequences; fresh batches were sealed
+	// at collection, per type in buffer order.)
 	sort.Slice(works, func(i, j int) bool { return works[i].typ < works[j].typ })
-	for wi := range works {
-		for bi := range works[wi].batches {
-			if works[wi].batches[bi].seq == 0 {
-				works[wi].batches[bi].seq = n.seq.Add(1)
-			}
-		}
-	}
 
 	if n.cfg.Spec.Parent == "" {
 		n.requeueWorks(works)
@@ -648,6 +763,11 @@ func (n *Node) sendTypeWork(ctx context.Context, w typeWork, now time.Time, sc *
 			}
 			n.flushErrors.Inc()
 			return fmt.Errorf("fognode %s: flush %s: %w", n.cfg.Spec.ID, w.typ, err)
+		}
+		if n.journal != nil {
+			// Acknowledged upward: the sealed batch is no longer this
+			// node's responsibility and recovery must not resend it.
+			_ = n.journal.appendCommit(w.typ, w.batches[i].seq)
 		}
 	}
 	return nil
@@ -787,7 +907,9 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 			n.dupBatches.Inc()
 			return []byte("ok"), nil
 		}
-		if err := n.Ingest(b); err != nil {
+		// The ingest journals the (origin, seq) mark atomically with
+		// the acceptance on a durable node.
+		if err := n.ingest(b, b.NodeID, seq); err != nil {
 			return nil, err
 		}
 		// Mark only after a successful ingest: marking earlier would

@@ -1,0 +1,182 @@
+package fognode
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"f2c/internal/model"
+)
+
+// genShardState derives a random-but-valid delivery state from a seed:
+// per-type retry queues of sealed batches plus pending buffers, with
+// field values chosen to round-trip the sensor wire text exactly
+// (bounded strings without delimiter bytes, 5-decimal coordinates,
+// integral values).
+func genShardState(seed int64) (shards []pendingShard, seqCounter uint64, marks map[string][]uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	shards = newPendingShards(4)
+	seqCounter = uint64(rng.Int63())
+	types := []string{"traffic", "noise_level", "air_quality", "parking"}
+
+	genBatch := func(typ string, n int) *model.Batch {
+		b := &model.Batch{
+			NodeID:    "fog1/fuzz",
+			TypeName:  typ,
+			Category:  model.CategoryUrban,
+			Collected: time.Unix(0, rng.Int63()),
+		}
+		for i := 0; i < n; i++ {
+			b.Readings = append(b.Readings, model.Reading{
+				SensorID: typ + "/" + string(rune('a'+rng.Intn(26))),
+				TypeName: typ,
+				Category: model.CategoryUrban,
+				Time:     time.Unix(0, rng.Int63()),
+				Value:    float64(rng.Intn(1 << 20)),
+				Unit:     "u",
+				Location: model.GeoPoint{
+					Lat: float64(rng.Intn(9_000_000)) / 1e5,
+					Lon: float64(rng.Intn(18_000_000)) / 1e5,
+				},
+			})
+		}
+		return b
+	}
+	for _, typ := range types[:1+rng.Intn(len(types))] {
+		// Route types to shards exactly like the node would.
+		target := &shards[shardIndex(typ, len(shards))]
+		for g := 0; g < rng.Intn(4); g++ {
+			target.retry[typ] = append(target.retry[typ], sealedBatch{
+				b:   genBatch(typ, 1+rng.Intn(5)),
+				seq: uint64(rng.Int63()) | 1,
+			})
+		}
+		if rng.Intn(2) == 0 {
+			target.pending[typ] = genBatch(typ, 1+rng.Intn(5))
+		}
+	}
+	marks = make(map[string][]uint64)
+	for o := 0; o < rng.Intn(4); o++ {
+		origin := "origin-" + string(rune('a'+o))
+		for m := 0; m < 1+rng.Intn(6); m++ {
+			marks[origin] = append(marks[origin], uint64(rng.Int63())|1)
+		}
+	}
+	return shards, seqCounter, marks
+}
+
+// shardIndex mirrors Node.shardFor without a node.
+func shardIndex(typ string, n int) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(typ); i++ {
+		h ^= uint32(typ[i])
+		h *= 16777619
+	}
+	return int(h) & (n - 1)
+}
+
+// FuzzSnapshotRoundTrip proves the snapshot codec is lossless over the
+// delivery state and size-bounded, and that decoding arbitrary bytes
+// never panics.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(42), []byte{journalVersion})
+	f.Add(int64(7), []byte{journalVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x80})
+	f.Add(int64(1234567), []byte("garbage snapshot bytes"))
+
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		// Arbitrary bytes: must error or succeed, never panic.
+		if err := decodeNodeSnapshot(raw, newRecoveryState()); err != nil {
+			_ = err
+		}
+
+		shards, seqCounter, marks := genShardState(seed)
+		data := encodeNodeSnapshot(nil, seqCounter, marks, shards)
+
+		// Size bound: header + marks + per-entry overhead + readings.
+		readings, entries, markCount := 0, 0, 0
+		for i := range shards {
+			for _, q := range shards[i].retry {
+				entries += len(q)
+				for _, sb := range q {
+					readings += len(sb.b.Readings)
+				}
+			}
+			for _, b := range shards[i].pending {
+				entries++
+				readings += len(b.Readings)
+			}
+		}
+		for _, seqs := range marks {
+			markCount += len(seqs)
+		}
+		bound := 64 + 64*len(marks) + 16*markCount + 128*entries + 160*readings
+		if len(data) > bound {
+			t.Fatalf("snapshot size %d exceeds bound %d (%d entries, %d readings, %d marks)",
+				len(data), bound, entries, readings, markCount)
+		}
+
+		rs := newRecoveryState()
+		if err := decodeNodeSnapshot(data, rs); err != nil {
+			t.Fatalf("decode of a well-formed snapshot failed: %v", err)
+		}
+		if !rs.sawSeq || rs.seqCounter < seqCounter {
+			t.Fatalf("seq counter = %d (saw=%v), want >= %d", rs.seqCounter, rs.sawSeq, seqCounter)
+		}
+
+		// Marks: same multiset per origin, in order.
+		got := make(map[string][]uint64)
+		for _, m := range rs.marks {
+			got[m.origin] = append(got[m.origin], m.seq)
+		}
+		for origin, want := range marks {
+			if len(got[origin]) != len(want) {
+				t.Fatalf("origin %s: %d marks, want %d", origin, len(got[origin]), len(want))
+			}
+			for i := range want {
+				if got[origin][i] != want[i] {
+					t.Fatalf("origin %s mark %d = %d, want %d", origin, i, got[origin][i], want[i])
+				}
+			}
+		}
+
+		// Delivery state: per type, group sequences + readings and the
+		// pending buffer must round-trip exactly.
+		for i := range shards {
+			sh := &shards[i]
+			for typ, q := range sh.retry {
+				tr := rs.types[typ]
+				if tr == nil || len(tr.groups) != len(q) {
+					t.Fatalf("type %s: recovered %v groups, want %d", typ, tr, len(q))
+				}
+				for gi := range q {
+					if tr.groups[gi].seq != q[gi].seq {
+						t.Fatalf("type %s group %d seq = %d, want %d", typ, gi, tr.groups[gi].seq, q[gi].seq)
+					}
+					assertSameReadings(t, typ, tr.groups[gi].b.Readings, q[gi].b.Readings)
+				}
+			}
+			for typ, p := range sh.pending {
+				tr := rs.types[typ]
+				if tr == nil || tr.pending == nil {
+					t.Fatalf("type %s: pending buffer lost", typ)
+				}
+				assertSameReadings(t, typ, tr.pending.Readings, p.Readings)
+			}
+		}
+	})
+}
+
+func assertSameReadings(t *testing.T, typ string, got, want []model.Reading) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("type %s: %d readings, want %d", typ, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.SensorID != w.SensorID || !g.Time.Equal(w.Time) || g.Value != w.Value ||
+			g.Unit != w.Unit || g.Location != w.Location {
+			t.Fatalf("type %s reading %d = %+v, want %+v", typ, i, g, w)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package fognode
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+	"f2c/internal/wal"
+)
+
+// blackholeParent acknowledges every upward send instantly, so the
+// drain between measurement windows is free of network modeling.
+type blackholeParent struct{}
+
+func (blackholeParent) Send(context.Context, transport.Message) ([]byte, error) {
+	return []byte("ok"), nil
+}
+
+// BenchmarkIngestWAL measures the acquisition pipeline's ingest cost
+// with durability off (the default in-memory node) and on (every
+// accepted batch journaled through the write-ahead log) — the
+// headline overhead number of the recovery subsystem. Batches carry
+// 10 readings; the pending buffer is drained to an instant parent
+// every 512 batches outside the timer, so the measured op is the
+// ingest path alone and the durable/off delta isolates the journal
+// append.
+func BenchmarkIngestWAL(b *testing.B) {
+	for _, mode := range []string{"off", "durable"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := Config{
+				Spec:      fog1Spec(),
+				Clock:     sim.NewVirtualClock(t0),
+				Transport: blackholeParent{},
+				Codec:     aggregate.CodecNone,
+			}
+			if mode == "durable" {
+				cfg.Durability = &wal.Config{Dir: b.TempDir(), SnapshotEvery: -1}
+			}
+			n, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := &model.Batch{
+				NodeID: "edge", TypeName: "traffic", Category: model.CategoryUrban, Collected: t0,
+			}
+			for i := 0; i < 10; i++ {
+				batch.Readings = append(batch.Readings, model.Reading{
+					SensorID: fmt.Sprintf("traffic/%d", i), TypeName: "traffic",
+					Category: model.CategoryUrban, Time: t0.Add(time.Duration(i) * time.Millisecond),
+					Value: float64(i), Unit: "veh",
+				})
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := n.Ingest(batch); err != nil {
+					b.Fatal(err)
+				}
+				if i%512 == 511 {
+					b.StopTimer()
+					if err := n.Flush(ctx); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}

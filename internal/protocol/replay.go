@@ -114,6 +114,41 @@ func (f *ReplayFilter) Duplicates() int64 {
 	return f.dups
 }
 
+// Dump returns every origin's remembered sequences in mark order —
+// oldest first, exactly the order Restore must replay to reproduce
+// the windows' eviction state. It is the persistence surface of a
+// durable receiver: marks dumped into a snapshot survive a restart,
+// so a recovered node still recognizes retried deliveries it deduped
+// before the crash.
+func (f *ReplayFilter) Dump() map[string][]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]uint64, len(f.origins))
+	for origin, w := range f.origins {
+		seqs := make([]uint64, 0, len(w.ring))
+		if len(w.ring) < f.window {
+			// Ring not yet wrapped: insertion order is slice order.
+			seqs = append(seqs, w.ring...)
+		} else {
+			seqs = append(seqs, w.ring[w.head:]...)
+			seqs = append(seqs, w.ring[:w.head]...)
+		}
+		out[origin] = seqs
+	}
+	return out
+}
+
+// Restore replays a Dump into the filter, preserving each origin's
+// mark order (and therefore which sequences a full window would evict
+// first). Restoring into a non-empty filter merges.
+func (f *ReplayFilter) Restore(dump map[string][]uint64) {
+	for origin, seqs := range dump {
+		for _, seq := range seqs {
+			f.Mark(origin, seq)
+		}
+	}
+}
+
 // Tracked returns how many sequences are currently remembered across
 // all origins (test/diagnostic hook for the memory bound).
 func (f *ReplayFilter) Tracked() int {

@@ -219,6 +219,16 @@ func (a *Archive) Stats() Stats {
 	}
 }
 
+// Records returns a copy of every archived record in arrival order —
+// the snapshot surface a durable cloud node folds into its checkpoint.
+func (a *Archive) Records() []Record {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]Record, len(a.records))
+	copy(out, a.records)
+	return out
+}
+
 // Len returns the number of archived records.
 func (a *Archive) Len() int {
 	a.mu.RLock()

@@ -221,6 +221,27 @@ func (n *SimNetwork) Crashed(id string) bool {
 	return p.crashed[id]
 }
 
+// DownNodes returns the ids of every currently crashed node, sorted —
+// the transition-detection surface fault harnesses diff between ticks
+// to learn which nodes just died (and, with durable state on disk,
+// must be rebooted into recovery).
+func (n *SimNetwork) DownNodes() []string {
+	n.mu.RLock()
+	p := n.faults
+	n.mu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.crashed))
+	for id := range p.crashed {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // SetExtraLatency adds a one-way latency spike to the directed link
 // from -> to (0 clears it).
 func (n *SimNetwork) SetExtraLatency(from, to string, d time.Duration) {

@@ -139,3 +139,65 @@ with open(out, "w") as f:
     f.write("\n")
 print("wrote", out)
 EOF
+
+# --- PR 5: durable ingest (WAL on vs off) ---------------------------
+# BenchmarkIngestWAL/off is the in-memory acquisition pipeline,
+# BenchmarkIngestWAL/durable the same pipeline with every accepted
+# batch journaled through the write-ahead log — the overhead budget of
+# the crash-recovery subsystem, recorded so it stays visible.
+TMP5="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP3" "$TMP5"' EXIT
+
+go test ./internal/fognode/ \
+	-run '^$' -bench 'IngestWAL' \
+	-benchtime "$BENCHTIME" -count "$COUNT" | tee "$TMP5"
+
+python3 - "$TMP5" "BENCH_PR5.json" "$BENCHTIME, best of $COUNT" <<'EOF'
+import json, re, sys
+
+raw, out, benchtime = sys.argv[1], sys.argv[2], sys.argv[3]
+
+bench = {}
+pat = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?")
+for line in open(raw):
+    m = pat.match(line)
+    if not m:
+        continue
+    name, ns, bop, aop = m.groups()
+    entry = {"ns_per_op": float(ns)}
+    if bop is not None:
+        entry["bytes_per_op"] = float(bop)
+    if aop is not None:
+        entry["allocs_per_op"] = int(aop)
+    cur = bench.get(name)
+    if cur is None or entry["ns_per_op"] < cur["ns_per_op"]:
+        bench[name] = entry  # best of -count runs
+
+doc = {}
+try:
+    with open(out) as f:
+        doc = json.load(f)
+except (OSError, ValueError):
+    pass
+doc.setdefault("description",
+    "Durable-ingest benchmark, best of N runs. IngestWAL/off is the "
+    "in-memory acquisition pipeline (durability disabled, the "
+    "default); IngestWAL/durable journals every accepted batch "
+    "through the append-only WAL before it enters the pending "
+    "buffer. The delta is the per-batch durability overhead; allocs "
+    "stay flat because the journal reuses one encode buffer. "
+    "Regenerate with scripts/bench.sh.")
+doc["benchtime"] = benchtime
+doc["results"] = bench
+off = bench.get("BenchmarkIngestWAL/off", {}).get("ns_per_op")
+dur = bench.get("BenchmarkIngestWAL/durable", {}).get("ns_per_op")
+if off and dur:
+    doc["durable_overhead_ns_per_batch"] = round(dur - off, 1)
+    doc["durable_vs_off_ratio"] = round(dur / off, 2)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print("wrote", out)
+EOF

@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # chaos.sh — run the long seeded chaos sweep locally and emit a
 # summary. Each scenario (partition+heal, parent crash+restart,
-# rolling fog churn, bounded crash+restart) runs once per seed; every
-# run asserts the end-to-end invariants (exactly-once preservation,
-# bounded memory, post-heal convergence) and a failure prints the
-# seed that reproduces it — rerun a single seed with:
+# rolling fog churn, bounded crash+restart, durable crash+recover —
+# the last one reboots every crash victim from its write-ahead log
+# and demands zero loss) runs once per seed; every run asserts the
+# end-to-end invariants (exactly-once preservation, bounded memory,
+# post-heal convergence, lossless journal recovery) and a failure
+# prints the seed that reproduces it — rerun a single seed with:
 #
 #   go test ./internal/chaos/ -run TestChaosScenarios -chaos.seeds 1 \
 #       (then edit the seed into the scenario, or bisect with the sweep)
