@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/cloud"
+	"f2c/internal/config"
+	"f2c/internal/core"
+	"f2c/internal/fognode"
+	"f2c/internal/metrics"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport/tcpnet"
+)
+
+// liveOptions configures the hosted live city.
+type liveOptions struct {
+	city       string
+	districts  int
+	sections   int
+	codec      aggregate.Codec
+	dedup      bool
+	flush1     time.Duration
+	flush2     time.Duration
+	listenHost string
+	clusterOut string
+}
+
+// liveMember is one hosted node: its tcpnet server, its client
+// transport and fognode (fog layers; nil for the cloud), and its
+// shutdown hook.
+type liveMember struct {
+	id    string
+	srv   *tcpnet.Server
+	tr    *tcpnet.Transport
+	fog   *fognode.Node
+	close func(context.Context) error
+}
+
+// runLive hosts a complete hierarchy in this process with every node
+// behind its own tcpnet server on a loopback port — real sockets,
+// real frames, zero-config. It writes the resulting cluster document
+// (transport "tcp", node id -> address) so f2cload and f2cctl can
+// drive the city, then serves until SIGINT/SIGTERM. Each node gets a
+// private metrics registry and transport, exactly as a multi-process
+// deployment would, so per-node OpMetrics scrapes are meaningful.
+func runLive(o liveOptions) error {
+	districts := make([]topology.District, o.districts)
+	for i := range districts {
+		districts[i] = topology.District{Name: fmt.Sprintf("d%02d", i+1), Sections: o.sections}
+	}
+	topo, err := topology.New(o.city, districts)
+	if err != nil {
+		return err
+	}
+
+	var members []*liveMember
+	addrs := make(map[string]string)
+	shutdown := func() {
+		// Reverse order: fog1 first (they flush into fog2), cloud last.
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		for i := len(members) - 1; i >= 0; i-- {
+			m := members[i]
+			_ = m.srv.Close()
+			if m.close != nil {
+				_ = m.close(ctx)
+			}
+			if m.tr != nil {
+				_ = m.tr.Close()
+			}
+		}
+	}
+
+	// The cloud first: the fog layers dial upward.
+	cloudReg := metrics.NewRegistry()
+	cloudNode, err := cloud.New(core.CloudConfig(core.CloudID, core.MemberOptions{
+		City: o.city, Clock: sim.WallClock{}, Registry: cloudReg, Codec: o.codec,
+	}))
+	if err != nil {
+		return err
+	}
+	cloudSrv, err := tcpnet.NewServer(core.CloudID, o.listenHost+":0", cloudNode, tcpnet.ServerOptions{Registry: cloudReg})
+	if err != nil {
+		return err
+	}
+	members = append(members, &liveMember{
+		id: core.CloudID, srv: cloudSrv,
+		close: func(context.Context) error { return cloudNode.Close() },
+	})
+	addrs[core.CloudID] = cloudSrv.Addr()
+
+	fog2IDs := make([]string, 0, len(topo.Fog2Nodes()))
+	for _, spec := range topo.Fog2Nodes() {
+		fog2IDs = append(fog2IDs, spec.ID)
+	}
+	fog2Siblings := func(id string) []string {
+		var sibs []string
+		for _, other := range fog2IDs {
+			if other != id {
+				sibs = append(sibs, other)
+			}
+		}
+		return sibs
+	}
+
+	buildFog := func(spec topology.NodeSpec, flush time.Duration, retention time.Duration, siblings []string) error {
+		reg := metrics.NewRegistry()
+		tr := tcpnet.New(tcpnet.Options{Registry: reg})
+		node, err := fognode.New(core.FogConfig(spec, core.MemberOptions{
+			City: o.city, Clock: sim.WallClock{}, Transport: tr,
+			Retention: retention, FlushInterval: flush, Codec: o.codec,
+			Dedup: o.dedup, Quality: true, Registry: reg, Siblings: siblings,
+		}))
+		if err != nil {
+			_ = tr.Close()
+			return err
+		}
+		srv, err := tcpnet.NewServer(spec.ID, o.listenHost+":0", node, tcpnet.ServerOptions{Registry: reg})
+		if err != nil {
+			_ = tr.Close()
+			return err
+		}
+		members = append(members, &liveMember{id: spec.ID, srv: srv, tr: tr, fog: node, close: node.Close})
+		addrs[spec.ID] = srv.Addr()
+		return nil
+	}
+
+	for _, spec := range topo.Fog2Nodes() {
+		if err := buildFog(spec, o.flush2, 24*time.Hour, fog2Siblings(spec.ID)); err != nil {
+			shutdown()
+			return err
+		}
+	}
+	for _, spec := range topo.Fog1Nodes() {
+		if err := buildFog(spec, o.flush1, time.Hour, topo.Neighbors(spec.ID)); err != nil {
+			shutdown()
+			return err
+		}
+	}
+
+	// Every address is known now: wire each fog node's peers (parent,
+	// siblings, cloud — relays and federated queries need them all)
+	// and start the background flushers.
+	for _, m := range members {
+		if m.tr == nil {
+			continue
+		}
+		for id, addr := range addrs {
+			if id != m.id {
+				m.tr.AddPeer(id, addr)
+			}
+		}
+	}
+	for _, m := range members {
+		if m.fog != nil {
+			m.fog.Start()
+		}
+	}
+
+	cluster := config.Cluster{Transport: config.TransportTCP, Nodes: addrs}
+	if o.clusterOut != "" {
+		if err := cluster.Save(o.clusterOut); err != nil {
+			shutdown()
+			return err
+		}
+	}
+	f1, f2, _ := topo.Counts()
+	log.Printf("live city %s ready: %d fog1 / %d fog2 / 1 cloud over tcpnet, cloud at %s",
+		o.city, f1, f2, addrs[core.CloudID])
+	if o.clusterOut != "" {
+		log.Printf("cluster document written to %s", o.clusterOut)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v, shutting down live city", s)
+	shutdown()
+	return nil
+}

@@ -43,6 +43,11 @@ func run(args []string) error {
 	category := fs.String("category", "", "restrict to one category (energy|noise|garbage|parking|urban)")
 	cfgPath := fs.String("config", "", "deployment JSON (overrides topology/codec/flush/retention flags)")
 	writeCfg := fs.String("write-config", "", "write the Barcelona deployment JSON to this path and exit")
+	live := fs.Bool("live", false, "host the hierarchy over real loopback tcpnet sockets and serve until SIGTERM (load-harness target) instead of simulating")
+	liveDistricts := fs.Int("live-districts", 2, "districts of the live city")
+	liveSections := fs.Int("live-sections", 2, "sections per district of the live city")
+	liveHost := fs.String("live-host", "127.0.0.1", "host the live city's listeners bind")
+	clusterOut := fs.String("cluster-out", "", "write the live city's cluster JSON (node id -> address) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +66,19 @@ func run(args []string) error {
 	}
 	if codec == 0 {
 		return fmt.Errorf("unknown codec %q", *codecName)
+	}
+	if *live {
+		return runLive(liveOptions{
+			city:       "Barcelona",
+			districts:  *liveDistricts,
+			sections:   *liveSections,
+			codec:      codec,
+			dedup:      *dedup,
+			flush1:     *flush1,
+			flush2:     *flush2,
+			listenHost: *liveHost,
+			clusterOut: *clusterOut,
+		})
 	}
 	var types []model.SensorType
 	if *category != "" {

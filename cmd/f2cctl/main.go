@@ -2,6 +2,8 @@
 //
 //	f2cctl -node http://localhost:8082 status
 //	f2cctl -node http://localhost:8082 flush
+//	f2cctl -node http://localhost:8082 metrics
+//	f2cctl -transport tcp -node localhost:9000 status
 //	f2cctl -node http://localhost:8082 latest <sensorID>
 //	f2cctl -node http://localhost:8082 range <type> <fromRFC3339> <toRFC3339>
 //	f2cctl -node http://localhost:8082 sum <type> <fromRFC3339> <toRFC3339>
@@ -23,12 +25,14 @@ import (
 	"os"
 	"time"
 
+	"f2c/internal/config"
 	"f2c/internal/core"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
 	"f2c/internal/query"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
+	"f2c/internal/transport/tcpnet"
 )
 
 func main() {
@@ -40,8 +44,9 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("f2cctl", flag.ContinueOnError)
-	nodeURL := fs.String("node", "", "target node base URL")
+	nodeURL := fs.String("node", "", "target node address: base URL (http transport) or host:port (tcp transport)")
 	nodeID := fs.String("node-id", "cloud", "addressed node id (all-in-one gateways route by it)")
+	transportName := fs.String("transport", "http", "wire protocol the target serves: http|tcp")
 	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
 	limit := fs.Int("limit", 0, "readings per range page (0 = server default)")
 	if err := fs.Parse(args); err != nil {
@@ -49,7 +54,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: status|flush|latest|range|sum|dlc|topology")
+		return errors.New("need a command: status|flush|metrics|latest|range|sum|dlc|topology")
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -70,8 +75,20 @@ func run(args []string) error {
 	if target == "" {
 		target = "cloud"
 	}
-	tr := transport.NewHTTPTransport(*timeout)
-	tr.AddPeer(target, *nodeURL)
+	var tr transport.Transport
+	switch *transportName {
+	case config.TransportHTTP:
+		htr := transport.NewHTTPTransport(*timeout)
+		htr.AddPeer(target, *nodeURL)
+		tr = htr
+	case config.TransportTCP:
+		ttr := tcpnet.New(tcpnet.Options{DialTimeout: *timeout})
+		ttr.AddPeer(target, *nodeURL)
+		defer ttr.Close()
+		tr = ttr
+	default:
+		return fmt.Errorf("unknown transport %q (want http|tcp)", *transportName)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -101,6 +118,17 @@ func run(args []string) error {
 		return nil
 	case "flush":
 		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpFlush})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindControl, req)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(reply))
+		return nil
+	case "metrics":
+		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpMetrics})
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,18 @@
 //
 // Sensors POST batch envelopes to /f2c/v1/message; f2cctl inspects
 // and controls running nodes.
+//
+// With -transport tcp the message plane runs over the persistent-
+// connection framed tcpnet transport instead of HTTP — the production
+// wire for a multi-process city. Addresses are host:port; a -cluster
+// JSON document (see internal/config.Cluster) wires every peer at
+// once:
+//
+//	f2cd -id cloud -layer cloud -transport tcp -listen :9000
+//	f2cd -id fog2/d01 -layer fog2 -transport tcp -parent cloud \
+//	     -parent-addr localhost:9000 -listen :9001
+//	f2cd -id fog1/d01-s01 -layer fog1 -transport tcp -parent fog2/d01 \
+//	     -parent-addr localhost:9001 -listen :9002 -flush 30s
 package main
 
 import (
@@ -31,6 +43,8 @@ import (
 
 	"f2c/internal/aggregate"
 	"f2c/internal/cloud"
+	"f2c/internal/config"
+	"f2c/internal/core"
 	"f2c/internal/fognode"
 	"f2c/internal/model"
 	"f2c/internal/sim"
@@ -51,8 +65,12 @@ func run(args []string) error {
 	id := fs.String("id", "", "node id (e.g. fog1/d01-s01 or cloud)")
 	layer := fs.String("layer", "", "node layer: fog1|fog2|cloud")
 	parent := fs.String("parent", "", "parent node id (fog layers)")
-	parentURL := fs.String("parent-url", "", "parent base URL (fog layers)")
+	parentURL := fs.String("parent-url", "", "parent base URL (fog layers, http transport)")
+	parentAddr := fs.String("parent-addr", "", "parent host:port (fog layers, tcp transport)")
+	transportName := fs.String("transport", "http", "wire protocol: http|tcp (tcp is the persistent-connection framed transport)")
+	clusterPath := fs.String("cluster", "", "cluster JSON mapping node ids to addresses (tcp transport; wires parent and sibling peers)")
 	listen := fs.String("listen", ":8080", "listen address")
+	opendataListen := fs.String("opendata-listen", "", "HTTP address for the cloud's open-data API when the message plane runs over tcp (empty = no open-data endpoint)")
 	city := fs.String("city", "Barcelona", "city name for description tags")
 	codecName := fs.String("codec", "zip", "upward compression: none|flate|gzip|zip")
 	flush := fs.Duration("flush", time.Minute, "upward flush interval")
@@ -71,36 +89,57 @@ func run(args []string) error {
 	if *id == "" {
 		return errors.New("-id is required")
 	}
+	switch *transportName {
+	case config.TransportHTTP, config.TransportTCP:
+	default:
+		return fmt.Errorf("unknown transport %q (want http|tcp)", *transportName)
+	}
+	tcp := *transportName == config.TransportTCP
+	var cluster *config.Cluster
+	if *clusterPath != "" {
+		c, err := config.LoadCluster(*clusterPath)
+		if err != nil {
+			return err
+		}
+		cluster = &c
+	}
 
 	switch *layer {
 	case "cloud":
+		if tcp {
+			return runCloudTCP(*id, *city, *listen, *opendataListen, durabilityFor(*dataDir, *id))
+		}
 		return runCloud(*id, *city, *listen, durabilityFor(*dataDir, *id))
 	case "fog1", "fog2":
 		codec, err := parseCodec(*codecName)
 		if err != nil {
 			return err
 		}
-		if *parent == "" || *parentURL == "" {
-			return errors.New("fog layers need -parent and -parent-url")
+		if *parent == "" {
+			return errors.New("fog layers need -parent")
 		}
 		l := topology.LayerFog1
 		if *layer == "fog2" {
 			l = topology.LayerFog2
 		}
-		cfg := fognode.Config{
-			Spec: topology.NodeSpec{
-				ID: *id, Layer: l, Parent: *parent, Name: *id,
-			},
+		spec := topology.NodeSpec{ID: *id, Layer: l, Parent: *parent, Name: *id}
+		opts := core.MemberOptions{
 			City:          *city,
 			Clock:         sim.WallClock{},
 			Retention:     *retention,
 			FlushInterval: *flush,
 			Codec:         codec,
-			Dedup:         *dedup && l == topology.LayerFog1,
-			Quality:       *qual && l == topology.LayerFog1,
+			Dedup:         *dedup,
+			Quality:       *qual,
 			Durability:    durabilityFor(*dataDir, *id),
 		}
-		return runFog(cfg, *parentURL, *listen)
+		if tcp {
+			return runFogTCP(spec, opts, *parentAddr, *listen, cluster)
+		}
+		if *parentURL == "" {
+			return errors.New("http transport needs -parent-url")
+		}
+		return runFog(core.FogConfig(spec, opts), *parentURL, *listen)
 	default:
 		return fmt.Errorf("unknown layer %q (want fog1|fog2|cloud)", *layer)
 	}

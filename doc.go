@@ -87,6 +87,24 @@
 // through crashes at every tier (see README "Durability & recovery";
 // BenchmarkIngestWAL records the overhead in BENCH_PR5.json).
 //
+// A multi-process city runs over real sockets through the
+// internal/transport/tcpnet production transport: persistent framed
+// TCP connections per peer carrying sealed envelopes verbatim (the
+// zero-allocation wire path extends across the socket — the frame
+// writer appends into a reused scratch buffer, 0 allocs/op at steady
+// state), with requests multiplexed by id over per-traffic-class
+// connection pools. Each class (bulk ingest, latency-sensitive
+// query/control, sibling relay) has its own connections and
+// flow-control window per peer, so a saturated ingest stream cannot
+// head-of-line-block a real-time read — window exhaustion surfaces as
+// transport.ErrBackpressure, which the flush machinery treats as
+// "defer and retry" rather than parent failure. f2cd -transport tcp
+// serves it, citysim -live hosts a whole loopback city behind it, and
+// cmd/f2cload drives O(100k)-sensor load planes against it
+// (scripts/tcpsmoke.sh is the multi-process smoke;
+// scripts/loadbench.sh records throughput, per-plane latency and the
+// class-isolation result in BENCH_PR6.json).
+//
 // Quick start:
 //
 //	sys, err := f2c.NewSystem(f2c.Options{

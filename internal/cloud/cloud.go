@@ -399,10 +399,14 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 		if err := protocol.DecodeJSON(msg.Payload, &req); err != nil {
 			return nil, err
 		}
-		if req.Op != protocol.OpStatus {
+		switch req.Op {
+		case protocol.OpStatus:
+			return protocol.EncodeJSON(n.Status())
+		case protocol.OpMetrics:
+			return protocol.EncodeJSON(n.cfg.Registry.Export())
+		default:
 			return nil, fmt.Errorf("cloud: unsupported control op %q", req.Op)
 		}
-		return protocol.EncodeJSON(n.Status())
 	default:
 		return nil, fmt.Errorf("cloud: unsupported message kind %q", msg.Kind)
 	}

@@ -1,0 +1,108 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Transport names accepted by Cluster.Transport.
+const (
+	// TransportTCP selects the persistent-connection tcpnet transport
+	// (addresses are "host:port").
+	TransportTCP = "tcp"
+	// TransportHTTP selects the net/http transport (addresses are
+	// base URLs, "http://host:port").
+	TransportHTTP = "http"
+)
+
+// Cluster maps the node ids of a multi-process deployment onto their
+// network addresses, so every daemon, load driver and control tool
+// reads the same one document instead of repeating -parent-url wiring
+// per process. citysim's live mode writes one for the hierarchy it
+// hosts.
+type Cluster struct {
+	// Transport selects the wire protocol: "tcp" or "http".
+	Transport string `json:"transport"`
+	// Nodes maps node id (e.g. "fog1/d01-s01", "cloud") to the
+	// address the node listens on.
+	Nodes map[string]string `json:"nodes"`
+}
+
+// Validate checks the document.
+func (c Cluster) Validate() error {
+	switch c.Transport {
+	case TransportTCP, TransportHTTP:
+	default:
+		return fmt.Errorf("config: unknown cluster transport %q (want %q or %q)",
+			c.Transport, TransportTCP, TransportHTTP)
+	}
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("config: cluster has no nodes")
+	}
+	for id, addr := range c.Nodes {
+		if id == "" {
+			return fmt.Errorf("config: cluster node with empty id")
+		}
+		if addr == "" {
+			return fmt.Errorf("config: cluster node %q has empty address", id)
+		}
+	}
+	return nil
+}
+
+// Addr resolves a node id to its address.
+func (c Cluster) Addr(id string) (string, error) {
+	addr, ok := c.Nodes[id]
+	if !ok {
+		return "", fmt.Errorf("config: cluster has no node %q", id)
+	}
+	return addr, nil
+}
+
+// NodeIDs returns the sorted node ids.
+func (c Cluster) NodeIDs() []string {
+	ids := make([]string, 0, len(c.Nodes))
+	for id := range c.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ParseCluster decodes and validates a JSON document.
+func ParseCluster(data []byte) (Cluster, error) {
+	var c Cluster
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Cluster{}, fmt.Errorf("config: parse cluster: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}
+
+// LoadCluster reads a cluster document from a file.
+func LoadCluster(path string) (Cluster, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Cluster{}, fmt.Errorf("config: %w", err)
+	}
+	return ParseCluster(data)
+}
+
+// Save writes the cluster as indented JSON.
+func (c Cluster) Save(path string) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: save cluster: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("config: save cluster: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package config
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestClusterRoundTrip(t *testing.T) {
+	c := Cluster{
+		Transport: TransportTCP,
+		Nodes: map[string]string{
+			"cloud":        "127.0.0.1:9000",
+			"fog2/d01":     "127.0.0.1:9001",
+			"fog1/d01-s01": "127.0.0.1:9002",
+		},
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := c.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadCluster(path)
+	if err != nil {
+		t.Fatalf("LoadCluster: %v", err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Errorf("round-trip mismatch: %+v != %+v", got, c)
+	}
+	addr, err := got.Addr("fog2/d01")
+	if err != nil || addr != "127.0.0.1:9001" {
+		t.Errorf("Addr = %q, %v", addr, err)
+	}
+	if _, err := got.Addr("fog2/d99"); err == nil {
+		t.Error("Addr of unknown node succeeded")
+	}
+	want := []string{"cloud", "fog1/d01-s01", "fog2/d01"}
+	if ids := got.NodeIDs(); !reflect.DeepEqual(ids, want) {
+		t.Errorf("NodeIDs = %v, want %v", ids, want)
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Cluster
+	}{
+		{"unknown transport", Cluster{Transport: "udp", Nodes: map[string]string{"cloud": "x"}}},
+		{"no nodes", Cluster{Transport: TransportTCP}},
+		{"empty address", Cluster{Transport: TransportHTTP, Nodes: map[string]string{"cloud": ""}}},
+		{"empty id", Cluster{Transport: TransportTCP, Nodes: map[string]string{"": "x"}}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.c)
+		}
+	}
+	if _, err := ParseCluster([]byte("{")); err == nil {
+		t.Error("ParseCluster accepted malformed JSON")
+	}
+}

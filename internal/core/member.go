@@ -1,0 +1,95 @@
+package core
+
+import (
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/cloud"
+	"f2c/internal/fognode"
+	"f2c/internal/metrics"
+	"f2c/internal/sim"
+	"f2c/internal/topology"
+	"f2c/internal/transport"
+	"f2c/internal/wal"
+)
+
+// MemberOptions configures one node of a hierarchy independently of
+// how the hierarchy is hosted. NewSystem uses it to build every node
+// of the simulated city; f2cd uses it to build the single node of a
+// daemon process; citysim's live mode uses it to host the hierarchy
+// over real sockets. Keeping all three on one builder means a
+// multi-process deployment runs exactly the node the simulations and
+// tests exercise.
+type MemberOptions struct {
+	// City names the deployment for description tags.
+	City string
+	// Clock provides time (daemons pass sim.WallClock{}).
+	Clock sim.Clock
+	// Transport delivers the node's upward and sibling traffic.
+	Transport transport.Transport
+	// Retention is the node's temporal-store window.
+	Retention time.Duration
+	// FlushInterval is the node's upward movement period.
+	FlushInterval time.Duration
+	// Codec compresses upward transfers.
+	Codec aggregate.Codec
+	// Dedup and Quality toggle the layer-1 acquisition phases; both
+	// are forced off on layer-2 nodes (redundancy is eliminated and
+	// quality checked once, at acquisition).
+	Dedup, Quality bool
+	// Registry receives node metrics; nil lets the node allocate a
+	// private one.
+	Registry *metrics.Registry
+	// Siblings are the node's failover relay targets.
+	Siblings []string
+	// Tuning knobs, zero for defaults (see fognode.Config).
+	PendingShards      int
+	FlushWorkers       int
+	MaxQueryPage       int
+	MaxPendingReadings int
+	RetryBase          time.Duration
+	RetryMax           time.Duration
+	FailoverAfter      int
+	// Durability enables WAL + snapshot crash recovery.
+	Durability *wal.Config
+}
+
+// FogConfig assembles the fognode.Config for one fog node of either
+// layer.
+func FogConfig(spec topology.NodeSpec, o MemberOptions) fognode.Config {
+	fog1 := spec.Layer == topology.LayerFog1
+	return fognode.Config{
+		Spec:               spec,
+		City:               o.City,
+		Clock:              o.Clock,
+		Transport:          o.Transport,
+		Retention:          o.Retention,
+		FlushInterval:      o.FlushInterval,
+		Codec:              o.Codec,
+		Dedup:              o.Dedup && fog1,
+		Quality:            o.Quality && fog1,
+		Registry:           o.Registry,
+		PendingShards:      o.PendingShards,
+		FlushWorkers:       o.FlushWorkers,
+		MaxQueryPage:       o.MaxQueryPage,
+		MaxPendingReadings: o.MaxPendingReadings,
+		Siblings:           o.Siblings,
+		RetryBase:          o.RetryBase,
+		RetryMax:           o.RetryMax,
+		FailoverAfter:      o.FailoverAfter,
+		Durability:         o.Durability,
+	}
+}
+
+// CloudConfig assembles the cloud.Config for the hierarchy's root.
+func CloudConfig(id string, o MemberOptions) cloud.Config {
+	return cloud.Config{
+		ID:           id,
+		City:         o.City,
+		Clock:        o.Clock,
+		Registry:     o.Registry,
+		Codec:        o.Codec,
+		MaxQueryPage: o.MaxQueryPage,
+		Durability:   o.Durability,
+	}
+}

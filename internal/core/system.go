@@ -265,12 +265,35 @@ func (s *System) durabilityFor(id string) *wal.Config {
 	}
 }
 
+// memberOptions projects the system's Options onto the shared
+// per-node builder, with the node-specific fields filled by the
+// caller.
+func (s *System) memberOptions(retention, flush time.Duration, siblings []string, durability *wal.Config) MemberOptions {
+	return MemberOptions{
+		City:               s.opts.City,
+		Clock:              s.opts.Clock,
+		Transport:          s.net,
+		Retention:          retention,
+		FlushInterval:      flush,
+		Codec:              s.opts.Codec,
+		Dedup:              s.opts.Dedup,
+		Quality:            s.opts.Quality,
+		Registry:           s.opts.Registry,
+		Siblings:           siblings,
+		PendingShards:      s.opts.PendingShards,
+		FlushWorkers:       s.opts.FlushWorkers,
+		MaxQueryPage:       s.opts.QueryPageLimit,
+		MaxPendingReadings: s.opts.MaxPendingReadings,
+		RetryBase:          s.opts.RetryBase,
+		RetryMax:           s.opts.RetryMax,
+		FailoverAfter:      s.opts.FailoverAfter,
+		Durability:         durability,
+	}
+}
+
 func (s *System) buildCloud() (*cloud.Node, error) {
-	return cloud.New(cloud.Config{
-		ID: CloudID, City: s.opts.City, Clock: s.opts.Clock, Registry: s.opts.Registry,
-		Codec: s.opts.Codec, MaxQueryPage: s.opts.QueryPageLimit,
-		Durability: s.durabilityFor(CloudID),
-	})
+	return cloud.New(CloudConfig(CloudID,
+		s.memberOptions(0, 0, nil, s.durabilityFor(CloudID))))
 }
 
 // fog2Siblings returns a district's failover siblings: the other
@@ -287,51 +310,15 @@ func (s *System) fog2Siblings(id string) []string {
 }
 
 func (s *System) buildFog2(spec topology.NodeSpec) (*fognode.Node, error) {
-	return fognode.New(fognode.Config{
-		Spec:               spec,
-		City:               s.opts.City,
-		Clock:              s.opts.Clock,
-		Transport:          s.net,
-		Retention:          s.opts.Fog2Retention,
-		FlushInterval:      s.opts.Fog2FlushInterval,
-		Codec:              s.opts.Codec,
-		Dedup:              false, // layer 1 already eliminated redundancy
-		Quality:            false, // quality is checked once, at acquisition
-		Registry:           s.opts.Registry,
-		PendingShards:      s.opts.PendingShards,
-		FlushWorkers:       s.opts.FlushWorkers,
-		MaxQueryPage:       s.opts.QueryPageLimit,
-		MaxPendingReadings: s.opts.MaxPendingReadings,
-		Siblings:           s.fog2Siblings(spec.ID),
-		RetryBase:          s.opts.RetryBase,
-		RetryMax:           s.opts.RetryMax,
-		FailoverAfter:      s.opts.FailoverAfter,
-		Durability:         s.durabilityFor(spec.ID),
-	})
+	return fognode.New(FogConfig(spec, s.memberOptions(
+		s.opts.Fog2Retention, s.opts.Fog2FlushInterval,
+		s.fog2Siblings(spec.ID), s.durabilityFor(spec.ID))))
 }
 
 func (s *System) buildFog1(spec topology.NodeSpec) (*fognode.Node, error) {
-	return fognode.New(fognode.Config{
-		Spec:               spec,
-		City:               s.opts.City,
-		Clock:              s.opts.Clock,
-		Transport:          s.net,
-		Retention:          s.opts.Fog1Retention,
-		FlushInterval:      s.opts.Fog1FlushInterval,
-		Codec:              s.opts.Codec,
-		Dedup:              s.opts.Dedup,
-		Quality:            s.opts.Quality,
-		Registry:           s.opts.Registry,
-		PendingShards:      s.opts.PendingShards,
-		FlushWorkers:       s.opts.FlushWorkers,
-		MaxQueryPage:       s.opts.QueryPageLimit,
-		MaxPendingReadings: s.opts.MaxPendingReadings,
-		Siblings:           s.topo.Neighbors(spec.ID),
-		RetryBase:          s.opts.RetryBase,
-		RetryMax:           s.opts.RetryMax,
-		FailoverAfter:      s.opts.FailoverAfter,
-		Durability:         s.durabilityFor(spec.ID),
-	})
+	return fognode.New(FogConfig(spec, s.memberOptions(
+		s.opts.Fog1Retention, s.opts.Fog1FlushInterval,
+		s.topo.Neighbors(spec.ID), s.durabilityFor(spec.ID))))
 }
 
 // Reboot simulates a process restart of one node, fog or cloud: the

@@ -821,6 +821,13 @@ func (n *Node) deliver(ctx context.Context, payload []byte, class string) error 
 			n.flushedBatches.Inc()
 			n.flushedBytes.Add(msg.WireSize())
 			return nil
+		} else if errors.Is(err, transport.ErrBackpressure) {
+			// Backpressure is not failure: the parent is alive but its
+			// flow-control window is full. Keep the batch queued and
+			// defer to the next flush — escalating to sibling relays
+			// would only shift the overload sideways.
+			n.deferredFlushes.Inc()
+			return errDeferred
 		} else {
 			parentErr = err
 			n.up.onParentFailure(now)
@@ -1012,6 +1019,8 @@ func (n *Node) handleControl(ctx context.Context, payload []byte) ([]byte, error
 		return []byte("flushed"), nil
 	case protocol.OpStatus:
 		return protocol.EncodeJSON(n.Status())
+	case protocol.OpMetrics:
+		return protocol.EncodeJSON(n.cfg.Registry.Export())
 	default:
 		return nil, fmt.Errorf("fognode %s: unknown control op %q", n.cfg.Spec.ID, req.Op)
 	}

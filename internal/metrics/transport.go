@@ -1,0 +1,138 @@
+package metrics
+
+import "time"
+
+// ClassStats instruments one multiplexed traffic class of a socket
+// transport (tcpnet): its send/receive volume, the flow-control
+// window's current queue depth, backpressure rejections, and the
+// round-trip latency distribution. Classes are independent by design —
+// the isolation the per-class numbers exist to prove.
+type ClassStats struct {
+	// FramesSent / FramesReceived count request frames moved on this
+	// class (client: sent; server: received).
+	FramesSent     *Counter
+	FramesReceived *Counter
+	// InflightBytes is the flow-control window usage: payload bytes
+	// sent and not yet acknowledged.
+	InflightBytes *Gauge
+	// QueueDepth is the number of requests currently in flight
+	// (client: awaiting replies; server: running handlers).
+	QueueDepth *Gauge
+	// Backpressure counts sends rejected because the class window was
+	// exhausted (surfaced to callers as transport.ErrBackpressure).
+	Backpressure *Counter
+	// RTT is the request round-trip latency distribution.
+	RTT *Histogram
+}
+
+// TransportStats bundles the connection- and frame-level metrics of a
+// socket transport under a common prefix, plus per-class stats for
+// each multiplexed traffic class. Construct with NewTransportStats.
+type TransportStats struct {
+	// ConnDials counts outbound connection attempts (client) or
+	// accepted connections (server).
+	ConnDials *Counter
+	// ConnReconnects counts dials that replaced a broken connection.
+	ConnReconnects *Counter
+	// ConnErrors counts connections torn down by an I/O or protocol
+	// error.
+	ConnErrors *Counter
+	// ConnActive is the number of currently open connections.
+	ConnActive *Gauge
+	// FramesSent / FramesReceived count all frames either way
+	// (requests and replies).
+	FramesSent     *Counter
+	FramesReceived *Counter
+	// FrameBytesSent / FrameBytesReceived count framed wire bytes.
+	FrameBytesSent     *Counter
+	FrameBytesReceived *Counter
+	// FramesOversized counts frames rejected for exceeding the
+	// configured maximum frame size.
+	FramesOversized *Counter
+
+	classes map[string]*ClassStats
+}
+
+// NewTransportStats creates (or re-binds, counters are shared by name)
+// the transport metric set under prefix — conventionally "transport."
+// for a client and "transport.server." for a server — with one
+// ClassStats per named traffic class.
+func NewTransportStats(r *Registry, prefix string, classNames ...string) *TransportStats {
+	s := &TransportStats{
+		ConnDials:          r.Counter(prefix + "conn_dials"),
+		ConnReconnects:     r.Counter(prefix + "conn_reconnects"),
+		ConnErrors:         r.Counter(prefix + "conn_errors"),
+		ConnActive:         r.Gauge(prefix + "conn_active"),
+		FramesSent:         r.Counter(prefix + "frames_sent"),
+		FramesReceived:     r.Counter(prefix + "frames_received"),
+		FrameBytesSent:     r.Counter(prefix + "frames_bytes_sent"),
+		FrameBytesReceived: r.Counter(prefix + "frames_bytes_received"),
+		FramesOversized:    r.Counter(prefix + "frames_oversized"),
+		classes:            make(map[string]*ClassStats, len(classNames)),
+	}
+	for _, name := range classNames {
+		cp := prefix + "class." + name + "."
+		s.classes[name] = &ClassStats{
+			FramesSent:     r.Counter(cp + "frames_sent"),
+			FramesReceived: r.Counter(cp + "frames_received"),
+			InflightBytes:  r.Gauge(cp + "inflight_bytes"),
+			QueueDepth:     r.Gauge(cp + "queue_depth"),
+			Backpressure:   r.Counter(cp + "backpressure"),
+			RTT:            r.Histogram(cp + "rtt"),
+		}
+	}
+	return s
+}
+
+// Class returns the stats of the named traffic class (nil when the
+// class was not declared at construction).
+func (s *TransportStats) Class(name string) *ClassStats { return s.classes[name] }
+
+// HistogramExport is the JSON-friendly summary of one histogram.
+type HistogramExport struct {
+	Count  int64   `json:"count"`
+	MeanNs int64   `json:"meanNs"`
+	P50Ns  int64   `json:"p50Ns"`
+	P99Ns  int64   `json:"p99Ns"`
+	MaxNs  int64   `json:"maxNs"`
+	MeanMs float64 `json:"meanMs"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// RegistryExport is the machine-readable snapshot of a Registry,
+// served by the nodes' metrics control endpoint so load harnesses can
+// scrape per-tier counters over the message plane.
+type RegistryExport struct {
+	Counters   map[string]int64           `json:"counters"`
+	Gauges     map[string]int64           `json:"gauges"`
+	Histograms map[string]HistogramExport `json:"histograms"`
+}
+
+// Export snapshots all metrics into a JSON-friendly document.
+func (r *Registry) Export() RegistryExport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RegistryExport{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramExport, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		out.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out.Histograms[name] = HistogramExport{
+			Count:  h.Count(),
+			MeanNs: int64(h.Mean()),
+			P50Ns:  int64(h.Quantile(0.5)),
+			P99Ns:  int64(h.Quantile(0.99)),
+			MaxNs:  int64(h.Max()),
+			MeanMs: float64(h.Mean()) / float64(time.Millisecond),
+			P99Ms:  float64(h.Quantile(0.99)) / float64(time.Millisecond),
+		}
+	}
+	return out
+}

@@ -21,7 +21,12 @@ import (
 // header (magic, version, codec); version 2 appends an 8-byte
 // big-endian delivery sequence so receivers on an at-least-once path
 // can dedupe retried batches (seq 0 = unidentified, never deduped).
-// Decoders accept both; Seal emits v1, SealSeq emits v2.
+// Decoders accept both; Seal emits v1, SealSeq emits v2. Sealed
+// envelopes are opaque to the transports: the tcpnet socket transport
+// carries them verbatim inside its length-prefixed frames (the frame
+// format is documented in internal/transport/tcpnet), so the bytes a
+// Sealer produced are the bytes DecodeBatchPayload receives, frozen
+// sequence included.
 const (
 	envelopeMagic    = 0xF2
 	envelopeVersion  = 1
@@ -35,8 +40,12 @@ const (
 // concurrently with any configuration change.
 var maxBatchWireSize atomic.Int64
 
+// DefaultMaxBatchWireSize is the decompressed-size bound in effect
+// when SetMaxBatchWireSize was never called (or was reset to zero).
+const DefaultMaxBatchWireSize = aggregate.DefaultMaxDecompressedSize
+
 // MaxBatchWireSize returns the current decompressed-size bound; zero
-// means aggregate.DefaultMaxDecompressedSize.
+// means DefaultMaxBatchWireSize.
 func MaxBatchWireSize() int { return int(maxBatchWireSize.Load()) }
 
 // SetMaxBatchWireSize bounds the decompressed wire size
@@ -399,6 +408,10 @@ const (
 	OpFlush ControlOp = "flush"
 	// OpStatus requests a status report.
 	OpStatus ControlOp = "status"
+	// OpMetrics requests a dump of the node's metrics registry
+	// (counters, gauges, histogram quantiles) as JSON — the scrape
+	// path for transport and flush instrumentation.
+	OpMetrics ControlOp = "metrics"
 )
 
 // ControlRequest is a control-plane command.

@@ -1,12 +1,14 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,7 +88,49 @@ func (t *HTTPTransport) AddPeer(name, baseURL string) {
 
 var _ Transport = (*HTTPTransport)(nil)
 
-// Send implements Transport.
+// payloadBody is an HTTP request body carrying a pooled copy of a
+// message payload. The copy exists because of Transport's
+// non-retention contract: the caller may overwrite msg.Payload the
+// moment Send returns, but net/http can still be reading the request
+// body after Do returns (the transport writes and drains bodies on
+// pooled connections asynchronously). For the same reason the buffer
+// goes back to the pool only from Close — which net/http guarantees
+// to call exactly once per request body — never when Send returns.
+type payloadBody struct {
+	bytes.Reader
+	buf    []byte
+	closed atomic.Bool
+}
+
+var bodyPool sync.Pool
+
+func newPayloadBody(payload []byte) *payloadBody {
+	b, _ := bodyPool.Get().(*payloadBody)
+	if b == nil {
+		b = &payloadBody{}
+	}
+	b.buf = append(b.buf[:0], payload...)
+	b.Reader.Reset(b.buf)
+	b.closed.Store(false)
+	return b
+}
+
+// Close implements io.Closer and recycles the copy. The swap guard
+// makes a second Close a no-op, and Put is the closing goroutine's
+// last access to b — a sync.Once here would touch its own state
+// after the Put, racing the next request that drew b from the pool.
+func (b *payloadBody) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	b.Reader.Reset(nil)
+	bodyPool.Put(b)
+	return nil
+}
+
+// Send implements Transport. The payload buffer is not retained:
+// Send copies it into a pooled body before handing the request to
+// the HTTP client.
 func (t *HTTPTransport) Send(ctx context.Context, msg Message) ([]byte, error) {
 	t.mu.RLock()
 	base, ok := t.peers[msg.To]
@@ -94,11 +138,14 @@ func (t *HTTPTransport) Send(ctx context.Context, msg Message) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, msg.To)
 	}
+	reqBody := newPayloadBody(msg.Payload)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		base+MessagePath, strings.NewReader(string(msg.Payload)))
+		base+MessagePath, reqBody)
 	if err != nil {
+		reqBody.Close()
 		return nil, fmt.Errorf("transport http: build request: %w", err)
 	}
+	req.ContentLength = int64(len(reqBody.buf))
 	req.Header.Set(headerFrom, msg.From)
 	req.Header.Set(HeaderTo, msg.To)
 	req.Header.Set(headerKind, string(msg.Kind))

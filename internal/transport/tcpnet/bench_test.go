@@ -1,0 +1,75 @@
+package tcpnet
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"testing"
+
+	"f2c/internal/transport"
+)
+
+// BenchmarkFrameWrite measures the steady-state sender write path: a
+// request frame appended into a reused scratch buffer, the payload
+// written verbatim behind it, the writer flushed. This is the path
+// every batch rides on every flush, and it must not allocate once the
+// scratch buffer is warm.
+func BenchmarkFrameWrite(b *testing.B) {
+	payload := make([]byte, 16<<10)
+	msg := &transport.Message{
+		From: "fog1/d01-s01", To: "fog2/d01", Kind: transport.KindBatch,
+		Class: "energy", Payload: payload,
+	}
+	bw := bufio.NewWriterSize(io.Discard, 64<<10)
+	scratch := make([]byte, 0, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = appendRequestFrame(scratch[:0], ClassIngest, uint64(i), kindCodes[msg.Kind], msg)
+		if _, err := bw.Write(scratch); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bw.Write(msg.Payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackRoundTrip measures a full request/reply round trip
+// over a real loopback TCP connection — frame encode, socket write,
+// server decode/dispatch, reply frame, client demux.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	h := transport.HandlerFunc(func(_ context.Context, msg transport.Message) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	srv, err := NewServer("fog2/d01", "127.0.0.1:0", h, ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	tr := New(Options{})
+	defer tr.Close()
+	tr.AddPeer("fog2/d01", srv.Addr())
+
+	payload := make([]byte, 4<<10)
+	msg := transport.Message{
+		From: "fog1/d01-s01", To: "fog2/d01", Kind: transport.KindBatch,
+		Class: "energy", Payload: payload,
+	}
+	ctx := context.Background()
+	if _, err := tr.Send(ctx, msg); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Send(ctx, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

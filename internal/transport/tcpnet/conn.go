@@ -1,0 +1,203 @@
+package tcpnet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"f2c/internal/metrics"
+	"f2c/internal/transport"
+)
+
+// errConnClosed marks a round-trip that failed because the underlying
+// connection died (I/O error, peer restart, Close). Sends may retry
+// once on a fresh connection: the system is at-least-once end to end
+// and receivers dedupe by delivery sequence.
+var errConnClosed = errors.New("tcpnet: connection closed")
+
+// call is one in-flight request awaiting its reply.
+type call struct {
+	done  chan struct{}
+	reply []byte
+	err   error
+}
+
+// clientConn is one persistent connection of a (peer, class) pool.
+// Requests are multiplexed: frame writes are serialized under wmu
+// into a reused scratch buffer, and a single reader goroutine demuxes
+// replies to their calls by request id.
+type clientConn struct {
+	peerName string
+	nc       net.Conn
+	bw       *bufio.Writer
+	stats    *metrics.TransportStats
+	maxFrame int
+
+	// wmu serializes frame writes; scratch is the pooled header/meta
+	// buffer reused across writes (the zero-alloc write path).
+	wmu     sync.Mutex
+	scratch []byte
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
+	closed  bool
+	cerr    error
+}
+
+func newClientConn(peerName string, nc net.Conn, maxFrame int, stats *metrics.TransportStats) *clientConn {
+	return &clientConn{
+		peerName: peerName,
+		nc:       nc,
+		bw:       bufio.NewWriterSize(nc, 64<<10),
+		stats:    stats,
+		maxFrame: maxFrame,
+		pending:  make(map[uint64]*call),
+	}
+}
+
+// roundTrip writes one request frame and waits for its reply, the
+// context's cancellation, or connection death. The payload buffer is
+// not retained: it is fully copied into the socket (via the bufio
+// writer) before roundTrip's write phase returns, upholding the
+// transport.Transport non-retention contract.
+func (c *clientConn) roundTrip(ctx context.Context, class Class, id uint64, kindCode byte, msg *transport.Message) ([]byte, error) {
+	cl := &call{done: make(chan struct{})}
+	c.pmu.Lock()
+	if c.closed {
+		err := c.cerr
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = cl
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	c.scratch = appendRequestFrame(c.scratch[:0], class, id, kindCode, msg)
+	_, err := c.bw.Write(c.scratch)
+	if err == nil {
+		_, err = c.bw.Write(msg.Payload)
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	wire := int64(len(c.scratch) + len(msg.Payload))
+	// One giant payload must not pin a giant header scratch; the
+	// header is small, but guard against pathological meta growth.
+	if cap(c.scratch) > maxScratch {
+		c.scratch = nil
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.teardown(fmt.Errorf("%w: write: %v", errConnClosed, err))
+		return nil, c.cerr
+	}
+	c.stats.FramesSent.Inc()
+	c.stats.FrameBytesSent.Add(wire)
+
+	select {
+	case <-cl.done:
+		return cl.reply, cl.err
+	case <-ctx.Done():
+		// Abandon the call: deregister so a late reply is dropped by
+		// the reader instead of waking a recycled waiter.
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+const maxScratch = 1 << 16
+
+// readLoop demuxes reply frames to their waiting calls. It exits — and
+// fails every pending call — on the first I/O or protocol error.
+func (c *clientConn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var hdr [lenPrefixSize + frameFixedHeader]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			c.teardown(fmt.Errorf("%w: read: %v", errConnClosed, err))
+			return
+		}
+		frameLen := int(binary.BigEndian.Uint32(hdr[:lenPrefixSize]))
+		if frameLen < frameFixedHeader || frameLen > c.maxFrame {
+			c.stats.FramesOversized.Inc()
+			c.teardown(fmt.Errorf("%w: reply frame of %d bytes outside [%d, %d]",
+				errConnClosed, frameLen, frameFixedHeader, c.maxFrame))
+			return
+		}
+		frameType := hdr[lenPrefixSize]
+		id := binary.BigEndian.Uint64(hdr[lenPrefixSize+2:])
+		// The reply buffer is handed to the caller, which may retain
+		// it, so it is a fresh allocation per reply (replies are acks
+		// and bounded query pages; the zero-alloc budget is the write
+		// path).
+		body := make([]byte, frameLen-frameFixedHeader)
+		if _, err := io.ReadFull(br, body); err != nil {
+			c.teardown(fmt.Errorf("%w: read body: %v", errConnClosed, err))
+			return
+		}
+		c.stats.FramesReceived.Inc()
+		c.stats.FrameBytesReceived.Add(int64(lenPrefixSize + frameLen))
+
+		c.pmu.Lock()
+		cl, ok := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if !ok {
+			continue // abandoned call (context cancelled)
+		}
+		switch frameType {
+		case frameReply:
+			cl.reply = body
+		case frameError:
+			cl.err = &transport.RemoteError{Endpoint: c.peerName, Msg: string(body)}
+		default:
+			cl.err = fmt.Errorf("tcpnet: unexpected frame type %d from %s", frameType, c.peerName)
+		}
+		close(cl.done)
+	}
+}
+
+// teardown closes the connection and fails all pending calls. Safe to
+// call multiple times; the first error wins.
+func (c *clientConn) teardown(err error) { c.close(err, false) }
+
+// shutdown is the graceful variant (transport Close): same teardown,
+// not counted as a connection error.
+func (c *clientConn) shutdown() { c.close(errConnClosed, true) }
+
+func (c *clientConn) close(err error, graceful bool) {
+	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cerr = err
+	pending := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+
+	_ = c.nc.Close()
+	if !graceful {
+		c.stats.ConnErrors.Inc()
+	}
+	c.stats.ConnActive.Add(-1)
+	for _, cl := range pending {
+		cl.err = err
+		close(cl.done)
+	}
+}
+
+// dead reports whether the connection has been torn down.
+func (c *clientConn) dead() bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.closed
+}

@@ -1,12 +1,14 @@
 // Package transport is the network substrate of the F2C hierarchy.
 // The paper's city network (sensor links, metro fog links, WAN cloud
-// uplinks over 3G/4G) is substituted by two interchangeable
+// uplinks over 3G/4G) is substituted by three interchangeable
 // implementations of the same Transport interface: an in-process
 // simulated network with per-link latency/bandwidth/loss profiles
-// (deterministic, used by simulations, tests and latency benchmarks)
-// and a real net/http transport (used by the f2cd daemon and
-// multi-process integration tests). Both account traffic identically,
-// which is what the paper's evaluation measures.
+// (deterministic, used by simulations, tests and latency benchmarks),
+// a real net/http transport (one request per message, simple to debug
+// behind any HTTP infrastructure), and the production tcpnet socket
+// transport (persistent framed connections with per-class
+// multiplexed streams — see internal/transport/tcpnet). All account
+// traffic identically, which is what the paper's evaluation measures.
 package transport
 
 import (
@@ -109,6 +111,14 @@ var (
 	// ErrNodeDown means an endpoint of the link is crashed; the
 	// message never reached the destination.
 	ErrNodeDown = errors.New("transport: node down")
+	// ErrBackpressure means the transport refused the send because the
+	// destination's flow-control window for the message's traffic
+	// class is exhausted (a slow or overloaded receiver). The message
+	// was never written; senders on the flush path keep the batch
+	// queued and let the retry/backoff machinery defer — a
+	// backpressured parent is alive, so this must not trigger
+	// failover.
+	ErrBackpressure = errors.New("transport: backpressure")
 )
 
 // PartitionError reports a send that hit an injected partition. It

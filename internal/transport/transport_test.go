@@ -254,3 +254,57 @@ func TestMessageWireSize(t *testing.T) {
 		t.Errorf("WireSize = %d, want 132", got)
 	}
 }
+
+// TestHTTPTransportDoesNotRetainPayload pins the Transport.Send
+// buffer contract for the HTTP implementation: senders on the flush
+// path seal into reusable buffers and overwrite them as soon as Send
+// returns, so the transport must have fully detached from the payload
+// by then — even though net/http may still be draining the request
+// body asynchronously.
+func TestHTTPTransportDoesNotRetainPayload(t *testing.T) {
+	var mu sync.Mutex
+	var received []string
+	h := HandlerFunc(func(_ context.Context, msg Message) ([]byte, error) {
+		mu.Lock()
+		received = append(received, string(msg.Payload))
+		mu.Unlock()
+		return []byte("ok"), nil
+	})
+	srv := httptest.NewServer(NewHTTPHandler("cloud", h))
+	defer srv.Close()
+
+	tr := NewHTTPTransport(5 * time.Second)
+	tr.AddPeer("cloud", srv.URL)
+
+	// One reused seal buffer, overwritten immediately after each Send
+	// returns — exactly what the fognode flush path does.
+	buf := make([]byte, 64)
+	const rounds = 50
+	want := make([]string, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		payload := strings.Repeat(string(rune('a'+i%26)), len(buf))
+		copy(buf, payload)
+		want = append(want, payload)
+		if _, err := tr.Send(context.Background(), Message{
+			From: "fog1/0", To: "cloud", Kind: KindBatch, Class: "urban", Payload: buf,
+		}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		// Clobber the buffer the moment Send returns.
+		for j := range buf {
+			buf[j] = 'X'
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(received) != rounds {
+		t.Fatalf("received %d payloads, want %d", len(received), rounds)
+	}
+	for i, got := range received {
+		if got != want[i] {
+			t.Fatalf("payload %d corrupted: got %q prefix, want %q prefix",
+				i, got[:8], want[i][:8])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+#!/usr/bin/env sh
+# tcpsmoke.sh — end-to-end smoke of the multi-process city over the
+# tcpnet socket transport: build the daemons, boot a real 3-process
+# hierarchy (fog1 -> fog2 -> cloud) on loopback, drive ingest through
+# f2cload, flush each layer upward, answer a query and a summary at
+# the cloud, scrape transport metrics, then shut everything down with
+# SIGTERM and verify every daemon exited cleanly.
+#
+# Usage:
+#   scripts/tcpsmoke.sh [base-port]
+#
+# base-port defaults to 9400 (cloud), +1 fog2, +2 fog1.
+set -eu
+
+cd "$(dirname "$0")/.."
+BASE="${1:-9400}"
+CLOUD_ADDR="127.0.0.1:$BASE"
+FOG2_ADDR="127.0.0.1:$((BASE + 1))"
+FOG1_ADDR="127.0.0.1:$((BASE + 2))"
+
+WORK="$(mktemp -d)"
+CLOUD_PID=""
+FOG2_PID=""
+FOG1_PID=""
+cleanup() {
+	for pid in "$FOG1_PID" "$FOG2_PID" "$CLOUD_PID"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building daemons into $WORK"
+go build -o "$WORK/f2cd" ./cmd/f2cd
+go build -o "$WORK/f2cctl" ./cmd/f2cctl
+go build -o "$WORK/f2cload" ./cmd/f2cload
+
+CTL="$WORK/f2cctl -transport tcp"
+
+echo "== starting cloud + fog2 + fog1 over tcpnet"
+"$WORK/f2cd" -id cloud -layer cloud -transport tcp \
+	-listen "$CLOUD_ADDR" >"$WORK/cloud.log" 2>&1 &
+CLOUD_PID=$!
+"$WORK/f2cd" -id fog2/d01 -layer fog2 -transport tcp \
+	-parent cloud -parent-addr "$CLOUD_ADDR" \
+	-listen "$FOG2_ADDR" -flush 1h >"$WORK/fog2.log" 2>&1 &
+FOG2_PID=$!
+"$WORK/f2cd" -id fog1/d01-s01 -layer fog1 -transport tcp \
+	-parent fog2/d01 -parent-addr "$FOG2_ADDR" \
+	-listen "$FOG1_ADDR" -flush 1h >"$WORK/fog1.log" 2>&1 &
+FOG1_PID=$!
+
+wait_ready() { # addr id
+	i=0
+	while ! $CTL -node "$1" -node-id "$2" -timeout 2s status >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "node $2 at $1 never came up" >&2
+			cat "$WORK"/*.log >&2
+			exit 1
+		fi
+		sleep 0.2
+	done
+}
+wait_ready "$CLOUD_ADDR" cloud
+wait_ready "$FOG2_ADDR" fog2/d01
+wait_ready "$FOG1_ADDR" fog1/d01-s01
+echo "   all three nodes answering over tcp"
+
+echo "== driving ingest through f2cload (cluster mode, tcp)"
+cat >"$WORK/cluster.json" <<EOF
+{"transport": "tcp", "nodes": {"fog1/d01-s01": "$FOG1_ADDR"}}
+EOF
+"$WORK/f2cload" -cluster "$WORK/cluster.json" \
+	-type temperature -workers 2 -sensors 25 -rounds 3 -interval 0
+
+echo "== flushing the hierarchy upward (fog1 -> fog2 -> cloud)"
+$CTL -node "$FOG1_ADDR" -node-id fog1/d01-s01 flush
+$CTL -node "$FOG2_ADDR" -node-id fog2/d01 flush
+
+echo "== querying the cloud over tcp"
+LATEST="$($CTL -node "$CLOUD_ADDR" latest edge/f2cload/w000/temperature/0)"
+echo "   latest: $LATEST"
+case "$LATEST" in
+*no\ data*)
+	echo "cloud returned no data for an ingested sensor" >&2
+	exit 1
+	;;
+esac
+SUM="$($CTL -node "$CLOUD_ADDR" sum temperature 2000-01-01T00:00:00Z 2100-01-01T00:00:00Z)"
+echo "   sum:    $SUM"
+case "$SUM" in
+count\ *) ;;
+*)
+	echo "cloud summary query failed: $SUM" >&2
+	exit 1
+	;;
+esac
+
+echo "== scraping transport metrics from fog1"
+METRICS="$($CTL -node "$FOG1_ADDR" -node-id fog1/d01-s01 metrics)"
+case "$METRICS" in
+*transport.server.frames_received*) ;;
+*)
+	echo "fog1 metrics scrape missing transport counters: $METRICS" >&2
+	exit 1
+	;;
+esac
+echo "   transport.server.* counters present"
+
+echo "== clean shutdown (SIGTERM)"
+for pid in "$FOG1_PID" "$FOG2_PID" "$CLOUD_PID"; do
+	kill -TERM "$pid"
+done
+FAIL=0
+wait "$FOG1_PID" || FAIL=1
+FOG1_PID=""
+wait "$FOG2_PID" || FAIL=1
+FOG2_PID=""
+wait "$CLOUD_PID" || FAIL=1
+CLOUD_PID=""
+if [ "$FAIL" -ne 0 ]; then
+	echo "a daemon exited non-zero on SIGTERM" >&2
+	cat "$WORK"/*.log >&2
+	exit 1
+fi
+echo "== tcp smoke OK: ingest, federated read, metrics, clean shutdown"
