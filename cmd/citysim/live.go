@@ -6,6 +6,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -15,22 +16,48 @@ import (
 	"f2c/internal/core"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
+	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport/tcpnet"
+	"f2c/internal/wal"
 )
 
 // liveOptions configures the hosted live city.
 type liveOptions struct {
-	city       string
-	districts  int
-	sections   int
-	codec      aggregate.Codec
-	dedup      bool
-	flush1     time.Duration
-	flush2     time.Duration
-	listenHost string
-	clusterOut string
+	city          string
+	districts     int
+	sections      int
+	codec         aggregate.Codec
+	dedup         bool
+	flush1        time.Duration
+	flush2        time.Duration
+	listenHost    string
+	dataDir       string // non-empty: every node journals under dataDir/<id>
+	segmentStore  bool   // tiered segment engine under dataDir/<id>/store
+	memtableBytes int64  // segment memtable cap (0 = engine default)
+	clusterOut    string
+}
+
+// durability maps a live node id into its WAL directory (nil when the
+// city is in-memory).
+func (o liveOptions) durability(id string) *wal.Config {
+	if o.dataDir == "" {
+		return nil
+	}
+	return &wal.Config{Dir: filepath.Join(o.dataDir, id)}
+}
+
+// storage maps a live node id into its segment-store directory beside
+// the delivery journal (nil when the tiered store is off).
+func (o liveOptions) storage(id string) *segment.Options {
+	if !o.segmentStore || o.dataDir == "" {
+		return nil
+	}
+	return &segment.Options{
+		Dir:           filepath.Join(o.dataDir, id, "store"),
+		MemtableBytes: o.memtableBytes,
+	}
 }
 
 // liveMember is one hosted node: its tcpnet server, its client
@@ -83,6 +110,7 @@ func runLive(o liveOptions) error {
 	cloudReg := metrics.NewRegistry()
 	cloudNode, err := cloud.New(core.CloudConfig(core.CloudID, core.MemberOptions{
 		City: o.city, Clock: sim.WallClock{}, Registry: cloudReg, Codec: o.codec,
+		Durability: o.durability(core.CloudID), Storage: o.storage(core.CloudID),
 	}))
 	if err != nil {
 		return err
@@ -118,6 +146,7 @@ func runLive(o liveOptions) error {
 			City: o.city, Clock: sim.WallClock{}, Transport: tr,
 			Retention: retention, FlushInterval: flush, Codec: o.codec,
 			Dedup: o.dedup, Quality: true, Registry: reg, Siblings: siblings,
+			Durability: o.durability(spec.ID), Storage: o.storage(spec.ID),
 		}))
 		if err != nil {
 			_ = tr.Close()

@@ -47,6 +47,9 @@ func run(args []string) error {
 	liveDistricts := fs.Int("live-districts", 2, "districts of the live city")
 	liveSections := fs.Int("live-sections", 2, "sections per district of the live city")
 	liveHost := fs.String("live-host", "127.0.0.1", "host the live city's listeners bind")
+	liveDataDir := fs.String("live-data-dir", "", "durability directory for the live city: every node journals under <dir>/<node id> and recovers on restart (empty = in-memory)")
+	liveSegments := fs.Bool("live-segment-store", false, "back the live city's temporal stores with the tiered segment engine under <live-data-dir>/<node id>/store (requires -live-data-dir)")
+	liveMemtable := fs.Int64("live-memtable-bytes", 0, "live city segment-store memtable cap in bytes (0 = engine default)")
 	clusterOut := fs.String("cluster-out", "", "write the live city's cluster JSON (node id -> address) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,16 +71,22 @@ func run(args []string) error {
 		return fmt.Errorf("unknown codec %q", *codecName)
 	}
 	if *live {
+		if *liveSegments && *liveDataDir == "" {
+			return fmt.Errorf("-live-segment-store requires -live-data-dir")
+		}
 		return runLive(liveOptions{
-			city:       "Barcelona",
-			districts:  *liveDistricts,
-			sections:   *liveSections,
-			codec:      codec,
-			dedup:      *dedup,
-			flush1:     *flush1,
-			flush2:     *flush2,
-			listenHost: *liveHost,
-			clusterOut: *clusterOut,
+			city:          "Barcelona",
+			districts:     *liveDistricts,
+			sections:      *liveSections,
+			codec:         codec,
+			dedup:         *dedup,
+			flush1:        *flush1,
+			flush2:        *flush2,
+			listenHost:    *liveHost,
+			dataDir:       *liveDataDir,
+			segmentStore:  *liveSegments,
+			memtableBytes: *liveMemtable,
+			clusterOut:    *clusterOut,
 		})
 	}
 	var types []model.SensorType

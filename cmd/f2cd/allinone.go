@@ -22,7 +22,7 @@ import (
 //	f2cload -node http://localhost:8080 -node-id fog1/d01-s01 ...
 //	f2cctl  -node http://localhost:8080 status   # routes to the cloud
 //	curl http://localhost:8080/opendata/v1/categories
-func runAllInOne(cfgPath, listen, dataDir string) error {
+func runAllInOne(cfgPath, listen, dataDir string, segmentStore bool, memtableBytes int64) error {
 	dep := config.Barcelona()
 	if cfgPath != "" {
 		var err error
@@ -39,6 +39,17 @@ func runAllInOne(cfgPath, listen, dataDir string) error {
 		// -data-dir overrides the deployment document: every node in
 		// the hosted hierarchy journals under dataDir/<node id>.
 		opts.DataDir = dataDir
+	}
+	if segmentStore {
+		// -segment-store overrides likewise: every node's temporal
+		// store becomes the tiered segment engine.
+		if opts.DataDir == "" {
+			return fmt.Errorf("-segment-store requires -data-dir (or dataDir in the deployment document)")
+		}
+		opts.SegmentStorage = true
+	}
+	if memtableBytes > 0 {
+		opts.MemtableBytes = memtableBytes
 	}
 	sys, err := core.NewSystem(opts)
 	if err != nil {

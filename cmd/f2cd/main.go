@@ -47,6 +47,7 @@ import (
 	"f2c/internal/core"
 	"f2c/internal/fognode"
 	"f2c/internal/model"
+	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
@@ -78,16 +79,21 @@ func run(args []string) error {
 	dedup := fs.Bool("dedup", true, "redundant-data elimination (fog1)")
 	qual := fs.Bool("quality", true, "data-quality phase (fog1)")
 	dataDir := fs.String("data-dir", "", "durability directory: the node journals its state to a WAL with snapshots under <data-dir>/<id> and recovers it on restart (empty = in-memory)")
+	segmentStore := fs.Bool("segment-store", false, "back the temporal store with the tiered segment engine under <data-dir>/<id>/store (history in mmap'd segment files, RAM bounded by the memtable cap; requires -data-dir)")
+	memtableBytes := fs.Int64("memtable-bytes", 0, "segment-store memtable cap in bytes before a flush to disk (0 = engine default)")
 	allInOne := fs.Bool("all-in-one", false, "run the whole hierarchy in this process (demo mode)")
 	cfgPath := fs.String("config", "", "deployment JSON for -all-in-one (default: Barcelona)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *allInOne {
-		return runAllInOne(*cfgPath, *listen, *dataDir)
+		return runAllInOne(*cfgPath, *listen, *dataDir, *segmentStore, *memtableBytes)
 	}
 	if *id == "" {
 		return errors.New("-id is required")
+	}
+	if *segmentStore && *dataDir == "" {
+		return errors.New("-segment-store requires -data-dir")
 	}
 	switch *transportName {
 	case config.TransportHTTP, config.TransportTCP:
@@ -107,9 +113,11 @@ func run(args []string) error {
 	switch *layer {
 	case "cloud":
 		if tcp {
-			return runCloudTCP(*id, *city, *listen, *opendataListen, durabilityFor(*dataDir, *id))
+			return runCloudTCP(*id, *city, *listen, *opendataListen,
+				durabilityFor(*dataDir, *id), storageFor(*dataDir, *id, *segmentStore, *memtableBytes))
 		}
-		return runCloud(*id, *city, *listen, durabilityFor(*dataDir, *id))
+		return runCloud(*id, *city, *listen,
+			durabilityFor(*dataDir, *id), storageFor(*dataDir, *id, *segmentStore, *memtableBytes))
 	case "fog1", "fog2":
 		codec, err := parseCodec(*codecName)
 		if err != nil {
@@ -132,6 +140,7 @@ func run(args []string) error {
 			Dedup:         *dedup,
 			Quality:       *qual,
 			Durability:    durabilityFor(*dataDir, *id),
+			Storage:       storageFor(*dataDir, *id, *segmentStore, *memtableBytes),
 		}
 		if tcp {
 			return runFogTCP(spec, opts, *parentAddr, *listen, cluster)
@@ -163,8 +172,21 @@ func durabilityFor(dataDir, id string) *wal.Config {
 	return &wal.Config{Dir: filepath.Join(dataDir, id)}
 }
 
-func runCloud(id, city, listen string, durability *wal.Config) error {
-	node, err := cloud.New(cloud.Config{ID: id, City: city, Clock: sim.WallClock{}, Durability: durability})
+// storageFor maps a node id into its segment-store directory under
+// dataDir, beside the delivery journal (nil when the tiered store is
+// off).
+func storageFor(dataDir, id string, enabled bool, memtableBytes int64) *segment.Options {
+	if !enabled || dataDir == "" {
+		return nil
+	}
+	return &segment.Options{
+		Dir:           filepath.Join(dataDir, id, "store"),
+		MemtableBytes: memtableBytes,
+	}
+}
+
+func runCloud(id, city, listen string, durability *wal.Config, storage *segment.Options) error {
+	node, err := cloud.New(cloud.Config{ID: id, City: city, Clock: sim.WallClock{}, Durability: durability, Storage: storage})
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@ import (
 	"f2c/internal/core"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
+	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport/tcpnet"
@@ -25,10 +26,10 @@ import (
 // transport. The open-data API stays HTTP (it is a public REST
 // surface, not node-to-node traffic) on its own listener when
 // requested.
-func runCloudTCP(id, city, listen, opendataListen string, durability *wal.Config) error {
+func runCloudTCP(id, city, listen, opendataListen string, durability *wal.Config, storage *segment.Options) error {
 	reg := metrics.NewRegistry()
 	node, err := cloud.New(core.CloudConfig(id, core.MemberOptions{
-		City: city, Clock: sim.WallClock{}, Registry: reg, Durability: durability,
+		City: city, Clock: sim.WallClock{}, Registry: reg, Durability: durability, Storage: storage,
 	}))
 	if err != nil {
 		return err

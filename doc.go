@@ -87,6 +87,24 @@
 // through crashes at every tier (see README "Durability & recovery";
 // BenchmarkIngestWAL records the overhead in BENCH_PR5.json).
 //
+// Tiered segment storage (internal/segment, off by default) bounds
+// the memory of the temporal stores themselves: an LSM-lite engine
+// with a WAL-journaled memtable in front of immutable,
+// time-partitioned segment files of columnar-compressed blocks,
+// served by mmap behind a sparse (type, time) index. Memtable
+// flushes, background compaction of small segments, and
+// whole-segment retention drops are coordinated through a crash-safe
+// manifest, so reboot recovery composes with the WAL: segments from
+// the manifest, memtable replayed from its journal above the flushed
+// watermark, exactly once. Query paging cursors are positions in the
+// canonical reading order, not physical pointers, so a page walk
+// straddling a flush or compaction never loses or repeats a reading.
+// Enable with core.Options.SegmentStorage / f2cd -segment-store /
+// "segmentStorage" in the deployment document (requires a data dir),
+// or per node via fognode/cloud Config.Storage; see README "Tiered
+// storage" (benchmarks in BENCH_PR7.json, including the steady-state
+// RSS bound).
+//
 // A multi-process city runs over real sockets through the
 // internal/transport/tcpnet production transport: persistent framed
 // TCP connections per peer carrying sealed envelopes verbatim (the

@@ -84,6 +84,14 @@ type Scenario struct {
 	// Without Durable, crashes only sever the network and in-memory
 	// state survives, the pre-durability behavior.
 	Durable bool
+	// SegmentStorage (requires Durable) backs every node's temporal
+	// store with the tiered segment engine under the run's data dir,
+	// capped at a deliberately tiny memtable so the workload forces
+	// continuous memtable flushes and background compactions — crash
+	// reboots then land mid-flush and mid-compaction, and the
+	// exactly-once contract must still hold over WAL-replayed memtable
+	// + recovered segments.
+	SegmentStorage bool
 }
 
 func (s *Scenario) applyDefaults() {
@@ -156,6 +164,16 @@ func smallCity() (*topology.Topology, error) {
 	})
 }
 
+// memtableCap returns the segment-store memtable bound for a run:
+// tiny, so flushes and compactions overlap the fault schedule (0 when
+// the tiered store is off — the option is ignored).
+func memtableCap(s Scenario) int64 {
+	if !s.SegmentStorage {
+		return 0
+	}
+	return 2048
+}
+
 // failf builds an invariant-violation error that always carries the
 // scenario name and the reproducing seed.
 func (s *Scenario) failf(format string, args ...any) error {
@@ -179,6 +197,9 @@ func Run(s Scenario) (Result, error) {
 			return res, err
 		}
 		defer os.RemoveAll(dataDir)
+	}
+	if s.SegmentStorage && dataDir == "" {
+		return res, fmt.Errorf("chaos %s: SegmentStorage requires Durable", s.Name)
 	}
 	clock := sim.NewVirtualClock(epoch)
 	sys, err := core.NewSystem(core.Options{
@@ -208,6 +229,11 @@ func Run(s Scenario) (Result, error) {
 		// not just log replay.
 		DataDir:       dataDir,
 		SnapshotEvery: 48,
+		// The tiny memtable cap turns the workload into a flush/compact
+		// storm: every few batches spill a segment, so crash reboots
+		// routinely interrupt a memtable flush or a compaction merge.
+		SegmentStorage: s.SegmentStorage,
+		MemtableBytes:  memtableCap(s),
 	})
 	if err != nil {
 		return res, err

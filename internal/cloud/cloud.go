@@ -16,6 +16,7 @@ import (
 	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
+	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/store"
 	"f2c/internal/transport"
@@ -50,15 +51,52 @@ type Config struct {
 	// archived history survives a cloud restart. Nil (the default)
 	// keeps the node fully in-memory.
 	Durability *wal.Config
+	// Storage, when set, backs the historical query series with the
+	// tiered segment engine instead of the permanent in-RAM
+	// TimeSeries, and redirects the archive's reading-range scans
+	// (open-data dissemination) to the same mmap'd segments. Each
+	// preserve is numbered and the number journaled with the batch, so
+	// recovery replays the journal tail into the self-durable store
+	// exactly once. Registry and MetricsPrefix default from the cloud
+	// config when zero; Retention stays 0 (permanent) unless set.
+	Storage *segment.Options
 }
+
+// querySeries is the cloud's historical query store: the permanent
+// in-RAM TimeSeries or the durable segment.Store. AppendSeq carries
+// the preserve number used to dedupe journal replay into a
+// self-durable store; the RAM store ignores it.
+type querySeries interface {
+	AppendSeq(b *model.Batch, seq uint64) error
+	Latest(sensorID string) (model.Reading, bool)
+	QueryRange(typeName string, from, to time.Time) []model.Reading
+	QueryRangePage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error)
+	Stats() store.Stats
+}
+
+// ramSeries adapts store.TimeSeries to querySeries: preserve numbers
+// exist only to make replay into a self-durable store idempotent, so
+// the in-RAM store (rebuilt from scratch each recovery) drops them.
+type ramSeries struct{ *store.TimeSeries }
+
+func (r ramSeries) AppendSeq(b *model.Batch, _ uint64) error { return r.Append(b) }
 
 // Node is the cloud layer. Safe for concurrent use.
 type Node struct {
 	cfg     Config
 	archive *store.Archive
-	series  *store.TimeSeries
-	replay  *protocol.ReplayFilter
-	journal *cloudJournal // durability log; nil when off
+	series  querySeries
+	// segStore aliases series when the segment engine backs it (nil
+	// on an in-RAM cloud): it owns on-disk state closed with the
+	// node, and it recovers itself, so journal replay dedupes against
+	// its preserve-number watermark instead of re-appending.
+	segStore *segment.Store
+	replay   *protocol.ReplayFilter
+	journal  *cloudJournal // durability log; nil when off
+	// preserveSeq numbers accepted batches 1, 2, ... in journal order;
+	// guarded by journal.mu (never advanced on a journal-less cloud,
+	// where replay cannot happen and number 0 means "unnumbered").
+	preserveSeq uint64
 
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
@@ -91,19 +129,41 @@ func New(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:             cfg,
 		archive:         store.NewArchive(),
-		series:          store.NewTimeSeries(0), // permanent
 		replay:          protocol.NewReplayFilter(cfg.ReplayWindow),
 		ingestedBatches: cfg.Registry.Counter(cfg.ID + ".ingest.batches"),
 		ingestedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.readings"),
 		dupBatches:      cfg.Registry.Counter(cfg.ID + ".ingest.duplicates"),
 	}
+	if cfg.Storage != nil {
+		so := *cfg.Storage
+		if so.Registry == nil {
+			so.Registry = cfg.Registry
+		}
+		if so.MetricsPrefix == "" {
+			so.MetricsPrefix = cfg.ID + "."
+		}
+		gs, err := segment.Open(so)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: storage: %w", err)
+		}
+		n.series, n.segStore = gs, gs
+		n.archive.SetScanSource(gs)
+	} else {
+		n.series = ramSeries{store.NewTimeSeries(0)} // permanent
+	}
 	if cfg.Durability != nil {
 		j, err := openCloudJournal(*cfg.Durability)
 		if err != nil {
+			if n.segStore != nil {
+				n.segStore.Discard()
+			}
 			return nil, fmt.Errorf("cloud: %w", err)
 		}
 		if err := n.recoverJournal(j); err != nil {
 			_ = j.close()
+			if n.segStore != nil {
+				n.segStore.Discard()
+			}
 			return nil, fmt.Errorf("cloud: %w", err)
 		}
 		n.journal = j
@@ -126,26 +186,49 @@ func (n *Node) recoverJournal(j *cloudJournal) error {
 		}
 	}
 	now := n.cfg.Clock.Now()
-	restore := func(b *model.Batch, prov []string) error {
-		if _, err := n.archive.Put(b, prov, now); err != nil {
+	counter := rs.preserveSeq
+	for _, rec := range rs.records {
+		if _, err := n.archive.Put(rec.batch, rec.provenance, now); err != nil {
 			return err
 		}
-		return n.series.Append(b)
-	}
-	for _, rec := range rs.records {
-		if err := restore(rec.batch, rec.provenance); err != nil {
-			return err
+		// A segment-backed series skips snapshot records: preserve
+		// completes the series append before releasing the journal
+		// mutex a checkpoint needs, so every batch a snapshot folded
+		// in was already in the segment store's own WAL when the
+		// snapshot was cut, and Open recovered it.
+		if n.segStore == nil {
+			if err := n.series.AppendSeq(rec.batch, 0); err != nil {
+				return err
+			}
 		}
 	}
 	for _, op := range rs.tail {
 		if op.batch != nil {
-			if err := restore(op.batch, provenanceOf(op.batch.NodeID, op.from, n.cfg.ID)); err != nil {
+			pseq := op.pseq
+			if pseq == 0 { // pre-numbering record: assign in log order
+				counter++
+				pseq = counter
+			} else if pseq > counter {
+				counter = pseq
+			}
+			if _, err := n.archive.Put(op.batch, provenanceOf(op.batch.NodeID, op.from, n.cfg.ID), now); err != nil {
+				return err
+			}
+			// The tail is the crash window: the journal append landed
+			// but the series append may not have. AppendSeq re-applies
+			// it; a segment store drops preserve numbers at or below
+			// its recovered watermark, so replay is exactly-once.
+			if err := n.series.AppendSeq(op.batch, pseq); err != nil {
 				return err
 			}
 		} else {
 			n.archive.Expire(op.before)
+			if n.segStore != nil {
+				n.segStore.EvictBefore(op.before)
+			}
 		}
 	}
+	n.preserveSeq = counter
 	for _, m := range rs.marks {
 		n.replay.Mark(m.origin, m.seq)
 	}
@@ -181,10 +264,14 @@ func (n *Node) preserve(b *model.Batch, from string, seq uint64) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("cloud preserve: %w", err)
 	}
+	var pseq uint64
 	if n.journal != nil {
 		n.journal.mu.Lock()
 		defer n.journal.mu.Unlock()
-		if err := n.journal.appendPreserveLocked(seq, from, b); err != nil {
+		n.preserveSeq++
+		pseq = n.preserveSeq
+		if err := n.journal.appendPreserveLocked(pseq, seq, from, b); err != nil {
+			n.preserveSeq-- // unjournaled number: reuse it
 			return fmt.Errorf("cloud preserve: %w", err)
 		}
 	}
@@ -192,7 +279,7 @@ func (n *Node) preserve(b *model.Batch, from string, seq uint64) error {
 	if _, err := n.archive.Put(b, provenanceOf(b.NodeID, from, n.cfg.ID), now); err != nil {
 		return fmt.Errorf("cloud preserve: %w", err)
 	}
-	if err := n.series.Append(b); err != nil {
+	if err := n.series.AppendSeq(b, pseq); err != nil {
 		return fmt.Errorf("cloud preserve: %w", err)
 	}
 	if seq != 0 {
@@ -251,7 +338,14 @@ func (n *Node) Expire(before time.Time) int {
 		defer n.journal.mu.Unlock()
 		_ = n.journal.appendExpireLocked(before)
 	}
-	return n.archive.Expire(before)
+	destroyed := n.archive.Expire(before)
+	if n.segStore != nil {
+		// Segment destruction is whole-segment granular: a segment
+		// straddling the cutoff keeps its (destroyed) readings on disk
+		// until a later cutoff passes its newest reading.
+		n.segStore.EvictBefore(before)
+	}
+	return destroyed
 }
 
 // Checkpoint folds a durable cloud's archive and replay-filter marks
@@ -271,7 +365,7 @@ func (n *Node) Checkpoint() error {
 	for i, r := range recs {
 		ars[i] = archivedRecord{provenance: r.Provenance, batch: r.Batch}
 	}
-	data := encodeCloudSnapshot(nil, n.replay.Dump(), ars)
+	data := encodeCloudSnapshot(nil, n.preserveSeq, n.replay.Dump(), ars)
 	if err := n.journal.store.WriteSnapshot(data); err != nil {
 		return fmt.Errorf("cloud: checkpoint: %w", err)
 	}
@@ -305,18 +399,26 @@ func (n *Node) Discard() {
 	if n.journal != nil {
 		_ = n.journal.close()
 	}
+	if n.segStore != nil {
+		n.segStore.Discard()
+	}
 }
 
 // Close writes a final checkpoint and closes the journal of a durable
 // cloud; an in-memory cloud closes as a no-op. Safe to call multiple
 // times.
 func (n *Node) Close() error {
-	if n.journal == nil {
-		return nil
+	var err error
+	if n.journal != nil {
+		err = n.Checkpoint()
+		if cerr := n.journal.close(); err == nil {
+			err = cerr
+		}
 	}
-	err := n.Checkpoint()
-	if cerr := n.journal.close(); err == nil {
-		err = cerr
+	if n.segStore != nil {
+		if cerr := n.segStore.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -18,9 +18,11 @@ import (
 // snapshot is always a consistent cut of the archive plus the replay
 // filter deduping at-least-once retries.
 //
-// Snapshot layout (version 1):
+// Snapshot layout (version 2; version 1 lacked the preserve counter
+// and is still accepted, falling back to the record count):
 //
 //	[version u8]
+//	[preserveSeq u64]                       (version >= 2)
 //	[origins uvarint] { [origin string] [n uvarint] { [seq u64] }* }*
 //	[records uvarint] { [provenance uvarint { [node string] }*]
 //	                    [batch bytes (sensor wire, uvarint-framed)] }*
@@ -30,10 +32,12 @@ import (
 // version counters restart, which only affects provenance metadata,
 // never the preserved readings.
 const (
-	cloudJournalVersion = 1
+	cloudJournalVersion   = 2
+	cloudJournalVersionV1 = 1
 
-	recPreserve = 1
-	recExpire   = 2
+	recPreserve  = 1 // pre-numbering preserve (read-side only)
+	recExpire    = 2
+	recPreserve2 = 3 // preserve carrying its preserve number
 )
 
 type cloudJournal struct {
@@ -51,13 +55,15 @@ func openCloudJournal(cfg wal.Config) (*cloudJournal, error) {
 	return &cloudJournal{store: st}, nil
 }
 
-// appendPreserve journals one accepted batch. The caller holds j.mu
-// for the whole append+apply sequence.
-func (j *cloudJournal) appendPreserveLocked(seq uint64, from string, b *model.Batch) error {
+// appendPreserve journals one accepted batch under its preserve
+// number pseq and the delivering hop's sequence seq. The caller holds
+// j.mu for the whole append+apply sequence.
+func (j *cloudJournal) appendPreserveLocked(pseq, seq uint64, from string, b *model.Batch) error {
 	if j.closed {
 		return fmt.Errorf("cloud: journal closed")
 	}
-	j.buf = append(j.buf[:0], recPreserve)
+	j.buf = append(j.buf[:0], recPreserve2)
+	j.buf = wal.AppendUint64(j.buf, pseq)
 	j.buf = wal.AppendUint64(j.buf, seq)
 	j.buf = wal.AppendString(j.buf, from)
 	j.buf = sensor.AppendBatch(j.buf, b)
@@ -83,10 +89,11 @@ func (j *cloudJournal) close() error {
 	return j.store.Close()
 }
 
-// encodeCloudSnapshot folds the archive and filter dump into one
-// snapshot payload.
-func encodeCloudSnapshot(dst []byte, marks map[string][]uint64, records []archivedRecord) []byte {
+// encodeCloudSnapshot folds the preserve counter, the archive and the
+// filter dump into one snapshot payload.
+func encodeCloudSnapshot(dst []byte, preserveSeq uint64, marks map[string][]uint64, records []archivedRecord) []byte {
 	dst = append(dst, cloudJournalVersion)
+	dst = wal.AppendUint64(dst, preserveSeq)
 	dst = wal.AppendMarkSet(dst, marks)
 	dst = wal.AppendUvarint(dst, uint64(len(records)))
 	var wire []byte
@@ -114,6 +121,13 @@ type cloudRecovery struct {
 	marks   []cloudMark
 	records []archivedRecord
 	tail    []tailOp
+	// preserveSeq is the snapshot's preserve counter: the highest
+	// number assigned to any preserve folded into the snapshot. A
+	// version-1 snapshot (pre-numbering) falls back to its record
+	// count, which is exact when nothing ever expired and otherwise a
+	// safe lower bound (version-1 lives never numbered their series
+	// appends, so no watermark exists to collide with).
+	preserveSeq uint64
 }
 
 type cloudMark struct {
@@ -121,11 +135,13 @@ type cloudMark struct {
 	seq    uint64
 }
 
-// tailOp is one replayed journal record: a preserve (batch set) or an
+// tailOp is one replayed journal record: a preserve (batch set, with
+// its preserve number when journaled by a numbering cloud) or an
 // expire (before set).
 type tailOp struct {
 	batch  *model.Batch
 	from   string
+	pseq   uint64
 	before time.Time
 }
 
@@ -133,10 +149,19 @@ func decodeCloudSnapshot(data []byte, rs *cloudRecovery) error {
 	if len(data) == 0 {
 		return nil
 	}
-	if data[0] != cloudJournalVersion {
-		return fmt.Errorf("cloud: unsupported snapshot version %d", data[0])
+	version := data[0]
+	if version != cloudJournalVersion && version != cloudJournalVersionV1 {
+		return fmt.Errorf("cloud: unsupported snapshot version %d", version)
 	}
-	rest, err := wal.ReadMarkSet(data[1:], func(origin string, seq uint64) {
+	rest := data[1:]
+	var err error
+	if version >= 2 {
+		rs.preserveSeq, rest, err = wal.ReadUint64(rest)
+		if err != nil {
+			return err
+		}
+	}
+	rest, err = wal.ReadMarkSet(rest, func(origin string, seq uint64) {
 		rs.marks = append(rs.marks, cloudMark{origin: origin, seq: seq})
 	})
 	if err != nil {
@@ -174,6 +199,9 @@ func decodeCloudSnapshot(data []byte, rs *cloudRecovery) error {
 		}
 		rs.records = append(rs.records, archivedRecord{provenance: prov, batch: b})
 	}
+	if version == cloudJournalVersionV1 {
+		rs.preserveSeq = uint64(len(rs.records))
+	}
 	return nil
 }
 
@@ -183,7 +211,15 @@ func (rs *cloudRecovery) applyRecord(rec []byte) error {
 	}
 	body := rec[1:]
 	switch rec[0] {
-	case recPreserve:
+	case recPreserve, recPreserve2:
+		var pseq uint64
+		var err error
+		if rec[0] == recPreserve2 {
+			pseq, body, err = wal.ReadUint64(body)
+			if err != nil {
+				return err
+			}
+		}
 		seq, rest, err := wal.ReadUint64(body)
 		if err != nil {
 			return err
@@ -196,7 +232,7 @@ func (rs *cloudRecovery) applyRecord(rec []byte) error {
 		if err != nil {
 			return fmt.Errorf("cloud: journal batch: %w", err)
 		}
-		rs.tail = append(rs.tail, tailOp{batch: b, from: from})
+		rs.tail = append(rs.tail, tailOp{batch: b, from: from, pseq: pseq})
 		if seq != 0 {
 			rs.marks = append(rs.marks, cloudMark{origin: b.NodeID, seq: seq})
 		}

@@ -49,6 +49,14 @@ type Deployment struct {
 	// snapshots under DataDir/<node id> and recovers it on restart.
 	// Empty keeps the deployment in-memory.
 	DataDir string `json:"dataDir,omitempty"`
+	// SegmentStorage backs every node's temporal store with the
+	// tiered segment engine under DataDir/<node id>/store: history
+	// lives in mmap'd on-disk segment files while resident memory
+	// stays near the memtable cap. Requires dataDir.
+	SegmentStorage bool `json:"segmentStorage,omitempty"`
+	// MemtableBytes caps each segment store's in-RAM memtable before
+	// it flushes to a segment file (0 = engine default).
+	MemtableBytes int64 `json:"memtableBytes,omitempty"`
 }
 
 // Barcelona returns the deployment matching the paper's use case.
@@ -108,6 +116,12 @@ func (d Deployment) Validate() error {
 		if v <= 0 {
 			return fmt.Errorf("config: fog1FlushByCategorySeconds[%s] must be positive", catName)
 		}
+	}
+	if d.SegmentStorage && d.DataDir == "" {
+		return fmt.Errorf("config: segmentStorage requires dataDir")
+	}
+	if d.MemtableBytes < 0 {
+		return fmt.Errorf("config: negative memtableBytes")
 	}
 	return nil
 }
@@ -175,6 +189,8 @@ func (d Deployment) Options(clock sim.Clock) (core.Options, error) {
 		Fog2Retention:       time.Duration(d.Fog2RetentionSeconds) * time.Second,
 		Fog1FlushByCategory: byCat,
 		DataDir:             d.DataDir,
+		SegmentStorage:      d.SegmentStorage,
+		MemtableBytes:       d.MemtableBytes,
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"f2c/internal/cloud"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
+	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport"
@@ -52,6 +53,9 @@ type MemberOptions struct {
 	FailoverAfter      int
 	// Durability enables WAL + snapshot crash recovery.
 	Durability *wal.Config
+	// Storage backs the node's temporal store (the cloud's query
+	// series) with the tiered segment engine instead of RAM.
+	Storage *segment.Options
 }
 
 // FogConfig assembles the fognode.Config for one fog node of either
@@ -78,6 +82,7 @@ func FogConfig(spec topology.NodeSpec, o MemberOptions) fognode.Config {
 		RetryMax:           o.RetryMax,
 		FailoverAfter:      o.FailoverAfter,
 		Durability:         o.Durability,
+		Storage:            o.Storage,
 	}
 }
 
@@ -91,5 +96,6 @@ func CloudConfig(id string, o MemberOptions) cloud.Config {
 		Codec:        o.Codec,
 		MaxQueryPage: o.MaxQueryPage,
 		Durability:   o.Durability,
+		Storage:      o.Storage,
 	}
 }

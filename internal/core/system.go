@@ -24,6 +24,7 @@ import (
 	"f2c/internal/model"
 	"f2c/internal/placement"
 	"f2c/internal/query"
+	"f2c/internal/segment"
 	"f2c/internal/sensor"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
@@ -116,6 +117,15 @@ type Options struct {
 	// WALSyncEveryAppend fsyncs every journal append (see
 	// wal.Config.SyncEveryAppend).
 	WALSyncEveryAppend bool
+	// SegmentStorage backs every node's temporal store (and the
+	// cloud's query series + open-data scans) with the tiered segment
+	// engine under DataDir/<node id>/store, beside the node's delivery
+	// journal — resident memory stays near the memtable cap while
+	// history lives in mmap'd segment files. Requires DataDir.
+	SegmentStorage bool
+	// MemtableBytes caps each segment store's in-RAM memtable before
+	// it flushes to a segment file (zero selects the engine default).
+	MemtableBytes int64
 }
 
 func (o *Options) applyDefaults() {
@@ -265,6 +275,22 @@ func (s *System) durabilityFor(id string) *wal.Config {
 	}
 }
 
+// storageFor maps a node onto its segment-store directory under
+// DataDir/<node id>/store, beside the node's delivery journal (nil
+// when segment storage is off). Retention, Registry and MetricsPrefix
+// are left zero for the node builders to default.
+func (s *System) storageFor(id string) *segment.Options {
+	if !s.opts.SegmentStorage || s.opts.DataDir == "" {
+		return nil
+	}
+	return &segment.Options{
+		Dir:             filepath.Join(s.opts.DataDir, id, "store"),
+		MemtableBytes:   s.opts.MemtableBytes,
+		Codec:           s.opts.Codec,
+		SyncEveryAppend: s.opts.WALSyncEveryAppend,
+	}
+}
+
 // memberOptions projects the system's Options onto the shared
 // per-node builder, with the node-specific fields filled by the
 // caller.
@@ -292,8 +318,9 @@ func (s *System) memberOptions(retention, flush time.Duration, siblings []string
 }
 
 func (s *System) buildCloud() (*cloud.Node, error) {
-	return cloud.New(CloudConfig(CloudID,
-		s.memberOptions(0, 0, nil, s.durabilityFor(CloudID))))
+	mo := s.memberOptions(0, 0, nil, s.durabilityFor(CloudID))
+	mo.Storage = s.storageFor(CloudID)
+	return cloud.New(CloudConfig(CloudID, mo))
 }
 
 // fog2Siblings returns a district's failover siblings: the other
@@ -310,15 +337,19 @@ func (s *System) fog2Siblings(id string) []string {
 }
 
 func (s *System) buildFog2(spec topology.NodeSpec) (*fognode.Node, error) {
-	return fognode.New(FogConfig(spec, s.memberOptions(
+	mo := s.memberOptions(
 		s.opts.Fog2Retention, s.opts.Fog2FlushInterval,
-		s.fog2Siblings(spec.ID), s.durabilityFor(spec.ID))))
+		s.fog2Siblings(spec.ID), s.durabilityFor(spec.ID))
+	mo.Storage = s.storageFor(spec.ID)
+	return fognode.New(FogConfig(spec, mo))
 }
 
 func (s *System) buildFog1(spec topology.NodeSpec) (*fognode.Node, error) {
-	return fognode.New(FogConfig(spec, s.memberOptions(
+	mo := s.memberOptions(
 		s.opts.Fog1Retention, s.opts.Fog1FlushInterval,
-		s.topo.Neighbors(spec.ID), s.durabilityFor(spec.ID))))
+		s.topo.Neighbors(spec.ID), s.durabilityFor(spec.ID))
+	mo.Storage = s.storageFor(spec.ID)
+	return fognode.New(FogConfig(spec, mo))
 }
 
 // Reboot simulates a process restart of one node, fog or cloud: the

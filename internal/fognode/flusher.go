@@ -100,6 +100,11 @@ func (n *Node) Close(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	if n.segStore != nil {
+		if cerr := n.segStore.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -113,5 +118,8 @@ func (n *Node) Discard() {
 	n.lc.end()
 	if n.journal != nil {
 		_ = n.journal.close()
+	}
+	if n.segStore != nil {
+		n.segStore.Discard()
 	}
 }

@@ -484,12 +484,17 @@ func (n *Node) recover(j *journal) error {
 	for _, m := range rs.marks {
 		n.replay.Mark(m.origin, m.seq)
 	}
-	for _, b := range rs.stored {
-		if len(b.Readings) == 0 {
-			continue
-		}
-		if err := n.store.Append(b); err != nil {
-			return fmt.Errorf("fognode %s: recover store: %w", n.cfg.Spec.ID, err)
+	// A segment-backed store is self-durable: it already recovered its
+	// own WAL and segments at Open, so replaying the delivery
+	// journal's accepted batches into it would duplicate readings.
+	if n.segStore == nil {
+		for _, b := range rs.stored {
+			if len(b.Readings) == 0 {
+				continue
+			}
+			if err := n.store.Append(b); err != nil {
+				return fmt.Errorf("fognode %s: recover store: %w", n.cfg.Spec.ID, err)
+			}
 		}
 	}
 	return nil

@@ -29,6 +29,7 @@ import (
 	"f2c/internal/model"
 	"f2c/internal/protocol"
 	"f2c/internal/quality"
+	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/store"
 	"f2c/internal/topology"
@@ -126,6 +127,27 @@ type Config struct {
 	// instead of starting empty. Nil (the default) keeps the node
 	// fully in-memory.
 	Durability *wal.Config
+	// Storage, when set, backs the temporal store with the tiered
+	// segment engine (WAL-journaled memtable flushing to mmap'd
+	// on-disk segments) instead of the in-RAM TimeSeries, bounding
+	// resident memory to roughly the memtable cap regardless of
+	// retention. Retention, Registry and MetricsPrefix default from
+	// the node config when zero. The segment store recovers itself at
+	// Open, so the delivery journal's replay skips re-appending
+	// readings into it.
+	Storage *segment.Options
+}
+
+// TemporalStore is the node's local time-series storage: the in-RAM
+// store.TimeSeries or the durable segment.Store, selected by
+// Config.Storage. Both serve the same cursor contract.
+type TemporalStore interface {
+	Append(b *model.Batch) error
+	Latest(sensorID string) (model.Reading, bool)
+	QueryRange(typeName string, from, to time.Time) []model.Reading
+	QueryRangePage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error)
+	Evict(now time.Time) int
+	Stats() store.Stats
 }
 
 // BatchObserver receives post-pipeline batches.
@@ -172,8 +194,13 @@ func (c *Config) applyDefaults() error {
 
 // Node is a fog node at layer 1 or 2. Safe for concurrent use.
 type Node struct {
-	cfg       Config
-	store     *store.TimeSeries
+	cfg   Config
+	store TemporalStore
+	// segStore aliases store when the tiered segment engine backs it
+	// (nil on an in-RAM node): it owns on-disk state that must be
+	// closed with the node, and it recovers itself, so the delivery
+	// journal must not replay readings into it.
+	segStore  *segment.Store
 	deduper   *aggregate.Deduper
 	describer *describe.Describer
 	stages    []Stage
@@ -254,13 +281,31 @@ func New(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:       cfg,
-		store:     store.NewTimeSeries(cfg.Retention),
 		deduper:   aggregate.NewDeduper(),
 		describer: describe.NewDescriber(cfg.City, district, cfg.Spec.Name, cfg.Spec.Centroid, "f2c"),
 		shards:    newPendingShards(cfg.PendingShards),
 		up:        newUpstream(&cfg),
 		replay:    protocol.NewReplayFilter(cfg.ReplayWindow),
 		lc:        newLifecycle(),
+	}
+	if cfg.Storage != nil {
+		so := *cfg.Storage
+		if so.Retention == 0 {
+			so.Retention = cfg.Retention
+		}
+		if so.Registry == nil {
+			so.Registry = cfg.Registry
+		}
+		if so.MetricsPrefix == "" {
+			so.MetricsPrefix = cfg.Spec.ID + "."
+		}
+		gs, err := segment.Open(so)
+		if err != nil {
+			return nil, fmt.Errorf("fognode %s: storage: %w", cfg.Spec.ID, err)
+		}
+		n.store, n.segStore = gs, gs
+	} else {
+		n.store = store.NewTimeSeries(cfg.Retention)
 	}
 	n.shardMask = uint32(len(n.shards) - 1)
 	// Delivery sequences start at a random per-process base: a
@@ -298,10 +343,16 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Durability != nil {
 		j, err := openJournal(*cfg.Durability)
 		if err != nil {
+			if n.segStore != nil {
+				n.segStore.Discard()
+			}
 			return nil, fmt.Errorf("fognode %s: %w", cfg.Spec.ID, err)
 		}
 		if err := n.recover(j); err != nil {
 			_ = j.close()
+			if n.segStore != nil {
+				n.segStore.Discard()
+			}
 			return nil, fmt.Errorf("fognode %s: %w", cfg.Spec.ID, err)
 		}
 		n.journal = j

@@ -1,0 +1,43 @@
+package metrics
+
+// Storage metric names. Every tiered-store instance registers this
+// family under its node prefix ("<node id>." + name), so one shared
+// registry can carry the whole hierarchy and a per-node registry
+// (the f2cd / citysim -live deployment shape) exposes them through
+// the same OpMetrics scrape `f2cctl metrics` reads.
+const (
+	// StorageSegments gauges the live (manifest-listed) segment files.
+	StorageSegments = "storage.segments"
+	// StorageSegmentBytes gauges the on-disk bytes of live segments.
+	StorageSegmentBytes = "storage.segment_bytes"
+	// StorageMemtableBytes gauges the approximate in-RAM memtable
+	// footprint awaiting flush.
+	StorageMemtableBytes = "storage.memtable_bytes"
+	// StorageCompactions counts completed compaction merges.
+	StorageCompactions = "storage.compactions"
+	// StorageExpiredSegments counts whole segments dropped by
+	// retention.
+	StorageExpiredSegments = "storage.expired_segments"
+)
+
+// StorageMetrics bundles one store instance's gauges and counters.
+// The zero value is not usable; obtain one from Registry.Storage.
+type StorageMetrics struct {
+	Segments        *Gauge
+	SegmentBytes    *Gauge
+	MemtableBytes   *Gauge
+	Compactions     *Counter
+	ExpiredSegments *Counter
+}
+
+// Storage registers (or reuses) the storage metric family under the
+// given instance prefix, typically "<node id>.".
+func (r *Registry) Storage(prefix string) *StorageMetrics {
+	return &StorageMetrics{
+		Segments:        r.Gauge(prefix + StorageSegments),
+		SegmentBytes:    r.Gauge(prefix + StorageSegmentBytes),
+		MemtableBytes:   r.Gauge(prefix + StorageMemtableBytes),
+		Compactions:     r.Counter(prefix + StorageCompactions),
+		ExpiredSegments: r.Counter(prefix + StorageExpiredSegments),
+	}
+}

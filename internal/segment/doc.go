@@ -1,0 +1,66 @@
+// Package segment is the tiered on-disk storage engine of the F2C
+// hierarchy: an LSM-lite store that keeps recent appends in a small
+// in-RAM memtable (journaled to its own WAL for crash safety) and
+// flushes them to immutable, time-partitioned segment files served
+// by mmap. It backs the fog layers' temporal stores and the cloud's
+// historical series when tiered storage is enabled, replacing the
+// RAM-bound store.TimeSeries so capacity is bounded by disk, not
+// memory — the paper's cloud tier preserves years of city history.
+//
+// # Segment file format
+//
+// A segment file is written once, atomically (tmp + rename), and
+// never modified:
+//
+//	[8]  file magic "f2cseg01"
+//	[..] block frames
+//	[..] index frame
+//	[32] footer: index offset u64 LE | index frame length u64 LE |
+//	     total readings u64 LE | footer magic "f2csegFT"
+//
+// Every frame is WAL-style: u32 LE payload length, u32 LE CRC-32C
+// (Castagnoli) of the payload, payload. A block payload is one
+// compression-codec byte followed by an aggregate-compressed PR 2
+// columnar batch (sensor.AppendBatchColumnar) — the same
+// dictionary + delta encoding the wire path uses. The index payload
+// is a version byte and a sparse (type, time) directory: for each
+// block its type name, min/max reading time, reading count, and the
+// frame's file offset and length. Readers verify the footer and the
+// index checksum at open and each block's checksum on first read;
+// any damage surfaces as ErrCorrupt (structural) or ErrChecksum
+// (bit rot), never a panic.
+//
+// Within a segment, blocks of one type are time-ordered and each
+// block's readings are sorted in the canonical reading order (time,
+// then sensor ID, value, unit, category, location), the same total
+// order the memtable and compaction use — which is what keeps
+// (T, Skip) page cursors stable across a memtable flush or a
+// compaction happening mid-walk.
+//
+// # Durability and DataDir layout
+//
+// A store owns one directory, conventionally DataDir/<node id>/store
+// beside the node's PR 5 journal files (DataDir/<node id>/snapshot,
+// wal-N):
+//
+//	store/MANIFEST      crash-safe segment list + replay watermarks
+//	store/00000001.seg  immutable segments
+//	store/wal/          the memtable's own WAL (internal/wal framing)
+//
+// Appends are WAL-journaled before they enter the memtable. A flush
+// writes the frozen memtable as a segment, commits it in MANIFEST
+// (tmp + rename) together with the flushed-op watermark, then
+// rotates the WAL with a snapshot of the live memtable. Recovery is
+// the reverse: open the segments MANIFEST lists (deleting orphans
+// from interrupted flushes or compactions), then replay the WAL
+// skipping every op at or below the manifest watermark — each
+// reading lands exactly once no matter where the crash fell.
+//
+// # Retention tiers
+//
+// Retention is enforced by dropping whole expired segments — a
+// manifest rewrite and a handful of unlinks, never a scan — so each
+// tier of the hierarchy picks its window (fog sections hours,
+// districts days, the cloud zero = forever) and eviction cost stays
+// independent of history size.
+package segment

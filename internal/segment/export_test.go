@@ -1,0 +1,8 @@
+package segment
+
+// SetFailpoint installs a crash injector called at flush/compaction
+// stage boundaries ("flush:segment-written",
+// "compact:manifest-written", ...). Returning an error aborts the
+// maintenance pass at that boundary, leaving the on-disk state
+// exactly as a crash there would.
+func (s *Store) SetFailpoint(fn func(stage string) error) { s.failpoint = fn }

@@ -1,0 +1,466 @@
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/sensor"
+	"f2c/internal/wal"
+)
+
+// Typed corruption errors. ErrCorrupt marks structural damage (bad
+// magic, truncated footer, out-of-bounds index entries); ErrChecksum
+// marks a frame whose bytes no longer match their CRC. Both wrap the
+// file path in the returned error.
+var (
+	ErrCorrupt  = errors.New("segment: corrupt")
+	ErrChecksum = errors.New("segment: checksum mismatch")
+)
+
+const (
+	fileMagic   = "f2cseg01"
+	footerMagic = "f2csegFT"
+	// footerSize is index offset + index frame length + total
+	// readings + footer magic.
+	footerSize = 8 + 8 + 8 + 8
+	// frameHeader is u32 payload length + u32 CRC-32C.
+	frameHeader = 8
+	// indexVersion is the index payload format version.
+	indexVersion = 1
+	// maxBlockBytes bounds one decompressed block, mirroring
+	// wal.MaxRecordSize: a corrupt length can't force a giant
+	// allocation.
+	maxBlockBytes = wal.MaxRecordSize
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// blockMeta is one sparse-index entry: where a block frame lives and
+// what (type, time) range it covers.
+type blockMeta struct {
+	typ        string
+	minT, maxT int64 // unix nanos, inclusive
+	count      int
+	off        uint64 // frame offset in file
+	length     uint64 // full frame length (header + payload)
+}
+
+// typeRun is one type's readings in canonical order, the writer's
+// input unit.
+type typeRun struct {
+	typ      string
+	readings []model.Reading
+}
+
+// appendSegment encodes runs (types sorted, readings canonical) into
+// a complete segment image. Blocks are cut every blockReadings
+// readings and on category changes, so the per-batch category byte
+// of the columnar codec stays lossless.
+func appendSegment(dst []byte, codec aggregate.Codec, blockReadings int, runs []typeRun) ([]byte, error) {
+	if blockReadings <= 0 {
+		blockReadings = DefaultBlockReadings
+	}
+	dst = append(dst, fileMagic...)
+	var metas []blockMeta
+	var total uint64
+	var payload, colBuf []byte
+	for _, run := range runs {
+		rs := run.readings
+		for len(rs) > 0 {
+			n := len(rs)
+			if n > blockReadings {
+				n = blockReadings
+			}
+			for i := 1; i < n; i++ {
+				if rs[i].Category != rs[0].Category {
+					n = i
+					break
+				}
+			}
+			chunk := rs[:n]
+			rs = rs[n:]
+			b := model.Batch{
+				TypeName:  run.typ,
+				Category:  chunk[0].Category,
+				Collected: chunk[0].Time,
+				Readings:  chunk,
+			}
+			colBuf = sensor.AppendBatchColumnar(colBuf[:0], &b)
+			payload = append(payload[:0], byte(codec))
+			var err error
+			payload, err = aggregate.AppendCompress(payload, codec, colBuf)
+			if err != nil {
+				return nil, fmt.Errorf("segment: compress block: %w", err)
+			}
+			off := uint64(len(dst))
+			dst = wal.AppendFrame(dst, payload)
+			metas = append(metas, blockMeta{
+				typ:    run.typ,
+				minT:   chunk[0].Time.UnixNano(),
+				maxT:   chunk[n-1].Time.UnixNano(),
+				count:  n,
+				off:    off,
+				length: uint64(len(dst)) - off,
+			})
+			total += uint64(n)
+		}
+	}
+	idx := []byte{indexVersion}
+	idx = wal.AppendUvarint(idx, uint64(len(metas)))
+	for _, m := range metas {
+		idx = wal.AppendString(idx, m.typ)
+		idx = wal.AppendUint64(idx, uint64(m.minT))
+		idx = wal.AppendUint64(idx, uint64(m.maxT))
+		idx = wal.AppendUvarint(idx, uint64(m.count))
+		idx = wal.AppendUvarint(idx, m.off)
+		idx = wal.AppendUvarint(idx, m.length)
+	}
+	idxOff := uint64(len(dst))
+	dst = wal.AppendFrame(dst, idx)
+	idxLen := uint64(len(dst)) - idxOff
+	dst = binary.LittleEndian.AppendUint64(dst, idxOff)
+	dst = binary.LittleEndian.AppendUint64(dst, idxLen)
+	dst = binary.LittleEndian.AppendUint64(dst, total)
+	dst = append(dst, footerMagic...)
+	return dst, nil
+}
+
+// parseFrame verifies and returns the payload of the frame at
+// [off, off+length) in data.
+func parseFrame(data []byte, off, length uint64) ([]byte, error) {
+	if length < frameHeader || off > uint64(len(data)) || off+length > uint64(len(data)) {
+		return nil, fmt.Errorf("frame at %d+%d out of bounds: %w", off, length, ErrCorrupt)
+	}
+	f := data[off : off+length]
+	n := binary.LittleEndian.Uint32(f[0:4])
+	if uint64(n)+frameHeader != length || n > maxBlockBytes {
+		return nil, fmt.Errorf("frame at %d has length %d, want %d: %w", off, n, length-frameHeader, ErrCorrupt)
+	}
+	payload := f[frameHeader:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(f[4:8]) {
+		return nil, fmt.Errorf("frame at %d: %w", off, ErrChecksum)
+	}
+	return payload, nil
+}
+
+// parseIndex validates a complete segment image and returns its
+// sparse index. It never panics on hostile bytes: every offset and
+// length is bounds-checked before use.
+func parseIndex(data []byte) ([]blockMeta, uint64, error) {
+	if len(data) < len(fileMagic)+footerSize {
+		return nil, 0, fmt.Errorf("%d bytes is too short for a segment: %w", len(data), ErrCorrupt)
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return nil, 0, fmt.Errorf("bad file magic: %w", ErrCorrupt)
+	}
+	foot := data[len(data)-footerSize:]
+	if string(foot[24:32]) != footerMagic {
+		return nil, 0, fmt.Errorf("bad footer magic: %w", ErrCorrupt)
+	}
+	idxOff := binary.LittleEndian.Uint64(foot[0:8])
+	idxLen := binary.LittleEndian.Uint64(foot[8:16])
+	total := binary.LittleEndian.Uint64(foot[16:24])
+	bodyEnd := uint64(len(data) - footerSize)
+	if idxOff < uint64(len(fileMagic)) || idxLen > bodyEnd || idxOff+idxLen != bodyEnd {
+		return nil, 0, fmt.Errorf("index frame %d+%d does not abut footer at %d: %w", idxOff, idxLen, bodyEnd, ErrCorrupt)
+	}
+	idx, err := parseFrame(data, idxOff, idxLen)
+	if err != nil {
+		return nil, 0, fmt.Errorf("index %w", err)
+	}
+	if len(idx) < 1 || idx[0] != indexVersion {
+		return nil, 0, fmt.Errorf("unsupported index version: %w", ErrCorrupt)
+	}
+	rest := idx[1:]
+	nBlocks, rest, err := wal.ReadUvarint(rest)
+	if err != nil || nBlocks > uint64(len(idx)) {
+		return nil, 0, fmt.Errorf("implausible block count: %w", ErrCorrupt)
+	}
+	metas := make([]blockMeta, 0, nBlocks)
+	var sum uint64
+	for i := uint64(0); i < nBlocks; i++ {
+		var m blockMeta
+		var minT, maxT, count uint64
+		if m.typ, rest, err = wal.ReadString(rest); err == nil {
+			if minT, rest, err = wal.ReadUint64(rest); err == nil {
+				if maxT, rest, err = wal.ReadUint64(rest); err == nil {
+					if count, rest, err = wal.ReadUvarint(rest); err == nil {
+						if m.off, rest, err = wal.ReadUvarint(rest); err == nil {
+							m.length, rest, err = wal.ReadUvarint(rest)
+						}
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("index entry %d: %w", i, ErrCorrupt)
+		}
+		m.minT, m.maxT = int64(minT), int64(maxT)
+		if m.minT > m.maxT || count > maxBlockBytes {
+			return nil, 0, fmt.Errorf("index entry %d implausible: %w", i, ErrCorrupt)
+		}
+		m.count = int(count)
+		if m.off < uint64(len(fileMagic)) || m.length < frameHeader || m.off+m.length > idxOff {
+			return nil, 0, fmt.Errorf("index entry %d frame %d+%d out of bounds: %w", i, m.off, m.length, ErrCorrupt)
+		}
+		sum += count
+		metas = append(metas, m)
+	}
+	if len(rest) != 0 {
+		return nil, 0, fmt.Errorf("%d trailing index bytes: %w", len(rest), ErrCorrupt)
+	}
+	if sum != total {
+		return nil, 0, fmt.Errorf("index counts %d readings, footer says %d: %w", sum, total, ErrCorrupt)
+	}
+	return metas, total, nil
+}
+
+// segment is one open, immutable segment file. The store holds one
+// reference; every in-flight query holds another, so compaction and
+// retention can unlink a file while readers still stream from its
+// mapping — the unmap happens when the last reference drops.
+type segment struct {
+	path     string
+	data     []byte
+	mapped   bool
+	blocks   []blockMeta
+	byType   map[string][]blockMeta
+	minT     int64
+	maxT     int64
+	readings int64
+	refs     int32 // guarded by refMu in store.go via atomic ops
+}
+
+// newSegment validates a segment image and builds its per-type view.
+func newSegment(path string, data []byte, mapped bool) (*segment, error) {
+	metas, total, err := parseIndex(data)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: %w", path, err)
+	}
+	g := &segment{
+		path:     path,
+		data:     data,
+		mapped:   mapped,
+		blocks:   metas,
+		byType:   make(map[string][]blockMeta),
+		readings: int64(total),
+		refs:     1,
+	}
+	for i, m := range metas {
+		g.byType[m.typ] = append(g.byType[m.typ], m)
+		if i == 0 || m.minT < g.minT {
+			g.minT = m.minT
+		}
+		if i == 0 || m.maxT > g.maxT {
+			g.maxT = m.maxT
+		}
+	}
+	return g, nil
+}
+
+// openSegmentFile maps (or, off Linux, reads) a segment file.
+func openSegmentFile(path string) (*segment, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := newSegment(path, data, mapped)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, err
+	}
+	return g, nil
+}
+
+// blockReadings decodes one block frame back into readings.
+func (g *segment) blockReadings(m blockMeta) ([]model.Reading, error) {
+	payload, err := parseFrame(g.data, m.off, m.length)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: block %w", g.path, err)
+	}
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("segment %s: empty block payload: %w", g.path, ErrCorrupt)
+	}
+	raw, err := aggregate.AppendDecompress(nil, aggregate.Codec(payload[0]), payload[1:], maxBlockBytes)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: block at %d: %w (%v)", g.path, m.off, ErrCorrupt, err)
+	}
+	b, err := sensor.DecodeBatchColumnar(raw)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s: block at %d: %w (%v)", g.path, m.off, ErrCorrupt, err)
+	}
+	if len(b.Readings) != m.count || b.TypeName != m.typ {
+		return nil, fmt.Errorf("segment %s: block at %d does not match its index entry: %w", g.path, m.off, ErrCorrupt)
+	}
+	return b.Readings, nil
+}
+
+// fetch appends readings of typ within [fromNs, toNs] in canonical
+// order. max > 0 caps the result; the bool reports whether the cap
+// truncated the scan.
+func (g *segment) fetch(dst []model.Reading, typ string, fromNs, toNs int64, max int) ([]model.Reading, bool, error) {
+	n0 := len(dst)
+	for _, m := range g.byType[typ] {
+		if m.maxT < fromNs {
+			continue
+		}
+		if m.minT > toNs {
+			break // blocks of a type are time-ordered
+		}
+		rs, err := g.blockReadings(m)
+		if err != nil {
+			return dst, false, err
+		}
+		lo := sort.Search(len(rs), func(i int) bool { return rs[i].Time.UnixNano() >= fromNs })
+		for _, r := range rs[lo:] {
+			if r.Time.UnixNano() > toNs {
+				return dst, false, nil
+			}
+			dst = append(dst, r)
+			if max > 0 && len(dst)-n0 >= max {
+				return dst, true, nil
+			}
+		}
+	}
+	return dst, false, nil
+}
+
+// size is the on-disk byte size.
+func (g *segment) size() int64 { return int64(len(g.data)) }
+
+// acquire takes a reference for a reader about to stream from the
+// mapping.
+func (g *segment) acquire() { atomic.AddInt32(&g.refs, 1) }
+
+// release drops a reference; the last one unmaps the file, which may
+// already be unlinked by compaction or retention.
+func (g *segment) release() {
+	if atomic.AddInt32(&g.refs, -1) == 0 && g.mapped {
+		unmapFile(g.data)
+	}
+}
+
+// canonLess is the canonical total order over readings: time, then
+// sensor ID, value, unit, category, location. It refines the
+// (time, sensor, value) sealing order of fognode.sendBatch, and it
+// is shared by the memtable, the segment writer, and the k-way merge
+// of the query path — one order everywhere is what makes (T, Skip)
+// cursors stable across flush and compaction.
+func canonLess(a, b *model.Reading) bool {
+	at, bt := a.Time.UnixNano(), b.Time.UnixNano()
+	if at != bt {
+		return at < bt
+	}
+	if a.SensorID != b.SensorID {
+		return a.SensorID < b.SensorID
+	}
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	if a.Unit != b.Unit {
+		return a.Unit < b.Unit
+	}
+	if a.Category != b.Category {
+		return a.Category < b.Category
+	}
+	if a.Location.Lat != b.Location.Lat {
+		return a.Location.Lat < b.Location.Lat
+	}
+	return a.Location.Lon < b.Location.Lon
+}
+
+// mergeSorted k-way merges canonical-order lists into one canonical
+// list. Ties across lists pick the lower list index; since only
+// fully identical readings compare equal under canonLess, the choice
+// is unobservable.
+func mergeSorted(lists [][]model.Reading) []model.Reading {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]model.Reading, 0, total)
+	heads := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || canonLess(&l[heads[i]], &lists[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// normalizeBatch copies a batch into the exact form a columnar
+// round trip produces — per-reading type/category from the batch,
+// float32 locations, wall-clock-only times — so a reading compares
+// identically before and after it moves from memtable to segment.
+func normalizeBatch(b *model.Batch) *model.Batch {
+	nb := &model.Batch{
+		NodeID:    b.NodeID,
+		TypeName:  b.TypeName,
+		Category:  b.Category,
+		Collected: b.Collected,
+		Readings:  make([]model.Reading, len(b.Readings)),
+	}
+	for i, r := range b.Readings {
+		r.TypeName = b.TypeName
+		r.Category = b.Category
+		r.Time = time.Unix(0, r.Time.UnixNano())
+		r.Location.Lat = float64(float32(r.Location.Lat))
+		r.Location.Lon = float64(float32(r.Location.Lon))
+		nb.Readings[i] = r
+	}
+	return nb
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,149 @@
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+)
+
+// validSegmentImage builds a small real segment for the fuzz seeds.
+func validSegmentImage(tb testing.TB) []byte {
+	runs := []typeRun{
+		{typ: "noise_level", readings: normalizeBatch(testBatch("noise_level", t0, 12, time.Second, 0)).Readings},
+		{typ: "traffic", readings: normalizeBatch(testBatch("traffic", t0, 5, time.Minute, 100)).Readings},
+	}
+	img, err := appendSegment(nil, aggregate.CodecFlate, 8, runs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// FuzzSegmentOpen feeds arbitrary bytes to the full segment read
+// surface — open (footer + index) and every block decode — asserting
+// it never panics and that damage surfaces as the typed errors.
+func FuzzSegmentOpen(f *testing.F) {
+	img := validSegmentImage(f)
+	f.Add(img)
+	f.Add(img[:len(img)-7])                // truncated footer
+	f.Add(img[:len(fileMagic)])            // header only
+	f.Add([]byte(fileMagic + footerMagic)) // magic sandwich, no body
+	f.Add([]byte{})                        // empty
+	f.Add([]byte("f2cseg01 garbage here")) // bad footer
+	torn := append([]byte(nil), img...)    // torn tail: zeroed end
+	for i := len(torn) - 12; i < len(torn); i++ {
+		torn[i] = 0
+	}
+	f.Add(torn)
+	flip := append([]byte(nil), img...) // corrupt block payload
+	flip[len(fileMagic)+frameHeader+2] ^= 0x10
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := newSegment("fuzz", data, false)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) {
+				t.Fatalf("untyped open error: %v", err)
+			}
+			return
+		}
+		total := 0
+		for _, m := range g.blocks {
+			rs, err := g.blockReadings(m)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) {
+					t.Fatalf("untyped block error: %v", err)
+				}
+				continue
+			}
+			total += len(rs)
+			// A readable block must also be fetchable.
+			if _, _, err := g.fetch(nil, m.typ, m.minT, m.maxT, 0); err != nil {
+				t.Fatalf("fetch after successful decode: %v", err)
+			}
+		}
+		_ = total
+	})
+}
+
+// FuzzSegmentRoundTrip derives readings from the fuzz input, writes
+// a segment, reopens it, and requires the decode to be lossless —
+// the encode→decode contract under arbitrary values, times, and
+// dictionary shapes.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte("spread readings across blocks and types"))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runs := runsFromFuzz(data)
+		if len(runs) == 0 {
+			return
+		}
+		img, err := appendSegment(nil, aggregate.CodecFlate, 4, runs)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		g, err := newSegment("fuzz", img, false)
+		if err != nil {
+			t.Fatalf("reopen of own encoding: %v", err)
+		}
+		for _, run := range runs {
+			got, _, err := g.fetch(nil, run.typ, math.MinInt64, math.MaxInt64, 0)
+			if err != nil {
+				t.Fatalf("fetch %s: %v", run.typ, err)
+			}
+			if !reflect.DeepEqual(got, run.readings) {
+				t.Fatalf("type %s: round trip lost data:\n in  %+v\n out %+v", run.typ, run.readings, got)
+			}
+		}
+	})
+}
+
+// runsFromFuzz decodes the fuzz input into canonical-order type runs
+// (8 bytes per reading: type selector, time offset, value).
+func runsFromFuzz(data []byte) []typeRun {
+	types := []string{"a", "noise_level", "x"}
+	byType := map[string][]model.Reading{}
+	for len(data) >= 8 {
+		chunk := data[:8]
+		data = data[8:]
+		typ := types[int(chunk[0])%len(types)]
+		offset := int64(binary.LittleEndian.Uint32(chunk[1:5])) // seconds
+		value := float64(binary.LittleEndian.Uint16(chunk[5:7]))
+		r := model.Reading{
+			SensorID: "s" + string(rune('a'+chunk[7]%5)),
+			TypeName: typ,
+			Category: model.CategoryUrban,
+			Time:     t0.Add(time.Duration(offset) * time.Second),
+			Value:    value,
+			Unit:     "u",
+		}
+		byType[typ] = append(byType[typ], r)
+	}
+	var runs []typeRun
+	for _, typ := range types {
+		rs := byType[typ]
+		if len(rs) == 0 {
+			continue
+		}
+		b := &model.Batch{TypeName: typ, Category: model.CategoryUrban, Collected: rs[0].Time, Readings: rs}
+		nb := normalizeBatch(b)
+		rs = nb.Readings
+		sortReadings(rs)
+		runs = append(runs, typeRun{typ: typ, readings: rs})
+	}
+	return runs
+}
+
+func sortReadings(rs []model.Reading) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && canonLess(&rs[j], &rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,39 @@
+//go:build linux
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. Cold-range queries then read
+// straight from the page cache with no copy into the Go heap, and an
+// unlinked-but-mapped segment (compaction, retention) stays readable
+// until the last reference unmaps it — standard Linux semantics.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fall back to a heap read (exotic filesystems).
+		data, rerr := os.ReadFile(path)
+		return data, false, rerr
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

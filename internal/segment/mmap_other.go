@@ -1,0 +1,16 @@
+//go:build !linux
+
+package segment
+
+import "os"
+
+// mapFile reads path into the heap on platforms without the mmap
+// fast path; the engine behaves identically, just without the
+// page-cache-backed zero-copy read.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+// unmapFile is a no-op for heap-backed reads.
+func unmapFile([]byte) {}

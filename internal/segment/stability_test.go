@@ -1,0 +1,158 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"f2c/internal/model"
+)
+
+func removeFile(dir, name string) error {
+	return os.Remove(filepath.Join(dir, name))
+}
+
+// TestCursorStableAcrossFlush starts a page walk, flushes the
+// memtable mid-walk, and finishes: every reading exactly once — the
+// satellite invariant that (T, Skip) cursors survive a reading's
+// migration from memtable to segment.
+func TestCursorStableAcrossFlush(t *testing.T) {
+	s := openTest(t, t.TempDir(), nil)
+	defer s.Close()
+	if err := s.Append(testBatch("traffic", t0, 50, time.Second, 0)); err != nil {
+		t.Fatal(err)
+	}
+	from, to := time.Time{}, t0.Add(24*time.Hour)
+	page1, cursor, err := s.QueryRangePage("traffic", from, to, 10, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // everything moves to a segment
+		t.Fatal(err)
+	}
+	got := append([]model.Reading(nil), page1...)
+	for cursor != "" {
+		var page []model.Reading
+		page, cursor, err = s.QueryRangePage("traffic", from, to, 10, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+	}
+	if len(got) != 50 {
+		t.Fatalf("walk across flush saw %d readings, want 50", len(got))
+	}
+	for i, r := range got {
+		if r.Value != float64(i) {
+			t.Fatalf("position %d = %v after flush, want %v", i, r.Value, float64(i))
+		}
+	}
+}
+
+// TestCursorStableAcrossCompaction walks while the segments under
+// the cursor are merged away.
+func TestCursorStableAcrossCompaction(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) { o.CompactMinSegments = 2 })
+	defer s.Close()
+	for part := 0; part < 4; part++ {
+		if err := s.Append(testBatch("traffic", t0.Add(time.Duration(part*10)*time.Second), 10, time.Second, float64(part*10))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	from, to := time.Time{}, t0.Add(24*time.Hour)
+	got, cursor, err := s.QueryRangePage("traffic", from, to, 7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Compact(); err != nil || n != 4 {
+		t.Fatalf("Compact = %d, %v", n, err)
+	}
+	for cursor != "" {
+		var page []model.Reading
+		page, cursor, err = s.QueryRangePage("traffic", from, to, 7, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+	}
+	if len(got) != 40 {
+		t.Fatalf("walk across compaction saw %d readings, want 40", len(got))
+	}
+	for i, r := range got {
+		if r.Value != float64(i) {
+			t.Fatalf("position %d = %v after compaction, want %v", i, r.Value, float64(i))
+		}
+	}
+}
+
+// TestConcurrentWalkersFlushersCompactors is the race-pressure
+// version: a background store under concurrent appends while page
+// walkers verify they never see a pre-existing reading twice or lose
+// one. Run with -race in CI.
+func TestConcurrentWalkersFlushersCompactors(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) {
+		o.NoBackground = false
+		o.MemtableBytes = 8 << 10 // tiny: constant flushing
+		o.CompactMinSegments = 2
+	})
+	defer s.Close()
+	const preload = 300
+	if err := s.Append(testBatch("traffic", t0, preload, time.Second, 0)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // appender: later times, distinct values
+		defer wg.Done()
+		next := preload
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Append(testBatch("traffic", t0.Add(time.Duration(next)*time.Second), 20, time.Second, float64(next))); err != nil && err != ErrClosed {
+				t.Error(err)
+				return
+			}
+			next += 20
+		}
+	}()
+	// The preload window is closed: walks over it must be perfect no
+	// matter what flushes/compactions happen meanwhile.
+	from, to := time.Time{}, t0.Add(time.Duration(preload-1)*time.Second)
+	for walk := 0; walk < 20; walk++ {
+		seen := make(map[float64]bool, preload)
+		cursor := ""
+		for {
+			page, next, err := s.QueryRangePage("traffic", from, to, 17, cursor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range page {
+				if r.Value >= preload {
+					t.Fatalf("walk %d: reading %v outside the closed window", walk, r.Value)
+				}
+				if seen[r.Value] {
+					t.Fatalf("walk %d: value %v seen twice", walk, r.Value)
+				}
+				seen[r.Value] = true
+			}
+			if next == "" {
+				break
+			}
+			cursor = next
+		}
+		if len(seen) != preload {
+			t.Fatalf("walk %d saw %d readings, want %d", walk, len(seen), preload)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -50,11 +50,38 @@ type Archive struct {
 	byDay    map[string][]int // "2017-06-01"
 	versions map[recordKey]int
 	readings int64
-	// sorted caches each type's readings in time order for the
-	// historical scan paths, built lazily and invalidated by Put and
-	// Expire, so a page-cursor walk binary-searches a prebuilt slice
-	// instead of re-collecting and re-sorting the type on every page.
-	sorted map[string][]model.Reading
+	// scan caches each type's readings in time order for the
+	// historical scan paths. Put appends the new batch to the cache
+	// and only marks it dirty when the append breaks time order, so
+	// in-order archival (the steady state) never re-sorts and an
+	// out-of-order Put costs one copy-and-stable-sort on the next
+	// read instead of a full re-collect per read.
+	scan map[string]*typeScan
+	// src, when set, serves the reading-range scan paths (Readings,
+	// ReadingsPage) instead of the in-RAM cache — a durable cloud
+	// points it at its segment store so historical scans stream from
+	// mmap'd segments rather than a second RAM copy. Classification
+	// reads (ByCategory, ByType, ByDay) stay on the archive's own
+	// records.
+	src PageScanner
+}
+
+// PageScanner serves time-range reads under the store cursor
+// contract. segment.Store implements it.
+type PageScanner interface {
+	QueryRange(typeName string, from, to time.Time) []model.Reading
+	QueryRangePage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error)
+}
+
+// SetScanSource redirects the archive's reading-range scans to an
+// external store holding the same preserved readings. Call before
+// serving queries (not synchronized with readers).
+func (a *Archive) SetScanSource(src PageScanner) { a.src = src }
+
+// typeScan is one type's incrementally maintained sorted cache.
+type typeScan struct {
+	readings []model.Reading
+	dirty    bool // an out-of-order Put landed; stable-sort on next read
 }
 
 // NewArchive creates an empty archive.
@@ -64,7 +91,7 @@ func NewArchive() *Archive {
 		byType:   make(map[string][]int),
 		byDay:    make(map[string][]int),
 		versions: make(map[recordKey]int),
-		sorted:   make(map[string][]model.Reading),
+		scan:     make(map[string]*typeScan),
 	}
 }
 
@@ -90,7 +117,7 @@ func (a *Archive) Put(b *model.Batch, provenance []string, storedAt time.Time) (
 	day := b.Collected.UTC().Format("2006-01-02")
 	a.byDay[day] = append(a.byDay[day], idx)
 	a.readings += int64(len(b.Readings))
-	delete(a.sorted, b.TypeName) // new data: rebuild the scan cache lazily
+	a.extendScan(rec.Batch)
 	return rec, nil
 }
 
@@ -127,31 +154,61 @@ func (a *Archive) Days() []string {
 	return out
 }
 
-// sortedScan returns the time-sorted readings of a type, building the
-// cache on first use after an invalidation. Warm-cache readers (the
-// steady state of a page walk) are served entirely under the read
-// lock, so concurrent open-data scans do not serialize; the write
-// lock is taken only to rebuild after a Put or Expire. The returned
-// slice is the immutable cache — callers must copy what they keep.
+// extendScan appends a newly archived batch to its type's scan cache,
+// flagging the cache dirty only when the new readings break time
+// order. Absent entries stay absent — sortedScan builds them from the
+// classified records on first read. Called with a.mu held for write.
+func (a *Archive) extendScan(b *model.Batch) {
+	ts, ok := a.scan[b.TypeName]
+	if !ok {
+		return
+	}
+	for i := range b.Readings {
+		if !ts.dirty {
+			if n := len(ts.readings); n > 0 && b.Readings[i].Time.Before(ts.readings[n-1].Time) {
+				ts.dirty = true
+			}
+		}
+		ts.readings = append(ts.readings, b.Readings[i])
+	}
+}
+
+// sortedScan returns the time-sorted readings of a type. Clean-cache
+// readers (the steady state of a page walk, and — because Put keeps
+// the cache appended in place — also the steady state under in-order
+// archival) are served entirely under the read lock; the write lock
+// is taken only to build a missing entry or to re-sort after an
+// out-of-order Put. A dirty re-sort copies before sorting and is
+// stable, so the result is bit-identical to a full rebuild from the
+// records in arrival order and any previously returned slice stays
+// frozen. The returned slice is the immutable cache — callers must
+// copy what they keep.
 func (a *Archive) sortedScan(typeName string) []model.Reading {
 	a.mu.RLock()
-	if s, ok := a.sorted[typeName]; ok {
+	if ts, ok := a.scan[typeName]; ok && !ts.dirty {
+		s := ts.readings
 		a.mu.RUnlock()
 		return s
 	}
 	a.mu.RUnlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if s, ok := a.sorted[typeName]; ok { // built while we waited
-		return s
+	ts, ok := a.scan[typeName]
+	if !ok {
+		ts = &typeScan{dirty: true}
+		for _, idx := range a.byType[typeName] {
+			ts.readings = append(ts.readings, a.records[idx].Batch.Readings...)
+		}
+		a.scan[typeName] = ts
 	}
-	var s []model.Reading
-	for _, idx := range a.byType[typeName] {
-		s = append(s, a.records[idx].Batch.Readings...)
+	if ts.dirty {
+		s := make([]model.Reading, len(ts.readings))
+		copy(s, ts.readings)
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Time.Before(s[j].Time) })
+		ts.readings = s
+		ts.dirty = false
 	}
-	sort.SliceStable(s, func(i, j int) bool { return s[i].Time.Before(s[j].Time) })
-	a.sorted[typeName] = s
-	return s
+	return ts.readings
 }
 
 // windowBounds returns the [from, to] bounds within a sorted slice.
@@ -165,6 +222,9 @@ func windowBounds(s []model.Reading, from, to time.Time) (lo, hi int) {
 // time-sorted — the cloud's historical query path. The returned
 // slice is a copy.
 func (a *Archive) Readings(typeName string, from, to time.Time) []model.Reading {
+	if a.src != nil {
+		return a.src.QueryRange(typeName, from, to)
+	}
 	s := a.sortedScan(typeName)
 	lo, hi := windowBounds(s, from, to)
 	if lo >= hi {
@@ -179,13 +239,16 @@ func (a *Archive) Readings(typeName string, from, to time.Time) []model.Reading 
 // type within [from, to], plus the cursor resuming the scan (""
 // when complete) — the limit/cursor-aware form of Readings used by
 // the dissemination interfaces. The archive keeps records in arrival
-// order; the scan pages over the lazily built per-type sorted cache,
-// so each page binary-searches the prebuilt slice and copies only
-// the page out. The cursor is stable across calls because archived
-// data is immutable (Expire only removes records older than any live
-// cursor's window, and invalidating writes rebuild the cache with
-// the same time order).
+// order; the scan pages over the incrementally maintained per-type
+// sorted cache, so each page binary-searches the prebuilt slice and
+// copies only the page out. The cursor is stable across calls because
+// archived data is immutable (Expire only removes records older than
+// any live cursor's window, and an out-of-order Put's re-sort is
+// stable, reproducing the same time order).
 func (a *Archive) ReadingsPage(typeName string, from, to time.Time, limit int, cursor string) ([]model.Reading, string, error) {
+	if a.src != nil {
+		return a.src.QueryRangePage(typeName, from, to, limit, cursor)
+	}
 	var cur Cursor
 	haveCur := cursor != ""
 	if haveCur {
@@ -271,7 +334,7 @@ func (a *Archive) Expire(before time.Time) int {
 	a.byCat = make(map[model.Category][]int)
 	a.byType = make(map[string][]int)
 	a.byDay = make(map[string][]int)
-	a.sorted = make(map[string][]model.Reading)
+	a.scan = make(map[string]*typeScan)
 	for idx, rec := range a.records {
 		b := rec.Batch
 		a.byCat[b.Category] = append(a.byCat[b.Category], idx)

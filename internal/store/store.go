@@ -52,9 +52,16 @@ func ParseCursor(s string) (Cursor, error) {
 	return Cursor{T: t, Skip: skip}, nil
 }
 
-// pageWindow applies (limit, cursor) to a time-sorted window and
+// PageWindow applies (limit, cursor) to a time-sorted window and
 // returns the [start, end) bounds of the page plus the follow-up
 // cursor ("" when the scan is complete). limit <= 0 means unbounded.
+// Exported so storage engines layering the same cursor contract over
+// other backends (internal/segment) page identically to TimeSeries.
+func PageWindow(win []model.Reading, limit int, cur Cursor, haveCur bool) (start, end int, next string) {
+	return pageWindow(win, limit, cur, haveCur)
+}
+
+// pageWindow is the internal form of PageWindow.
 func pageWindow(win []model.Reading, limit int, cur Cursor, haveCur bool) (start, end int, next string) {
 	start = 0
 	if haveCur {

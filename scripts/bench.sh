@@ -201,3 +201,77 @@ with open(out, "w") as f:
     f.write("\n")
 print("wrote", out)
 EOF
+
+# --- PR 7: tiered segment storage -----------------------------------
+# SegmentIngest is the hot append path (RAM baseline vs the tiered
+# engine with and without its WAL); SegmentColdRange reads a 50k-
+# reading history from RAM slices vs mmap'd segment files; and
+# SegmentSteadyRSS reports the live heap after a 200k-reading ingest —
+# the memory bound the engine exists to enforce. The RSS benchmark is
+# one whole-ingest measurement per iteration, so it runs at a fixed
+# -benchtime 1x regardless of the requested benchtime.
+TMP7="$(mktemp)"
+trap 'rm -f "$TMP" "$TMP3" "$TMP5" "$TMP7"' EXIT
+
+go test ./internal/segment/ \
+	-run '^$' -bench 'SegmentIngest|SegmentColdRange' \
+	-benchtime "$BENCHTIME" -count "$COUNT" | tee "$TMP7"
+go test ./internal/segment/ \
+	-run '^$' -bench 'SegmentSteadyRSS' \
+	-benchtime 1x -count "$COUNT" | tee -a "$TMP7"
+
+python3 - "$TMP7" "BENCH_PR7.json" "$BENCHTIME, best of $COUNT" <<'EOF'
+import json, re, sys
+
+raw, out, benchtime = sys.argv[1], sys.argv[2], sys.argv[3]
+
+bench = {}
+name_pat = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$")
+metric_pat = re.compile(r"([\d.]+)\s+(\S+)")
+key_of = {"ns/op": "ns_per_op", "B/op": "bytes_per_op",
+          "allocs/op": "allocs_per_op", "heap-B": "heap_bytes"}
+for line in open(raw):
+    m = name_pat.match(line)
+    if not m:
+        continue
+    name, rest = m.groups()
+    entry = {}
+    for value, unit in metric_pat.findall(rest):
+        key = key_of.get(unit)
+        if key:
+            entry[key] = int(value) if key == "allocs_per_op" else float(value)
+    if "ns_per_op" not in entry:
+        continue
+    cur = bench.get(name)
+    # Best run: minimum heap for the RSS benchmark (its ns/op is just
+    # ingest wall time), minimum ns/op otherwise.
+    key = "heap_bytes" if "heap_bytes" in entry else "ns_per_op"
+    if cur is None or entry.get(key, float("inf")) < cur.get(key, float("inf")):
+        bench[name] = entry
+
+doc = {}
+try:
+    with open(out) as f:
+        doc = json.load(f)
+except (OSError, ValueError):
+    pass
+doc.setdefault("description",
+    "Tiered segment-storage benchmarks, best of N runs. SegmentIngest "
+    "compares the hot append path of the RAM TimeSeries against the "
+    "tiered engine (WAL on = production, WAL off = journal share of "
+    "the overhead); SegmentColdRange reads a 50k-reading history from "
+    "RAM slices vs mmap'd compacted segment files; SegmentSteadyRSS "
+    "is the live heap after a 200k-reading ingest — the tiered store "
+    "holds only its memtable cap while the RAM store retains "
+    "everything. Regenerate with scripts/bench.sh.")
+doc["benchtime"] = benchtime
+doc["results"] = bench
+ram = bench.get("BenchmarkSegmentSteadyRSS/ram", {}).get("heap_bytes")
+tiered = bench.get("BenchmarkSegmentSteadyRSS/tiered", {}).get("heap_bytes")
+if ram and tiered:
+    doc["steady_rss_ram_vs_tiered_ratio"] = round(ram / tiered, 1)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print("wrote", out)
+EOF
