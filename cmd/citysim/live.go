@@ -16,6 +16,7 @@ import (
 	"f2c/internal/core"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
+	"f2c/internal/sched"
 	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
@@ -37,6 +38,30 @@ type liveOptions struct {
 	segmentStore  bool   // tiered segment engine under dataDir/<id>/store
 	memtableBytes int64  // segment memtable cap (0 = engine default)
 	clusterOut    string
+	overload      bool  // admission scheduler on every handler path
+	ingestRate    int64 // ingest-class token-bucket rate, bytes/sec
+	maxPending    int   // per-type upward buffer bound (0 = unbounded)
+	degrade       bool  // degrade-to-summary on buffer trims
+	adaptive      bool  // RTT-driven flush batch/interval tuning
+}
+
+// sched returns the admission-scheduler options for the live city's
+// nodes (nil when overload control is off).
+func (o liveOptions) sched() *sched.Options {
+	if !o.overload {
+		return nil
+	}
+	so := config.OverloadOptions(o.ingestRate)
+	return &so
+}
+
+// adaptiveCfg returns the flush-controller config for the live city's
+// fog nodes (nil keeps the fixed cadence).
+func (o liveOptions) adaptiveCfg() *fognode.AdaptiveConfig {
+	if !o.adaptive {
+		return nil
+	}
+	return &fognode.AdaptiveConfig{}
 }
 
 // durability maps a live node id into its WAL directory (nil when the
@@ -111,6 +136,7 @@ func runLive(o liveOptions) error {
 	cloudNode, err := cloud.New(core.CloudConfig(core.CloudID, core.MemberOptions{
 		City: o.city, Clock: sim.WallClock{}, Registry: cloudReg, Codec: o.codec,
 		Durability: o.durability(core.CloudID), Storage: o.storage(core.CloudID),
+		Overload: o.sched(),
 	}))
 	if err != nil {
 		return err
@@ -147,6 +173,10 @@ func runLive(o liveOptions) error {
 			Retention: retention, FlushInterval: flush, Codec: o.codec,
 			Dedup: o.dedup, Quality: true, Registry: reg, Siblings: siblings,
 			Durability: o.durability(spec.ID), Storage: o.storage(spec.ID),
+			MaxPendingReadings: o.maxPending,
+			Overload:           o.sched(),
+			DegradeToSummary:   o.degrade,
+			Adaptive:           o.adaptiveCfg(),
 		}))
 		if err != nil {
 			_ = tr.Close()

@@ -51,6 +51,11 @@ func run(args []string) error {
 	liveSegments := fs.Bool("live-segment-store", false, "back the live city's temporal stores with the tiered segment engine under <live-data-dir>/<node id>/store (requires -live-data-dir)")
 	liveMemtable := fs.Int64("live-memtable-bytes", 0, "live city segment-store memtable cap in bytes (0 = engine default)")
 	clusterOut := fs.String("cluster-out", "", "write the live city's cluster JSON (node id -> address) to this path")
+	liveOverload := fs.Bool("live-overload", false, "gate every live node's handler path behind per-class weighted-fair admission scheduling")
+	liveIngestRate := fs.Int64("live-ingest-rate", 0, "token-bucket limit for the live city's ingest class, payload bytes/sec (requires -live-overload; 0 = unlimited)")
+	liveMaxPending := fs.Int("live-max-pending", 0, "per-type upward buffer bound on the live city's fog nodes (0 = unbounded)")
+	liveDegrade := fs.Bool("live-degrade", false, "fold buffer-trimmed readings into window summaries pushed upward instead of dropping them (needs -live-max-pending to bite)")
+	liveAdaptive := fs.Bool("live-adaptive-flush", false, "RTT-driven flush batch size and interval tuning on the live city's fog nodes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +79,9 @@ func run(args []string) error {
 		if *liveSegments && *liveDataDir == "" {
 			return fmt.Errorf("-live-segment-store requires -live-data-dir")
 		}
+		if *liveIngestRate > 0 && !*liveOverload {
+			return fmt.Errorf("-live-ingest-rate requires -live-overload")
+		}
 		return runLive(liveOptions{
 			city:          "Barcelona",
 			districts:     *liveDistricts,
@@ -87,6 +95,11 @@ func run(args []string) error {
 			segmentStore:  *liveSegments,
 			memtableBytes: *liveMemtable,
 			clusterOut:    *clusterOut,
+			overload:      *liveOverload,
+			ingestRate:    *liveIngestRate,
+			maxPending:    *liveMaxPending,
+			degrade:       *liveDegrade,
+			adaptive:      *liveAdaptive,
 		})
 	}
 	var types []model.SensorType

@@ -19,14 +19,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"f2c/internal/config"
 	"f2c/internal/core"
+	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
 	"f2c/internal/query"
@@ -136,7 +139,43 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(reply))
+		if len(rest) == 0 {
+			fmt.Println(string(reply))
+			return nil
+		}
+		// An optional substring narrows the dump — "sched." shows the
+		// admission scheduler's gauges and counters, "flush.adaptive"
+		// the adaptive controller's state.
+		var exp metrics.RegistryExport
+		if err := protocol.DecodeJSON(reply, &exp); err != nil {
+			return err
+		}
+		filtered := metrics.RegistryExport{
+			Counters:   make(map[string]int64),
+			Gauges:     make(map[string]int64),
+			Histograms: make(map[string]metrics.HistogramExport),
+		}
+		match := rest[0]
+		for name, v := range exp.Counters {
+			if strings.Contains(name, match) {
+				filtered.Counters[name] = v
+			}
+		}
+		for name, v := range exp.Gauges {
+			if strings.Contains(name, match) {
+				filtered.Gauges[name] = v
+			}
+		}
+		for name, v := range exp.Histograms {
+			if strings.Contains(name, match) {
+				filtered.Histograms[name] = v
+			}
+		}
+		data, err := json.MarshalIndent(filtered, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
 		return nil
 	case "latest":
 		if len(rest) != 1 {

@@ -47,6 +47,7 @@ import (
 	"f2c/internal/core"
 	"f2c/internal/fognode"
 	"f2c/internal/model"
+	"f2c/internal/sched"
 	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
@@ -81,6 +82,13 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durability directory: the node journals its state to a WAL with snapshots under <data-dir>/<id> and recovers it on restart (empty = in-memory)")
 	segmentStore := fs.Bool("segment-store", false, "back the temporal store with the tiered segment engine under <data-dir>/<id>/store (history in mmap'd segment files, RAM bounded by the memtable cap; requires -data-dir)")
 	memtableBytes := fs.Int64("memtable-bytes", 0, "segment-store memtable cap in bytes before a flush to disk (0 = engine default)")
+	overload := fs.Bool("overload", false, "gate the handler path behind per-class weighted-fair admission scheduling")
+	ingestRate := fs.Int64("ingest-rate", 0, "token-bucket limit for the ingest class in payload bytes/sec (requires -overload; 0 = unlimited)")
+	maxPending := fs.Int("max-pending", 0, "per-type upward buffer bound in readings during parent outages (fog layers; 0 = unbounded)")
+	degrade := fs.Bool("degrade-to-summary", false, "fold buffer-trimmed readings into window summaries pushed upward instead of dropping them (fog layers; needs -max-pending to bite)")
+	degradeWindow := fs.Duration("degrade-window", 0, "degraded-summary window width (0 = fognode default, 1m)")
+	adaptiveFlush := fs.Bool("adaptive-flush", false, "RTT-driven flush batch size and interval tuning (fog layers)")
+	cloudRetention := fs.Duration("cloud-retention", 0, "cloud archive retention window (cloud layer; 0 = keep forever)")
 	allInOne := fs.Bool("all-in-one", false, "run the whole hierarchy in this process (demo mode)")
 	cfgPath := fs.String("config", "", "deployment JSON for -all-in-one (default: Barcelona)")
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +102,21 @@ func run(args []string) error {
 	}
 	if *segmentStore && *dataDir == "" {
 		return errors.New("-segment-store requires -data-dir")
+	}
+	if *ingestRate < 0 {
+		return errors.New("-ingest-rate must be >= 0")
+	}
+	if *ingestRate > 0 && !*overload {
+		return errors.New("-ingest-rate requires -overload")
+	}
+	var schedOpts *sched.Options
+	if *overload {
+		so := config.OverloadOptions(*ingestRate)
+		schedOpts = &so
+	}
+	var adaptive *fognode.AdaptiveConfig
+	if *adaptiveFlush {
+		adaptive = &fognode.AdaptiveConfig{}
 	}
 	switch *transportName {
 	case config.TransportHTTP, config.TransportTCP:
@@ -112,12 +135,18 @@ func run(args []string) error {
 
 	switch *layer {
 	case "cloud":
-		if tcp {
-			return runCloudTCP(*id, *city, *listen, *opendataListen,
-				durabilityFor(*dataDir, *id), storageFor(*dataDir, *id, *segmentStore, *memtableBytes))
+		mo := core.MemberOptions{
+			City:           *city,
+			Clock:          sim.WallClock{},
+			Durability:     durabilityFor(*dataDir, *id),
+			Storage:        storageFor(*dataDir, *id, *segmentStore, *memtableBytes),
+			Overload:       schedOpts,
+			CloudRetention: *cloudRetention,
 		}
-		return runCloud(*id, *city, *listen,
-			durabilityFor(*dataDir, *id), storageFor(*dataDir, *id, *segmentStore, *memtableBytes))
+		if tcp {
+			return runCloudTCP(*id, *listen, *opendataListen, mo)
+		}
+		return runCloud(*id, *listen, mo)
 	case "fog1", "fog2":
 		codec, err := parseCodec(*codecName)
 		if err != nil {
@@ -132,15 +161,20 @@ func run(args []string) error {
 		}
 		spec := topology.NodeSpec{ID: *id, Layer: l, Parent: *parent, Name: *id}
 		opts := core.MemberOptions{
-			City:          *city,
-			Clock:         sim.WallClock{},
-			Retention:     *retention,
-			FlushInterval: *flush,
-			Codec:         codec,
-			Dedup:         *dedup,
-			Quality:       *qual,
-			Durability:    durabilityFor(*dataDir, *id),
-			Storage:       storageFor(*dataDir, *id, *segmentStore, *memtableBytes),
+			City:               *city,
+			Clock:              sim.WallClock{},
+			Retention:          *retention,
+			FlushInterval:      *flush,
+			Codec:              codec,
+			Dedup:              *dedup,
+			Quality:            *qual,
+			Durability:         durabilityFor(*dataDir, *id),
+			Storage:            storageFor(*dataDir, *id, *segmentStore, *memtableBytes),
+			Overload:           schedOpts,
+			MaxPendingReadings: *maxPending,
+			DegradeToSummary:   *degrade,
+			DegradeWindow:      *degradeWindow,
+			Adaptive:           adaptive,
 		}
 		if tcp {
 			return runFogTCP(spec, opts, *parentAddr, *listen, cluster)
@@ -185,8 +219,8 @@ func storageFor(dataDir, id string, enabled bool, memtableBytes int64) *segment.
 	}
 }
 
-func runCloud(id, city, listen string, durability *wal.Config, storage *segment.Options) error {
-	node, err := cloud.New(cloud.Config{ID: id, City: city, Clock: sim.WallClock{}, Durability: durability, Storage: storage})
+func runCloud(id, listen string, mo core.MemberOptions) error {
+	node, err := cloud.New(core.CloudConfig(id, mo))
 	if err != nil {
 		return err
 	}

@@ -15,22 +15,18 @@ import (
 	"f2c/internal/core"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
-	"f2c/internal/segment"
-	"f2c/internal/sim"
 	"f2c/internal/topology"
 	"f2c/internal/transport/tcpnet"
-	"f2c/internal/wal"
 )
 
 // runCloudTCP serves the cloud's message plane over the tcpnet framed
 // transport. The open-data API stays HTTP (it is a public REST
 // surface, not node-to-node traffic) on its own listener when
 // requested.
-func runCloudTCP(id, city, listen, opendataListen string, durability *wal.Config, storage *segment.Options) error {
+func runCloudTCP(id, listen, opendataListen string, mo core.MemberOptions) error {
 	reg := metrics.NewRegistry()
-	node, err := cloud.New(core.CloudConfig(id, core.MemberOptions{
-		City: city, Clock: sim.WallClock{}, Registry: reg, Durability: durability, Storage: storage,
-	}))
+	mo.Registry = reg
+	node, err := cloud.New(core.CloudConfig(id, mo))
 	if err != nil {
 		return err
 	}

@@ -51,8 +51,12 @@ func main() {
 
 // planeReport is the measured outcome of one traffic plane.
 type planeReport struct {
-	Requests   int64   `json:"requests"`
-	Errors     int64   `json:"errors"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Rejected counts sends an overloaded node's admission scheduler
+	// turned away — expected shedding under a saturating burst, kept
+	// apart from transport errors.
+	Rejected   int64   `json:"rejected,omitempty"`
 	Readings   int64   `json:"readings,omitempty"`
 	WireBytes  int64   `json:"wireBytes,omitempty"`
 	ElapsedSec float64 `json:"elapsedSec"`
@@ -71,6 +75,11 @@ type report struct {
 	SensorsTotal int          `json:"sensorsTotal"`
 	Ingest       planeReport  `json:"ingest"`
 	Query        *planeReport `json:"query,omitempty"`
+	// Overload sums the deployment's overload-control counters
+	// (admission scheduler, degrade-to-summary, shed) across the
+	// scraped nodes, keyed by counter name with node prefixes
+	// stripped (-scrape).
+	Overload map[string]int64 `json:"overload,omitempty"`
 }
 
 func run(args []string, out *os.File) error {
@@ -88,6 +97,7 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	singleStream := fs.Bool("single-stream", false, "collapse all traffic onto one tcpnet stream (control run: disables class isolation)")
 	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	scrape := fs.Bool("scrape", false, "after the load, scrape every cluster node's metrics and sum the overload-control counters into the report")
 	jsonOut := fs.String("json", "", "write the measured report as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +111,7 @@ func run(args []string, out *os.File) error {
 	var (
 		tr            transport.Transport
 		targets       []string
+		scrapeIDs     []string
 		transportName string
 	)
 	switch {
@@ -125,7 +136,8 @@ func run(args []string, out *os.File) error {
 			}
 			tr = htr
 		}
-		for _, id := range cluster.NodeIDs() {
+		scrapeIDs = cluster.NodeIDs()
+		for _, id := range scrapeIDs {
 			if strings.HasPrefix(id, "fog1/") {
 				targets = append(targets, id)
 			}
@@ -139,6 +151,7 @@ func run(args []string, out *os.File) error {
 		htr.AddPeer(*nodeID, *nodeURL)
 		tr = htr
 		targets = []string{*nodeID}
+		scrapeIDs = targets
 	default:
 		return fmt.Errorf("-node or -cluster is required")
 	}
@@ -150,6 +163,7 @@ func run(args []string, out *os.File) error {
 	var (
 		mu                  sync.Mutex
 		sent, bytes, ingErr int64
+		ingRej, qRej        int64
 		firstErr            error
 	)
 	ctx := context.Background()
@@ -182,7 +196,15 @@ func run(args []string, out *os.File) error {
 					Class: st.Category.String(), Payload: payload,
 				}
 				t0 := time.Now()
-				if _, err := tr.Send(ctx, msg); err != nil {
+				if _, err := tr.Send(ctx, msg); transport.IsOverload(err) {
+					// The admission scheduler turned the batch away:
+					// expected shedding under a saturating burst, not a
+					// failure of the harness.
+					mu.Lock()
+					ingRej++
+					mu.Unlock()
+					continue
+				} else if err != nil {
 					recordErr(&mu, &ingErr, &firstErr, fmt.Errorf("worker %d round %d: %w", w, i, err))
 					continue
 				}
@@ -220,7 +242,12 @@ func run(args []string, out *os.File) error {
 					From: "f2cload/query", To: target, Kind: transport.KindQuery,
 					Class: transport.ClassQuery, Payload: req,
 				})
-				if err != nil {
+				if transport.IsOverload(err) {
+					mu.Lock()
+					qRej++
+					mu.Unlock()
+					continue
+				} else if err != nil {
 					recordErr(&mu, &qErr, &firstErr, fmt.Errorf("query worker %d: %w", q, err))
 					continue
 				}
@@ -243,17 +270,33 @@ func run(args []string, out *os.File) error {
 	rep.Ingest.Readings = sent
 	rep.Ingest.WireBytes = bytes
 	rep.Ingest.PerSec = float64(sent) / elapsed.Seconds()
+	rep.Ingest.Rejected = ingRej
 	if *queryWorkers > 0 {
 		qp := plane(queryHist, qErr, queryElapsed)
+		qp.Rejected = qRej
 		rep.Query = &qp
+	}
+	if *scrape {
+		rep.Overload, err = scrapeOverload(ctx, tr, scrapeIDs)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "sent %d readings (%d batches, %d wire bytes) to %d nodes in %v: %.0f readings/s, ingest p50 %.2fms p99 %.2fms\n",
 		sent, ingestHist.Count(), bytes, len(targets), elapsed.Round(time.Millisecond),
 		rep.Ingest.PerSec, rep.Ingest.P50Ms, rep.Ingest.P99Ms)
+	if ingRej > 0 {
+		fmt.Fprintf(out, "ingest rejected by admission control: %d batches\n", ingRej)
+	}
 	if rep.Query != nil {
-		fmt.Fprintf(out, "queries: %d in %v, p50 %.2fms p99 %.2fms (%d errors)\n",
-			rep.Query.Requests, queryElapsed.Round(time.Millisecond), rep.Query.P50Ms, rep.Query.P99Ms, qErr)
+		fmt.Fprintf(out, "queries: %d in %v, p50 %.2fms p99 %.2fms (%d errors, %d rejected)\n",
+			rep.Query.Requests, queryElapsed.Round(time.Millisecond), rep.Query.P50Ms, rep.Query.P99Ms, qErr, qRej)
+	}
+	if rep.Overload != nil {
+		fmt.Fprintf(out, "overload counters: degraded %d, summaries %d, shed %d, sched rejected %d\n",
+			rep.Overload["flush.degraded_readings"], rep.Overload["flush.summaries_emitted"],
+			rep.Overload["flush.shed"], rep.Overload["sched.ingest.rejected"])
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -282,6 +325,45 @@ func plane(h *metrics.Histogram, errs int64, elapsed time.Duration) planeReport 
 		P99Ms:      ms(h.Quantile(0.99)),
 		MaxMs:      ms(h.Max()),
 	}
+}
+
+// scrapeOverload pulls every node's metrics registry over the control
+// plane and sums the overload-control counters — admission scheduler,
+// degrade-to-summary, shed — across the deployment, keyed by counter
+// name with the per-node prefix stripped.
+func scrapeOverload(ctx context.Context, tr transport.Transport, ids []string) (map[string]int64, error) {
+	req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string]int64)
+	for _, id := range ids {
+		reply, err := tr.Send(ctx, transport.Message{
+			From: "f2cload/scrape", To: id, Kind: transport.KindControl, Payload: req,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", id, err)
+		}
+		var exp metrics.RegistryExport
+		if err := protocol.DecodeJSON(reply, &exp); err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", id, err)
+		}
+		for name, v := range exp.Counters {
+			key := strings.TrimPrefix(name, id+".")
+			if overloadCounter(key) {
+				sums[key] += v
+			}
+		}
+	}
+	return sums, nil
+}
+
+// overloadCounter selects the counters the scrape aggregates.
+func overloadCounter(name string) bool {
+	return strings.HasPrefix(name, "sched.") ||
+		strings.Contains(name, "degraded") ||
+		strings.Contains(name, "summaries") ||
+		strings.Contains(name, "shed")
 }
 
 // recordErr counts a plane error and keeps the first one for the exit

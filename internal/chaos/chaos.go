@@ -39,6 +39,7 @@ import (
 
 	"f2c/internal/core"
 	"f2c/internal/model"
+	"f2c/internal/sched"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
 )
@@ -72,8 +73,19 @@ type Scenario struct {
 	MaxPendingReadings int
 	// ReplyLoss is the probability an upward acknowledgement is lost
 	// during the scheduled loss bursts (default 0.3) — the duplicate
-	// generator exercising the delivery-sequence dedup.
+	// generator exercising the delivery-sequence dedup. Negative
+	// disables reply loss entirely: acknowledgements always arrive, so
+	// shed/preserved overlap cannot happen and conservation invariants
+	// become exact.
 	ReplyLoss float64
+	// DegradeToSummary (with MaxPendingReadings) turns buffer trims
+	// into graceful degradation: trimmed readings fold into window
+	// summaries pushed upward instead of being dropped, and the run
+	// additionally enables the admission scheduler (unlimited rates,
+	// so the virtual clock never stalls a grant) and asserts the
+	// no-double-count conservation ledger:
+	// preserved + degraded + shed covers every accepted reading.
+	DegradeToSummary bool
 	// Durable runs the city with per-node write-ahead logs in a
 	// temporary data directory and makes crashes real: the moment a
 	// scheduled crash lands, the victim's in-memory instance is
@@ -110,8 +122,11 @@ func (s *Scenario) applyDefaults() {
 	if s.ReadingsPerBatch <= 0 {
 		s.ReadingsPerBatch = 5
 	}
-	if s.ReplyLoss <= 0 {
+	if s.ReplyLoss == 0 {
 		s.ReplyLoss = 0.3
+	}
+	if s.ReplyLoss < 0 {
+		s.ReplyLoss = 0
 	}
 }
 
@@ -124,6 +139,10 @@ type Result struct {
 	// Shed is how many readings the MaxPendingReadings bound dropped
 	// (always 0 for unbounded runs).
 	Shed int64
+	// Degraded is how many readings the cloud received as folded
+	// window summaries instead of raw values (always 0 without
+	// DegradeToSummary).
+	Degraded int64
 	// Duplicates is how many at-least-once duplicate deliveries the
 	// replay filters suppressed across the hierarchy.
 	Duplicates int64
@@ -202,6 +221,15 @@ func Run(s Scenario) (Result, error) {
 		return res, fmt.Errorf("chaos %s: SegmentStorage requires Durable", s.Name)
 	}
 	clock := sim.NewVirtualClock(epoch)
+	// Degrade runs also gate every handler through the admission
+	// scheduler. Default class weights with unlimited rates: the
+	// serial harness never exceeds the concurrency cap, so grants are
+	// immediate and the virtual clock never waits on a token.
+	var overload *sched.Options
+	if s.DegradeToSummary {
+		so := sched.DefaultOptions()
+		overload = &so
+	}
 	sys, err := core.NewSystem(core.Options{
 		Topology: topo,
 		Clock:    clock,
@@ -213,6 +241,8 @@ func Run(s Scenario) (Result, error) {
 		FlushConcurrency:   1,
 		FlushWorkers:       1,
 		MaxPendingReadings: s.MaxPendingReadings,
+		DegradeToSummary:   s.DegradeToSummary,
+		Overload:           overload,
 		// Backoff/failover tuned to the tick scale: first re-probe
 		// after ~1 tick, relay after 2 consecutive failures.
 		RetryBase:     s.TickStep,
@@ -370,6 +400,7 @@ func Run(s Scenario) (Result, error) {
 
 	// Invariants over the cloud archive.
 	res.Shed = totalShed(sys, allNodes)
+	res.Degraded = sys.Cloud().DegradedReadings()
 	res.Dropped = totalDropped(sys, allNodes)
 	res.Duplicates = totalDuplicates(sys, allNodes)
 	res.Relayed, res.Deferred = totalRelayedDeferred(sys, allNodes)
@@ -394,20 +425,32 @@ func Run(s Scenario) (Result, error) {
 	if s.MaxPendingReadings > 0 {
 		// Shed and preserved can overlap: a delivered batch whose
 		// acknowledgement was lost sits on the retry queue, and if the
-		// bound trims it, its readings count as shed even though the
-		// receiver preserved them (the sender cannot know). Shed is
-		// therefore an upper bound on loss, and the invariant is
-		// no SILENT loss: every accepted reading that never reached
-		// the cloud must be covered by the shed count.
+		// bound trims it, its readings count as shed (or, degrading,
+		// fold into a summary) even though the receiver preserved them
+		// (the sender cannot know). Shed + degraded is therefore an
+		// upper bound on loss, and the invariant is no SILENT loss:
+		// every accepted reading that never reached the cloud raw must
+		// be covered by the shed count or archived inside a degraded
+		// summary.
 		missing := 0
 		for v := range accepted {
 			if seen[v] == 0 {
 				missing++
 			}
 		}
-		if int64(missing) > res.Shed {
-			return res, s.failf("silent loss: %d readings neither preserved nor covered by the shed count (%d)",
-				missing, res.Shed)
+		if int64(missing) > res.Shed+res.Degraded {
+			return res, s.failf("silent loss: %d readings neither preserved nor covered by shed (%d) + degraded (%d)",
+				missing, res.Shed, res.Degraded)
+		}
+		// With acknowledgements reliable (ReplyLoss < 0) the overlap
+		// disappears and the ledger is exact: every accepted reading
+		// is preserved raw, archived degraded, or counted shed — each
+		// exactly once, no double count.
+		if s.ReplyLoss == 0 {
+			if got := int64(res.Preserved) + res.Degraded + res.Shed; got != int64(res.Accepted) {
+				return res, s.failf("conservation broken: preserved %d + degraded %d + shed %d = %d, accepted %d",
+					res.Preserved, res.Degraded, res.Shed, got, res.Accepted)
+			}
 		}
 	} else {
 		if res.Shed != 0 {

@@ -25,6 +25,12 @@ var scenarios = []Scenario{
 	// small per-type buffer budget must shed (and account every
 	// dropped reading) instead of growing without bound.
 	{Name: "crash+restart bounded", Kind: KindCrashRestart, MaxPendingReadings: 40},
+	// Degrading variant: the same dark-cloud pressure, but trimmed
+	// readings fold into window summaries pushed upward instead of
+	// being dropped, and every handler sits behind the admission
+	// scheduler; the run asserts no reading is lost outside the
+	// shed + degraded ledger.
+	{Name: "crash+restart degrade", Kind: KindCrashRestart, MaxPendingReadings: 40, DegradeToSummary: true},
 	// Durable variant: crashes at every tier destroy volatile state
 	// and the victims reboot from their write-ahead logs; the run
 	// must still preserve every accepted reading exactly once.
@@ -194,6 +200,44 @@ func TestChaosDurableSeedReproducible(t *testing.T) {
 		if a != b {
 			t.Errorf("%s: same durable seed diverged:\n first %+v\nsecond %+v", sc.Name, a, b)
 		}
+	}
+}
+
+// TestChaosDegradeConservation is the graceful-degradation acceptance
+// contract: with reply loss disabled (acknowledgements reliable, so
+// shed/preserved overlap cannot happen) the ledger is exact — every
+// accepted reading is preserved raw, archived inside a degraded
+// summary, or counted shed, with no double-count (asserted inside
+// Run) — and the pressure must actually provoke degradation, or the
+// ledger is passing vacuously. The run must also stay
+// seed-reproducible: summary folding and admission scheduling
+// introduce no nondeterminism.
+func TestChaosDegradeConservation(t *testing.T) {
+	for seed := int64(1); seed <= int64(*seedsPerScenario); seed++ {
+		sc := Scenario{
+			Name: "degrade conservation", Kind: KindCrashRestart,
+			MaxPendingReadings: 40, DegradeToSummary: true,
+			ReplyLoss: -1, Seed: seed,
+		}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded == 0 {
+			t.Fatalf("seed %d: dark-cloud pressure degraded nothing: the bound is not forcing summaries", seed)
+		}
+		if got := int64(res.Preserved) + res.Degraded + res.Shed; got != int64(res.Accepted) {
+			t.Fatalf("seed %d: ledger %d != accepted %d (%+v)", seed, got, res.Accepted, res)
+		}
+		again, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != again {
+			t.Errorf("seed %d: degrade run diverged:\n first %+v\nsecond %+v", seed, res, again)
+		}
+		t.Logf("seed %d: accepted %d = preserved %d + degraded %d + shed %d",
+			seed, res.Accepted, res.Preserved, res.Degraded, res.Shed)
 	}
 }
 

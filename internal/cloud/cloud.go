@@ -10,12 +10,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"f2c/internal/aggregate"
 	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
+	"f2c/internal/sched"
 	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/store"
@@ -44,6 +47,17 @@ type Config struct {
 	// the cloud remembers per origin for at-least-once dedup. Zero
 	// selects protocol.DefaultReplayWindow.
 	ReplayWindow int
+	// Scheduler, when set, gates the cloud's handler path with the
+	// per-class weighted-fair admission scheduler, mirroring the fog
+	// tiers: historical queries keep their share of the cloud's
+	// capacity while the whole city's ingest converges on it.
+	Scheduler *sched.Options
+	// Retention, when > 0, runs the data-destruction phase
+	// automatically: archived records older than Retention are expired
+	// periodically on the ingest path (the paper's "unless any expiry
+	// time is defined" — the cloud preset is years, configured per
+	// deployment). Zero preserves permanently.
+	Retention time.Duration
 	// Durability, when set, journals every preserved batch (and every
 	// data-destruction cutoff) to a write-ahead log with periodic
 	// snapshots in Durability.Dir, and recovers the archive, the query
@@ -98,9 +112,22 @@ type Node struct {
 	// where replay cannot happen and number 0 means "unnumbered").
 	preserveSeq uint64
 
+	// sched gates the handler path per traffic class (nil = off).
+	sched *sched.Scheduler
+	// sumMu guards degraded: per-type window summaries pushed up by
+	// degrading fog nodes — the reduced-resolution record of readings
+	// the edge could not afford to ship raw. Kept in memory (summaries
+	// are the overload fallback, not the archive of record).
+	sumMu    sync.Mutex
+	degraded map[string]map[int64]aggregate.WindowSummary
+	// expireTick counts preserves toward the next automatic retention
+	// sweep (guarded by sumMu; cadence only, no correctness).
+	expireTick int
+
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
 	dupBatches      *metrics.Counter
+	degradedReads   *metrics.Counter
 }
 
 // New builds a cloud node.
@@ -130,9 +157,14 @@ func New(cfg Config) (*Node, error) {
 		cfg:             cfg,
 		archive:         store.NewArchive(),
 		replay:          protocol.NewReplayFilter(cfg.ReplayWindow),
+		degraded:        make(map[string]map[int64]aggregate.WindowSummary),
 		ingestedBatches: cfg.Registry.Counter(cfg.ID + ".ingest.batches"),
 		ingestedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.readings"),
 		dupBatches:      cfg.Registry.Counter(cfg.ID + ".ingest.duplicates"),
+		degradedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.degraded_readings"),
+	}
+	if cfg.Scheduler != nil {
+		n.sched = sched.New(*cfg.Scheduler, cfg.Clock, cfg.Registry, cfg.ID+".sched.")
 	}
 	if cfg.Storage != nil {
 		so := *cfg.Storage
@@ -290,6 +322,69 @@ func (n *Node) preserve(b *model.Batch, from string, seq uint64) error {
 	return nil
 }
 
+// acceptSummaryPush folds a degraded summary push into the cloud's
+// per-type window summaries, deduped by (origin, seq) exactly like
+// batches. The windows merge decomposably, so retries and multi-hop
+// re-emissions (fog1 -> fog2 -> cloud) converge to the same totals.
+func (n *Node) acceptSummaryPush(push protocol.SummaryPush) {
+	n.sumMu.Lock()
+	wins, ok := n.degraded[push.TypeName]
+	if !ok {
+		wins = make(map[int64]aggregate.WindowSummary)
+		n.degraded[push.TypeName] = wins
+	}
+	for _, w := range push.Windows {
+		cur, ok := wins[w.StartUnix]
+		if !ok {
+			cur = aggregate.WindowSummary{
+				Start: time.Unix(0, w.StartUnix), End: time.Unix(0, w.EndUnix),
+			}
+		}
+		cur.Summary = cur.Summary.Merge(w.Summary)
+		wins[w.StartUnix] = cur
+	}
+	n.sumMu.Unlock()
+	n.degradedReads.Add(push.Readings())
+}
+
+// DegradedReadings reports how many raw readings arrived at the cloud
+// as degraded window summaries instead of raw batches.
+func (n *Node) DegradedReadings() int64 { return n.degradedReads.Value() }
+
+// DegradedSummaries returns a type's degraded windows in time order —
+// the reduced-resolution record of what the edge folded away.
+func (n *Node) DegradedSummaries(typeName string) []aggregate.WindowSummary {
+	n.sumMu.Lock()
+	defer n.sumMu.Unlock()
+	wins := n.degraded[typeName]
+	out := make([]aggregate.WindowSummary, 0, len(wins))
+	for _, w := range wins {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// maybeExpire runs the automatic data-destruction sweep every ~1024
+// preserves when Retention is configured. It is called from Handle
+// after preserve has returned (never inside it: Expire takes the
+// journal mutex preserve holds).
+func (n *Node) maybeExpire() {
+	if n.cfg.Retention <= 0 {
+		return
+	}
+	n.sumMu.Lock()
+	n.expireTick++
+	due := n.expireTick >= 1024
+	if due {
+		n.expireTick = 0
+	}
+	n.sumMu.Unlock()
+	if due {
+		n.Expire(n.cfg.Clock.Now().Add(-n.cfg.Retention))
+	}
+}
+
 // Historical returns archived readings of a type in [from, to] — the
 // paper's historical data served to deep-processing applications.
 func (n *Node) Historical(typeName string, from, to time.Time) []model.Reading {
@@ -437,9 +532,21 @@ func (n *Node) Status() protocol.StatusResponse {
 
 var _ transport.Handler = (*Node)(nil)
 
-// Handle implements transport.Handler for upward batches, historical
-// queries and control.
+// Handle implements transport.Handler for upward batches, degraded
+// summary pushes, historical queries and control. With a scheduler
+// configured, every message first passes the per-class weighted-fair
+// admission gate (see fognode.Handle).
 func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error) {
+	if n.sched != nil {
+		release, err := n.sched.Admit(ctx, transport.ClassNameOf(msg.Kind), int64(len(msg.Payload)))
+		if err != nil {
+			if errors.Is(err, sched.ErrOverloaded) {
+				return nil, fmt.Errorf("cloud: %w", transport.ErrOverloaded)
+			}
+			return nil, err
+		}
+		defer release()
+	}
 	switch msg.Kind {
 	case transport.KindBatch:
 		b, _, seq, err := protocol.DecodeBatchPayloadSeq(msg.Payload)
@@ -459,6 +566,22 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 			return nil, err
 		}
 		n.maybeCheckpoint()
+		n.maybeExpire()
+		return []byte("ok"), nil
+	case transport.KindSummaryPush:
+		var push protocol.SummaryPush
+		if err := protocol.DecodeJSON(msg.Payload, &push); err != nil {
+			return nil, err
+		}
+		if err := push.Validate(); err != nil {
+			return nil, err
+		}
+		if n.replay.Seen(push.Origin, push.Seq) {
+			n.dupBatches.Inc()
+			return []byte("ok"), nil
+		}
+		n.acceptSummaryPush(push)
+		n.replay.Mark(push.Origin, push.Seq)
 		return []byte("ok"), nil
 	case transport.KindQuery:
 		var req protocol.QueryRequest

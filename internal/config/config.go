@@ -12,9 +12,21 @@ import (
 
 	"f2c/internal/aggregate"
 	"f2c/internal/core"
+	"f2c/internal/fognode"
 	"f2c/internal/model"
+	"f2c/internal/sched"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
+)
+
+// Per-tier retention presets (paper §IV: fog layer 1 holds hours of
+// temporal data, fog layer 2 days of recent history, the cloud years
+// of preserved archive). Deployments use them by default; individual
+// nodes override via NodeRetentionSeconds.
+const (
+	PresetFog1RetentionSeconds  = 60 * 60
+	PresetFog2RetentionSeconds  = 24 * 60 * 60
+	PresetCloudRetentionSeconds = 5 * 365 * 24 * 60 * 60
 )
 
 // DistrictSpec is one district of the deployment.
@@ -57,6 +69,27 @@ type Deployment struct {
 	// MemtableBytes caps each segment store's in-RAM memtable before
 	// it flushes to a segment file (0 = engine default).
 	MemtableBytes int64 `json:"memtableBytes,omitempty"`
+	// CloudRetentionSeconds bounds the cloud archive's age (0 keeps
+	// it forever — the pre-preset behavior).
+	CloudRetentionSeconds int64 `json:"cloudRetentionSeconds,omitempty"`
+	// NodeRetentionSeconds overrides the tier retention preset for
+	// individual nodes, keyed by node ID (e.g. "fog1/Gràcia/3",
+	// "fog2/Gràcia", "cloud").
+	NodeRetentionSeconds map[string]int64 `json:"nodeRetentionSeconds,omitempty"`
+	// Overload enables the per-class weighted-fair admission
+	// scheduler on every node's handler path.
+	Overload bool `json:"overload,omitempty"`
+	// IngestRateBytes rate-limits the ingest class to this many
+	// payload bytes per second (0 = unlimited; requires overload).
+	IngestRateBytes int64 `json:"ingestRateBytes,omitempty"`
+	// DegradeToSummary folds buffer-trimmed readings into window
+	// summaries forwarded upward instead of dropping them.
+	DegradeToSummary bool `json:"degradeToSummary,omitempty"`
+	// DegradeWindowSeconds is the degraded-summary window width
+	// (0 = fognode default, one minute).
+	DegradeWindowSeconds int `json:"degradeWindowSeconds,omitempty"`
+	// AdaptiveFlush enables RTT-driven flush batch/interval tuning.
+	AdaptiveFlush bool `json:"adaptiveFlush,omitempty"`
 }
 
 // Barcelona returns the deployment matching the paper's use case.
@@ -73,10 +106,11 @@ func Barcelona() Deployment {
 		Codec:                "zip",
 		Dedup:                true,
 		Quality:              true,
-		Fog1FlushSeconds:     15 * 60,
-		Fog2FlushSeconds:     60 * 60,
-		Fog1RetentionSeconds: 60 * 60,
-		Fog2RetentionSeconds: 24 * 60 * 60,
+		Fog1FlushSeconds:      15 * 60,
+		Fog2FlushSeconds:      60 * 60,
+		Fog1RetentionSeconds:  PresetFog1RetentionSeconds,
+		Fog2RetentionSeconds:  PresetFog2RetentionSeconds,
+		CloudRetentionSeconds: PresetCloudRetentionSeconds,
 	}
 }
 
@@ -122,6 +156,26 @@ func (d Deployment) Validate() error {
 	}
 	if d.MemtableBytes < 0 {
 		return fmt.Errorf("config: negative memtableBytes")
+	}
+	if d.CloudRetentionSeconds < 0 {
+		return fmt.Errorf("config: negative cloudRetentionSeconds")
+	}
+	for id, v := range d.NodeRetentionSeconds {
+		if id == "" {
+			return fmt.Errorf("config: nodeRetentionSeconds has an empty node id")
+		}
+		if v < 0 {
+			return fmt.Errorf("config: negative nodeRetentionSeconds[%s]", id)
+		}
+	}
+	if d.IngestRateBytes < 0 {
+		return fmt.Errorf("config: negative ingestRateBytes")
+	}
+	if d.IngestRateBytes > 0 && !d.Overload {
+		return fmt.Errorf("config: ingestRateBytes requires overload")
+	}
+	if d.DegradeWindowSeconds < 0 {
+		return fmt.Errorf("config: negative degradeWindowSeconds")
 	}
 	return nil
 }
@@ -176,6 +230,22 @@ func (d Deployment) Options(clock sim.Clock) (core.Options, error) {
 			byCat[cat] = time.Duration(secs) * time.Second
 		}
 	}
+	var overload *sched.Options
+	if d.Overload {
+		so := OverloadOptions(d.IngestRateBytes)
+		overload = &so
+	}
+	var adaptive *fognode.AdaptiveConfig
+	if d.AdaptiveFlush {
+		adaptive = &fognode.AdaptiveConfig{}
+	}
+	var nodeRetention map[string]time.Duration
+	if len(d.NodeRetentionSeconds) > 0 {
+		nodeRetention = make(map[string]time.Duration, len(d.NodeRetentionSeconds))
+		for id, secs := range d.NodeRetentionSeconds {
+			nodeRetention[id] = time.Duration(secs) * time.Second
+		}
+	}
 	return core.Options{
 		Topology:            topo,
 		Clock:               clock,
@@ -191,7 +261,29 @@ func (d Deployment) Options(clock sim.Clock) (core.Options, error) {
 		DataDir:             d.DataDir,
 		SegmentStorage:      d.SegmentStorage,
 		MemtableBytes:       d.MemtableBytes,
+		CloudRetention:      time.Duration(d.CloudRetentionSeconds) * time.Second,
+		NodeRetention:       nodeRetention,
+		Overload:            overload,
+		DegradeToSummary:    d.DegradeToSummary,
+		DegradeWindow:       time.Duration(d.DegradeWindowSeconds) * time.Second,
+		AdaptiveFlush:       adaptive,
 	}, nil
+}
+
+// OverloadOptions builds a deployment's admission-scheduler options:
+// the default class weights, with the ingest class optionally
+// token-bucket limited to rateBytes payload bytes per second
+// (0 = unlimited). Shared by the deployment document and the daemon
+// flags so both spell overload identically.
+func OverloadOptions(rateBytes int64) sched.Options {
+	so := sched.DefaultOptions()
+	if rateBytes > 0 {
+		c := so.Classes["ingest"]
+		c.Rate = float64(rateBytes)
+		c.Burst = float64(rateBytes)
+		so.Classes["ingest"] = c
+	}
+	return so
 }
 
 // Parse decodes and validates a JSON document.

@@ -7,6 +7,7 @@ import (
 	"f2c/internal/cloud"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
+	"f2c/internal/sched"
 	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
@@ -56,6 +57,22 @@ type MemberOptions struct {
 	// Storage backs the node's temporal store (the cloud's query
 	// series) with the tiered segment engine instead of RAM.
 	Storage *segment.Options
+	// Overload enables the per-class weighted-fair admission scheduler
+	// on the node's handler path (nil keeps admission ungated). Each
+	// node builds its own scheduler instance from the shared options.
+	Overload *sched.Options
+	// DegradeToSummary folds buffer-trimmed readings into decomposable
+	// window summaries forwarded upward instead of dropping them.
+	DegradeToSummary bool
+	// DegradeWindow is the summary window width (zero selects the
+	// fognode default).
+	DegradeWindow time.Duration
+	// Adaptive enables RTT-driven flush batch/interval tuning (nil
+	// keeps the fixed FlushInterval and unchunked batches).
+	Adaptive *fognode.AdaptiveConfig
+	// CloudRetention bounds the cloud archive's age (zero keeps it
+	// forever). Ignored on fog nodes, which use Retention.
+	CloudRetention time.Duration
 }
 
 // FogConfig assembles the fognode.Config for one fog node of either
@@ -83,6 +100,10 @@ func FogConfig(spec topology.NodeSpec, o MemberOptions) fognode.Config {
 		FailoverAfter:      o.FailoverAfter,
 		Durability:         o.Durability,
 		Storage:            o.Storage,
+		Scheduler:          o.Overload,
+		DegradeToSummary:   o.DegradeToSummary,
+		DegradeWindow:      o.DegradeWindow,
+		Adaptive:           o.Adaptive,
 	}
 }
 
@@ -97,5 +118,7 @@ func CloudConfig(id string, o MemberOptions) cloud.Config {
 		MaxQueryPage: o.MaxQueryPage,
 		Durability:   o.Durability,
 		Storage:      o.Storage,
+		Scheduler:    o.Overload,
+		Retention:    o.CloudRetention,
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"f2c/internal/model"
 	"f2c/internal/placement"
 	"f2c/internal/query"
+	"f2c/internal/sched"
 	"f2c/internal/segment"
 	"f2c/internal/sensor"
 	"f2c/internal/sim"
@@ -126,6 +127,26 @@ type Options struct {
 	// MemtableBytes caps each segment store's in-RAM memtable before
 	// it flushes to a segment file (zero selects the engine default).
 	MemtableBytes int64
+	// Overload enables per-class weighted-fair admission with
+	// token-bucket rate limits on every node's handler path (nil keeps
+	// admission ungated; sched.DefaultOptions() is the usual value).
+	Overload *sched.Options
+	// DegradeToSummary turns MaxPendingReadings overflow into graceful
+	// degradation: trimmed readings fold into decomposable window
+	// summaries forwarded upward instead of being dropped.
+	DegradeToSummary bool
+	// DegradeWindow is the degraded-summary window width (zero selects
+	// the fognode default, one minute).
+	DegradeWindow time.Duration
+	// AdaptiveFlush enables RTT-driven flush batch/interval tuning on
+	// every fog node (nil keeps the fixed cadence).
+	AdaptiveFlush *fognode.AdaptiveConfig
+	// CloudRetention bounds the cloud archive's age — the paper's
+	// years-scale preservation tier made finite (zero keeps forever).
+	CloudRetention time.Duration
+	// NodeRetention overrides the layer preset for individual nodes,
+	// keyed by node ID (CloudID overrides CloudRetention).
+	NodeRetention map[string]time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -296,6 +317,10 @@ func (s *System) storageFor(id string) *segment.Options {
 // caller.
 func (s *System) memberOptions(retention, flush time.Duration, siblings []string, durability *wal.Config) MemberOptions {
 	return MemberOptions{
+		Overload:         s.opts.Overload,
+		DegradeToSummary: s.opts.DegradeToSummary,
+		DegradeWindow:    s.opts.DegradeWindow,
+		Adaptive:         s.opts.AdaptiveFlush,
 		City:               s.opts.City,
 		Clock:              s.opts.Clock,
 		Transport:          s.net,
@@ -317,9 +342,18 @@ func (s *System) memberOptions(retention, flush time.Duration, siblings []string
 	}
 }
 
+// retentionFor applies a per-node override on top of the layer preset.
+func (s *System) retentionFor(id string, preset time.Duration) time.Duration {
+	if r, ok := s.opts.NodeRetention[id]; ok {
+		return r
+	}
+	return preset
+}
+
 func (s *System) buildCloud() (*cloud.Node, error) {
 	mo := s.memberOptions(0, 0, nil, s.durabilityFor(CloudID))
 	mo.Storage = s.storageFor(CloudID)
+	mo.CloudRetention = s.retentionFor(CloudID, s.opts.CloudRetention)
 	return cloud.New(CloudConfig(CloudID, mo))
 }
 
@@ -338,7 +372,7 @@ func (s *System) fog2Siblings(id string) []string {
 
 func (s *System) buildFog2(spec topology.NodeSpec) (*fognode.Node, error) {
 	mo := s.memberOptions(
-		s.opts.Fog2Retention, s.opts.Fog2FlushInterval,
+		s.retentionFor(spec.ID, s.opts.Fog2Retention), s.opts.Fog2FlushInterval,
 		s.fog2Siblings(spec.ID), s.durabilityFor(spec.ID))
 	mo.Storage = s.storageFor(spec.ID)
 	return fognode.New(FogConfig(spec, mo))
@@ -346,7 +380,7 @@ func (s *System) buildFog2(spec topology.NodeSpec) (*fognode.Node, error) {
 
 func (s *System) buildFog1(spec topology.NodeSpec) (*fognode.Node, error) {
 	mo := s.memberOptions(
-		s.opts.Fog1Retention, s.opts.Fog1FlushInterval,
+		s.retentionFor(spec.ID, s.opts.Fog1Retention), s.opts.Fog1FlushInterval,
 		s.topo.Neighbors(spec.ID), s.durabilityFor(spec.ID))
 	mo.Storage = s.storageFor(spec.ID)
 	return fognode.New(FogConfig(spec, mo))

@@ -1,0 +1,199 @@
+package fognode
+
+import (
+	"sync"
+	"time"
+
+	"f2c/internal/metrics"
+)
+
+// AdaptiveConfig tunes the adaptive flush controller: an EWMA of the
+// parent round-trip time plus the local queue depth drive the flush
+// batch size and interval between configured floor and ceiling — the
+// paper's "strategically decided" upward frequency, decided
+// continuously by the network instead of once by the operator.
+type AdaptiveConfig struct {
+	// MinBatch / MaxBatch bound the per-send batch size in readings
+	// (defaults 64 / 8192). The controller starts midway.
+	MinBatch, MaxBatch int
+	// MinInterval / MaxInterval bound the background flush cadence
+	// (defaults FlushInterval/8 and FlushInterval).
+	MinInterval, MaxInterval time.Duration
+	// TargetRTT is the parent round-trip the controller steers toward
+	// (default 50ms): below it batches grow and flushes accelerate,
+	// beyond twice it they shrink and slow down.
+	TargetRTT time.Duration
+	// Alpha is the RTT EWMA smoothing factor in (0, 1] (default 0.2).
+	Alpha float64
+}
+
+func (c *AdaptiveConfig) applyDefaults(flushInterval time.Duration) {
+	if c.MinBatch <= 0 {
+		c.MinBatch = 64
+	}
+	if c.MaxBatch < c.MinBatch {
+		c.MaxBatch = 8192
+		if c.MaxBatch < c.MinBatch {
+			c.MaxBatch = c.MinBatch
+		}
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = flushInterval / 8
+		if c.MinInterval <= 0 {
+			c.MinInterval = time.Second
+		}
+	}
+	if c.MaxInterval < c.MinInterval {
+		c.MaxInterval = flushInterval
+		if c.MaxInterval < c.MinInterval {
+			c.MaxInterval = c.MinInterval
+		}
+	}
+	if c.TargetRTT <= 0 {
+		c.TargetRTT = 50 * time.Millisecond
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+}
+
+// flushController is the adaptive-batch state machine. AIMD over the
+// batch size: backpressure halves it (and doubles the interval), a
+// healthy RTT with a drained queue grows it additively (and shortens
+// the interval), an RTT past twice the target decays both. All methods
+// are safe for concurrent use.
+type flushController struct {
+	cfg AdaptiveConfig
+
+	mu          sync.Mutex
+	ewma        time.Duration // smoothed parent RTT; 0 = no sample yet
+	batch       int
+	ivl         time.Duration
+	backpressed bool // since the last onFlushDone
+
+	gBatch *metrics.Gauge
+	gIvl   *metrics.Gauge
+	gRTT   *metrics.Gauge
+}
+
+// newFlushController builds a controller starting midway between the
+// batch bounds at the configured base interval.
+func newFlushController(cfg AdaptiveConfig, flushInterval time.Duration, reg *metrics.Registry, prefix string) *flushController {
+	cfg.applyDefaults(flushInterval)
+	c := &flushController{
+		cfg:   cfg,
+		batch: (cfg.MinBatch + cfg.MaxBatch) / 2,
+		ivl:   cfg.MaxInterval,
+	}
+	if reg != nil {
+		c.gBatch = reg.Gauge(prefix + "flush.adaptive.batch")
+		c.gIvl = reg.Gauge(prefix + "flush.adaptive.interval_ms")
+		c.gRTT = reg.Gauge(prefix + "flush.adaptive.rtt_ewma_us")
+		c.publishLocked()
+	}
+	return c
+}
+
+// publishLocked refreshes the gauges. Caller holds c.mu (or owns c
+// exclusively during construction).
+func (c *flushController) publishLocked() {
+	if c.gBatch == nil {
+		return
+	}
+	c.gBatch.Set(int64(c.batch))
+	c.gIvl.Set(int64(c.ivl / time.Millisecond))
+	c.gRTT.Set(int64(c.ewma / time.Microsecond))
+}
+
+// batchSize returns the current per-send batch bound in readings.
+func (c *flushController) batchSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batch
+}
+
+// interval returns the current background flush cadence.
+func (c *flushController) interval() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ivl
+}
+
+// rtt returns the smoothed parent round-trip (0 before any sample).
+func (c *flushController) rtt() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ewma
+}
+
+// observeRTT folds one parent round-trip sample into the EWMA.
+func (c *flushController) observeRTT(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.ewma == 0 {
+		c.ewma = d
+	} else {
+		c.ewma = time.Duration(c.cfg.Alpha*float64(d) + (1-c.cfg.Alpha)*float64(c.ewma))
+	}
+	c.publishLocked()
+	c.mu.Unlock()
+}
+
+// onBackpressure reacts to a deferred send (window exhausted or peer
+// overloaded): multiplicative decrease on the batch, doubled interval.
+func (c *flushController) onBackpressure() {
+	c.mu.Lock()
+	c.backpressed = true
+	c.batch /= 2
+	if c.batch < c.cfg.MinBatch {
+		c.batch = c.cfg.MinBatch
+	}
+	c.ivl *= 2
+	if c.ivl > c.cfg.MaxInterval {
+		c.ivl = c.cfg.MaxInterval
+	}
+	c.publishLocked()
+	c.mu.Unlock()
+}
+
+// onFlushDone closes one flush round given the post-flush queue depth
+// (readings still buffered): with no backpressure this round, a
+// healthy RTT and a queue the current batch can clear, the batch grows
+// additively and the cadence accelerates; an RTT past twice the target
+// decays both toward gentler load.
+func (c *flushController) onFlushDone(queueDepth int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bp := c.backpressed
+	c.backpressed = false
+	defer c.publishLocked()
+	if bp {
+		return // the decrease already happened at the send
+	}
+	switch {
+	case c.ewma > 2*c.cfg.TargetRTT:
+		c.batch = c.batch * 3 / 4
+		if c.batch < c.cfg.MinBatch {
+			c.batch = c.cfg.MinBatch
+		}
+		c.ivl = c.ivl * 5 / 4
+		if c.ivl > c.cfg.MaxInterval {
+			c.ivl = c.cfg.MaxInterval
+		}
+	case c.ewma <= c.cfg.TargetRTT && queueDepth < c.batch:
+		grow := c.batch / 4
+		if grow < 1 {
+			grow = 1
+		}
+		c.batch += grow
+		if c.batch > c.cfg.MaxBatch {
+			c.batch = c.cfg.MaxBatch
+		}
+		c.ivl = c.ivl * 3 / 4
+		if c.ivl < c.cfg.MinInterval {
+			c.ivl = c.cfg.MinInterval
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package fognode
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/transport"
+)
+
+// Graceful degradation: when MaxPendingReadings trims a type's upward
+// buffer, a degrading node folds the trimmed readings into
+// per-time-window decomposable summaries (the PR 3 push-down type)
+// instead of dropping them, and forwards the summaries upward under
+// transport.KindSummaryPush at the next flush. An overloaded fog node
+// then loses resolution, not information; the raw-shed path remains
+// only as the last resort when the degrade tier itself overflows.
+//
+// Degraded windows live in memory only (they are the fallback for
+// readings the journal has already recorded as trimmed), so a crash
+// between degrade and push loses at most the degraded resolution —
+// never journaled raw data.
+
+// sealedSummary is one summary push frozen under a delivery sequence,
+// sharing the node's batch sequence space so the parent's per-origin
+// replay filter dedups retried pushes exactly like batches.
+type sealedSummary struct {
+	push protocol.SummaryPush
+	seq  uint64
+}
+
+// degradeBuf accumulates one type's degraded readings as per-window
+// decomposable summaries, keyed by the window's start instant
+// (UnixNano).
+type degradeBuf struct {
+	category model.Category
+	windows  map[int64]aggregate.Summary
+}
+
+// fold merges one reading into its time window. When the buffer is at
+// its window cap and the reading opens a new window, it folds into the
+// nearest existing window instead — coarser, still lossless in count.
+func (d *degradeBuf) fold(r model.Reading, window time.Duration, maxWindows int) {
+	w := int64(window)
+	ws := r.Time.UnixNano()
+	ws -= ((ws % w) + w) % w // floor for pre-epoch instants too
+	if _, ok := d.windows[ws]; !ok && maxWindows > 0 && len(d.windows) >= maxWindows {
+		nearest, found := int64(0), false
+		for k := range d.windows {
+			if !found || abs64(k-ws) < abs64(nearest-ws) {
+				nearest, found = k, true
+			}
+		}
+		ws = nearest
+	}
+	d.windows[ws] = d.windows[ws].Observe(r.Value)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// degradeLocked folds readings being trimmed from a type's buffer into
+// the shard's degrade buffer. Caller holds the shard lock.
+func (n *Node) degradeLocked(sh *pendingShard, typ string, cat model.Category, readings []model.Reading) {
+	buf, ok := sh.degraded[typ]
+	if !ok {
+		buf = &degradeBuf{category: cat, windows: make(map[int64]aggregate.Summary)}
+		sh.degraded[typ] = buf
+	}
+	window := n.cfg.DegradeWindow
+	for _, r := range readings {
+		buf.fold(r, window, n.cfg.MaxDegradedWindows)
+	}
+	n.degradedReads.Add(int64(len(readings)))
+}
+
+// sealSummaryLocked freezes a type's degrade buffer into an immutable
+// push under a fresh delivery sequence, windows in time order. Caller
+// holds the shard lock.
+func (n *Node) sealSummaryLocked(typ string, buf *degradeBuf) sealedSummary {
+	window := int64(n.cfg.DegradeWindow)
+	push := protocol.SummaryPush{
+		Origin:   n.cfg.Spec.ID,
+		Seq:      n.seq.Add(1),
+		TypeName: typ,
+		Category: buf.category.String(),
+		Windows:  make([]protocol.SummaryWindow, 0, len(buf.windows)),
+	}
+	for ws, s := range buf.windows {
+		push.Windows = append(push.Windows, protocol.SummaryWindow{
+			StartUnix: ws, EndUnix: ws + window, Summary: s,
+		})
+	}
+	sort.Slice(push.Windows, func(i, j int) bool {
+		return push.Windows[i].StartUnix < push.Windows[j].StartUnix
+	})
+	return sealedSummary{push: push, seq: push.Seq}
+}
+
+// deliverSummary sends one sealed push to the parent. Summaries never
+// ride sibling relays: they exist to relieve an overload, and shifting
+// them sideways would spread it.
+func (n *Node) deliverSummary(ctx context.Context, ss sealedSummary) error {
+	now := n.cfg.Clock.Now()
+	if !n.up.parentDue(now) {
+		return errDeferred
+	}
+	payload, err := protocol.EncodeJSON(ss.push)
+	if err != nil {
+		return err
+	}
+	msg := transport.Message{
+		From:    n.cfg.Spec.ID,
+		To:      n.cfg.Spec.Parent,
+		Kind:    transport.KindSummaryPush,
+		Class:   ss.push.Category,
+		Payload: payload,
+	}
+	start := time.Now()
+	if _, err := n.cfg.Transport.Send(ctx, msg); err == nil {
+		n.up.onParentSuccess()
+		if n.ctl != nil {
+			n.ctl.observeRTT(time.Since(start))
+		}
+		n.summariesEmitted.Inc()
+		n.flushedBytes.Add(msg.WireSize())
+		return nil
+	} else if errors.Is(err, transport.ErrBackpressure) || transport.IsOverload(err) {
+		if n.ctl != nil {
+			n.ctl.onBackpressure()
+		}
+		n.deferredFlushes.Inc()
+		return errDeferred
+	} else {
+		n.up.onParentFailure(now)
+		return err
+	}
+}
+
+// requeueSummaries parks unsent pushes back on their type's summary
+// retry queue, sequences frozen. The queue is bounded by
+// MaxSummaryRetry; beyond it the oldest push is dropped and its folded
+// readings finally counted as shed — the degrade tier is exhausted and
+// raw-shed is the last resort left.
+func (n *Node) requeueSummaries(typ string, pushes []sealedSummary) {
+	if len(pushes) == 0 {
+		return
+	}
+	sh := n.shardFor(typ)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	q := append(sh.sumRetry[typ], pushes...)
+	max := n.cfg.MaxSummaryRetry
+	for max > 0 && len(q) > max {
+		n.shedReads.Add(q[0].push.Readings())
+		q[0] = sealedSummary{}
+		q = q[1:]
+	}
+	sh.sumRetry[typ] = q
+}
+
+// handleSummaryPush is the receiving half of degradation: a child (or
+// this node's own lower tier) pushed degraded windows upward. They are
+// deduped by (origin, seq) against retries, then folded into this
+// node's own degrade buffer, to be re-emitted upward under this node's
+// identity at its next flush — the same combine-and-forward shape the
+// batch path has.
+func (n *Node) handleSummaryPush(payload []byte) ([]byte, error) {
+	var push protocol.SummaryPush
+	if err := protocol.DecodeJSON(payload, &push); err != nil {
+		return nil, err
+	}
+	if err := push.Validate(); err != nil {
+		return nil, err
+	}
+	if n.replay.Seen(push.Origin, push.Seq) {
+		n.dupBatches.Inc()
+		return []byte("ok"), nil
+	}
+	cat, _ := model.ParseCategory(push.Category)
+	sh := n.shardFor(push.TypeName)
+	sh.mu.Lock()
+	buf, ok := sh.degraded[push.TypeName]
+	if !ok {
+		buf = &degradeBuf{category: cat, windows: make(map[int64]aggregate.Summary)}
+		sh.degraded[push.TypeName] = buf
+	}
+	for _, w := range push.Windows {
+		s := buf.windows[w.StartUnix]
+		s = s.Merge(w.Summary)
+		buf.windows[w.StartUnix] = s
+	}
+	sh.mu.Unlock()
+	n.degradedIn.Add(push.Readings())
+	n.replay.Mark(push.Origin, push.Seq)
+	return []byte("ok"), nil
+}
+
+// DegradedReadings reports how many buffered readings this node folded
+// into summaries instead of shedding them raw.
+func (n *Node) DegradedReadings() int64 { return n.degradedReads.Value() }
+
+// SummariesEmitted reports how many degraded summary pushes this node
+// delivered upward.
+func (n *Node) SummariesEmitted() int64 { return n.summariesEmitted.Value() }
+
+// DegradedInbound reports how many degraded readings arrived from
+// below as summary pushes.
+func (n *Node) DegradedInbound() int64 { return n.degradedIn.Value() }

@@ -62,19 +62,30 @@ func (n *Node) Start() {
 	go n.run()
 }
 
-// run is the flusher goroutine. It exits when Close is called.
+// run is the flusher goroutine. It exits when Close is called. With
+// the adaptive controller, each round re-reads the controller's
+// current interval, so the cadence accelerates when the pipe is
+// healthy and backs off under backpressure; without it, the fixed
+// FlushInterval applies.
 func (n *Node) run() {
 	defer close(n.lc.done)
-	ticker := time.NewTicker(n.cfg.FlushInterval)
-	defer ticker.Stop()
+	next := func() time.Duration {
+		if n.ctl != nil {
+			return n.ctl.interval()
+		}
+		return n.cfg.FlushInterval
+	}
+	timer := time.NewTimer(next())
+	defer timer.Stop()
 	for {
 		select {
-		case <-ticker.C:
+		case <-timer.C:
 			// Flush errors leave data queued for the next tick;
 			// the flush-error counter records them for operators.
 			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.FlushInterval)
 			_ = n.Flush(ctx)
 			cancel()
+			timer.Reset(next())
 		case <-n.lc.stop:
 			return
 		}

@@ -11,6 +11,18 @@
 // calls on different sensor types never contend on a node-wide lock,
 // and flushes move the sharded pending buffers upward with a bounded
 // worker pool.
+//
+// Overload is handled in three tiers. Admission (Config.Scheduler): a
+// per-class weighted-fair scheduler gates Handle so queries keep their
+// share of the node's capacity under an ingest burst, rejecting an
+// overflowing class fast with the typed overload error. Degradation
+// (Config.DegradeToSummary): when the MaxPendingReadings bound trims a
+// type's upward buffer, the trimmed readings fold into per-window
+// decomposable summaries pushed upward at the next flush — resolution
+// is lost, counts are not; raw shed remains only as the last resort.
+// Adaptation (Config.Adaptive): an EWMA of parent RTT plus queue depth
+// steers the flush batch size and interval between configured bounds,
+// halving on backpressure and ramping while the link is healthy.
 package fognode
 
 import (
@@ -29,6 +41,7 @@ import (
 	"f2c/internal/model"
 	"f2c/internal/protocol"
 	"f2c/internal/quality"
+	"f2c/internal/sched"
 	"f2c/internal/segment"
 	"f2c/internal/sim"
 	"f2c/internal/store"
@@ -80,6 +93,36 @@ type Config struct {
 	// and counted in the <node>.flush.shed metric. Zero means
 	// unbounded.
 	MaxPendingReadings int
+	// DegradeToSummary changes what the MaxPendingReadings bound does
+	// with the oldest readings: instead of shedding them raw, they are
+	// folded into per-window decomposable summaries and pushed upward
+	// at the next flush (transport.KindSummaryPush) — the node loses
+	// resolution, not information. Counted in flush.degraded_readings
+	// and flush.summaries_emitted; raw shed remains the last resort
+	// once the summary retry tier overflows.
+	DegradeToSummary bool
+	// DegradeWindow is the time-window granularity degraded readings
+	// are summarized at (default 1 minute).
+	DegradeWindow time.Duration
+	// MaxDegradedWindows bounds how many distinct windows one type's
+	// degrade buffer may hold (default 64); beyond it new readings
+	// fold into the nearest existing window — coarser, still counted.
+	MaxDegradedWindows int
+	// MaxSummaryRetry bounds a type's unsent summary-push retry queue
+	// (default 64); beyond it the oldest push is dropped and its
+	// readings finally counted as shed.
+	MaxSummaryRetry int
+	// Scheduler, when set, gates this node's handler path with a
+	// per-class weighted-fair admission scheduler (ingest / query /
+	// relay), so latency-sensitive traffic never starves behind bulk
+	// ingest at the node itself. Each node builds its own scheduler
+	// instance from these shared options.
+	Scheduler *sched.Options
+	// Adaptive, when set, replaces the fixed flush cadence and
+	// whole-buffer batch sealing with the adaptive controller: an EWMA
+	// of parent RTT plus queue depth steers batch size and flush
+	// interval between configured bounds, backing off on backpressure.
+	Adaptive *AdaptiveConfig
 	// PendingShards sets how many hash shards back the per-type
 	// pending buffers and description tags (rounded up to a power of
 	// two). Zero selects the default (16); 1 restores a single
@@ -189,6 +232,15 @@ func (c *Config) applyDefaults() error {
 	if c.FailoverAfter <= 0 {
 		c.FailoverAfter = 3
 	}
+	if c.DegradeWindow <= 0 {
+		c.DegradeWindow = time.Minute
+	}
+	if c.MaxDegradedWindows <= 0 {
+		c.MaxDegradedWindows = 64
+	}
+	if c.MaxSummaryRetry <= 0 {
+		c.MaxSummaryRetry = 64
+	}
 	return nil
 }
 
@@ -223,17 +275,26 @@ type Node struct {
 	journal  *journal
 	flightMu sync.RWMutex
 
-	ingestedBatches *metrics.Counter
-	ingestedReads   *metrics.Counter
-	flushedBatches  *metrics.Counter
-	flushedBytes    *metrics.Counter
-	flushErrors     *metrics.Counter
-	rejectedReads   *metrics.Counter
-	shedReads       *metrics.Counter
-	outageDrops     *metrics.Counter
-	relayedBatches  *metrics.Counter
-	deferredFlushes *metrics.Counter
-	dupBatches      *metrics.Counter
+	// sched gates the handler path per traffic class (nil = no
+	// admission control); ctl is the adaptive flush controller (nil =
+	// fixed cadence, whole-buffer batches).
+	sched *sched.Scheduler
+	ctl   *flushController
+
+	ingestedBatches  *metrics.Counter
+	ingestedReads    *metrics.Counter
+	flushedBatches   *metrics.Counter
+	flushedBytes     *metrics.Counter
+	flushErrors      *metrics.Counter
+	rejectedReads    *metrics.Counter
+	shedReads        *metrics.Counter
+	outageDrops      *metrics.Counter
+	relayedBatches   *metrics.Counter
+	deferredFlushes  *metrics.Counter
+	dupBatches       *metrics.Counter
+	degradedReads    *metrics.Counter
+	summariesEmitted *metrics.Counter
+	degradedIn       *metrics.Counter
 
 	// scratch recycles per-flush-worker buffers (wire encoding,
 	// sealed payload, collected batch slice) so steady-state flushes
@@ -328,6 +389,15 @@ func New(cfg Config) (*Node, error) {
 	n.relayedBatches = reg.Counter(prefix + "flush.relayed")
 	n.deferredFlushes = reg.Counter(prefix + "flush.deferred")
 	n.dupBatches = reg.Counter(prefix + "ingest.duplicates")
+	n.degradedReads = reg.Counter(prefix + "flush.degraded_readings")
+	n.summariesEmitted = reg.Counter(prefix + "flush.summaries_emitted")
+	n.degradedIn = reg.Counter(prefix + "ingest.degraded_in")
+	if cfg.Scheduler != nil {
+		n.sched = sched.New(*cfg.Scheduler, cfg.Clock, reg, prefix+"sched.")
+	}
+	if cfg.Adaptive != nil {
+		n.ctl = newFlushController(*cfg.Adaptive, cfg.FlushInterval, reg, prefix)
+	}
 
 	if cfg.Dedup {
 		n.stages = append(n.stages, dedupStage{deduper: n.deduper})
@@ -450,12 +520,18 @@ func (n *Node) enqueue(sh *pendingShard, b *model.Batch, origin string, seq uint
 
 // boundTypeLocked enforces MaxPendingReadings across everything a
 // type has buffered upward — the retry queue (failed sends held
-// through an outage) plus the fresh pending buffer — shedding oldest
+// through an outage) plus the fresh pending buffer — trimming oldest
 // first: the front of the retry queue, then the pending buffer's
-// head. Readings dropped from the retry queue are additionally
-// counted as DroppedDuringOutage: they were lost because the parent
-// stayed unreachable past the buffer budget, the signal operators
-// alarm on. The caller holds the shard lock.
+// head. Without DegradeToSummary the trimmed readings are shed;
+// readings dropped from the retry queue are additionally counted as
+// DroppedDuringOutage: they were lost because the parent stayed
+// unreachable past the buffer budget, the signal operators alarm on.
+// With DegradeToSummary the trimmed readings are instead folded into
+// the type's per-window degrade buffer (resolution lost, counts
+// preserved) to be pushed upward at the next flush. Either way the
+// trim itself is journaled (best effort) so recovery does not
+// resurrect readings the bound already removed — degraded windows
+// themselves are in-memory only. The caller holds the shard lock.
 func (n *Node) boundTypeLocked(sh *pendingShard, typ string) {
 	max := n.cfg.MaxPendingReadings
 	if max <= 0 {
@@ -473,11 +549,12 @@ func (n *Node) boundTypeLocked(sh *pendingShard, typ string) {
 		return
 	}
 	if n.journal != nil {
-		// Journal the shed so recovery does not resurrect readings the
-		// bound already dropped. Best-effort: losing the record
+		// Journal the trim so recovery does not resurrect readings the
+		// bound already removed. Best-effort: losing the record
 		// degrades toward re-delivery, never toward loss.
 		_ = n.journal.appendShed(typ, drop)
 	}
+	degrade := n.cfg.DegradeToSummary
 	q := sh.retry[typ]
 	for drop > 0 && len(q) > 0 {
 		head := q[0].b
@@ -485,9 +562,13 @@ func (n *Node) boundTypeLocked(sh *pendingShard, typ string) {
 		if k > drop {
 			k = drop
 		}
+		if degrade {
+			n.degradeLocked(sh, typ, head.Category, head.Readings[:k])
+		} else {
+			n.shedReads.Add(int64(k))
+			n.outageDrops.Add(int64(k))
+		}
 		head.Readings = head.Readings[k:]
-		n.shedReads.Add(int64(k))
-		n.outageDrops.Add(int64(k))
 		drop -= k
 		if len(head.Readings) == 0 {
 			q[0] = sealedBatch{} // release the emptied batch
@@ -501,7 +582,11 @@ func (n *Node) boundTypeLocked(sh *pendingShard, typ string) {
 	}
 	if drop > 0 {
 		p := sh.pending[typ]
-		n.shedReads.Add(int64(drop))
+		if degrade {
+			n.degradeLocked(sh, typ, p.Category, p.Readings[:drop])
+		} else {
+			n.shedReads.Add(int64(drop))
+		}
 		kept := make([]model.Reading, len(p.Readings)-drop)
 		copy(kept, p.Readings[drop:])
 		p.Readings = kept
@@ -533,8 +618,9 @@ func (n *Node) DeferredFlushes() int64 { return n.deferredFlushes.Value() }
 // (healthy, backoff or relay).
 func (n *Node) UpstreamState() UpstreamState { return n.up.state() }
 
-// PendingBatches returns how many batches await an upward flush: the
-// per-type pending buffers plus every batch parked on a retry queue.
+// PendingBatches returns how many delivery units await an upward
+// flush: the per-type pending buffers, every batch parked on a retry
+// queue, every unsent summary push, and each nonempty degrade buffer.
 func (n *Node) PendingBatches() int {
 	total := 0
 	for i := range n.shards {
@@ -543,6 +629,14 @@ func (n *Node) PendingBatches() int {
 		total += len(sh.pending)
 		for _, q := range sh.retry {
 			total += len(q)
+		}
+		for _, q := range sh.sumRetry {
+			total += len(q)
+		}
+		for _, buf := range sh.degraded {
+			if len(buf.windows) > 0 {
+				total++
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -673,12 +767,15 @@ func (n *Node) maybeCheckpoint() {
 
 // typeWork is one sensor type's delivery unit for a flush: the retry
 // queue (frozen sequences, oldest first) followed by the fresh
-// pending batch. A worker sends the batches in order and stops at the
-// first failure, requeueing the unsent tail, so one type's readings
-// never arrive out of order within a flush.
+// pending batch(es), plus any degraded summary pushes (retried first,
+// then the freshly sealed degrade buffer). A worker sends the batches
+// in order and stops at the first failure, requeueing the unsent tail
+// (summaries included), so one type's readings never arrive out of
+// order within a flush.
 type typeWork struct {
-	typ     string
-	batches []sealedBatch
+	typ       string
+	batches   []sealedBatch
+	summaries []sealedSummary
 }
 
 // errDeferred marks a delivery skipped because the parent link is
@@ -719,9 +816,39 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 		}
 		return sb
 	}
+	// sealChunks freezes a pending buffer as one batch, or — under the
+	// adaptive controller — as a run of chunks bounded by the current
+	// batch size, each under its own sequence (the journal's seal
+	// replay peels the same chunks off the recovered buffer head).
+	sealChunks := func(typ string, p *model.Batch) []sealedBatch {
+		size := 0
+		if n.ctl != nil {
+			size = n.ctl.batchSize()
+		}
+		if size <= 0 || len(p.Readings) <= size {
+			return []sealedBatch{seal(typ, p)}
+		}
+		out := make([]sealedBatch, 0, (len(p.Readings)+size-1)/size)
+		for start := 0; start < len(p.Readings); start += size {
+			end := start + size
+			if end > len(p.Readings) {
+				end = len(p.Readings)
+			}
+			cb := &model.Batch{
+				NodeID: p.NodeID, TypeName: p.TypeName, Category: p.Category,
+				Collected: p.Collected, Readings: p.Readings[start:end:end],
+			}
+			out = append(out, seal(typ, cb))
+		}
+		return out
+	}
 	var works []typeWork
 	for i := range n.shards {
 		sh := &n.shards[i]
+		// idx tracks this shard's works entries by type so summary
+		// collection joins the type's existing delivery unit (types are
+		// owned by exactly one shard).
+		idx := make(map[string]int)
 		sh.mu.Lock()
 		for typ, q := range sh.retry {
 			if match != nil && !match(q[0].b) {
@@ -729,21 +856,57 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 			}
 			w := typeWork{typ: typ, batches: q}
 			if p, ok := sh.pending[typ]; ok {
-				w.batches = append(w.batches, seal(typ, p))
+				w.batches = append(w.batches, sealChunks(typ, p)...)
 				delete(sh.pending, typ)
 			}
 			delete(sh.retry, typ)
+			idx[typ] = len(works)
 			works = append(works, w)
 		}
 		for typ, b := range sh.pending {
 			if match == nil || match(b) {
-				works = append(works, typeWork{typ: typ, batches: []sealedBatch{seal(typ, b)}})
+				idx[typ] = len(works)
+				works = append(works, typeWork{typ: typ, batches: sealChunks(typ, b)})
 				delete(sh.pending, typ)
 			}
+		}
+		for typ, q := range sh.sumRetry {
+			cat, _ := model.ParseCategory(q[0].push.Category)
+			if match != nil && !match(&model.Batch{TypeName: typ, Category: cat}) {
+				continue
+			}
+			j, ok := idx[typ]
+			if !ok {
+				j = len(works)
+				idx[typ] = j
+				works = append(works, typeWork{typ: typ})
+			}
+			works[j].summaries = append(works[j].summaries, q...)
+			delete(sh.sumRetry, typ)
+		}
+		for typ, buf := range sh.degraded {
+			if len(buf.windows) == 0 {
+				continue
+			}
+			if match != nil && !match(&model.Batch{TypeName: typ, Category: buf.category}) {
+				continue
+			}
+			ss := n.sealSummaryLocked(typ, buf)
+			delete(sh.degraded, typ)
+			j, ok := idx[typ]
+			if !ok {
+				j = len(works)
+				idx[typ] = j
+				works = append(works, typeWork{typ: typ})
+			}
+			works[j].summaries = append(works[j].summaries, ss)
 		}
 		sh.mu.Unlock()
 	}
 	if len(works) == 0 {
+		if n.ctl != nil {
+			n.ctl.onFlushDone(0)
+		}
 		return nil
 	}
 	// Deterministic send/error order for tests and accounting. (Retry
@@ -767,48 +930,57 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 	}
 	if workers <= 1 {
 		sc := n.getScratch()
-		defer n.putScratch(sc)
 		for i := range works {
 			errs[i] = n.sendTypeWork(ctx, works[i], now, sc)
 		}
-		return errors.Join(errs...)
+		n.putScratch(sc)
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wsc := n.getScratch()
+				defer n.putScratch(wsc)
+				for i := range jobs {
+					errs[i] = n.sendTypeWork(ctx, works[i], now, wsc)
+				}
+			}()
+		}
+		for i := range works {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			wsc := n.getScratch()
-			defer n.putScratch(wsc)
-			for i := range jobs {
-				errs[i] = n.sendTypeWork(ctx, works[i], now, wsc)
-			}
-		}()
+	if n.ctl != nil {
+		// Close the adaptive round with the post-flush queue depth:
+		// what the sends could not clear (plus what ingested meanwhile)
+		// steers the next round's batch size and cadence.
+		n.ctl.onFlushDone(n.PendingReadings())
 	}
-	for i := range works {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// requeueWorks parks every batch of the given works back on its retry
-// queue (sequences preserved).
+// requeueWorks parks every batch and summary push of the given works
+// back on its retry queue (sequences preserved).
 func (n *Node) requeueWorks(works []typeWork) {
 	for _, w := range works {
 		n.requeue(w.batches)
+		n.requeueSummaries(w.typ, w.summaries)
 	}
 }
 
-// sendTypeWork delivers one type's batches in order, stopping at the
-// first failure and requeueing the unsent tail. A backoff deferral is
-// not an error: the tail stays queued for a later flush.
+// sendTypeWork delivers one type's batches in order, then its summary
+// pushes, stopping at the first failure and requeueing the unsent
+// tail. A backoff deferral is not an error: the tail stays queued for
+// a later flush.
 func (n *Node) sendTypeWork(ctx context.Context, w typeWork, now time.Time, sc *flushScratch) error {
 	for i := range w.batches {
 		if err := n.sendBatch(ctx, w.batches[i], now, sc); err != nil {
 			n.requeue(w.batches[i:])
+			n.requeueSummaries(w.typ, w.summaries)
 			if errors.Is(err, errDeferred) {
 				return nil
 			}
@@ -819,6 +991,16 @@ func (n *Node) sendTypeWork(ctx context.Context, w typeWork, now time.Time, sc *
 			// Acknowledged upward: the sealed batch is no longer this
 			// node's responsibility and recovery must not resend it.
 			_ = n.journal.appendCommit(w.typ, w.batches[i].seq)
+		}
+	}
+	for i := range w.summaries {
+		if err := n.deliverSummary(ctx, w.summaries[i]); err != nil {
+			n.requeueSummaries(w.typ, w.summaries[i:])
+			if errors.Is(err, errDeferred) {
+				return nil
+			}
+			n.flushErrors.Inc()
+			return fmt.Errorf("fognode %s: flush %s summaries: %w", n.cfg.Spec.ID, w.typ, err)
 		}
 	}
 	return nil
@@ -867,16 +1049,25 @@ func (n *Node) deliver(ctx context.Context, payload []byte, class string) error 
 			Class:   class,
 			Payload: payload,
 		}
+		start := time.Now()
 		if _, err := n.cfg.Transport.Send(ctx, msg); err == nil {
 			n.up.onParentSuccess()
+			if n.ctl != nil {
+				n.ctl.observeRTT(time.Since(start))
+			}
 			n.flushedBatches.Inc()
 			n.flushedBytes.Add(msg.WireSize())
 			return nil
-		} else if errors.Is(err, transport.ErrBackpressure) {
-			// Backpressure is not failure: the parent is alive but its
-			// flow-control window is full. Keep the batch queued and
-			// defer to the next flush — escalating to sibling relays
-			// would only shift the overload sideways.
+		} else if errors.Is(err, transport.ErrBackpressure) || transport.IsOverload(err) {
+			// Backpressure (window full) and overload (parent's
+			// admission queue full) are not failure: the parent is
+			// alive but saturated. Keep the batch queued and defer to
+			// the next flush — escalating to sibling relays would only
+			// shift the overload sideways. The adaptive controller
+			// backs the batch size off in response.
+			if n.ctl != nil {
+				n.ctl.onBackpressure()
+			}
 			n.deferredFlushes.Inc()
 			return errDeferred
 		} else {
@@ -946,9 +1137,24 @@ func (n *Node) Status() protocol.StatusResponse {
 
 var _ transport.Handler = (*Node)(nil)
 
-// Handle implements transport.Handler: child batches, sibling relay
-// requests, queries and control commands.
+// Handle implements transport.Handler: child batches, degraded
+// summary pushes, sibling relay requests, queries and control
+// commands. With a scheduler configured, every message first passes
+// the per-class weighted-fair admission gate, so a query is served by
+// its 8x share of this node's handler capacity even while bulk ingest
+// saturates it; an overflowing class is rejected fast with the typed
+// overload error, which senders treat like backpressure.
 func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error) {
+	if n.sched != nil {
+		release, err := n.sched.Admit(ctx, transport.ClassNameOf(msg.Kind), int64(len(msg.Payload)))
+		if err != nil {
+			if errors.Is(err, sched.ErrOverloaded) {
+				return nil, fmt.Errorf("fognode %s: %w", n.cfg.Spec.ID, transport.ErrOverloaded)
+			}
+			return nil, err
+		}
+		defer release()
+	}
 	switch msg.Kind {
 	case transport.KindBatch:
 		b, _, seq, err := protocol.DecodeBatchPayloadSeq(msg.Payload)
@@ -974,6 +1180,8 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 		// blackhole the sender's retry of a batch that failed to land.
 		n.replay.Mark(b.NodeID, seq)
 		return []byte("ok"), nil
+	case transport.KindSummaryPush:
+		return n.handleSummaryPush(msg.Payload)
 	case transport.KindRelay:
 		return n.handleRelay(ctx, msg)
 	case transport.KindQuery:

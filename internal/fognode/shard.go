@@ -35,6 +35,12 @@ type pendingShard struct {
 	pending map[string]*model.Batch
 	retry   map[string][]sealedBatch
 	tags    map[string]describe.Tags
+	// degraded holds per-type window summaries of readings the
+	// MaxPendingReadings bound folded away under degrade-to-summary
+	// (and summaries pushed up from children, awaiting re-emission);
+	// sumRetry holds sealed summary pushes whose upward send failed.
+	degraded map[string]*degradeBuf
+	sumRetry map[string][]sealedSummary
 }
 
 // newPendingShards allocates n shards rounded up to a power of two
@@ -52,6 +58,8 @@ func newPendingShards(n int) []pendingShard {
 		shards[i].pending = make(map[string]*model.Batch)
 		shards[i].retry = make(map[string][]sealedBatch)
 		shards[i].tags = make(map[string]describe.Tags)
+		shards[i].degraded = make(map[string]*degradeBuf)
+		shards[i].sumRetry = make(map[string][]sealedSummary)
 	}
 	return shards
 }

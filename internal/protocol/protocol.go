@@ -400,6 +400,58 @@ type SummaryResponse struct {
 	Summary aggregate.Summary `json:"summary"`
 }
 
+// SummaryWindow is one degraded time window inside a SummaryPush:
+// the decomposable aggregate of the raw readings that were folded
+// away, bounded by the window's [start, end) instants.
+type SummaryWindow struct {
+	StartUnix int64             `json:"startUnixNano"`
+	EndUnix   int64             `json:"endUnixNano"`
+	Summary   aggregate.Summary `json:"summary"`
+}
+
+// SummaryPush carries degraded ingest upward: when an overloaded fog
+// node folds pending raw readings into window summaries instead of
+// shedding them, the summaries travel in this envelope under
+// transport.KindSummaryPush. Origin and Seq share the batch delivery
+// sequence space of the origin node, so the receiver's existing
+// per-origin replay filter dedups retried pushes exactly like batches.
+type SummaryPush struct {
+	Origin   string          `json:"origin"`
+	Seq      uint64          `json:"seq"`
+	TypeName string          `json:"type"`
+	Category string          `json:"category"`
+	Windows  []SummaryWindow `json:"windows"`
+}
+
+// Readings returns the total raw-reading count folded into the push —
+// the degraded-resolution information the windows still carry.
+func (p SummaryPush) Readings() int64 {
+	var n int64
+	for _, w := range p.Windows {
+		n += w.Summary.Count
+	}
+	return n
+}
+
+// Validate checks push shape.
+func (p SummaryPush) Validate() error {
+	if p.Origin == "" {
+		return fmt.Errorf("protocol: summary push needs an origin")
+	}
+	if p.TypeName == "" {
+		return fmt.Errorf("protocol: summary push needs a type")
+	}
+	if len(p.Windows) == 0 {
+		return fmt.Errorf("protocol: summary push carries no windows")
+	}
+	for _, w := range p.Windows {
+		if w.Summary.Count <= 0 {
+			return fmt.Errorf("protocol: summary push window with no readings")
+		}
+	}
+	return nil
+}
+
 // ControlOp enumerates control commands.
 type ControlOp string
 

@@ -26,7 +26,8 @@
 //	uint64  request id (big-endian; replies echo the request's id)
 //
 //	request body:
-//	  byte     message kind (1 batch, 2 summary, 3 query, 4 control, 5 relay)
+//	  byte     message kind (1 batch, 2 summary, 3 query, 4 control,
+//	           5 relay, 6 summary-push)
 //	  uvarint  len + bytes  From (sender node id)
 //	  uvarint  len + bytes  To (addressed node id)
 //	  uvarint  len + bytes  Class (accounting class, e.g. category)
@@ -112,7 +113,7 @@ var classNames = []string{"ingest", "query", "relay"}
 // control) rides the latency-sensitive query stream.
 func ClassOf(k transport.Kind) Class {
 	switch k {
-	case transport.KindBatch:
+	case transport.KindBatch, transport.KindSummaryPush:
 		return ClassIngest
 	case transport.KindRelay:
 		return ClassRelay
@@ -123,11 +124,12 @@ func ClassOf(k transport.Kind) Class {
 
 // Message kind codes on the wire.
 var kindCodes = map[transport.Kind]byte{
-	transport.KindBatch:   1,
-	transport.KindSummary: 2,
-	transport.KindQuery:   3,
-	transport.KindControl: 4,
-	transport.KindRelay:   5,
+	transport.KindBatch:       1,
+	transport.KindSummary:     2,
+	transport.KindQuery:       3,
+	transport.KindControl:     4,
+	transport.KindRelay:       5,
+	transport.KindSummaryPush: 6,
 }
 
 var kindNames = map[byte]transport.Kind{
@@ -136,6 +138,7 @@ var kindNames = map[byte]transport.Kind{
 	3: transport.KindQuery,
 	4: transport.KindControl,
 	5: transport.KindRelay,
+	6: transport.KindSummaryPush,
 }
 
 // DefaultMaxFrame returns the frame-size bound derived from the batch

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Kind labels the protocol message types exchanged between layers.
@@ -36,6 +37,13 @@ const (
 	// is the same envelope KindBatch carries, so the batch keeps its
 	// origin identity (and delivery sequence) end to end.
 	KindRelay Kind = "relay"
+	// KindSummaryPush carries a degraded-ingest summary moving upward:
+	// when an overloaded fog node folds raw readings into decomposable
+	// window summaries instead of shedding them, the summaries travel
+	// under this kind (on the ingest stream — it is write traffic) so
+	// the parent can merge them without confusing them with KindSummary
+	// pull replies on the read path.
+	KindSummaryPush Kind = "summarypush"
 )
 
 // ClassQuery is the traffic-matrix class tagging query and summary
@@ -43,6 +51,21 @@ const (
 // flows; before this class existed they were accounted under the
 // empty class and indistinguishable from untagged traffic.
 const ClassQuery = "query"
+
+// ClassNameOf maps a message kind onto its admission-scheduling class
+// name ("ingest", "query", "relay") — the node-side mirror of the
+// tcpnet stream mapping, used by the per-class weighted-fair
+// scheduler gating each node's handler path.
+func ClassNameOf(k Kind) string {
+	switch k {
+	case KindBatch, KindSummaryPush:
+		return "ingest"
+	case KindRelay:
+		return "relay"
+	default:
+		return "query"
+	}
+}
 
 // Message is a framed request delivered to an endpoint.
 type Message struct {
@@ -119,7 +142,27 @@ var (
 	// backpressured parent is alive, so this must not trigger
 	// failover.
 	ErrBackpressure = errors.New("transport: backpressure")
+	// ErrOverloaded means the destination's admission scheduler
+	// rejected the message fast: its class's waiter queue is full.
+	// Like ErrBackpressure, the node is alive — senders defer rather
+	// than fail over. The sentinel's message text is matched by
+	// IsOverload so the signal survives a round-trip through a
+	// *RemoteError reply.
+	ErrOverloaded = errors.New("transport: node overloaded")
 )
+
+// IsOverload reports whether err is an admission-scheduler overload
+// rejection, either local (errors.Is against ErrOverloaded) or
+// remote: transports that learn of the rejection only through the
+// peer's error reply surface it as a *RemoteError whose message
+// preserves the sentinel text.
+func IsOverload(err error) bool {
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "node overloaded")
+}
 
 // PartitionError reports a send that hit an injected partition. It
 // unwraps to ErrPartitioned.
