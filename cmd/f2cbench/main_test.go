@@ -22,6 +22,15 @@ func TestDaysimRuns(t *testing.T) {
 	}
 }
 
+func TestRebalanceRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebalance churns a live elastic city")
+	}
+	if err := run([]string{"-exp", "rebalance", "-samples", "500", "-min-events", "2"}); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "warp-drive"},

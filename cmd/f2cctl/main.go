@@ -3,6 +3,7 @@
 //	f2cctl -node http://localhost:8082 status
 //	f2cctl -node http://localhost:8082 flush
 //	f2cctl -node http://localhost:8082 metrics
+//	f2cctl -node http://localhost:8082 -node-id fog1/d01-s01 routes
 //	f2cctl -transport tcp -node localhost:9000 status
 //	f2cctl -node http://localhost:8082 latest <sensorID>
 //	f2cctl -node http://localhost:8082 range <type> <fromRFC3339> <toRFC3339>
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -57,7 +59,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: status|flush|metrics|latest|range|sum|dlc|topology")
+		return errors.New("need a command: status|flush|metrics|routes|latest|range|sum|dlc|topology")
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -176,6 +178,38 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(string(data))
+		return nil
+	case "routes":
+		// The elastic-rebalance view of a fog node: which sensor types
+		// it forwards to their new ring owner, and how much shard state
+		// live migration moved through it.
+		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpRoutes})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindControl, req)
+		if err != nil {
+			return err
+		}
+		var rr protocol.RoutesResponse
+		if err := protocol.DecodeJSON(reply, &rr); err != nil {
+			return err
+		}
+		fmt.Printf("node %s\n  migrated out: %d transfers, %d readings, %d B\n  migrated in:  %d transfers, %d readings\n",
+			rr.NodeID, rr.MigratedOutTransfers, rr.MigratedOutReadings, rr.MigratedOutBytes,
+			rr.MigratedInTransfers, rr.MigratedInReadings)
+		if len(rr.Routes) == 0 {
+			fmt.Println("  no active forwarding routes")
+			return nil
+		}
+		types := make([]string, 0, len(rr.Routes))
+		for typ := range rr.Routes {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			fmt.Printf("  %s -> %s\n", typ, rr.Routes[typ])
+		}
 		return nil
 	case "latest":
 		if len(rest) != 1 {

@@ -93,6 +93,15 @@ func TestRemoteStatusAndQueries(t *testing.T) {
 		"2017-06-01T00:00:00Z", "2017-06-01T01:00:00Z"}); err != nil {
 		t.Errorf("sum miss should print 'no data', not error: %v", err)
 	}
+	// Migration routing view: with no rebalance active the node
+	// reports zero counters and no forwarding routes.
+	if err := run([]string{"-node", srv.URL, "-node-id", "fog1/test", "routes"}); err != nil {
+		t.Errorf("routes: %v", err)
+	}
+	n.SetRoute("traffic", "fog1/test2")
+	if err := run([]string{"-node", srv.URL, "-node-id", "fog1/test", "routes"}); err != nil {
+		t.Errorf("routes with forwarding active: %v", err)
+	}
 	// Usage errors.
 	if err := run([]string{"-node", srv.URL, "latest"}); err == nil {
 		t.Error("latest without args must fail")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -22,7 +23,7 @@ import (
 //	f2cload -node http://localhost:8080 -node-id fog1/d01-s01 ...
 //	f2cctl  -node http://localhost:8080 status   # routes to the cloud
 //	curl http://localhost:8080/opendata/v1/categories
-func runAllInOne(cfgPath, listen, dataDir string, segmentStore bool, memtableBytes int64) error {
+func runAllInOne(cfgPath, listen, dataDir string, segmentStore bool, memtableBytes int64, elastic bool, virtualNodes int) error {
 	dep := config.Barcelona()
 	if cfgPath != "" {
 		var err error
@@ -50,6 +51,14 @@ func runAllInOne(cfgPath, listen, dataDir string, segmentStore bool, memtableByt
 	}
 	if memtableBytes > 0 {
 		opts.MemtableBytes = memtableBytes
+	}
+	if elastic {
+		// -elastic overrides the document: ingest routes through the
+		// ownership rings and the hosted fog layer 1 can scale live.
+		opts.ElasticOwnership = true
+	}
+	if virtualNodes > 0 {
+		opts.VirtualNodes = virtualNodes
 	}
 	sys, err := core.NewSystem(opts)
 	if err != nil {
@@ -91,12 +100,37 @@ func (r allInOneRouter) handlerFor(target string) (transport.Handler, error) {
 		return r.sys.Cloud(), nil
 	}
 	if n, ok := r.sys.Fog1(target); ok {
-		return n, nil
+		// Gateway ingest must honor the ownership rings like IngestAt
+		// does: a sealed batch addressed at any section lands on its
+		// type's ring owner, so elastic rebalance stays transparent to
+		// edge clients that keep posting to their nearest node.
+		return elasticIngestHandler{sys: r.sys, id: target, node: n}, nil
 	}
 	if n, ok := r.sys.Fog2(target); ok {
 		return n, nil
 	}
 	return nil, fmt.Errorf("unknown node %q", target)
+}
+
+// elasticIngestHandler fronts a hosted fog layer-1 node: edge batches
+// are re-addressed to the sensor type's ring owner before dispatch,
+// every other message kind passes through to the addressed node.
+type elasticIngestHandler struct {
+	sys  *core.System
+	id   string
+	node transport.Handler
+}
+
+func (h elasticIngestHandler) Handle(ctx context.Context, msg transport.Message) ([]byte, error) {
+	if msg.Kind == transport.KindBatch {
+		if owner := h.sys.ElasticBatchOwner(h.id, msg.Payload); owner != h.id {
+			if n, ok := h.sys.Fog1(owner); ok {
+				msg.To = owner
+				return n.Handle(ctx, msg)
+			}
+		}
+	}
+	return h.node.Handle(ctx, msg)
 }
 
 var _ http.Handler = allInOneRouter{}

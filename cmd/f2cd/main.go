@@ -91,11 +91,22 @@ func run(args []string) error {
 	cloudRetention := fs.Duration("cloud-retention", 0, "cloud archive retention window (cloud layer; 0 = keep forever)")
 	allInOne := fs.Bool("all-in-one", false, "run the whole hierarchy in this process (demo mode)")
 	cfgPath := fs.String("config", "", "deployment JSON for -all-in-one (default: Barcelona)")
+	elastic := fs.Bool("elastic", false, "all-in-one: route edge ingest through per-district consistent-hash ownership rings and allow runtime fog1 scale with live shard migration")
+	virtualNodes := fs.Int("virtual-nodes", 0, "ownership-ring virtual nodes per weight unit (requires -elastic; 0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *virtualNodes < 0 {
+		return errors.New("-virtual-nodes must be >= 0")
+	}
+	if *virtualNodes > 0 && !*elastic {
+		return errors.New("-virtual-nodes requires -elastic")
+	}
 	if *allInOne {
-		return runAllInOne(*cfgPath, *listen, *dataDir, *segmentStore, *memtableBytes)
+		return runAllInOne(*cfgPath, *listen, *dataDir, *segmentStore, *memtableBytes, *elastic, *virtualNodes)
+	}
+	if *elastic {
+		return errors.New("-elastic applies to -all-in-one (single-node daemons scale through their system host)")
 	}
 	if *id == "" {
 		return errors.New("-id is required")

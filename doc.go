@@ -105,6 +105,32 @@
 // storage" (benchmarks in BENCH_PR7.json, including the steady-state
 // RSS bound).
 //
+// The topology is elastic (core.Options.ElasticOwnership): each
+// district's sections form a consistent-hash ownership ring
+// (internal/placement over internal/shard) that routes a sensor
+// type's edge ingest to its ring owner, and fog layer 1 scales at
+// runtime — System.AddFog1Node / System.RemoveFog1Node rebalance a
+// district by live-migrating only the types whose owner changed
+// (fognode.MigrateOut over transport.KindMigrate). A handoff is a
+// planned, lossless failover: sealed state moves verbatim with origin
+// identity and delivery sequences intact, so the shared parent's
+// replay filter keeps delivery exactly-once across the ownership
+// flip, and WAL start/commit/absorb records make it crash-safe at
+// every boundary. One type's migration, source side:
+//
+//	OWNED ──MigrateOut──▶ FROZEN   pending sealed, recMigrateStart
+//	FROZEN ──chunks acked──▶ MOVED recMigrateCommit; routing flips
+//	FROZEN ──send fails──▶ OWNED   state reinstalled, sequences kept
+//
+// and target side: dedup (From, TransferSeq) -> ack; otherwise
+// journal the raw chunk (recMigrateIn), absorb verbatim, deliver
+// under the original origins at the next flush. The chaos scale
+// schedules (scale-out, scale-in, rebalance-churn) prove the exact
+// conservation ledger, bounded migrate-class traffic and seed
+// reproducibility while membership churns; scripts/rebalance.sh
+// records the ingest-p99 and traffic-closure artifact in
+// BENCH_PR9.json (see README "Elastic topology").
+//
 // A multi-process city runs over real sockets through the
 // internal/transport/tcpnet production transport: persistent framed
 // TCP connections per peer carrying sealed envelopes verbatim (the

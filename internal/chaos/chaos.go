@@ -104,6 +104,12 @@ type Scenario struct {
 	// exactly-once contract must still hold over WAL-replayed memtable
 	// + recovered segments.
 	SegmentStorage bool
+	// Elastic routes ingest through per-district consistent-hash
+	// ownership rings (core.Options.ElasticOwnership) and lets the
+	// schedule grow and shrink fog layer 1 mid-run with live shard
+	// migration. Implied by the scale kinds (KindScaleOut, KindScaleIn,
+	// KindRebalanceChurn); see elastic.go.
+	Elastic bool
 }
 
 func (s *Scenario) applyDefaults() {
@@ -127,6 +133,9 @@ func (s *Scenario) applyDefaults() {
 	}
 	if s.ReplyLoss < 0 {
 		s.ReplyLoss = 0
+	}
+	if isElasticKind(s.Kind) {
+		s.Elastic = true
 	}
 }
 
@@ -161,6 +170,17 @@ type Result struct {
 	// Reboots is how many crash-instant journal recoveries a durable
 	// run performed (always 0 without Durable).
 	Reboots int
+	// ScaleOuts / ScaleIns count the completed elastic scale events
+	// (always 0 without Elastic).
+	ScaleOuts int
+	ScaleIns  int
+	// MigratedReadings is how many readings travelled inside shard-
+	// migration transfers across the run (handoffs + routed forwards).
+	MigratedReadings int64
+	// MigrateBytes is the rebalance traffic: wire bytes of every
+	// migration transfer shipped fog1 -> fog1, summed from the node
+	// counters and cross-checked against the traffic matrix.
+	MigrateBytes int64
 }
 
 // chaosTypes is the workload's sensor-type mix (quality and dedup are
@@ -264,6 +284,9 @@ func Run(s Scenario) (Result, error) {
 		// routinely interrupt a memtable flush or a compaction merge.
 		SegmentStorage: s.SegmentStorage,
 		MemtableBytes:  memtableCap(s),
+		// Elastic runs route ingest through the per-district ownership
+		// rings and allow mid-run scale events.
+		ElasticOwnership: s.Elastic,
 	})
 	if err != nil {
 		return res, err
@@ -276,11 +299,14 @@ func Run(s Scenario) (Result, error) {
 	// its globally unique value.
 	accepted := make(map[float64]string) // value -> type
 	nextValue := 0.0
-	fog1IDs := sys.Fog1IDs()
-	allNodes := append(sys.Fog1IDs(), sys.Fog2IDs()...)
+	// The roster is dynamic under Elastic (scale events add and remove
+	// fog1 nodes mid-run), so every consumer resolves it at use time.
+	liveNodes := func() []string { return append(sys.Fog1IDs(), sys.Fog2IDs()...) }
 	ctx := context.Background()
+	scale := newScaleDriver(&s, sys, rng)
 
 	ingestOne := func(now time.Time) error {
+		fog1IDs := sys.Fog1IDs()
 		id := fog1IDs[rng.Intn(len(fog1IDs))]
 		if net.Crashed(id) {
 			return nil // sensors cannot reach a crashed node
@@ -315,7 +341,7 @@ func Run(s Scenario) (Result, error) {
 		// The bound is per type; a node buffers at most len(chaosTypes)
 		// bounded types.
 		limit := s.MaxPendingReadings * len(chaosTypes)
-		for _, id := range allNodes {
+		for _, id := range liveNodes() {
 			n := nodeOf(sys, id)
 			if got := n.PendingReadings(); got > limit {
 				return s.failf("tick %d: node %s buffers %d readings, bound is %d",
@@ -349,7 +375,8 @@ func Run(s Scenario) (Result, error) {
 		return nil
 	}
 
-	// Faulted phase: ingest, flush, query, verify the memory bound.
+	// Faulted phase: ingest, flush, query, scale, verify the memory
+	// bound.
 	for tick := 0; tick < s.Ticks; tick++ {
 		clock.Advance(s.TickStep)
 		net.PumpFaults(clock.Now())
@@ -361,6 +388,12 @@ func Run(s Scenario) (Result, error) {
 				return res, err
 			}
 		}
+		// Scale events land between ingest and flush, so a handoff
+		// always overlaps freshly buffered (and retry-parked) state —
+		// the migration path moves real data, not empty shells.
+		if err := scale.fire(ctx, tick); err != nil {
+			return res, s.failf("scale event: %v", err)
+		}
 		// Flush errors are expected mid-outage: data requeues.
 		_ = sys.FlushAll(ctx)
 		if err := checkBound(tick); err != nil {
@@ -369,6 +402,7 @@ func Run(s Scenario) (Result, error) {
 		// A read mid-outage must degrade (partial flag, skipped
 		// tiers), never hang or crash the walk.
 		if tick%7 == 3 {
+			fog1IDs := sys.Fog1IDs()
 			requester := fog1IDs[rng.Intn(len(fog1IDs))]
 			if !net.Crashed(requester) {
 				from := clock.Now().Add(-time.Duration(s.Ticks) * s.TickStep)
@@ -384,28 +418,46 @@ func Run(s Scenario) (Result, error) {
 	drained := false
 	for round := 1; round <= maxRounds; round++ {
 		clock.Advance(4 * s.TickStep)
+		// Scale events the faulted phase could not complete (a leave
+		// refused while its state was still parked behind an outage)
+		// finish here, against the healed network.
+		if err := scale.fire(ctx, 1<<30); err != nil {
+			return res, s.failf("scale event after heal: %v", err)
+		}
 		if err := sys.FlushAll(ctx); err != nil {
 			return res, s.failf("recovery round %d flush failed after heal: %v", round, err)
 		}
 		res.RecoveryRounds = round
-		if totalPending(sys, allNodes) == 0 {
+		if totalPending(sys, liveNodes()) == 0 {
 			drained = true
 			break
 		}
 	}
 	if !drained {
 		return res, s.failf("no convergence: %d batches still pending after %d recovery rounds",
-			totalPending(sys, allNodes), maxRounds)
+			totalPending(sys, liveNodes()), maxRounds)
 	}
 
-	// Invariants over the cloud archive.
+	// Invariants over the cloud archive. Departed nodes count too:
+	// their shed/dup/relay tallies are part of the run's ledger.
+	allNodes := liveNodes()
 	res.Shed = totalShed(sys, allNodes)
 	res.Degraded = sys.Cloud().DegradedReadings()
 	res.Dropped = totalDropped(sys, allNodes)
 	res.Duplicates = totalDuplicates(sys, allNodes)
 	res.Relayed, res.Deferred = totalRelayedDeferred(sys, allNodes)
+	for _, n := range scale.removed {
+		res.Shed += n.ShedReadings()
+		res.Dropped += n.DroppedDuringOutage()
+		res.Duplicates += n.DuplicateBatches()
+		res.Relayed += n.RelayedBatches()
+		res.Deferred += n.DeferredFlushes()
+	}
 	if s.Durable && res.Dropped != 0 {
 		return res, s.failf("durable run dropped %d readings during outages", res.Dropped)
+	}
+	if err := scale.checkInvariants(&s, &res); err != nil {
+		return res, err
 	}
 
 	seen := make(map[float64]int, len(accepted))

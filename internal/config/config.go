@@ -90,6 +90,14 @@ type Deployment struct {
 	DegradeWindowSeconds int `json:"degradeWindowSeconds,omitempty"`
 	// AdaptiveFlush enables RTT-driven flush batch/interval tuning.
 	AdaptiveFlush bool `json:"adaptiveFlush,omitempty"`
+	// ElasticOwnership routes each sensor type's edge ingest to its
+	// consistent-hash ring owner among the district's sections and
+	// enables runtime scale of fog layer 1 (AddFog1Node /
+	// RemoveFog1Node with live shard migration between siblings).
+	ElasticOwnership bool `json:"elasticOwnership,omitempty"`
+	// VirtualNodes sets the ownership rings' virtual nodes per weight
+	// unit (0 = engine default; requires elasticOwnership).
+	VirtualNodes int `json:"virtualNodes,omitempty"`
 }
 
 // Barcelona returns the deployment matching the paper's use case.
@@ -176,6 +184,12 @@ func (d Deployment) Validate() error {
 	}
 	if d.DegradeWindowSeconds < 0 {
 		return fmt.Errorf("config: negative degradeWindowSeconds")
+	}
+	if d.VirtualNodes < 0 {
+		return fmt.Errorf("config: negative virtualNodes")
+	}
+	if d.VirtualNodes > 0 && !d.ElasticOwnership {
+		return fmt.Errorf("config: virtualNodes requires elasticOwnership")
 	}
 	return nil
 }
@@ -267,6 +281,8 @@ func (d Deployment) Options(clock sim.Clock) (core.Options, error) {
 		DegradeToSummary:    d.DegradeToSummary,
 		DegradeWindow:       time.Duration(d.DegradeWindowSeconds) * time.Second,
 		AdaptiveFlush:       adaptive,
+		ElasticOwnership:    d.ElasticOwnership,
+		VirtualNodes:        d.VirtualNodes,
 	}, nil
 }
 

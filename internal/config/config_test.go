@@ -47,6 +47,29 @@ func TestOptionsMapping(t *testing.T) {
 	}
 }
 
+func TestElasticOwnershipMapping(t *testing.T) {
+	d, err := Parse([]byte(`{
+		"city": "x",
+		"districts": [{"name": "a", "sections": 3}],
+		"elasticOwnership": true,
+		"virtualNodes": 64
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := d.Options(sim.WallClock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.ElasticOwnership || opts.VirtualNodes != 64 {
+		t.Errorf("elastic mapping = %v / %d", opts.ElasticOwnership, opts.VirtualNodes)
+	}
+	// Default stays off.
+	if opts, err := Barcelona().Options(sim.WallClock{}); err != nil || opts.ElasticOwnership {
+		t.Errorf("Barcelona should not be elastic by default (err %v)", err)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "city.json")
 	want := Barcelona()
@@ -65,13 +88,15 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"bad json":      `{nope`,
-		"empty city":    `{"districts":[{"name":"a","sections":1}]}`,
-		"no districts":  `{"city":"x"}`,
-		"unnamed":       `{"city":"x","districts":[{"sections":1}]}`,
-		"zero sections": `{"city":"x","districts":[{"name":"a","sections":0}]}`,
-		"bad codec":     `{"city":"x","codec":"lzma","districts":[{"name":"a","sections":1}]}`,
-		"negative":      `{"city":"x","fog1FlushSeconds":-1,"districts":[{"name":"a","sections":1}]}`,
+		"bad json":        `{nope`,
+		"empty city":      `{"districts":[{"name":"a","sections":1}]}`,
+		"no districts":    `{"city":"x"}`,
+		"unnamed":         `{"city":"x","districts":[{"sections":1}]}`,
+		"zero sections":   `{"city":"x","districts":[{"name":"a","sections":0}]}`,
+		"bad codec":       `{"city":"x","codec":"lzma","districts":[{"name":"a","sections":1}]}`,
+		"negative":        `{"city":"x","fog1FlushSeconds":-1,"districts":[{"name":"a","sections":1}]}`,
+		"negative vnodes": `{"city":"x","elasticOwnership":true,"virtualNodes":-1,"districts":[{"name":"a","sections":1}]}`,
+		"vnodes no ring":  `{"city":"x","virtualNodes":64,"districts":[{"name":"a","sections":1}]}`,
 	}
 	for name, data := range cases {
 		if _, err := Parse([]byte(data)); err == nil {

@@ -141,6 +141,14 @@ type Options struct {
 	// AdaptiveFlush enables RTT-driven flush batch/interval tuning on
 	// every fog node (nil keeps the fixed cadence).
 	AdaptiveFlush *fognode.AdaptiveConfig
+	// ElasticOwnership routes each sensor type's edge ingest to a
+	// consistent-hash owner among the district's fog layer-1 siblings,
+	// and enables runtime scale: AddFog1Node / RemoveFog1Node rebalance
+	// ownership with live shard migration (see elastic.go).
+	ElasticOwnership bool
+	// VirtualNodes sets the ownership rings' virtual nodes per weight
+	// unit (zero selects shard.DefaultVirtualNodes).
+	VirtualNodes int
 	// CloudRetention bounds the cloud archive's age — the paper's
 	// years-scale preservation tier made finite (zero keeps forever).
 	CloudRetention time.Duration
@@ -193,13 +201,18 @@ type System struct {
 	fog1IDs []string
 	fog2IDs []string
 
-	// nodeMu guards the node maps and the cloud pointer: Reboot
-	// replaces instances while readers (queries, flush drivers) hold
+	// nodeMu guards the node maps, the ID slices and the cloud
+	// pointer: Reboot replaces instances and the elastic plane grows
+	// and shrinks layer 1 while readers (queries, flush drivers) hold
 	// references.
 	nodeMu sync.RWMutex
 	fog1   map[string]*fognode.Node
 	fog2   map[string]*fognode.Node
 	cloud  *cloud.Node
+
+	// elastic is the per-district ownership state (nil unless
+	// Options.ElasticOwnership); see elastic.go.
+	elastic *elasticState
 }
 
 // CloudID is the cloud endpoint name.
@@ -279,6 +292,9 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	sort.Strings(s.fog1IDs)
 	sort.Strings(s.fog2IDs)
+	if opts.ElasticOwnership {
+		s.elastic = newElasticState(s)
+	}
 	return s, nil
 }
 
@@ -476,8 +492,11 @@ func (s *System) Fog2(id string) (*fognode.Node, bool) {
 	return n, ok
 }
 
-// Fog1IDs returns the sorted layer-1 node IDs.
+// Fog1IDs returns the sorted layer-1 node IDs (the current roster,
+// after any elastic scale events).
 func (s *System) Fog1IDs() []string {
+	s.nodeMu.RLock()
+	defer s.nodeMu.RUnlock()
 	out := make([]string, len(s.fog1IDs))
 	copy(out, s.fog1IDs)
 	return out
@@ -485,6 +504,8 @@ func (s *System) Fog1IDs() []string {
 
 // Fog2IDs returns the sorted layer-2 node IDs.
 func (s *System) Fog2IDs() []string {
+	s.nodeMu.RLock()
+	defer s.nodeMu.RUnlock()
 	out := make([]string, len(s.fog2IDs))
 	copy(out, s.fog2IDs)
 	return out
@@ -509,6 +530,14 @@ func (s *System) Planner() *placement.Planner {
 // analytic Table I harness separately reproduces the paper's fixed
 // per-transaction charges.)
 func (s *System) IngestAt(fog1ID string, b *model.Batch) error {
+	if s.elastic != nil {
+		// Elastic ownership: the type's consistent-hash owner among the
+		// district siblings ingests, not necessarily the section node
+		// the edge batch arrived at.
+		if owner, ok := s.elastic.routeIngest(fog1ID, b.TypeName); ok {
+			fog1ID = owner
+		}
+	}
 	n, ok := s.Fog1(fog1ID)
 	if !ok {
 		return fmt.Errorf("core: unknown fog1 node %q", fog1ID)
@@ -553,10 +582,10 @@ func (s *System) forEachFog(ctx context.Context, ids []string, get func(string) 
 // between layers preserves the serial drain guarantee that layer 2
 // forwards what layer 1 just delivered.
 func (s *System) FlushAll(ctx context.Context) error {
-	err1 := s.forEachFog(ctx, s.fog1IDs, s.Fog1, func(ctx context.Context, n *fognode.Node) error {
+	err1 := s.forEachFog(ctx, s.Fog1IDs(), s.Fog1, func(ctx context.Context, n *fognode.Node) error {
 		return n.Flush(ctx)
 	})
-	err2 := s.forEachFog(ctx, s.fog2IDs, s.Fog2, func(ctx context.Context, n *fognode.Node) error {
+	err2 := s.forEachFog(ctx, s.Fog2IDs(), s.Fog2, func(ctx context.Context, n *fognode.Node) error {
 		return n.Flush(ctx)
 	})
 	return errors.Join(err1, err2)
@@ -565,12 +594,12 @@ func (s *System) FlushAll(ctx context.Context) error {
 // Start launches every node's background flusher (wall-clock mode).
 // Node.Start only spawns a goroutine, so plain loops suffice.
 func (s *System) Start() {
-	for _, id := range s.fog1IDs {
+	for _, id := range s.Fog1IDs() {
 		if n, ok := s.Fog1(id); ok {
 			n.Start()
 		}
 	}
-	for _, id := range s.fog2IDs {
+	for _, id := range s.Fog2IDs() {
 		if n, ok := s.Fog2(id); ok {
 			n.Start()
 		}
@@ -581,10 +610,10 @@ func (s *System) Start() {
 // 1 first so its final flushes land before layer 2 drains; a durable
 // cloud then writes its final checkpoint and closes its journal.
 func (s *System) Close(ctx context.Context) error {
-	err1 := s.forEachFog(ctx, s.fog1IDs, s.Fog1, func(ctx context.Context, n *fognode.Node) error {
+	err1 := s.forEachFog(ctx, s.Fog1IDs(), s.Fog1, func(ctx context.Context, n *fognode.Node) error {
 		return n.Close(ctx)
 	})
-	err2 := s.forEachFog(ctx, s.fog2IDs, s.Fog2, func(ctx context.Context, n *fognode.Node) error {
+	err2 := s.forEachFog(ctx, s.Fog2IDs(), s.Fog2, func(ctx context.Context, n *fognode.Node) error {
 		return n.Close(ctx)
 	})
 	err3 := s.Cloud().Close()

@@ -25,6 +25,24 @@ import (
 //	recCommit  a sealed batch delivered and acknowledged upward
 //	recShed    readings dropped oldest-first by MaxPendingReadings
 //
+// plus the live shard-migration records (see migrate.go):
+//
+//	recMigrateStart   a type's state frozen for handoff to a new
+//	                  owner, with the counter after the handoff's
+//	                  transfer sequences were reserved — an
+//	                  uncommitted handoff keeps the moved batches in
+//	                  their seal groups (recovery lands on local
+//	                  ownership) but the counter must stay past the
+//	                  reserved sequences the target may have marked
+//	recMigrateCommit  the handoff's moved sequences acknowledged by
+//	                  the new owner; replay removes them from the
+//	                  seal groups (like recCommit, batched)
+//	recMigrateIn      one absorbed handoff chunk, raw transfer
+//	                  payload; replay re-absorbs the entries and
+//	                  marks verbatim (degrade summaries stay
+//	                  in-memory-only, matching the degrade tier's
+//	                  crash contract)
+//
 // Record appends happen under the same locks as the state changes
 // they describe (the pending-shard mutex), so replaying the log
 // reproduces the per-type state machine transition by transition.
@@ -42,6 +60,10 @@ const (
 	recSeal   = 2
 	recCommit = 3
 	recShed   = 4
+
+	recMigrateStart  = 5
+	recMigrateCommit = 6
+	recMigrateIn     = 7
 )
 
 // journal wraps the node's wal.Store with the record codec. Its mutex
@@ -121,6 +143,58 @@ func (j *journal) appendShed(typ string, count int) error {
 	j.buf = append(j.buf[:0], recShed)
 	j.buf = wal.AppendUvarint(j.buf, uint64(count))
 	j.buf = wal.AppendString(j.buf, typ)
+	return j.store.Append(j.buf)
+}
+
+// appendMigrateStart journals a type's state leaving the shard maps
+// for a handoff, carrying the sequence counter after the handoff's
+// transfer sequences were reserved. Best-effort, like seals: the moved
+// state is covered either way (replay keeps uncommitted batches in
+// their seal groups), but the watermark keeps a recovered counter past
+// the reserved transfer sequences — the target may have marked them,
+// and a reused sequence would be deduped there silently.
+func (j *journal) appendMigrateStart(typ, target string, seqHigh uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.buf = append(j.buf[:0], recMigrateStart)
+	j.buf = wal.AppendString(j.buf, typ)
+	j.buf = wal.AppendString(j.buf, target)
+	j.buf = wal.AppendUint64(j.buf, seqHigh)
+	return j.store.Append(j.buf)
+}
+
+// appendMigrateCommit journals the sequences a completed handoff
+// moved off this node: the new owner acknowledged them, so recovery
+// must not resurrect them here.
+func (j *journal) appendMigrateCommit(typ string, seqs []uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.buf = append(j.buf[:0], recMigrateCommit)
+	j.buf = wal.AppendString(j.buf, typ)
+	j.buf = wal.AppendUvarint(j.buf, uint64(len(seqs)))
+	for _, seq := range seqs {
+		j.buf = wal.AppendUint64(j.buf, seq)
+	}
+	return j.store.Append(j.buf)
+}
+
+// appendMigrateIn journals one absorbed handoff chunk, raw transfer
+// payload. Like appendBatch it is the acceptance gate: a failure
+// rejects the chunk and the source keeps the state.
+func (j *journal) appendMigrateIn(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("fognode: journal closed")
+	}
+	j.buf = append(j.buf[:0], recMigrateIn)
+	j.buf = wal.AppendBytes(j.buf, payload)
 	return j.store.Append(j.buf)
 }
 
@@ -424,6 +498,82 @@ func (rs *recoveryState) applyRecord(rec []byte) error {
 			return err
 		}
 		rs.typeState(typ).shed(int(count))
+	case recMigrateStart:
+		// An uncommitted handoff keeps its batches in the seal groups
+		// the preceding records rebuilt, so the recovered source still
+		// owns them and drains upward — the shared parent dedupes if
+		// the target also absorbed a copy. The watermark advances the
+		// counter past the handoff's reserved transfer sequences: the
+		// target may hold replay marks for them, and minting one again
+		// would get a fresh forward silently deduped there.
+		_, rest, err := wal.ReadString(body)
+		if err != nil {
+			return err
+		}
+		_, rest, err = wal.ReadString(rest)
+		if err != nil {
+			return err
+		}
+		seqHigh, _, err := wal.ReadUint64(rest)
+		if err != nil {
+			return err
+		}
+		rs.noteSeq(seqHigh)
+	case recMigrateCommit:
+		typ, rest, err := wal.ReadString(body)
+		if err != nil {
+			return err
+		}
+		count, rest, err := wal.ReadUvarint(rest)
+		if err != nil {
+			return err
+		}
+		tr := rs.typeState(typ)
+		for i := uint64(0); i < count; i++ {
+			var seq uint64
+			seq, rest, err = wal.ReadUint64(rest)
+			if err != nil {
+				return err
+			}
+			// Same contract as recCommit: the sequence was used even if
+			// its seal record was lost, so keep the counter past it.
+			rs.noteSeq(seq)
+			for k, g := range tr.groups {
+				if g.seq == seq {
+					tr.groups = append(tr.groups[:k], tr.groups[k+1:]...)
+					break
+				}
+			}
+		}
+	case recMigrateIn:
+		payload, _, err := wal.ReadBytes(body)
+		if err != nil {
+			return err
+		}
+		t, err := protocol.DecodeMigrateTransfer(payload)
+		if err != nil {
+			return fmt.Errorf("fognode: journal migrate chunk: %w", err)
+		}
+		tr := rs.typeState(t.TypeName)
+		for i := range t.Entries {
+			b, _, seq, err := protocol.DecodeBatchPayloadSeq(t.Entries[i].Payload)
+			if err != nil {
+				return fmt.Errorf("fognode: journal migrate entry %d: %w", i, err)
+			}
+			// Absorbed verbatim, foreign identity preserved; the moved
+			// sequences belong to the source's space, so they do not
+			// advance this node's counter.
+			tr.groups = append(tr.groups, sealedBatch{b: b, seq: seq})
+		}
+		for origin, seqs := range t.Marks {
+			for _, seq := range seqs {
+				rs.marks = append(rs.marks, markEntry{origin: origin, seq: seq})
+			}
+		}
+		rs.marks = append(rs.marks, markEntry{origin: t.From, seq: t.TransferSeq})
+		// Degrade summaries are in-memory-only (the degrade tier's
+		// crash contract): a crash between absorb and push loses the
+		// degraded resolution, never journaled raw data.
 	default:
 		return fmt.Errorf("fognode: unknown journal record type %d", rec[0])
 	}

@@ -1,0 +1,503 @@
+package fognode
+
+// Live shard migration: the data-movement half of the elastic
+// rebalance plane.
+//
+// When the elastic topology reassigns a sensor type from this node to
+// a sibling (a node joined or is leaving the district), the old owner
+// hands the type's buffered delivery state — pending buffer, frozen-
+// sequence retry queue, degrade-summary buffers, replay-filter marks —
+// to the new owner over transport.KindMigrate, then forwards any
+// still-arriving edge ingest of the type until the routing tier
+// catches up. The handoff is exactly-once without a two-phase commit
+// because everything moves as SEALED state verbatim:
+//
+//   - the moved batches keep their origin identity and delivery
+//     sequences (the same SealSeq envelopes the upward path sends), so
+//     the shared parent's per-origin replay filter keeps deduping them
+//     no matter which sibling finally delivers;
+//   - the target marks each chunk's (From, TransferSeq) in its replay
+//     filter and journals the raw chunk before acknowledging, so a
+//     retried chunk is acknowledged without re-absorbing and a target
+//     crash recovers the absorbed state;
+//   - the source journals the handoff (recMigrateStart before the
+//     sends, recMigrateCommit after the last acknowledgement), so a
+//     source crash at any boundary recovers to a state where at worst
+//     BOTH siblings hold a copy — and both drain to the same deduping
+//     parent, which keeps delivery exactly-once.
+//
+// State machine of one type's handoff, source side:
+//
+//	OWNED ──MigrateOut──▶ FROZEN   pending sealed, state out of maps,
+//	                               recMigrateStart journaled
+//	FROZEN ──chunks acked──▶ MOVED recMigrateCommit journaled; the
+//	                               caller flips routing to the target
+//	FROZEN ──send fails──▶ OWNED   unsent tail reinstalled on the
+//	                               retry queues, sequences kept
+//
+// and target side:
+//
+//	chunk ──dedup (From,TransferSeq)──▶ ack (already absorbed)
+//	chunk ──recMigrateIn──▶ retry queue (entries verbatim) ──▶ next
+//	        flush delivers under the ORIGINAL origins and sequences
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/transport"
+)
+
+// SetRoute redirects future edge ingest of a sensor type to its new
+// owner: the type was migrated away and this node no longer delivers
+// it upward. An empty or self target clears the route.
+func (n *Node) SetRoute(typ, target string) {
+	n.routeMu.Lock()
+	defer n.routeMu.Unlock()
+	if target == "" || target == n.cfg.Spec.ID {
+		delete(n.routes, typ)
+		return
+	}
+	n.routes[typ] = target
+}
+
+// ClearRoute restores local ownership of a sensor type's ingest.
+func (n *Node) ClearRoute(typ string) {
+	n.routeMu.Lock()
+	defer n.routeMu.Unlock()
+	delete(n.routes, typ)
+}
+
+// Route returns the node a type's edge ingest is being forwarded to,
+// or "" when this node owns the type locally.
+func (n *Node) Route(typ string) string {
+	n.routeMu.RLock()
+	defer n.routeMu.RUnlock()
+	return n.routes[typ]
+}
+
+// Routes returns a copy of the active forwarding table.
+func (n *Node) Routes() map[string]string {
+	n.routeMu.RLock()
+	defer n.routeMu.RUnlock()
+	out := make(map[string]string, len(n.routes))
+	for typ, target := range n.routes {
+		out[typ] = target
+	}
+	return out
+}
+
+// sortBatchReadings restores time order (ties broken by sensor then
+// value) so sealed payloads — and their compressed sizes — are
+// deterministic for a given set of readings regardless of arrival
+// interleaving.
+func sortBatchReadings(b *model.Batch) {
+	sort.SliceStable(b.Readings, func(i, j int) bool {
+		ri, rj := &b.Readings[i], &b.Readings[j]
+		if !ri.Time.Equal(rj.Time) {
+			return ri.Time.Before(rj.Time)
+		}
+		if ri.SensorID != rj.SensorID {
+			return ri.SensorID < rj.SensorID
+		}
+		return ri.Value < rj.Value
+	})
+}
+
+// MigrateOut moves one sensor type's buffered delivery state to a new
+// owner. The pending buffer is frozen under a fresh delivery sequence
+// (journaled like any seal), then everything the type has queued —
+// retry batches, summary pushes, the degrade buffer — leaves the
+// shard maps and travels to the target in bounded KindMigrate chunks,
+// along with a snapshot of this node's replay-filter marks so the
+// target inherits the dedup horizon. On a send failure the unsent
+// tail is reinstalled with its sequences intact and the error is
+// returned; the caller may retry — a chunk the target already
+// absorbed is deduped there, and even a chunk absorbed under a lost
+// acknowledgement only yields a second copy that the shared parent
+// dedupes by its frozen (origin, seq).
+//
+// MigrateOut does not flip routing: the caller (the elastic topology
+// layer) sets the route on this node and its ring before or after the
+// handoff. In-flight flushes of the type may hold batches outside the
+// shard maps; on failure those requeue here and drain upward under
+// this node's identity, which the parent-side dedup absorbs.
+func (n *Node) MigrateOut(ctx context.Context, typ, target string) error {
+	me := n.cfg.Spec.ID
+	if typ == "" || target == "" || target == me {
+		return fmt.Errorf("fognode %s: migrate %q to %q: invalid handoff", me, typ, target)
+	}
+	if n.cfg.Transport == nil {
+		return fmt.Errorf("fognode %s: migrate: no transport configured", me)
+	}
+	n.flightMu.RLock()
+	defer n.flightMu.RUnlock()
+
+	sh := n.shardFor(typ)
+	sh.mu.Lock()
+	if p, ok := sh.pending[typ]; ok {
+		if len(p.Readings) > 0 {
+			sb := sealedBatch{b: p, seq: n.seq.Add(1)}
+			if n.journal != nil {
+				// Best-effort, like any seal: a lost record degrades
+				// toward re-delivery under a fresh sequence.
+				_ = n.journal.appendSeal(typ, sb.seq, len(p.Readings))
+			}
+			sh.retry[typ] = append(sh.retry[typ], sb)
+		}
+		delete(sh.pending, typ)
+	}
+	entries := sh.retry[typ]
+	delete(sh.retry, typ)
+	sums := sh.sumRetry[typ]
+	delete(sh.sumRetry, typ)
+	if buf, ok := sh.degraded[typ]; ok {
+		if len(buf.windows) > 0 {
+			sums = append(sums, n.sealSummaryLocked(typ, buf))
+		}
+		delete(sh.degraded, typ)
+	}
+	sh.mu.Unlock()
+
+	if err := n.sendTransfers(ctx, typ, target, entries, sums); err != nil {
+		return fmt.Errorf("fognode %s: migrate %s to %s: %w", me, typ, target, err)
+	}
+	return nil
+}
+
+// sendTransfers seals and ships one type's extracted state in chunks
+// bounded by protocol.MaxMigrateWireSize. At least one chunk is always
+// sent — an empty handoff still carries the replay-mark snapshot and
+// acts as the ownership handshake that clears the target's stale
+// route. On failure the unsent tail (the failed chunk included) is
+// reinstalled on the retry queues.
+func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []sealedBatch, sums []sealedSummary) error {
+	me := n.cfg.Spec.ID
+	now := n.cfg.Clock.Now()
+
+	// Seal every entry up front; the encoded sizes drive the chunking.
+	sc := n.getScratch()
+	payloads := make([][]byte, len(entries))
+	for i := range entries {
+		b := entries[i].b
+		sortBatchReadings(b)
+		b.Collected = now
+		payload, err := sc.sealer.SealSeq(nil, b, n.cfg.Codec, entries[i].seq)
+		if err != nil {
+			n.putScratch(sc)
+			n.requeue(entries)
+			n.requeueSummaries(typ, sums)
+			return fmt.Errorf("seal entry: %w", err)
+		}
+		payloads[i] = payload
+	}
+	n.putScratch(sc)
+
+	docs := make([][]byte, len(sums))
+	for i := range sums {
+		doc, err := protocol.EncodeJSON(sums[i].push)
+		if err != nil {
+			n.requeue(entries)
+			n.requeueSummaries(typ, sums)
+			return fmt.Errorf("encode summary: %w", err)
+		}
+		docs[i] = doc
+	}
+
+	// Greedy chunk assignment by encoded size. Chunk boundaries are
+	// (entryEnd, sumEnd) watermarks: a chunk covers entries[prevE:e]
+	// and sums[prevS:s], entries first. The first chunk additionally
+	// carries the replay-mark snapshot.
+	marks := n.replay.Dump()
+	marksCost := 16
+	for origin, seqs := range marks {
+		marksCost += len(origin) + 10 + 9*len(seqs)
+	}
+	budget := protocol.MaxMigrateWireSize() - 512
+	type watermark struct{ e, s int }
+	var chunks []watermark
+	size := marksCost // first chunk starts with the marks
+	e, s := 0, 0
+	for e < len(entries) || s < len(sums) {
+		var cost int
+		if e < len(entries) {
+			cost = len(payloads[e]) + 16
+		} else {
+			cost = len(docs[s]) + 16
+		}
+		// Rotate a non-empty chunk when the next item would overflow
+		// it; an item that overflows an empty chunk is taken anyway
+		// (progress) and left for the encoder's size check to reject.
+		if size+cost > budget && size > 0 {
+			chunks = append(chunks, watermark{e, s})
+			size = 0
+			continue
+		}
+		size += cost
+		if e < len(entries) {
+			e++
+		} else {
+			s++
+		}
+	}
+	chunks = append(chunks, watermark{len(entries), len(sums)})
+
+	// Reserve every chunk's transfer sequence up front and journal the
+	// advanced counter (recMigrateStart) before the first send. The
+	// target marks each absorbed (From, TransferSeq) in its replay
+	// filter, so a source crash must never recover to a counter that
+	// mints those sequences again: a reused sequence would be silently
+	// deduped at the target and its readings lost.
+	seqHigh := n.seq.Add(uint64(len(chunks)))
+	seqLow := seqHigh - uint64(len(chunks)) + 1
+	if n.journal != nil {
+		_ = n.journal.appendMigrateStart(typ, target, seqHigh)
+	}
+
+	var movedSeqs []uint64
+	prev := watermark{0, 0}
+	for ci, wm := range chunks {
+		t := &protocol.MigrateTransfer{
+			TypeName:    typ,
+			From:        me,
+			To:          target,
+			TransferSeq: seqLow + uint64(ci),
+		}
+		if ci == 0 {
+			t.Marks = marks
+		}
+		readings := int64(0)
+		for i := prev.e; i < wm.e; i++ {
+			t.Entries = append(t.Entries, protocol.MigrateEntry{Seq: entries[i].seq, Payload: payloads[i]})
+			readings += int64(len(entries[i].b.Readings))
+		}
+		for i := prev.s; i < wm.s; i++ {
+			t.Summaries = append(t.Summaries, protocol.MigrateSummary{Seq: sums[i].seq, Push: sums[i].push})
+		}
+		payload, err := protocol.EncodeMigrateTransfer(t)
+		if err == nil {
+			msg := transport.Message{
+				From:    me,
+				To:      target,
+				Kind:    transport.KindMigrate,
+				Class:   transport.ClassMigrate,
+				Payload: payload,
+			}
+			_, err = n.cfg.Transport.Send(ctx, msg)
+			if err == nil {
+				n.migOutTransfers.Inc()
+				n.migOutReads.Add(readings)
+				n.migOutBytes.Add(msg.WireSize())
+				for i := prev.e; i < wm.e; i++ {
+					movedSeqs = append(movedSeqs, entries[i].seq)
+				}
+				prev = wm
+				continue
+			}
+		}
+		// Reinstall everything from the failed chunk on, sequences
+		// frozen; a retried MigrateOut re-chunks under fresh transfer
+		// sequences, and any chunk the target absorbed under a lost
+		// acknowledgement is deduped downstream by its frozen origins.
+		n.requeue(entries[prev.e:])
+		n.requeueSummaries(typ, sums[prev.s:])
+		if n.journal != nil && len(movedSeqs) > 0 {
+			_ = n.journal.appendMigrateCommit(typ, movedSeqs)
+		}
+		return err
+	}
+	if n.journal != nil && len(movedSeqs) > 0 {
+		// Acknowledged by the new owner: the moved batches are no
+		// longer this node's responsibility and recovery must not
+		// resurrect them here.
+		_ = n.journal.appendMigrateCommit(typ, movedSeqs)
+	}
+	return nil
+}
+
+// handleMigrate absorbs one handoff chunk: the entries enter the
+// retry queue VERBATIM — origin identities and frozen sequences
+// preserved, no re-ingest — so this node's next flush delivers them
+// exactly as the old owner would have, and every replay filter
+// downstream keeps working. The raw chunk is journaled (recMigrateIn)
+// before any state change, the chunk's own (From, TransferSeq) mark
+// makes retries idempotent, and the moved replay marks merge into
+// this node's filter so it inherits the source's dedup horizon.
+func (n *Node) handleMigrate(msg transport.Message) ([]byte, error) {
+	me := n.cfg.Spec.ID
+	t, err := protocol.DecodeMigrateTransfer(msg.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("fognode %s: migrate: %w", me, err)
+	}
+	if t.To != me {
+		return nil, fmt.Errorf("fognode %s: migrate chunk addressed to %q", me, t.To)
+	}
+	if n.replay.Seen(t.From, t.TransferSeq) {
+		n.dupBatches.Inc()
+		return []byte("ok"), nil
+	}
+	ents := make([]sealedBatch, 0, len(t.Entries))
+	readings := int64(0)
+	for i, e := range t.Entries {
+		b, _, seq, err := protocol.DecodeBatchPayloadSeq(e.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("fognode %s: migrate entry %d: %w", me, i, err)
+		}
+		if seq != e.Seq {
+			return nil, fmt.Errorf("fognode %s: migrate entry %d: envelope seq %d != entry seq %d", me, i, seq, e.Seq)
+		}
+		if b.TypeName != t.TypeName {
+			return nil, fmt.Errorf("fognode %s: migrate entry %d: type %q in a %q transfer", me, i, b.TypeName, t.TypeName)
+		}
+		ents = append(ents, sealedBatch{b: b, seq: seq})
+		readings += int64(len(b.Readings))
+	}
+
+	sh := n.shardFor(t.TypeName)
+	sh.mu.Lock()
+	if n.journal != nil {
+		// The journal append is the acceptance gate, exactly like a
+		// batch ingest: if the chunk cannot be made durable it is
+		// rejected and the source keeps (or reinstalls) the state.
+		if err := n.journal.appendMigrateIn(msg.Payload); err != nil {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("fognode %s: migrate: %w", me, err)
+		}
+	}
+	sh.retry[t.TypeName] = append(sh.retry[t.TypeName], ents...)
+	for _, s := range t.Summaries {
+		sh.sumRetry[t.TypeName] = append(sh.sumRetry[t.TypeName], sealedSummary{push: s.Push, seq: s.Seq})
+	}
+	n.boundTypeLocked(sh, t.TypeName)
+	sh.mu.Unlock()
+
+	for origin, seqs := range t.Marks {
+		for _, seq := range seqs {
+			n.replay.Mark(origin, seq)
+		}
+	}
+	// Mark the chunk itself only after the state landed: marking
+	// earlier would blackhole the source's retry of a failed absorb.
+	n.replay.Mark(t.From, t.TransferSeq)
+	// Receiving a chunk is the ownership handshake: this node owns the
+	// type now, so a stale forwarding route must not bounce it back.
+	n.ClearRoute(t.TypeName)
+	n.migInTransfers.Inc()
+	n.migInReads.Add(readings)
+	return []byte("ok"), nil
+}
+
+// ingestRouted handles an edge ingest of a type whose ownership
+// migrated away: the batch is journaled and merged into the pending
+// buffer like any acceptance, immediately frozen under a fresh
+// sequence (the same transitions recovery replays), and forwarded to
+// the new owner as a single-entry transfer whose TransferSeq is the
+// batch's own sequence. If the forward fails the sealed batch parks
+// on the local retry queue under that same frozen sequence — whether
+// it later drains upward from here, is re-forwarded by a MigrateOut,
+// or was absorbed by the target under a lost acknowledgement, the
+// shared parent sees one (origin, seq) and keeps it exactly once.
+func (n *Node) ingestRouted(b *model.Batch, target string) error {
+	me := n.cfg.Spec.ID
+	sh := n.shardFor(b.TypeName)
+	sh.mu.Lock()
+	if n.journal != nil {
+		if err := n.journal.appendBatch(me, b, "", 0); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("fognode %s: ingest: %w", me, err)
+		}
+	}
+	cur, ok := sh.pending[b.TypeName]
+	if !ok {
+		cur = b.Clone()
+		cur.NodeID = me
+	} else {
+		cur.Readings = append(cur.Readings, b.Readings...)
+		delete(sh.pending, b.TypeName)
+	}
+	sb := sealedBatch{b: cur, seq: n.seq.Add(1)}
+	if n.journal != nil {
+		// The seal covers the whole (merged) buffer, so replay's
+		// freeze matches this transition exactly.
+		_ = n.journal.appendSeal(b.TypeName, sb.seq, len(cur.Readings))
+	}
+	sh.mu.Unlock()
+
+	if n.cfg.Transport != nil {
+		if err := n.forwardSealed(sb, target); err == nil {
+			if n.journal != nil {
+				_ = n.journal.appendCommit(b.TypeName, sb.seq)
+			}
+			return nil
+		}
+	}
+	// Forward failed: keep the frozen batch; it drains upward from
+	// here or moves with the next MigrateOut.
+	n.requeue([]sealedBatch{sb})
+	return nil
+}
+
+// forwardSealed ships one sealed batch to a type's new owner as a
+// single-entry migration transfer.
+func (n *Node) forwardSealed(sb sealedBatch, target string) error {
+	me := n.cfg.Spec.ID
+	sc := n.getScratch()
+	payload, err := sc.sealer.SealSeq(sc.payload[:0], sb.b, n.cfg.Codec, sb.seq)
+	if err != nil {
+		n.putScratch(sc)
+		return err
+	}
+	sc.payload = payload
+	t := &protocol.MigrateTransfer{
+		TypeName:    sb.b.TypeName,
+		From:        me,
+		To:          target,
+		TransferSeq: sb.seq,
+		Entries:     []protocol.MigrateEntry{{Seq: sb.seq, Payload: payload}},
+	}
+	wire, err := protocol.EncodeMigrateTransfer(t)
+	if err != nil {
+		n.putScratch(sc)
+		return err
+	}
+	msg := transport.Message{
+		From:    me,
+		To:      target,
+		Kind:    transport.KindMigrate,
+		Class:   transport.ClassMigrate,
+		Payload: wire,
+	}
+	_, err = n.cfg.Transport.Send(context.Background(), msg)
+	n.putScratch(sc)
+	if err != nil {
+		return err
+	}
+	n.migOutTransfers.Inc()
+	n.migOutReads.Add(int64(len(sb.b.Readings)))
+	n.migOutBytes.Add(msg.WireSize())
+	return nil
+}
+
+// MigratedOutTransfers reports how many handoff chunks this node
+// shipped to new owners (forwarded edge ingests included).
+func (n *Node) MigratedOutTransfers() int64 { return n.migOutTransfers.Value() }
+
+// MigratedOutReadings reports how many readings left this node inside
+// migration transfers.
+func (n *Node) MigratedOutReadings() int64 { return n.migOutReads.Value() }
+
+// MigratedOutBytes reports the wire bytes of every migration transfer
+// this node shipped — the quantity the rebalance-traffic bound is
+// asserted against.
+func (n *Node) MigratedOutBytes() int64 { return n.migOutBytes.Value() }
+
+// MigratedInTransfers reports how many handoff chunks this node
+// absorbed as a new owner.
+func (n *Node) MigratedInTransfers() int64 { return n.migInTransfers.Value() }
+
+// MigratedInReadings reports how many readings arrived in absorbed
+// migration transfers.
+func (n *Node) MigratedInReadings() int64 { return n.migInReads.Value() }

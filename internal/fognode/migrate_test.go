@@ -1,0 +1,637 @@
+package fognode
+
+// Live shard migration tests: the handoff must move every piece of a
+// type's delivery state, keep delivery exactly-once through retries,
+// lost acknowledgements, and crashes on either side, and leave exactly
+// one owner after recovery.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/protocol"
+	"f2c/internal/sim"
+	"f2c/internal/transport"
+	"f2c/internal/wal"
+)
+
+// migrateNet routes messages between a set of live nodes and a
+// deduping parent endpoint, with a scriptable failure mode for
+// KindMigrate traffic.
+type migrateNet struct {
+	mu       sync.Mutex
+	parentID string
+	parent   *dedupParent
+	nodes    map[string]transport.Handler
+	// migrateMode: "up" delivers, "fail" refuses before the handler
+	// runs, "acklost" runs the handler then loses the reply.
+	migrateMode string
+}
+
+func newMigrateNet(parentID string) *migrateNet {
+	return &migrateNet{
+		parentID:    parentID,
+		parent:      newDedupParent(),
+		nodes:       make(map[string]transport.Handler),
+		migrateMode: "up",
+	}
+}
+
+func (m *migrateNet) setMigrate(mode string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.migrateMode = mode
+}
+
+func (m *migrateNet) attach(id string, h transport.Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[id] = h
+}
+
+func (m *migrateNet) Send(ctx context.Context, msg transport.Message) ([]byte, error) {
+	if msg.To == m.parentID {
+		return m.parent.Send(ctx, msg)
+	}
+	m.mu.Lock()
+	h := m.nodes[msg.To]
+	mode := m.migrateMode
+	m.mu.Unlock()
+	if h == nil {
+		return nil, transport.ErrUnknownEndpoint
+	}
+	if msg.Kind == transport.KindMigrate && mode == "fail" {
+		return nil, errors.New("migrate link down")
+	}
+	reply, err := h.Handle(ctx, msg)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind == transport.KindMigrate && mode == "acklost" {
+		return nil, errors.New("migrate ack lost after processing")
+	}
+	return reply, nil
+}
+
+func newMigrateNode(t testing.TB, net *migrateNet, id, dir string) *Node {
+	t.Helper()
+	spec := fog1Spec()
+	spec.ID = id
+	cfg := Config{
+		Spec:      spec,
+		Clock:     sim.NewVirtualClock(t0),
+		Transport: net,
+		Codec:     aggregate.CodecNone,
+	}
+	if dir != "" {
+		cfg.Durability = &wal.Config{Dir: dir, SnapshotEvery: -1}
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.attach(id, n)
+	return n
+}
+
+// TestMigrateOutMovesAllState: pending buffer, frozen retry queue and
+// degrade buffer all leave the source and reach the target, which
+// delivers them upward under their ORIGINAL identities, exactly once.
+func TestMigrateOutMovesAllState(t *testing.T) {
+	net := newMigrateNet("fog2/d01")
+	src := newMigrateNode(t, net, "fog1/d01-s01", "")
+	dst := newMigrateNode(t, net, "fog1/d01-s02", "")
+	ctx := context.Background()
+
+	// A frozen retry batch: flush against a down parent.
+	_ = src.Ingest(typedBatch("traffic", t0, 1, 2, 3))
+	net.parent.set("down")
+	_ = src.Flush(ctx)
+	// Plus a fresh pending buffer.
+	_ = src.Ingest(typedBatch("traffic", t0.Add(time.Second), 4, 5))
+
+	if err := src.MigrateOut(ctx, "traffic", dst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.PendingBatches(); got != 0 {
+		t.Fatalf("source still holds %d delivery units after handoff", got)
+	}
+	if got := dst.PendingReadings(); got != 5 {
+		t.Fatalf("target absorbed %d readings, want 5", got)
+	}
+	if src.MigratedOutReadings() != 5 || dst.MigratedInReadings() != 5 {
+		t.Fatalf("migration counters out=%d in=%d, want 5/5",
+			src.MigratedOutReadings(), dst.MigratedInReadings())
+	}
+
+	net.parent.set("up")
+	if err := dst.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	counts := net.parent.counts()
+	if len(counts) != 5 {
+		t.Fatalf("parent preserved %d distinct readings, want 5", len(counts))
+	}
+	for v, c := range counts {
+		if c != 1 {
+			t.Errorf("reading %v preserved %d times, want exactly once", v, c)
+		}
+	}
+}
+
+// TestMigrateRetryAfterLostAckIsExactlyOnce: the hard case — the
+// target absorbs a chunk but the acknowledgement is lost, the source
+// reinstalls and retries, the target absorbs a second copy. Both
+// copies carry the same frozen (origin, seq), so the shared parent
+// keeps each reading exactly once.
+func TestMigrateRetryAfterLostAckIsExactlyOnce(t *testing.T) {
+	net := newMigrateNet("fog2/d01")
+	src := newMigrateNode(t, net, "fog1/d01-s01", "")
+	dst := newMigrateNode(t, net, "fog1/d01-s02", "")
+	ctx := context.Background()
+
+	_ = src.Ingest(typedBatch("traffic", t0, 1, 2, 3))
+
+	net.setMigrate("acklost")
+	if err := src.MigrateOut(ctx, "traffic", dst.ID()); err == nil {
+		t.Fatal("handoff with lost ack reported success")
+	}
+	if got := src.PendingReadings(); got != 3 {
+		t.Fatalf("source reinstalled %d readings after failed handoff, want 3", got)
+	}
+
+	net.setMigrate("up")
+	if err := src.MigrateOut(ctx, "traffic", dst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The target now holds two copies of the sealed batch (absorbed
+	// under two different transfer sequences) — the parent dedupes.
+	if err := dst.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	counts := net.parent.counts()
+	if len(counts) != 3 {
+		t.Fatalf("parent preserved %d distinct readings, want 3", len(counts))
+	}
+	for v, c := range counts {
+		if c != 1 {
+			t.Errorf("reading %v preserved %d times, want exactly once", v, c)
+		}
+	}
+}
+
+// TestMigrateChunksBounded: a handoff larger than one transfer splits
+// into multiple bounded chunks, every chunk under the wire limit, and
+// nothing is lost across the split.
+func TestMigrateChunksBounded(t *testing.T) {
+	old := protocol.MaxBatchWireSize()
+	protocol.SetMaxBatchWireSize(8 << 10)
+	defer protocol.SetMaxBatchWireSize(old)
+
+	net := newMigrateNet("fog2/d01")
+	src := newMigrateNode(t, net, "fog1/d01-s01", "")
+	dst := newMigrateNode(t, net, "fog1/d01-s02", "")
+	ctx := context.Background()
+
+	// Freeze many retry batches so the handoff must chunk: each failed
+	// flush parks one sealed batch of ~100 readings (~3 KiB sealed).
+	net.parent.set("down")
+	total := 0
+	for i := 0; i < 24; i++ {
+		vals := make([]float64, 100)
+		for j := range vals {
+			total++
+			vals[j] = float64(total)
+		}
+		_ = src.Ingest(typedBatch("traffic", t0.Add(time.Duration(i)*time.Second), vals...))
+		_ = src.Flush(ctx)
+	}
+
+	if err := src.MigrateOut(ctx, "traffic", dst.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.MigratedOutTransfers(); got < 2 {
+		t.Fatalf("handoff used %d transfers, want >= 2 (chunking)", got)
+	}
+	if got := dst.PendingReadings(); got != total {
+		t.Fatalf("target absorbed %d readings, want %d", got, total)
+	}
+
+	net.parent.set("up")
+	for round := 0; round < 4 && dst.PendingBatches() > 0; round++ {
+		if err := dst.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := net.parent.counts()
+	if len(counts) != total {
+		t.Fatalf("parent preserved %d distinct readings, want %d", len(counts), total)
+	}
+}
+
+// TestIngestForwardsRoutedTypes: once a route is set, edge ingest of
+// the moved type is forwarded to the new owner as a single-entry
+// transfer and delivered upward under the SOURCE's identity — the
+// source keeps serving local reads but no longer queues upward state.
+func TestIngestForwardsRoutedTypes(t *testing.T) {
+	net := newMigrateNet("fog2/d01")
+	src := newMigrateNode(t, net, "fog1/d01-s01", "")
+	dst := newMigrateNode(t, net, "fog1/d01-s02", "")
+	ctx := context.Background()
+
+	src.SetRoute("traffic", dst.ID())
+	if err := src.Ingest(typedBatch("traffic", t0, 7, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.PendingBatches(); got != 0 {
+		t.Fatalf("source queued %d delivery units for a routed type", got)
+	}
+	if got := dst.PendingReadings(); got != 2 {
+		t.Fatalf("target holds %d forwarded readings, want 2", got)
+	}
+	// Local real-time reads still work at the ingesting section.
+	if r, ok := src.Latest("traffic/0"); !ok || r.Value != 7 {
+		t.Fatalf("source Latest = %+v ok=%v, want 7", r, ok)
+	}
+
+	if err := dst.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	counts := net.parent.counts()
+	if len(counts) != 2 {
+		t.Fatalf("parent preserved %d readings, want 2", len(counts))
+	}
+
+	// An unrouted type keeps the local path.
+	src.ClearRoute("traffic")
+	_ = src.Ingest(typedBatch("traffic", t0.Add(time.Minute), 9))
+	if got := src.PendingBatches(); got != 1 {
+		t.Fatalf("source queued %d delivery units after ClearRoute, want 1", got)
+	}
+}
+
+// TestIngestRoutedFallsBackWhenTargetDown: a forward that cannot
+// reach the new owner parks the sealed batch locally under its frozen
+// sequence; it drains upward from the source and stays exactly-once
+// even if the target absorbed a copy before the link died.
+func TestIngestRoutedFallsBackWhenTargetDown(t *testing.T) {
+	net := newMigrateNet("fog2/d01")
+	src := newMigrateNode(t, net, "fog1/d01-s01", "")
+	dst := newMigrateNode(t, net, "fog1/d01-s02", "")
+	ctx := context.Background()
+
+	src.SetRoute("traffic", dst.ID())
+
+	net.setMigrate("fail")
+	if err := src.Ingest(typedBatch("traffic", t0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.PendingReadings(); got != 2 {
+		t.Fatalf("source parked %d readings after failed forward, want 2", got)
+	}
+
+	// The ack-lost shape: target absorbed, source parked a copy too.
+	net.setMigrate("acklost")
+	if err := src.Ingest(typedBatch("traffic", t0.Add(time.Second), 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.PendingReadings(); got != 1 {
+		t.Fatalf("target absorbed %d readings under lost ack, want 1", got)
+	}
+
+	net.setMigrate("up")
+	if err := src.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	counts := net.parent.counts()
+	if len(counts) != 3 {
+		t.Fatalf("parent preserved %d distinct readings, want 3", len(counts))
+	}
+	for v, c := range counts {
+		if c != 1 {
+			t.Errorf("reading %v preserved %d times, want exactly once", v, c)
+		}
+	}
+}
+
+// TestMigrateMovesReplayMarks: the target inherits the source's dedup
+// horizon, so a child's retry of a batch the SOURCE already accepted
+// is recognized by the TARGET after the handoff.
+func TestMigrateMovesReplayMarks(t *testing.T) {
+	net := newMigrateNet("fog2/d01")
+	src := newMigrateNode(t, net, "fog1/d01-s01", "")
+	dst := newMigrateNode(t, net, "fog1/d01-s02", "")
+	ctx := context.Background()
+
+	child := typedBatch("traffic", t0, 10, 11)
+	child.NodeID = "edge/e1"
+	payload, err := (&protocol.Sealer{}).SealSeq(nil, child, aggregate.CodecNone, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := transport.Message{From: "edge/e1", To: src.ID(), Kind: transport.KindBatch, Payload: payload}
+	if _, err := src.Handle(ctx, msg); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := src.MigrateOut(ctx, "traffic", dst.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The child retries the same delivery against the new owner.
+	msg.To = dst.ID()
+	if _, err := dst.Handle(ctx, msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.DuplicateBatches(); got != 1 {
+		t.Fatalf("target suppressed %d duplicates, want 1 (marks not inherited?)", got)
+	}
+	if err := dst.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	counts := net.parent.counts()
+	for v, c := range counts {
+		if c != 1 {
+			t.Errorf("reading %v preserved %d times, want exactly once", v, c)
+		}
+	}
+	if len(counts) != 2 {
+		t.Fatalf("parent preserved %d readings, want 2", len(counts))
+	}
+}
+
+// TestMigrateRejectsBadChunks: malformed, misaddressed and
+// type-mismatched chunks are refused without state changes.
+func TestMigrateRejectsBadChunks(t *testing.T) {
+	net := newMigrateNet("fog2/d01")
+	dst := newMigrateNode(t, net, "fog1/d01-s02", "")
+	ctx := context.Background()
+
+	send := func(payload []byte) error {
+		_, err := dst.Handle(ctx, transport.Message{
+			From: "fog1/d01-s01", To: dst.ID(), Kind: transport.KindMigrate, Payload: payload,
+		})
+		return err
+	}
+	if err := send([]byte("garbage")); err == nil {
+		t.Error("garbage chunk accepted")
+	}
+
+	mk := func(mutate func(*protocol.MigrateTransfer)) []byte {
+		b := typedBatch("traffic", t0, 1)
+		b.NodeID = "fog1/d01-s01"
+		payload, err := (&protocol.Sealer{}).SealSeq(nil, b, aggregate.CodecNone, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &protocol.MigrateTransfer{
+			TypeName: "traffic", From: "fog1/d01-s01", To: dst.ID(), TransferSeq: 9,
+			Entries: []protocol.MigrateEntry{{Seq: 5, Payload: payload}},
+		}
+		mutate(tr)
+		wire, err := protocol.EncodeMigrateTransfer(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wire
+	}
+
+	if err := send(mk(func(tr *protocol.MigrateTransfer) { tr.To = "fog1/d01-s09" })); err == nil ||
+		!strings.Contains(err.Error(), "addressed to") {
+		t.Errorf("misaddressed chunk: err = %v", err)
+	}
+	if err := send(mk(func(tr *protocol.MigrateTransfer) { tr.Entries[0].Seq = 6 })); err == nil ||
+		!strings.Contains(err.Error(), "envelope seq") {
+		t.Errorf("seq-mismatched chunk: err = %v", err)
+	}
+	if err := send(mk(func(tr *protocol.MigrateTransfer) { tr.TypeName = "noise_level" })); err == nil ||
+		!strings.Contains(err.Error(), "transfer") {
+		t.Errorf("type-mismatched chunk: err = %v", err)
+	}
+	if got := dst.PendingReadings(); got != 0 {
+		t.Fatalf("rejected chunks left %d readings behind", got)
+	}
+}
+
+// TestMigrationRecoverySeeded is the crash-safety property: random
+// interleavings of ingest, flush, handoff (against a flaky migrate
+// link and a flaky parent), crashes of EITHER side at WAL-record
+// boundaries, and checkpoints must always converge — after healing
+// and draining — to every accepted reading preserved exactly once at
+// the parent, no phantoms, and a single owner (the source holds
+// nothing for a type whose handoff committed). A failure message
+// carries the reproducing seed.
+func TestMigrationRecoverySeeded(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			migrationRecoveryProperty(t, seed)
+		})
+	}
+}
+
+func migrationRecoveryProperty(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	net := newMigrateNet("fog2/d01")
+	src := newMigrateNode(t, net, "fog1/d01-s01", srcDir)
+	dst := newMigrateNode(t, net, "fog1/d01-s02", dstDir)
+	ctx := context.Background()
+
+	accepted := make(map[float64]bool)
+	nextVal := 0.0
+	at := t0
+	failf := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("migration property (rerun with seed %d): %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	for op := 0; op < 140; op++ {
+		at = at.Add(time.Second)
+		switch k := rng.Intn(12); {
+		case k < 5: // edge ingest at the source (routed or not)
+			vals := make([]float64, 1+rng.Intn(5))
+			for i := range vals {
+				nextVal++
+				vals[i] = nextVal
+			}
+			if err := src.Ingest(typedBatch("traffic", at, vals...)); err != nil {
+				failf("op %d ingest: %v", op, err)
+			}
+			for _, v := range vals {
+				accepted[v] = true
+			}
+		case k < 7: // flush either side against a parent in a random mood
+			net.parent.set([]string{"up", "down", "acklost"}[rng.Intn(3)])
+			_ = src.Flush(ctx)
+			_ = dst.Flush(ctx)
+		case k < 9: // handoff over a flaky migrate link
+			net.setMigrate([]string{"up", "up", "fail", "acklost"}[rng.Intn(4)])
+			err := src.MigrateOut(ctx, "traffic", dst.ID())
+			net.setMigrate("up")
+			if err == nil {
+				src.SetRoute("traffic", dst.ID())
+			}
+		case k < 10: // crash + recover the source at a WAL-record boundary
+			routes := src.Routes()
+			src = newMigrateNode(t, net, "fog1/d01-s01", srcDir)
+			for typ, target := range routes {
+				src.SetRoute(typ, target)
+			}
+		case k < 11: // crash + recover the target
+			dst = newMigrateNode(t, net, "fog1/d01-s02", dstDir)
+		default: // checkpoint a random side
+			n := src
+			if rng.Intn(2) == 1 {
+				n = dst
+			}
+			if err := n.Checkpoint(); err != nil {
+				failf("op %d checkpoint: %v", op, err)
+			}
+		}
+	}
+
+	// Heal everything and drain both siblings.
+	net.parent.set("up")
+	net.setMigrate("up")
+	for round := 0; round < 10 && (src.PendingBatches() > 0 || dst.PendingBatches() > 0); round++ {
+		_ = src.Flush(ctx)
+		_ = dst.Flush(ctx)
+	}
+	if src.PendingBatches() != 0 || dst.PendingBatches() != 0 {
+		failf("did not drain: src=%d dst=%d delivery units",
+			src.PendingBatches(), dst.PendingBatches())
+	}
+
+	// Conservation, exactly once: every accepted reading is preserved
+	// exactly once at the parent, and nothing phantom appears.
+	got := net.parent.counts()
+	for v := range accepted {
+		switch got[v] {
+		case 0:
+			failf("reading %v lost (accepted but never preserved)", v)
+		case 1: // exactly once
+		default:
+			failf("reading %v preserved %d times", v, got[v])
+		}
+	}
+	for v := range got {
+		if !accepted[v] {
+			failf("phantom reading %v preserved but never accepted", v)
+		}
+	}
+
+	// Single ownership: after a final committed handoff and drain, the
+	// source holds no delivery state for the moved type.
+	if err := src.MigrateOut(ctx, "traffic", dst.ID()); err != nil {
+		failf("final handoff: %v", err)
+	}
+	src.SetRoute("traffic", dst.ID())
+	if got := len(pendingValues(src, "traffic")); got != 0 {
+		failf("source still owns %d readings after committed handoff", got)
+	}
+	if err := dst.Flush(ctx); err != nil {
+		failf("final target drain: %v", err)
+	}
+}
+
+// TestMigrateJournalReplay exercises the three migration record arms
+// of the journal replay directly.
+func TestMigrateJournalReplay(t *testing.T) {
+	// recMigrateCommit removes exactly the moved sequences and keeps
+	// the counter past them.
+	rs := newRecoveryState()
+	for _, seq := range []uint64{100, 101, 102} {
+		rs.typeState("traffic").groups = append(rs.typeState("traffic").groups,
+			sealedBatch{b: typedBatch("traffic", t0, float64(seq)), seq: seq})
+	}
+	rec := []byte{recMigrateCommit}
+	rec = wal.AppendString(rec, "traffic")
+	rec = wal.AppendUvarint(rec, 2)
+	rec = wal.AppendUint64(rec, 100)
+	rec = wal.AppendUint64(rec, 102)
+	if err := rs.applyRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.types["traffic"].groups; len(got) != 1 || got[0].seq != 101 {
+		t.Fatalf("after migrate commit, groups = %+v, want only seq 101", got)
+	}
+	if !rs.sawSeq || rs.seqCounter < 102 {
+		t.Errorf("seq counter = %d (saw=%v), want >= 102", rs.seqCounter, rs.sawSeq)
+	}
+
+	// recMigrateStart leaves the groups alone but advances the counter
+	// past the handoff's reserved transfer sequences.
+	start := []byte{recMigrateStart}
+	start = wal.AppendString(start, "traffic")
+	start = wal.AppendString(start, "fog1/d01-s02")
+	start = wal.AppendUint64(start, 150)
+	if err := rs.applyRecord(start); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.types["traffic"].groups) != 1 {
+		t.Fatal("migrate start changed the recovered groups")
+	}
+	if rs.seqCounter != 150 {
+		t.Fatalf("seq counter = %d, want 150 (migrate start watermark)", rs.seqCounter)
+	}
+
+	// recMigrateIn re-absorbs the chunk's entries and marks verbatim.
+	b := typedBatch("traffic", t0, 7, 8)
+	b.NodeID = "fog1/d01-s01"
+	payload, err := (&protocol.Sealer{}).SealSeq(nil, b, aggregate.CodecNone, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &protocol.MigrateTransfer{
+		TypeName: "traffic", From: "fog1/d01-s01", To: "fog1/d01-s02", TransferSeq: 77,
+		Entries: []protocol.MigrateEntry{{Seq: 55, Payload: payload}},
+		Marks:   map[string][]uint64{"edge/e1": {9}},
+	}
+	wire, err := protocol.EncodeMigrateTransfer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte{recMigrateIn}
+	in = wal.AppendBytes(in, wire)
+	rs2 := newRecoveryState()
+	if err := rs2.applyRecord(in); err != nil {
+		t.Fatal(err)
+	}
+	groups := rs2.types["traffic"].groups
+	if len(groups) != 1 || groups[0].seq != 55 || groups[0].b.NodeID != "fog1/d01-s01" {
+		t.Fatalf("replayed absorb groups = %+v, want one foreign batch at seq 55", groups)
+	}
+	wantMarks := map[markEntry]bool{
+		{origin: "edge/e1", seq: 9}:       false,
+		{origin: "fog1/d01-s01", seq: 77}: false,
+	}
+	for _, m := range rs2.marks {
+		if _, ok := wantMarks[m]; ok {
+			wantMarks[m] = true
+		}
+	}
+	for m, seen := range wantMarks {
+		if !seen {
+			t.Errorf("replayed absorb missing mark %+v", m)
+		}
+	}
+	// Foreign sequences must not advance this node's counter.
+	if rs2.sawSeq {
+		t.Errorf("absorbed foreign sequences advanced the local counter to %d", rs2.seqCounter)
+	}
+}

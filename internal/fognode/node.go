@@ -281,6 +281,11 @@ type Node struct {
 	sched *sched.Scheduler
 	ctl   *flushController
 
+	// routes forwards edge ingest of sensor types whose ownership
+	// migrated to a sibling (see migrate.go); routeMu guards it.
+	routeMu sync.RWMutex
+	routes  map[string]string
+
 	ingestedBatches  *metrics.Counter
 	ingestedReads    *metrics.Counter
 	flushedBatches   *metrics.Counter
@@ -295,6 +300,11 @@ type Node struct {
 	degradedReads    *metrics.Counter
 	summariesEmitted *metrics.Counter
 	degradedIn       *metrics.Counter
+	migOutTransfers  *metrics.Counter
+	migOutReads      *metrics.Counter
+	migOutBytes      *metrics.Counter
+	migInTransfers   *metrics.Counter
+	migInReads       *metrics.Counter
 
 	// scratch recycles per-flush-worker buffers (wire encoding,
 	// sealed payload, collected batch slice) so steady-state flushes
@@ -347,6 +357,7 @@ func New(cfg Config) (*Node, error) {
 		shards:    newPendingShards(cfg.PendingShards),
 		up:        newUpstream(&cfg),
 		replay:    protocol.NewReplayFilter(cfg.ReplayWindow),
+		routes:    make(map[string]string),
 		lc:        newLifecycle(),
 	}
 	if cfg.Storage != nil {
@@ -392,6 +403,11 @@ func New(cfg Config) (*Node, error) {
 	n.degradedReads = reg.Counter(prefix + "flush.degraded_readings")
 	n.summariesEmitted = reg.Counter(prefix + "flush.summaries_emitted")
 	n.degradedIn = reg.Counter(prefix + "ingest.degraded_in")
+	n.migOutTransfers = reg.Counter(prefix + "migrate.out_transfers")
+	n.migOutReads = reg.Counter(prefix + "migrate.out_readings")
+	n.migOutBytes = reg.Counter(prefix + "migrate.out_bytes")
+	n.migInTransfers = reg.Counter(prefix + "migrate.in_transfers")
+	n.migInReads = reg.Counter(prefix + "migrate.in_readings")
 	if cfg.Scheduler != nil {
 		n.sched = sched.New(*cfg.Scheduler, cfg.Clock, reg, prefix+"sched.")
 	}
@@ -474,6 +490,25 @@ func (n *Node) ingest(b *model.Batch, origin string, seq uint64) error {
 		return nil
 	}
 	n.ingestedReads.Add(int64(len(b.Readings)))
+
+	// An edge ingest of a type whose ownership migrated to a sibling
+	// is forwarded to the new owner instead of queueing for this
+	// node's own flush; sequenced arrivals keep the local path so
+	// their (origin, seq) mark commits atomically with acceptance.
+	if origin == "" {
+		if target := n.Route(b.TypeName); target != "" {
+			if err := n.ingestRouted(b, target); err != nil {
+				return err
+			}
+			if err := n.store.Append(b); err != nil {
+				return fmt.Errorf("fognode %s: ingest: %w", n.cfg.Spec.ID, err)
+			}
+			if n.cfg.Observer != nil {
+				n.cfg.Observer.ObserveBatch(b)
+			}
+			return nil
+		}
+	}
 
 	// The enqueue is the durable acceptance gate and runs before the
 	// local store append: a journal-rejected ingest must leave no
@@ -1012,19 +1047,10 @@ func (n *Node) sendTypeWork(ctx context.Context, w typeWork, now time.Time, sc *
 func (n *Node) sendBatch(ctx context.Context, sb sealedBatch, now time.Time, sc *flushScratch) error {
 	b := sb.b
 	// Concurrent child flushes interleave arrival order at a combining
-	// layer-2 node; sealing restores time order (ties broken by sensor
-	// then value) so upward payloads — and their compressed sizes —
-	// are deterministic for a given set of readings.
-	sort.SliceStable(b.Readings, func(i, j int) bool {
-		ri, rj := &b.Readings[i], &b.Readings[j]
-		if !ri.Time.Equal(rj.Time) {
-			return ri.Time.Before(rj.Time)
-		}
-		if ri.SensorID != rj.SensorID {
-			return ri.SensorID < rj.SensorID
-		}
-		return ri.Value < rj.Value
-	})
+	// layer-2 node; sealing restores time order so upward payloads —
+	// and their compressed sizes — are deterministic for a given set
+	// of readings.
+	sortBatchReadings(b)
 	b.Collected = now
 	payload, err := sc.sealer.SealSeq(sc.payload[:0], b, n.cfg.Codec, sb.seq)
 	if err != nil {
@@ -1184,6 +1210,8 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 		return n.handleSummaryPush(msg.Payload)
 	case transport.KindRelay:
 		return n.handleRelay(ctx, msg)
+	case transport.KindMigrate:
+		return n.handleMigrate(msg)
 	case transport.KindQuery:
 		return n.handleQuery(msg.Payload)
 	case transport.KindSummary:
@@ -1280,6 +1308,16 @@ func (n *Node) handleControl(ctx context.Context, payload []byte) ([]byte, error
 		return protocol.EncodeJSON(n.Status())
 	case protocol.OpMetrics:
 		return protocol.EncodeJSON(n.cfg.Registry.Export())
+	case protocol.OpRoutes:
+		return protocol.EncodeJSON(protocol.RoutesResponse{
+			NodeID:               n.cfg.Spec.ID,
+			Routes:               n.Routes(),
+			MigratedOutTransfers: n.MigratedOutTransfers(),
+			MigratedOutReadings:  n.MigratedOutReadings(),
+			MigratedOutBytes:     n.MigratedOutBytes(),
+			MigratedInTransfers:  n.MigratedInTransfers(),
+			MigratedInReadings:   n.MigratedInReadings(),
+		})
 	default:
 		return nil, fmt.Errorf("fognode %s: unknown control op %q", n.cfg.Spec.ID, req.Op)
 	}

@@ -1,0 +1,126 @@
+package placement
+
+import (
+	"sort"
+	"sync"
+
+	"f2c/internal/shard"
+)
+
+// Member is a candidate owner on the ownership ring: a fog sibling
+// with a relative capacity weight.
+type Member struct {
+	// ID is the node ID ("fog1/d01-s03").
+	ID string
+	// Weight scales the member's share of owned types; values < 1
+	// are treated as 1.
+	Weight int
+}
+
+// Ownership maps sensor types to owning fog siblings with a
+// consistent-hash ring (shard.Ring) so membership changes move only
+// the types whose owner actually changed. It is safe for concurrent
+// use.
+type Ownership struct {
+	mu   sync.RWMutex
+	ring *shard.Ring
+}
+
+// NewOwnership builds an ownership ring over members. vnodes <= 0
+// selects shard.DefaultVirtualNodes. Members may be listed more than
+// once — a node backing several districts appears in each district's
+// roster — so duplicates are dropped by node ID before ring
+// insertion; a repeated listing must not stack the node's virtual
+// nodes and silently multiply its weight. The first listing's weight
+// wins.
+func NewOwnership(vnodes int, members []Member) *Ownership {
+	o := &Ownership{ring: shard.NewRing(vnodes)}
+	seen := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if m.ID == "" {
+			continue
+		}
+		if _, dup := seen[m.ID]; dup {
+			continue
+		}
+		seen[m.ID] = struct{}{}
+		o.ring.Add(m.ID, m.Weight)
+	}
+	return o
+}
+
+// Add inserts or re-weights a member.
+func (o *Ownership) Add(m Member) {
+	if m.ID == "" {
+		return
+	}
+	o.mu.Lock()
+	o.ring.Add(m.ID, m.Weight)
+	o.mu.Unlock()
+}
+
+// Remove deletes a member.
+func (o *Ownership) Remove(id string) {
+	o.mu.Lock()
+	o.ring.Remove(id)
+	o.mu.Unlock()
+}
+
+// OwnerOf returns the member owning typeName, or false when the ring
+// is empty.
+func (o *Ownership) OwnerOf(typeName string) (string, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.ring.Owner(typeName)
+}
+
+// Members returns the member IDs, sorted.
+func (o *Ownership) Members() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.ring.Members()
+}
+
+// Len returns the member count.
+func (o *Ownership) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.ring.Len()
+}
+
+// Assign maps each type to its owner under the current membership.
+func (o *Ownership) Assign(types []string) map[string]string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make(map[string]string, len(types))
+	for _, t := range types {
+		if owner, ok := o.ring.Owner(t); ok {
+			out[t] = owner
+		}
+	}
+	return out
+}
+
+// Move is one shard migration produced by a membership change: the
+// type must travel from its old owner to its new one.
+type Move struct {
+	TypeName string
+	From     string
+	To       string
+}
+
+// Diff compares two assignments and returns the required moves,
+// sorted by type name for deterministic execution order. Types
+// present only in the new assignment arrive with an empty From
+// (nothing to migrate); types that lost their owner entirely are
+// skipped.
+func Diff(old, cur map[string]string) []Move {
+	var moves []Move
+	for t, to := range cur {
+		if from := old[t]; from != to {
+			moves = append(moves, Move{TypeName: t, From: from, To: to})
+		}
+	}
+	sort.Slice(moves, func(a, b int) bool { return moves[a].TypeName < moves[b].TypeName })
+	return moves
+}

@@ -1,0 +1,123 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func typeUniverse(n int) []string {
+	types := make([]string, n)
+	for i := range types {
+		types[i] = fmt.Sprintf("city.sensor-%04d", i)
+	}
+	return types
+}
+
+func TestOwnershipAssignAndDiff(t *testing.T) {
+	members := []Member{
+		{ID: "fog1/d01-s01", Weight: 1},
+		{ID: "fog1/d01-s02", Weight: 1},
+		{ID: "fog1/d01-s03", Weight: 1},
+	}
+	o := NewOwnership(128, members)
+	types := typeUniverse(300)
+	before := o.Assign(types)
+	if len(before) != len(types) {
+		t.Fatalf("assigned %d of %d types", len(before), len(types))
+	}
+	for _, typ := range types {
+		owner, ok := o.OwnerOf(typ)
+		if !ok || owner != before[typ] {
+			t.Fatalf("OwnerOf(%q) = %q/%v, Assign said %q", typ, owner, ok, before[typ])
+		}
+	}
+
+	o.Add(Member{ID: "fog1/d01-s04", Weight: 1})
+	after := o.Assign(types)
+	moves := Diff(before, after)
+	if len(moves) == 0 {
+		t.Fatal("join produced no moves")
+	}
+	for _, m := range moves {
+		if m.To != "fog1/d01-s04" {
+			t.Fatalf("join moved %q to %q, not to the joiner", m.TypeName, m.To)
+		}
+		if m.From == "" {
+			t.Fatalf("move for %q lost its source", m.TypeName)
+		}
+	}
+	for i := 1; i < len(moves); i++ {
+		if moves[i-1].TypeName >= moves[i].TypeName {
+			t.Fatalf("moves not sorted: %q before %q", moves[i-1].TypeName, moves[i].TypeName)
+		}
+	}
+
+	o.Remove("fog1/d01-s04")
+	restored := o.Assign(types)
+	if back := Diff(before, restored); len(back) != 0 {
+		t.Fatalf("leave did not restore the original assignment: %d stray moves", len(back))
+	}
+}
+
+// TestOwnershipDedupesMultiDistrictMembers is the regression test for
+// the multi-district weight bug: a node listed in several district
+// rosters used to get its virtual nodes inserted once per listing,
+// silently multiplying its weight. The constructor must dedupe by
+// node ID before ring insertion.
+func TestOwnershipDedupesMultiDistrictMembers(t *testing.T) {
+	// "shared" backs two districts and appears in both rosters with
+	// its declared weight of 1. Without dedupe it would own ~2x a
+	// single-district sibling's share.
+	roster := []Member{
+		// District 1.
+		{ID: "fog1/d01-s01", Weight: 1},
+		{ID: "fog1/shared", Weight: 1},
+		// District 2.
+		{ID: "fog1/shared", Weight: 1},
+		{ID: "fog1/d02-s01", Weight: 1},
+		{ID: "fog1/d02-s02", Weight: 1},
+	}
+	o := NewOwnership(128, roster)
+	if got := o.Len(); got != 4 {
+		t.Fatalf("member count = %d, want 4 (duplicate not deduped)", got)
+	}
+	counts := make(map[string]int)
+	for _, typ := range typeUniverse(20000) {
+		owner, _ := o.OwnerOf(typ)
+		counts[owner]++
+	}
+	shared := float64(counts["fog1/shared"])
+	others := float64(counts["fog1/d01-s01"]+counts["fog1/d02-s01"]+counts["fog1/d02-s02"]) / 3
+	ratio := shared / others
+	if ratio > 1.3 {
+		t.Fatalf("multi-district member owns %.2fx a sibling's share; dedupe failed (counts %v)", ratio, counts)
+	}
+
+	// The duplicate listing must also keep the FIRST declared weight
+	// rather than the last.
+	weighted := NewOwnership(128, []Member{
+		{ID: "fog1/a", Weight: 2},
+		{ID: "fog1/a", Weight: 5},
+		{ID: "fog1/b", Weight: 1},
+		{ID: "fog1/c", Weight: 1},
+	})
+	wc := make(map[string]int)
+	for _, typ := range typeUniverse(20000) {
+		owner, _ := weighted.OwnerOf(typ)
+		wc[owner]++
+	}
+	r := float64(wc["fog1/a"]) / (float64(wc["fog1/b"]+wc["fog1/c"]) / 2)
+	if r < 1.5 || r > 2.5 {
+		t.Fatalf("deduped member owns %.2fx; want ~2x from its first-declared weight (counts %v)", r, wc)
+	}
+}
+
+func TestOwnershipEmpty(t *testing.T) {
+	o := NewOwnership(0, nil)
+	if _, ok := o.OwnerOf("anything"); ok {
+		t.Fatal("empty ownership returned an owner")
+	}
+	if got := o.Assign([]string{"a", "b"}); len(got) != 0 {
+		t.Fatalf("empty ownership assigned %d types", len(got))
+	}
+}

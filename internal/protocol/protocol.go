@@ -464,11 +464,29 @@ const (
 	// (counters, gauges, histogram quantiles) as JSON — the scrape
 	// path for transport and flush instrumentation.
 	OpMetrics ControlOp = "metrics"
+	// OpRoutes requests a fog node's migration state: the active
+	// type-forwarding table the elastic rebalance installed, plus the
+	// live shard-migration counters (fog layers only).
+	OpRoutes ControlOp = "routes"
 )
 
 // ControlRequest is a control-plane command.
 type ControlRequest struct {
 	Op ControlOp `json:"op"`
+}
+
+// RoutesResponse reports a fog node's elastic-rebalance state: which
+// sensor types it forwards to a new owner, and how much shard state
+// live migration has moved through it in either direction.
+type RoutesResponse struct {
+	NodeID string `json:"nodeId"`
+	// Routes maps sensor type to the sibling now owning its ingest.
+	Routes               map[string]string `json:"routes,omitempty"`
+	MigratedOutTransfers int64             `json:"migratedOutTransfers"`
+	MigratedOutReadings  int64             `json:"migratedOutReadings"`
+	MigratedOutBytes     int64             `json:"migratedOutBytes"`
+	MigratedInTransfers  int64             `json:"migratedInTransfers"`
+	MigratedInReadings   int64             `json:"migratedInReadings"`
 }
 
 // StatusResponse reports node state.

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"sort"
+	"strconv"
+)
+
+// FNV64a returns the 64-bit FNV-1a hash of s. The consistent-hash
+// ring uses the 64-bit variant so virtual-node points spread over a
+// larger space and collisions between vnode labels are negligible.
+func FNV64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 finalizes a hash with the splitmix64 avalanche so ring
+// points derived from similar labels ("id#1", "id#2", ...) scatter
+// uniformly; raw FNV keeps nearby inputs on nearby points, which
+// skews ownership far past the 1.3 bound.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ringHash positions a label on the ring.
+func ringHash(s string) uint64 { return mix64(FNV64a(s)) }
+
+// DefaultVirtualNodes is the ring's default vnode multiplier. 128
+// points per unit of weight keeps the max/min ownership skew under
+// 1.3 for realistic member counts (asserted in ring_test.go).
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes and integer
+// member weights. A member with weight w owns w * vnodes points on
+// the ring; Owner(key) returns the member whose point follows the
+// key's hash clockwise. Ring is not safe for concurrent use; callers
+// (placement.Ownership, core) guard it.
+type Ring struct {
+	vnodes  int
+	weights map[string]int
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring. vnodes <= 0 selects
+// DefaultVirtualNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, weights: make(map[string]int)}
+}
+
+// Add inserts a member with the given weight (minimum 1). Adding an
+// existing member replaces its weight; it never stacks points, so a
+// member listed twice by the caller keeps a single declared weight.
+func (r *Ring) Add(id string, weight int) {
+	if id == "" {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if old, ok := r.weights[id]; ok {
+		if old == weight {
+			return
+		}
+		r.removePoints(id)
+	}
+	r.weights[id] = weight
+	n := weight * r.vnodes
+	// Stratified placement: point i lands in stratum [i/n, (i+1)/n)
+	// of the ring, jittered by the label hash. Each member's points
+	// are spread evenly instead of independently at random, which
+	// keeps the max/min ownership skew within the 1.3 bound at 128
+	// vnodes (independent points need ~4x more to match).
+	step := ^uint64(0)/uint64(n) + 1
+	for i := 0; i < n; i++ {
+		jitter := ringHash(id + "#" + strconv.Itoa(i))
+		if step != 0 {
+			jitter %= step
+		}
+		r.points = append(r.points, ringPoint{hash: step*uint64(i) + jitter, node: id})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove deletes a member and all its points. Removing an absent
+// member is a no-op.
+func (r *Ring) Remove(id string) {
+	if _, ok := r.weights[id]; !ok {
+		return
+	}
+	delete(r.weights, id)
+	r.removePoints(id)
+}
+
+func (r *Ring) removePoints(id string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// ownerProbes is the multi-probe count: Owner hashes the key to
+// ownerProbes ring positions and picks the point with the smallest
+// clockwise distance. Multi-probe lookup (Appleton & O'Reilly,
+// "Multi-probe consistent hashing") tightens the ownership skew that
+// single-probe rings suffer at moderate vnode counts, and it keeps
+// the minimal-movement property: a join can only steal a key by
+// shortening some probe's distance, which means the stolen key lands
+// on the joiner.
+const ownerProbes = 8
+
+// Owner returns the member owning key, or false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := FNV64a(key)
+	best := ""
+	var bestDist uint64
+	for p := 0; p < ownerProbes; p++ {
+		probe := mix64(h + uint64(p)*0x9e3779b97f4a7c15)
+		i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= probe })
+		if i == len(r.points) {
+			i = 0 // wrap: the first point clockwise from the top
+		}
+		dist := r.points[i].hash - probe // wraps modulo 2^64
+		if best == "" || dist < bestDist {
+			best, bestDist = r.points[i].node, dist
+		}
+	}
+	return best, true
+}
+
+// Weight returns a member's weight (0 when absent).
+func (r *Ring) Weight(id string) int { return r.weights[id] }
+
+// Members returns the member IDs, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.weights))
+	for id := range r.weights {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.weights) }

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sensor.type-%04d", i)
+	}
+	return keys
+}
+
+func ownersOf(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			continue
+		}
+		out[k] = o
+	}
+	return out
+}
+
+func TestRingOwnershipTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		setup   func(r *Ring)
+		key     string
+		wantOK  bool
+		members int
+	}{
+		{name: "empty ring has no owner", setup: func(r *Ring) {}, key: "traffic", wantOK: false, members: 0},
+		{
+			name:    "single member owns everything",
+			setup:   func(r *Ring) { r.Add("fog1/d01-s01", 1) },
+			key:     "traffic",
+			wantOK:  true,
+			members: 1,
+		},
+		{
+			name: "re-add replaces weight instead of stacking",
+			setup: func(r *Ring) {
+				r.Add("a", 1)
+				r.Add("a", 1)
+				r.Add("a", 3)
+			},
+			key:     "traffic",
+			wantOK:  true,
+			members: 1,
+		},
+		{
+			name: "remove absent member is a no-op",
+			setup: func(r *Ring) {
+				r.Add("a", 1)
+				r.Remove("b")
+			},
+			key:     "traffic",
+			wantOK:  true,
+			members: 1,
+		},
+		{
+			name: "empty id rejected",
+			setup: func(r *Ring) {
+				r.Add("", 1)
+			},
+			key:     "traffic",
+			wantOK:  false,
+			members: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing(8)
+			tc.setup(r)
+			if got := r.Len(); got != tc.members {
+				t.Fatalf("Len = %d, want %d", got, tc.members)
+			}
+			_, ok := r.Owner(tc.key)
+			if ok != tc.wantOK {
+				t.Fatalf("Owner ok = %v, want %v", ok, tc.wantOK)
+			}
+		})
+	}
+
+	t.Run("re-add with same weight keeps point count", func(t *testing.T) {
+		r := NewRing(16)
+		r.Add("a", 2)
+		n := len(r.points)
+		r.Add("a", 2)
+		if len(r.points) != n {
+			t.Fatalf("points grew from %d to %d on idempotent re-add", n, len(r.points))
+		}
+		if r.Weight("a") != 2 {
+			t.Fatalf("Weight = %d, want 2", r.Weight("a"))
+		}
+	})
+}
+
+func TestRingDeterministicAndStable(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		r.Add("fog1/d01-s01", 1)
+		r.Add("fog1/d01-s02", 1)
+		r.Add("fog1/d01-s03", 2)
+		return r
+	}
+	keys := ringKeys(500)
+	a := ownersOf(build(), keys)
+	b := ownersOf(build(), keys)
+	for _, k := range keys {
+		if a[k] != b[k] {
+			t.Fatalf("owner of %q differs between identical rings: %q vs %q", k, a[k], b[k])
+		}
+	}
+}
+
+// TestRingRebalanceMinimalMovement asserts the consistent-hashing
+// contract: adding one member only moves keys TO the new member, and
+// removing it only moves its own keys — nothing shuffles between
+// surviving members.
+func TestRingRebalanceMinimalMovement(t *testing.T) {
+	r := NewRing(128)
+	for i := 1; i <= 5; i++ {
+		r.Add(fmt.Sprintf("fog1/d01-s%02d", i), 1)
+	}
+	keys := ringKeys(2000)
+	before := ownersOf(r, keys)
+
+	const joiner = "fog1/d01-s06"
+	r.Add(joiner, 1)
+	after := ownersOf(r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			if after[k] != joiner {
+				t.Fatalf("key %q moved %q -> %q, not to the joiner", k, before[k], after[k])
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("joiner received no keys")
+	}
+	// Expected share is 1/6; allow generous slack but catch a full
+	// reshuffle.
+	if moved > len(keys)/3 {
+		t.Fatalf("join moved %d/%d keys; expected ~1/6", moved, len(keys))
+	}
+
+	r.Remove(joiner)
+	restored := ownersOf(r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("remove did not restore ownership of %q: %q vs %q", k, restored[k], before[k])
+		}
+	}
+}
+
+// TestRingSkewBound is the satellite acceptance bound: with 128
+// virtual nodes the max/min owned-type ratio stays ≤ 1.3 across
+// equal-weight members.
+func TestRingSkewBound(t *testing.T) {
+	for _, members := range []int{4, 8, 16} {
+		t.Run(fmt.Sprintf("members=%d", members), func(t *testing.T) {
+			r := NewRing(128)
+			for i := 0; i < members; i++ {
+				r.Add(fmt.Sprintf("fog1/d%02d-s%02d", i/8+1, i%8+1), 1)
+			}
+			counts := make(map[string]int, members)
+			keys := ringKeys(20000)
+			for _, k := range keys {
+				o, _ := r.Owner(k)
+				counts[o]++
+			}
+			if len(counts) != members {
+				t.Fatalf("only %d of %d members own keys", len(counts), members)
+			}
+			min, max := len(keys), 0
+			for _, c := range counts {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			skew := float64(max) / float64(min)
+			if skew > 1.3 {
+				t.Fatalf("ownership skew %.3f exceeds 1.3 (min=%d max=%d)", skew, min, max)
+			}
+		})
+	}
+}
+
+// TestRingWeightBias asserts a weight-2 member owns roughly twice the
+// share of a weight-1 member.
+func TestRingWeightBias(t *testing.T) {
+	r := NewRing(128)
+	r.Add("small-a", 1)
+	r.Add("small-b", 1)
+	r.Add("big", 2)
+	counts := make(map[string]int)
+	keys := ringKeys(20000)
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	avgSmall := float64(counts["small-a"]+counts["small-b"]) / 2
+	ratio := float64(counts["big"]) / avgSmall
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("weight-2 member owns %.2fx a weight-1 member; want ~2x (counts %v)", ratio, counts)
+	}
+}
+
+func TestFNV32aMatchesReference(t *testing.T) {
+	// Spot-check the 32-bit hash against known FNV-1a values so the
+	// shared shard-selection hash never drifts.
+	cases := map[string]uint32{
+		"":    2166136261,
+		"a":   0xe40c292c,
+		"foo": 0xa9f37ed7,
+	}
+	for in, want := range cases {
+		if got := FNV32a(in); got != want {
+			t.Fatalf("FNV32a(%q) = %#x, want %#x", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"f2c/internal/model"
+)
+
+func elasticTopo(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := New("Testville", []District{
+		{Name: "Alpha", Sections: 2, Centroid: model.GeoPoint{Lat: 41.4, Lon: 2.1}},
+		{Name: "Beta", Sections: 3, Centroid: model.GeoPoint{Lat: 41.5, Lon: 2.2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestAddNodeJoinsDistrict(t *testing.T) {
+	topo := elasticTopo(t)
+	spec := NodeSpec{
+		ID:     "fog1/d01-s03",
+		Layer:  LayerFog1,
+		Parent: "fog2/d01",
+		Name:   "Alpha s03",
+	}
+	if err := topo.AddNode(spec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := topo.Node(spec.ID)
+	if !ok || got.Parent != "fog2/d01" {
+		t.Fatalf("joined node lookup = %+v, %v", got, ok)
+	}
+	kids := topo.Children("fog2/d01")
+	if len(kids) != 3 || kids[2] != spec.ID {
+		t.Fatalf("district children = %v", kids)
+	}
+	nbrs := topo.Neighbors("fog1/d01-s01")
+	found := false
+	for _, n := range nbrs {
+		if n == spec.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("joined node missing from sibling view %v", nbrs)
+	}
+	f1, _, _ := topo.Counts()
+	if f1 != 6 {
+		t.Fatalf("fog1 count = %d, want 6", f1)
+	}
+	path, err := topo.PathToCloud(spec.ID)
+	if err != nil || len(path) != 3 || path[2] != "cloud" {
+		t.Fatalf("PathToCloud = %v, %v", path, err)
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	topo := elasticTopo(t)
+	cases := []struct {
+		name string
+		spec NodeSpec
+		want string
+	}{
+		{"empty id", NodeSpec{Layer: LayerFog1, Parent: "fog2/d01"}, "needs an ID"},
+		{"duplicate id", NodeSpec{ID: "fog1/d01-s01", Layer: LayerFog1, Parent: "fog2/d01"}, "already exists"},
+		{"missing parent", NodeSpec{ID: "fog1/d09-s01", Layer: LayerFog1, Parent: "fog2/d09"}, "does not exist"},
+		{"fog1 under cloud", NodeSpec{ID: "fog1/x", Layer: LayerFog1, Parent: "cloud"}, "needs a fog2 parent"},
+		{"fog2 under fog2", NodeSpec{ID: "fog2/x", Layer: LayerFog2, Parent: "fog2/d01"}, "needs the cloud"},
+		{"cloud layer", NodeSpec{ID: "cloud2", Layer: LayerCloud, Parent: "cloud"}, "cannot add"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := topo.AddNode(tc.spec)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	// A fog2 district CAN join at runtime.
+	if err := topo.AddNode(NodeSpec{ID: "fog2/d03", Layer: LayerFog2, Parent: "cloud", Name: "Gamma"}); err != nil {
+		t.Fatal(err)
+	}
+	if kids := topo.Children("cloud"); len(kids) != 3 {
+		t.Fatalf("cloud children = %v", kids)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	topo := elasticTopo(t)
+	if err := topo.RemoveNode("cloud"); err == nil {
+		t.Fatal("removed the cloud")
+	}
+	if err := topo.RemoveNode("fog2/d01"); err == nil || !strings.Contains(err.Error(), "children") {
+		t.Fatalf("removing a managing district: err = %v", err)
+	}
+	if err := topo.RemoveNode("fog1/d09-s99"); err == nil {
+		t.Fatal("removed an unknown node")
+	}
+
+	if err := topo.RemoveNode("fog1/d01-s02"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := topo.Node("fog1/d01-s02"); ok {
+		t.Fatal("removed node still resolvable")
+	}
+	if kids := topo.Children("fog2/d01"); len(kids) != 1 || kids[0] != "fog1/d01-s01" {
+		t.Fatalf("district children after leave = %v", kids)
+	}
+	if nbrs := topo.Neighbors("fog1/d01-s01"); len(nbrs) != 0 {
+		t.Fatalf("sibling view after leave = %v", nbrs)
+	}
+	f1, f2, _ := topo.Counts()
+	if f1 != 4 || f2 != 2 {
+		t.Fatalf("counts after leave = %d/%d", f1, f2)
+	}
+
+	// Drain the district fully, then the district itself can leave.
+	if err := topo.RemoveNode("fog1/d01-s01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.RemoveNode("fog2/d01"); err != nil {
+		t.Fatal(err)
+	}
+	if kids := topo.Children("cloud"); len(kids) != 1 || kids[0] != "fog2/d02" {
+		t.Fatalf("cloud children = %v", kids)
+	}
+}
+
+// TestAddRemoveRoundTrip asserts a join immediately followed by a
+// leave restores the exact original shape.
+func TestAddRemoveRoundTrip(t *testing.T) {
+	topo := elasticTopo(t)
+	before := topo.Describe()
+	spec := NodeSpec{ID: "fog1/d02-s04", Layer: LayerFog1, Parent: "fog2/d02", Name: "Beta s04"}
+	if err := topo.AddNode(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.RemoveNode(spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if after := topo.Describe(); after != before {
+		t.Fatalf("round trip changed the topology:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"f2c/internal/model"
 )
@@ -62,8 +63,12 @@ type District struct {
 	Centroid model.GeoPoint
 }
 
-// Topology is an immutable three-layer hierarchy.
+// Topology is a three-layer hierarchy. Construction lays out the
+// initial city; AddNode/RemoveNode grow and shrink the fog layers at
+// runtime (elastic topology), so all accessors are guarded for
+// concurrent use.
 type Topology struct {
+	mu       sync.RWMutex
 	cloud    NodeSpec
 	fog2     []NodeSpec
 	fog1     []NodeSpec
@@ -134,11 +139,93 @@ func New(city string, districts []District) (*Topology, error) {
 	return t, nil
 }
 
+// AddNode joins a fog node to the hierarchy at runtime. The spec
+// must carry a fresh ID, a fog layer, and an existing parent one
+// layer up (fog1 under a fog2 district, fog2 under the cloud).
+func (t *Topology) AddNode(spec NodeSpec) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if spec.ID == "" {
+		return fmt.Errorf("topology: AddNode needs an ID")
+	}
+	if _, dup := t.byID[spec.ID]; dup {
+		return fmt.Errorf("topology: node %q already exists", spec.ID)
+	}
+	parent, ok := t.byID[spec.Parent]
+	if !ok {
+		return fmt.Errorf("topology: parent %q of %q does not exist", spec.Parent, spec.ID)
+	}
+	switch spec.Layer {
+	case LayerFog1:
+		if parent.Layer != LayerFog2 {
+			return fmt.Errorf("topology: fog1 node %q needs a fog2 parent, got %s", spec.ID, parent.Layer)
+		}
+		t.fog1 = append(t.fog1, spec)
+	case LayerFog2:
+		if parent.Layer != LayerCloud {
+			return fmt.Errorf("topology: fog2 node %q needs the cloud as parent, got %s", spec.ID, parent.Layer)
+		}
+		t.fog2 = append(t.fog2, spec)
+	default:
+		return fmt.Errorf("topology: cannot add a %s node at runtime", spec.Layer)
+	}
+	t.byID[spec.ID] = spec
+	t.children[spec.Parent] = append(t.children[spec.Parent], spec.ID)
+	return nil
+}
+
+// RemoveNode detaches a fog node from the hierarchy at runtime. The
+// cloud and nodes that still manage children cannot be removed —
+// drain and remove the children first.
+func (t *Topology) RemoveNode(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("topology: unknown node %q", id)
+	}
+	if n.Layer == LayerCloud {
+		return fmt.Errorf("topology: cannot remove the cloud")
+	}
+	if len(t.children[id]) > 0 {
+		return fmt.Errorf("topology: node %q still manages %d children", id, len(t.children[id]))
+	}
+	delete(t.byID, id)
+	delete(t.children, id)
+	kids := t.children[n.Parent]
+	for i, kid := range kids {
+		if kid == id {
+			t.children[n.Parent] = append(kids[:i], kids[i+1:]...)
+			break
+		}
+	}
+	drop := func(list []NodeSpec) []NodeSpec {
+		for i := range list {
+			if list[i].ID == id {
+				return append(list[:i], list[i+1:]...)
+			}
+		}
+		return list
+	}
+	if n.Layer == LayerFog1 {
+		t.fog1 = drop(t.fog1)
+	} else {
+		t.fog2 = drop(t.fog2)
+	}
+	return nil
+}
+
 // Cloud returns the cloud node.
-func (t *Topology) Cloud() NodeSpec { return t.cloud }
+func (t *Topology) Cloud() NodeSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cloud
+}
 
 // Fog2Nodes returns the layer-2 nodes in construction order.
 func (t *Topology) Fog2Nodes() []NodeSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]NodeSpec, len(t.fog2))
 	copy(out, t.fog2)
 	return out
@@ -146,6 +233,8 @@ func (t *Topology) Fog2Nodes() []NodeSpec {
 
 // Fog1Nodes returns the layer-1 nodes in construction order.
 func (t *Topology) Fog1Nodes() []NodeSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]NodeSpec, len(t.fog1))
 	copy(out, t.fog1)
 	return out
@@ -153,12 +242,16 @@ func (t *Topology) Fog1Nodes() []NodeSpec {
 
 // Node looks up a node by ID.
 func (t *Topology) Node(id string) (NodeSpec, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n, ok := t.byID[id]
 	return n, ok
 }
 
 // Parent returns the upward node of id.
 func (t *Topology) Parent(id string) (NodeSpec, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n, ok := t.byID[id]
 	if !ok || n.Parent == "" {
 		return NodeSpec{}, false
@@ -168,6 +261,8 @@ func (t *Topology) Parent(id string) (NodeSpec, bool) {
 
 // Children returns the IDs managed by a node, sorted.
 func (t *Topology) Children(id string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	kids := t.children[id]
 	out := make([]string, len(kids))
 	copy(out, kids)
@@ -179,6 +274,8 @@ func (t *Topology) Children(id string) []string {
 // district) — the candidates for the paper's §IV.C neighbor data
 // access.
 func (t *Topology) Neighbors(id string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n, ok := t.byID[id]
 	if !ok || n.Layer != LayerFog1 {
 		return nil
@@ -196,6 +293,8 @@ func (t *Topology) Neighbors(id string) []string {
 // PathToCloud returns the upward node-ID path from id to the cloud,
 // inclusive of both ends.
 func (t *Topology) PathToCloud(id string) ([]string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n, ok := t.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("topology: unknown node %q", id)
@@ -210,17 +309,24 @@ func (t *Topology) PathToCloud(id string) ([]string, error) {
 
 // Counts returns the number of nodes per layer.
 func (t *Topology) Counts() (fog1, fog2, cloud int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.fog1), len(t.fog2), 1
 }
 
 // Describe renders the hierarchy as an indented tree (the textual
 // equivalent of Fig. 6).
 func (t *Topology) Describe() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (%s)\n", t.cloud.ID, t.cloud.Name)
 	for _, f2 := range t.fog2 {
 		fmt.Fprintf(&b, "  %s (%s): %d sections\n", f2.ID, f2.Name, len(t.children[f2.ID]))
-		for _, kid := range t.Children(f2.ID) {
+		kids := make([]string, len(t.children[f2.ID]))
+		copy(kids, t.children[f2.ID])
+		sort.Strings(kids)
+		for _, kid := range kids {
 			f1 := t.byID[kid]
 			fmt.Fprintf(&b, "    %s (%s)\n", f1.ID, f1.Name)
 		}

@@ -120,6 +120,20 @@ func (n *SimNetwork) Register(name string, h Handler) {
 	n.endpoints[name] = h
 }
 
+// Deregister detaches an endpoint and its link profiles — a node
+// leaving the elastic topology. In-flight sends that already resolved
+// the handler complete; later sends fail with ErrUnknownEndpoint.
+func (n *SimNetwork) Deregister(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, name)
+	for pair := range n.links {
+		if pair[0] == name || pair[1] == name {
+			delete(n.links, pair)
+		}
+	}
+}
+
 // SetLink installs a directional link profile between two endpoints.
 func (n *SimNetwork) SetLink(from, to string, p LinkProfile) {
 	n.mu.Lock()

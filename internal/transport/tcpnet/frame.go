@@ -115,7 +115,7 @@ func ClassOf(k transport.Kind) Class {
 	switch k {
 	case transport.KindBatch, transport.KindSummaryPush:
 		return ClassIngest
-	case transport.KindRelay:
+	case transport.KindRelay, transport.KindMigrate:
 		return ClassRelay
 	default:
 		return ClassQuery
@@ -130,6 +130,7 @@ var kindCodes = map[transport.Kind]byte{
 	transport.KindControl:     4,
 	transport.KindRelay:       5,
 	transport.KindSummaryPush: 6,
+	transport.KindMigrate:     7,
 }
 
 var kindNames = map[byte]transport.Kind{
@@ -139,6 +140,7 @@ var kindNames = map[byte]transport.Kind{
 	4: transport.KindControl,
 	5: transport.KindRelay,
 	6: transport.KindSummaryPush,
+	7: transport.KindMigrate,
 }
 
 // DefaultMaxFrame returns the frame-size bound derived from the batch
@@ -153,8 +155,9 @@ func DefaultMaxFrame() int {
 }
 
 // frameSlack covers the frame header and metadata strings on top of
-// the payload bound.
-const frameSlack = 1 << 10
+// the payload bound, plus the headroom a migration transfer adds to
+// the batch-envelope bound (protocol.MaxMigrateWireSize).
+const frameSlack = 8 << 10
 
 // FrameSizeError reports a frame rejected for exceeding the maximum
 // frame size (the protocol.MaxBatchWireSize-derived bound, or the

@@ -44,6 +44,13 @@ const (
 	// the parent can merge them without confusing them with KindSummary
 	// pull replies on the read path.
 	KindSummaryPush Kind = "summarypush"
+	// KindMigrate carries one chunk of a live shard handoff between
+	// fog siblings: sealed batch envelopes, degrade-window summaries,
+	// and replay-filter marks moving from the old owner of a sensor
+	// type to its new owner. The sealed payloads keep their origin
+	// identity and delivery sequences, so downstream dedup is
+	// unaffected by the move.
+	KindMigrate Kind = "migrate"
 )
 
 // ClassQuery is the traffic-matrix class tagging query and summary
@@ -51,6 +58,12 @@ const (
 // flows; before this class existed they were accounted under the
 // empty class and indistinguishable from untagged traffic.
 const ClassQuery = "query"
+
+// ClassMigrate is the traffic-matrix class tagging shard-migration
+// transfers, kept distinct from sensor-category flows so the chaos
+// plane can assert the rebalance-traffic bound straight off the
+// matrix.
+const ClassMigrate = "migrate"
 
 // ClassNameOf maps a message kind onto its admission-scheduling class
 // name ("ingest", "query", "relay") — the node-side mirror of the
@@ -60,7 +73,7 @@ func ClassNameOf(k Kind) string {
 	switch k {
 	case KindBatch, KindSummaryPush:
 		return "ingest"
-	case KindRelay:
+	case KindRelay, KindMigrate:
 		return "relay"
 	default:
 		return "query"

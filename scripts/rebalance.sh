@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# rebalance.sh — the elastic-topology acceptance run, recorded in
+# BENCH_PR9.json. Two parts:
+#
+#   chaos    the seeded elastic schedules (scale-out, scale-in,
+#            rolling rebalance churn, plus the reply-loss-free exact
+#            variants): fog layer 1 grows and shrinks mid-run under
+#            reply loss and latency faults while every run asserts the
+#            conservation ledger, zero duplicates at the cloud, the
+#            migrate-class traffic closure and seed reproducibility.
+#   bench    cmd/f2cbench -exp rebalance: ingest p99 with a stable
+#            roster vs the same spray while nodes join and leave
+#            continuously (every cycle live-migrates the reassigned
+#            types both ways). The SLO is "ingest p99 during migration
+#            within REBAL_SLO_RATIO x idle (REBAL_SLO_FLOOR_MS noise
+#            floor)", and the traffic verdicts demand the rebalance
+#            moved only shard-sized payloads — no full-state broadcast.
+#
+# Usage:
+#   scripts/rebalance.sh              # full run, writes BENCH_PR9.json
+#   scripts/rebalance.sh quick        # CI smoke: one seeded scale-out +
+#                                     # scale-in schedule, small bench
+#   scripts/rebalance.sh full out.json
+#
+# Scale knobs (env): REBAL_SEEDS (chaos seeds per schedule, default 5),
+# REBAL_SAMPLES (timed ingests per bench phase, default 8000),
+# REBAL_MIN_EVENTS (scale events the bench churn phase must overlap,
+# default 8), REBAL_SLO_RATIO (default 2), REBAL_SLO_FLOOR_MS
+# (default 5), REBAL_BENCH_SEED (default 1).
+set -eu
+
+cd "$(dirname "$0")/.."
+MODE="${1:-full}"
+OUT="${2:-BENCH_PR9.json}"
+SEEDS="${REBAL_SEEDS:-5}"
+SAMPLES="${REBAL_SAMPLES:-8000}"
+MIN_EVENTS="${REBAL_MIN_EVENTS:-8}"
+SLO_RATIO="${REBAL_SLO_RATIO:-2}"
+SLO_FLOOR_MS="${REBAL_SLO_FLOOR_MS:-5}"
+BENCH_SEED="${REBAL_BENCH_SEED:-1}"
+
+if [ "$MODE" = "quick" ]; then
+	SEEDS=1
+	SAMPLES="${REBAL_SAMPLES:-2000}"
+	MIN_EVENTS="${REBAL_MIN_EVENTS:-4}"
+	echo "== chaos smoke: one seeded scale-out + one scale-in schedule"
+	go test ./internal/chaos/ -run 'TestChaosElasticScenarios/(scale-out|scale-in)' \
+		-v -chaos.seeds "$SEEDS"
+else
+	echo "== chaos sweep: every elastic schedule, $SEEDS seeds each"
+	go test ./internal/chaos/ -run 'TestChaosElastic' -v -chaos.seeds "$SEEDS"
+fi
+
+echo "== rebalance bench: ingest p99 idle vs during live migration + traffic closure"
+go run ./cmd/f2cbench -exp rebalance -seed "$BENCH_SEED" \
+	-samples "$SAMPLES" -min-events "$MIN_EVENTS" \
+	-slo-ratio "$SLO_RATIO" -slo-floor-ms "$SLO_FLOOR_MS" -json "$OUT"
