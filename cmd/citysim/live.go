@@ -14,6 +14,7 @@ import (
 	"f2c/internal/cloud"
 	"f2c/internal/config"
 	"f2c/internal/core"
+	"f2c/internal/cq"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
 	"f2c/internal/sched"
@@ -38,11 +39,12 @@ type liveOptions struct {
 	segmentStore  bool   // tiered segment engine under dataDir/<id>/store
 	memtableBytes int64  // segment memtable cap (0 = engine default)
 	clusterOut    string
-	overload      bool  // admission scheduler on every handler path
-	ingestRate    int64 // ingest-class token-bucket rate, bytes/sec
-	maxPending    int   // per-type upward buffer bound (0 = unbounded)
-	degrade       bool  // degrade-to-summary on buffer trims
-	adaptive      bool  // RTT-driven flush batch/interval tuning
+	overload      bool              // admission scheduler on every handler path
+	ingestRate    int64             // ingest-class token-bucket rate, bytes/sec
+	maxPending    int               // per-type upward buffer bound (0 = unbounded)
+	degrade       bool              // degrade-to-summary on buffer trims
+	adaptive      bool              // RTT-driven flush batch/interval tuning
+	subs          []cq.Subscription // standing continuous queries registered on every fog1 node
 }
 
 // sched returns the admission-scheduler options for the live city's
@@ -181,6 +183,16 @@ func runLive(o liveOptions) error {
 		if err != nil {
 			_ = tr.Close()
 			return err
+		}
+		if spec.Layer == topology.LayerFog1 {
+			// Standing continuous queries land before the node serves
+			// its first batch, like f2cd's boot-time registration.
+			for _, sub := range o.subs {
+				if err := node.Subscribe(sub); err != nil {
+					_ = tr.Close()
+					return fmt.Errorf("subscribe %s on %s: %w", sub.ID, spec.ID, err)
+				}
+			}
 		}
 		srv, err := tcpnet.NewServer(spec.ID, o.listenHost+":0", node, tcpnet.ServerOptions{Registry: reg})
 		if err != nil {

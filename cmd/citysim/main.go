@@ -18,6 +18,7 @@ import (
 	"f2c/internal/aggregate"
 	"f2c/internal/config"
 	"f2c/internal/core"
+	"f2c/internal/cq"
 	"f2c/internal/experiment"
 	"f2c/internal/metrics"
 	"f2c/internal/model"
@@ -82,6 +83,17 @@ func run(args []string) error {
 		if *liveIngestRate > 0 && !*liveOverload {
 			return fmt.Errorf("-live-ingest-rate requires -live-overload")
 		}
+		// A deployment document supplies the live city's standing
+		// continuous queries; its topology flags stay with the
+		// -live-districts/-live-sections pair.
+		var subs []cq.Subscription
+		if *cfgPath != "" {
+			dep, err := config.Load(*cfgPath)
+			if err != nil {
+				return err
+			}
+			subs = dep.StandingQueries()
+		}
 		return runLive(liveOptions{
 			city:          "Barcelona",
 			districts:     *liveDistricts,
@@ -100,6 +112,7 @@ func run(args []string) error {
 			maxPending:    *liveMaxPending,
 			degrade:       *liveDegrade,
 			adaptive:      *liveAdaptive,
+			subs:          subs,
 		})
 	}
 	var types []model.SensorType
@@ -122,8 +135,10 @@ func run(args []string) error {
 		Fog1FlushInterval: *flush1,
 		Fog2FlushInterval: *flush2,
 	}
+	var dep config.Deployment
 	if *cfgPath != "" {
-		dep, err := config.Load(*cfgPath)
+		var err error
+		dep, err = config.Load(*cfgPath)
 		if err != nil {
 			return err
 		}
@@ -136,6 +151,11 @@ func run(args []string) error {
 	sys, err := core.NewSystem(opts)
 	if err != nil {
 		return err
+	}
+	for _, sub := range dep.StandingQueries() {
+		if err := sys.Subscribe(sub); err != nil {
+			return fmt.Errorf("subscribe %s: %w", sub.ID, err)
+		}
 	}
 
 	f1, f2, _ := sys.Topology().Counts()

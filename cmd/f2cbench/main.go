@@ -7,7 +7,8 @@
 //	f2cbench -exp advantages  # quantified §IV.D claims
 //	f2cbench -exp daysim      # measured simulated day over the hierarchy
 //	f2cbench -exp rebalance   # live shard-migration ingest-p99 + traffic bench (BENCH_PR9)
-//	f2cbench -exp all         # every paper artifact (rebalance runs separately)
+//	f2cbench -exp alerts      # continuous-query WAN-byte bench vs polling (BENCH_PR10)
+//	f2cbench -exp all         # every paper artifact (rebalance/alerts run separately)
 package main
 
 import (
@@ -34,7 +35,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("f2cbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|fig6|fig7|compress|advantages|daysim|rebalance|all")
+	exp := fs.String("exp", "all", "experiment: table1|fig6|fig7|compress|advantages|daysim|rebalance|alerts|all")
 	scale := fs.Int("scale", 500, "daysim: sensor-count divisor")
 	duration := fs.Duration("duration", 2*time.Hour, "daysim: simulated span")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -44,6 +45,9 @@ func run(args []string) error {
 	minEvents := fs.Int("min-events", 8, "rebalance: scale events the churn phase must overlap")
 	sloRatio := fs.Float64("slo-ratio", 2, "rebalance: churn ingest p99 allowed as a multiple of idle p99")
 	sloFloor := fs.Float64("slo-floor-ms", 5, "rebalance: SLO noise floor in milliseconds")
+	hours := fs.Int("hours", 6, "alerts: simulated span in hours")
+	pollSecs := fs.Int("poll-seconds", 60, "alerts: polling cadence of the baseline service")
+	minRatio := fs.Float64("min-wan-ratio", 10, "alerts: required polling/incremental WAN byte ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +69,15 @@ func run(args []string) error {
 			return rebalance(rebalanceParams{
 				JSONOut: *jsonOut, Samples: *samples, MinEvents: *minEvents,
 				SLORatio: *sloRatio, SLOFloorMs: *sloFloor, Seed: *seed,
+			})
+		},
+		// alerts is likewise excluded from "all": it is the
+		// continuous-query bench artifact (BENCH_PR10.json via
+		// scripts/alerts.sh), not a paper figure.
+		"alerts": func() error {
+			return alertsBench(alertsParams{
+				JSONOut: *jsonOut, Hours: *hours, PollSeconds: *pollSecs,
+				MinRatio: *minRatio, Seed: *seed,
 			})
 		},
 	}

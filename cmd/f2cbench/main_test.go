@@ -31,6 +31,15 @@ func TestRebalanceRuns(t *testing.T) {
 	}
 }
 
+func TestAlertsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alerts simulates hours of workload")
+	}
+	if err := run([]string{"-exp", "alerts", "-hours", "2", "-seed", "3"}); err != nil {
+		t.Fatalf("alerts: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "warp-drive"},

@@ -8,6 +8,10 @@
 //	f2cctl -node http://localhost:8082 latest <sensorID>
 //	f2cctl -node http://localhost:8082 range <type> <fromRFC3339> <toRFC3339>
 //	f2cctl -node http://localhost:8082 sum <type> <fromRFC3339> <toRFC3339>
+//	f2cctl -node ... -node-id fog1/d01-s01 subscribe <id> <type> window <width> [slide]
+//	f2cctl -node ... -node-id fog1/d01-s01 subscribe <id> <type> threshold <width> gt|lt <value>
+//	f2cctl -node ... -node-id fog1/d01-s01 unsubscribe <id>
+//	f2cctl -node ... -node-id fog1/d01-s01 subs
 //	f2cctl dlc        # print the SCC-DLC -> F2C phase mapping
 //	f2cctl topology   # print the Barcelona Fig. 6 layout
 //
@@ -16,6 +20,11 @@
 // complete. sum asks the node for a decomposable count/mean/min/max
 // summary computed where the data lives — only the summary-sized
 // answer crosses the network.
+//
+// subscribe registers a standing continuous query on a fog node: the
+// node then evaluates the window (or threshold) incrementally in its
+// ingest path and pushes fired alerts upward — no polling. Durations
+// use Go syntax (90s, 5m).
 package main
 
 import (
@@ -26,11 +35,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"f2c/internal/config"
 	"f2c/internal/core"
+	"f2c/internal/cq"
 	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
@@ -59,7 +70,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: status|flush|metrics|routes|latest|range|sum|dlc|topology")
+		return errors.New("need a command: status|flush|metrics|routes|latest|range|sum|subscribe|unsubscribe|subs|dlc|topology")
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -286,8 +297,138 @@ func run(args []string) error {
 		}
 		fmt.Printf("count %d  mean %.3f  min %.3f  max %.3f\n", s.Count, s.Avg(), s.Min, s.Max)
 		return nil
+	case "subscribe":
+		sub, err := parseSubscribeArgs(rest)
+		if err != nil {
+			return err
+		}
+		doc, err := json.Marshal(sub)
+		if err != nil {
+			return err
+		}
+		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpSubscribe, Sub: doc})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindControl, req)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(reply))
+		return nil
+	case "unsubscribe":
+		if len(rest) != 1 {
+			return errors.New("usage: unsubscribe <id>")
+		}
+		doc, err := json.Marshal(cq.Subscription{ID: rest[0]})
+		if err != nil {
+			return err
+		}
+		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpSubscribe, Sub: doc, Remove: true})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindControl, req)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(reply))
+		return nil
+	case "subs":
+		req, err := protocol.EncodeJSON(protocol.ControlRequest{Op: protocol.OpSubscriptions})
+		if err != nil {
+			return err
+		}
+		reply, err := send(transport.KindControl, req)
+		if err != nil {
+			return err
+		}
+		var resp protocol.SubscriptionsResponse
+		if err := protocol.DecodeJSON(reply, &resp); err != nil {
+			return err
+		}
+		if len(resp.Subs) == 0 {
+			fmt.Printf("node %s: no standing subscriptions\n", resp.NodeID)
+			return nil
+		}
+		fmt.Printf("node %s\n", resp.NodeID)
+		for _, doc := range resp.Subs {
+			var sub cq.Subscription
+			if err := protocol.DecodeJSON(doc, &sub); err != nil {
+				return err
+			}
+			fmt.Printf("  %s\n", describeSub(sub))
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// parseSubscribeArgs builds a subscription from the CLI form:
+//
+//	subscribe <id> <type> window <width> [slide]
+//	subscribe <id> <type> threshold <width> gt|lt <value>
+func parseSubscribeArgs(rest []string) (cq.Subscription, error) {
+	usage := errors.New("usage: subscribe <id> <type> window <width> [slide] | subscribe <id> <type> threshold <width> gt|lt <value>")
+	if len(rest) < 4 {
+		return cq.Subscription{}, usage
+	}
+	sub := cq.Subscription{ID: rest[0], TypeName: rest[1]}
+	width, err := time.ParseDuration(rest[3])
+	if err != nil {
+		return sub, fmt.Errorf("parse window: %w", err)
+	}
+	sub.Window = width
+	switch rest[2] {
+	case "window":
+		sub.Kind = cq.KindWindow
+		if len(rest) == 5 {
+			if sub.Slide, err = time.ParseDuration(rest[4]); err != nil {
+				return sub, fmt.Errorf("parse slide: %w", err)
+			}
+		} else if len(rest) != 4 {
+			return sub, usage
+		}
+	case "threshold":
+		sub.Kind = cq.KindThreshold
+		if len(rest) != 6 {
+			return sub, usage
+		}
+		switch rest[4] {
+		case "gt":
+			sub.Predicate = cq.PredAbove
+		case "lt":
+			sub.Predicate = cq.PredBelow
+		default:
+			return sub, usage
+		}
+		if sub.Threshold, err = strconv.ParseFloat(rest[5], 64); err != nil {
+			return sub, fmt.Errorf("parse threshold: %w", err)
+		}
+	default:
+		return sub, usage
+	}
+	if err := sub.Validate(); err != nil {
+		return sub, err
+	}
+	return sub, nil
+}
+
+// describeSub renders one subscription for the subs listing.
+func describeSub(sub cq.Subscription) string {
+	switch sub.Kind {
+	case cq.KindThreshold:
+		op := ">"
+		if sub.Predicate == cq.PredBelow {
+			op = "<"
+		}
+		return fmt.Sprintf("%s  threshold %s %s %g per %v window", sub.ID, sub.TypeName, op, sub.Threshold, sub.Window)
+	default:
+		if sub.Slide > 0 && sub.Slide < sub.Window {
+			return fmt.Sprintf("%s  window %s %v sliding every %v", sub.ID, sub.TypeName, sub.Window, sub.Slide)
+		}
+		return fmt.Sprintf("%s  window %s %v tumbling", sub.ID, sub.TypeName, sub.Window)
 	}
 }
 

@@ -64,6 +64,18 @@ func runAllInOne(cfgPath, listen, dataDir string, segmentStore bool, memtableByt
 	if err != nil {
 		return err
 	}
+	// Standing continuous queries from the deployment document land
+	// before traffic does: the subscription router places each on its
+	// owning tier (ring owner under elastic ownership, every section
+	// otherwise).
+	for _, sub := range dep.StandingQueries() {
+		if err := sys.Subscribe(sub); err != nil {
+			return fmt.Errorf("subscribe %s: %w", sub.ID, err)
+		}
+	}
+	if n := len(dep.Subscriptions); n > 0 {
+		log.Printf("registered %d standing subscription(s)", n)
+	}
 	sys.Start()
 
 	mux := http.NewServeMux()

@@ -45,6 +45,7 @@ import (
 	"f2c/internal/cloud"
 	"f2c/internal/config"
 	"f2c/internal/core"
+	"f2c/internal/cq"
 	"f2c/internal/fognode"
 	"f2c/internal/model"
 	"f2c/internal/sched"
@@ -90,7 +91,7 @@ func run(args []string) error {
 	adaptiveFlush := fs.Bool("adaptive-flush", false, "RTT-driven flush batch size and interval tuning (fog layers)")
 	cloudRetention := fs.Duration("cloud-retention", 0, "cloud archive retention window (cloud layer; 0 = keep forever)")
 	allInOne := fs.Bool("all-in-one", false, "run the whole hierarchy in this process (demo mode)")
-	cfgPath := fs.String("config", "", "deployment JSON for -all-in-one (default: Barcelona)")
+	cfgPath := fs.String("config", "", "deployment JSON: full city for -all-in-one (default: Barcelona); a fog1 daemon reads only its standing subscriptions from it")
 	elastic := fs.Bool("elastic", false, "all-in-one: route edge ingest through per-district consistent-hash ownership rings and allow runtime fog1 scale with live shard migration")
 	virtualNodes := fs.Int("virtual-nodes", 0, "ownership-ring virtual nodes per weight unit (requires -elastic; 0 = engine default)")
 	if err := fs.Parse(args); err != nil {
@@ -171,6 +172,18 @@ func run(args []string) error {
 			l = topology.LayerFog2
 		}
 		spec := topology.NodeSpec{ID: *id, Layer: l, Parent: *parent, Name: *id}
+		// A deployment document given to a single fog layer-1 daemon
+		// seeds its standing continuous queries at boot (the rest of
+		// the document describes the whole city and stays with
+		// -all-in-one).
+		var subs []cq.Subscription
+		if *cfgPath != "" && l == topology.LayerFog1 {
+			dep, err := config.Load(*cfgPath)
+			if err != nil {
+				return err
+			}
+			subs = dep.StandingQueries()
+		}
 		opts := core.MemberOptions{
 			City:               *city,
 			Clock:              sim.WallClock{},
@@ -188,12 +201,12 @@ func run(args []string) error {
 			Adaptive:           adaptive,
 		}
 		if tcp {
-			return runFogTCP(spec, opts, *parentAddr, *listen, cluster)
+			return runFogTCP(spec, opts, *parentAddr, *listen, cluster, subs)
 		}
 		if *parentURL == "" {
 			return errors.New("http transport needs -parent-url")
 		}
-		return runFog(core.FogConfig(spec, opts), *parentURL, *listen)
+		return runFog(core.FogConfig(spec, opts), *parentURL, *listen, subs)
 	default:
 		return fmt.Errorf("unknown layer %q (want fog1|fog2|cloud)", *layer)
 	}
@@ -243,12 +256,15 @@ func runCloud(id, listen string, mo core.MemberOptions) error {
 	return serve(listen, mux, func(context.Context) error { return node.Close() })
 }
 
-func runFog(cfg fognode.Config, parentURL, listen string) error {
+func runFog(cfg fognode.Config, parentURL, listen string, subs []cq.Subscription) error {
 	tr := transport.NewHTTPTransport(30 * time.Second)
 	tr.AddPeer(cfg.Spec.Parent, parentURL)
 	cfg.Transport = tr
 	node, err := fognode.New(cfg)
 	if err != nil {
+		return err
+	}
+	if err := bootSubscriptions(node, subs); err != nil {
 		return err
 	}
 	node.Start()
@@ -258,6 +274,23 @@ func runFog(cfg fognode.Config, parentURL, listen string) error {
 		cfg.Spec.Layer, cfg.Spec.ID, listen, cfg.Spec.Parent, parentURL)
 	_ = model.Catalog() // keep the catalog linked for -h docs
 	return serve(listen, mux, node.Close)
+}
+
+// bootSubscriptions registers a daemon's standing continuous queries
+// before it starts serving, so the first ingested batch is already
+// evaluated. On a durable node each registration is journaled and
+// survives restarts on its own; re-registering at the next boot is an
+// idempotent no-op.
+func bootSubscriptions(node *fognode.Node, subs []cq.Subscription) error {
+	for _, sub := range subs {
+		if err := node.Subscribe(sub); err != nil {
+			return fmt.Errorf("subscribe %s: %w", sub.ID, err)
+		}
+	}
+	if len(subs) > 0 {
+		log.Printf("registered %d standing subscription(s)", len(subs))
+	}
+	return nil
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then shuts the

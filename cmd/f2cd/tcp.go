@@ -13,6 +13,7 @@ import (
 	"f2c/internal/cloud"
 	"f2c/internal/config"
 	"f2c/internal/core"
+	"f2c/internal/cq"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
 	"f2c/internal/topology"
@@ -62,7 +63,7 @@ func runCloudTCP(id, listen, opendataListen string, mo core.MemberOptions) error
 // from -parent-addr or the cluster document; with a cluster, every
 // listed node becomes a dialable peer, so sibling relays and
 // federated queries work across the deployment.
-func runFogTCP(spec topology.NodeSpec, opts core.MemberOptions, parentAddr, listen string, cluster *config.Cluster) error {
+func runFogTCP(spec topology.NodeSpec, opts core.MemberOptions, parentAddr, listen string, cluster *config.Cluster, subs []cq.Subscription) error {
 	reg := metrics.NewRegistry()
 	tr := tcpnet.New(tcpnet.Options{Registry: reg})
 	if cluster != nil {
@@ -81,6 +82,9 @@ func runFogTCP(spec topology.NodeSpec, opts core.MemberOptions, parentAddr, list
 	opts.Registry = reg
 	node, err := fognode.New(core.FogConfig(spec, opts))
 	if err != nil {
+		return err
+	}
+	if err := bootSubscriptions(node, subs); err != nil {
 		return err
 	}
 	node.Start()

@@ -131,6 +131,25 @@
 // records the ingest-p99 and traffic-closure artifact in
 // BENCH_PR9.json (see README "Elastic topology").
 //
+// Standing continuous queries (internal/cq) turn the one-shot read
+// path into subscriptions: register a windowed aggregate (tumbling or
+// sliding over the same decomposable Summary the push-down reads use)
+// or a threshold predicate (f2c.Subscription, System.Subscribe /
+// f2cctl subscribe / "subscriptions" in the deployment document), and
+// fog layer 1 evaluates it incrementally on the ingest hot path — no
+// polling, no raw readings re-read. Fired alerts seal into
+// transport.KindAlertPush batches that ride the delivery plane
+// upward with the same guarantees as data: at-least-once through the
+// frozen-sequence retry queues, instance-level dedup at the cloud
+// (protocol.Alert.Key), journaled subscription state so alerts
+// survive System.Reboot, and subscription routing through the
+// ownership rings so a standing query follows its shard across live
+// migration. The chaos alert-churn schedule asserts the exactly-once
+// alert ledger under partitions and crashes; scripts/alerts.sh
+// records the incremental-vs-polling WAN-byte artifact in
+// BENCH_PR10.json (see README "Continuous queries & alerting" and
+// examples/congestion).
+//
 // A multi-process city runs over real sockets through the
 // internal/transport/tcpnet production transport: persistent framed
 // TCP connections per peer carrying sealed envelopes verbatim (the

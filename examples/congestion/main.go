@@ -1,0 +1,118 @@
+// Congestion: standing continuous queries at the fog layer-1 tier.
+// A window subscription summarizes a boulevard's traffic speed every
+// five minutes and a threshold subscription fires the moment speed
+// drops below jam level — both evaluated incrementally on the ingest
+// hot path, no polling. Fired alerts propagate upward as durable
+// alert pushes (at-least-once delivery, instance-level dedup), so the
+// cloud archive converges on exactly one copy of every instance.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"f2c"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2017, 6, 1, 17, 30, 0, 0, time.UTC) // rush hour
+	clock := f2c.NewVirtualClock(start)
+
+	// The observer sees every push the fog tier seals — this is the
+	// real-time alerting surface a dashboard or pager would attach to.
+	var (
+		mu     sync.Mutex
+		pushes []f2c.AlertPush
+	)
+	sys, err := f2c.NewSystem(f2c.Options{
+		Clock:   clock,
+		Dedup:   true,
+		Quality: true,
+		AlertObserver: func(p f2c.AlertPush) {
+			mu.Lock()
+			pushes = append(pushes, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	section := sys.Fog1IDs()[0]
+
+	// Two standing queries on the gran-via corridor's speed loops:
+	// a five-minute tumbling summary, and a jam alarm that fires when
+	// any reading drops below 12 km/h (at most once per window).
+	subs := []f2c.Subscription{
+		{ID: "speed-window", TypeName: "traffic", Kind: f2c.SubWindow, Window: 5 * time.Minute},
+		{ID: "jam-alarm", TypeName: "traffic", Kind: f2c.SubThreshold, Window: 5 * time.Minute,
+			Predicate: f2c.PredBelow, Threshold: 12},
+	}
+	for _, sub := range subs {
+		if err := sys.Subscribe(sub); err != nil {
+			return err
+		}
+	}
+
+	// Ten minutes of rush hour, one reading per minute: free flow
+	// decays into a jam around minute six.
+	speeds := []float64{42, 38, 31, 24, 18, 14, 11, 9, 8, 10}
+	for i, v := range speeds {
+		at := start.Add(time.Duration(i) * time.Minute)
+		clock.AdvanceTo(at)
+		batch := &f2c.Batch{
+			NodeID: "edge", TypeName: "traffic", Category: f2c.CategoryUrban, Collected: at,
+			Readings: []f2c.Reading{{
+				SensorID: "gran-via/loop-17", TypeName: "traffic", Category: f2c.CategoryUrban,
+				Time: at, Value: v, Unit: "km/h",
+			}},
+		}
+		if err := sys.IngestAt(section, batch); err != nil {
+			return err
+		}
+	}
+
+	// Move past the second window's end so the flush harvest seals it,
+	// then drain the hierarchy: fog1 ships its pushes to fog2, fog2
+	// stores and forwards them to the cloud.
+	clock.AdvanceTo(start.Add(15 * time.Minute))
+	if err := sys.FlushAll(ctx); err != nil {
+		return err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("fog tier sealed %d alert push(es) at %s:\n", len(pushes), section)
+	for _, p := range pushes {
+		for _, a := range p.Alerts {
+			from := time.Unix(0, a.StartUnix).UTC().Format("15:04")
+			to := time.Unix(0, a.EndUnix).UTC().Format("15:04")
+			switch a.Kind {
+			case f2c.AlertKindThreshold:
+				fmt.Printf("  [%s-%s] %-12s JAM: %.0f km/h below 12 (window mean so far %.1f)\n",
+					from, to, a.SubID, a.Value, a.Summary.Avg())
+			default:
+				fmt.Printf("  [%s-%s] %-12s window: n=%d mean=%.1f min=%.0f max=%.0f km/h\n",
+					from, to, a.SubID, a.Summary.Count, a.Summary.Avg(), a.Summary.Min, a.Summary.Max)
+			}
+		}
+	}
+
+	// The archived view: every instance exactly once, retries deduped.
+	inst := sys.Cloud().AlertInstances()
+	fmt.Printf("\ncloud archive holds %d alert instance(s), %d duplicate(s) suppressed:\n",
+		len(inst), sys.Cloud().DuplicateAlerts())
+	for _, a := range inst {
+		fmt.Printf("  %-12s %-9s fired by %s\n", a.SubID, a.Kind, a.FiredBy)
+	}
+	return nil
+}

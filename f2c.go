@@ -5,9 +5,11 @@ import (
 
 	"f2c/internal/aggregate"
 	"f2c/internal/core"
+	"f2c/internal/cq"
 	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/placement"
+	"f2c/internal/protocol"
 	"f2c/internal/service"
 	"f2c/internal/sim"
 	"f2c/internal/topology"
@@ -89,6 +91,33 @@ type (
 	CountMin = aggregate.CountMin
 	// KMV is a mergeable distinct-count sketch.
 	KMV = aggregate.KMV
+)
+
+// Continuous-query types (standing windowed analytics at the fog
+// tier; alerts propagate upward with at-least-once delivery and
+// instance-level dedup at the cloud).
+type (
+	// Subscription is a standing continuous query over a sensor type.
+	Subscription = cq.Subscription
+	// Alert is one fired instance as archived at the cloud.
+	Alert = protocol.Alert
+	// AlertPush is a batch of fired alerts under one delivery
+	// identity (see Options.AlertObserver).
+	AlertPush = protocol.AlertPush
+)
+
+// Subscription kinds and threshold predicates.
+const (
+	SubWindow    = cq.KindWindow
+	SubThreshold = cq.KindThreshold
+	PredAbove    = cq.PredAbove
+	PredBelow    = cq.PredBelow
+)
+
+// Fired-alert kinds as archived at the cloud.
+const (
+	AlertKindWindow    = protocol.AlertKindWindow
+	AlertKindThreshold = protocol.AlertKindThreshold
 )
 
 // Service types (real-time processing at fog layer 1).

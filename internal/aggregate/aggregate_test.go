@@ -180,6 +180,52 @@ func TestSummaryMergeProperties(t *testing.T) {
 	if err := quick.Check(splitEquivalence, nil); err != nil {
 		t.Errorf("split equivalence: %v", err)
 	}
+
+	// Adversarial wire-shaped empties: a Count==0 summary carrying
+	// non-identity Sum/Min/Max (a corrupted or hand-built peer payload)
+	// must behave exactly like the identity in Merge and Observe — its
+	// garbage bounds must never survive into a real summary.
+	adversarialIdentity := func(a []float64, sum, lo, hi float64) bool {
+		garbage := Summary{Count: 0, Sum: sum, Min: lo, Max: hi}
+		x := summaryFrom(a)
+		if !eq(x.Merge(garbage), x) || !eq(garbage.Merge(x), x) {
+			return false
+		}
+		// Two garbage empties merge to the canonical zero, not to
+		// either operand's stray bounds.
+		if g := garbage.Merge(garbage); g != (Summary{}) {
+			return false
+		}
+		// The first observed value alone defines the bounds.
+		obs := garbage.Observe(42)
+		return obs.Count == 1 && obs.Sum == 42 && obs.Min == 42 && obs.Max == 42
+	}
+	if err := quick.Check(adversarialIdentity, nil); err != nil {
+		t.Errorf("adversarial zero-count identity: %v", err)
+	}
+
+	// Negative counts are equally empty: Normalize and the operations
+	// coerce them, so an underflowed or hostile Count can not poison a
+	// merge either.
+	negative := Summary{Count: -7, Sum: 99, Min: 5, Max: -3}
+	if got := negative.Normalize(); got != (Summary{}) {
+		t.Errorf("Normalize(negative) = %+v, want zero", got)
+	}
+	real1 := Summary{}.Observe(10)
+	if got := negative.Merge(real1); !eq(got, real1) {
+		t.Errorf("Merge(negative, real) = %+v, want %+v", got, real1)
+	}
+
+	// The concrete poison regression: Min=5/Max=-3 on an empty summary
+	// used to survive Observe (Min stayed 5 for an observed 10) and
+	// pass through Merge verbatim when both sides were empty.
+	poison := Summary{Count: 0, Min: 5, Max: -3}
+	if got := poison.Observe(10); got.Min != 10 || got.Max != 10 {
+		t.Errorf("Observe on poisoned empty kept stray bounds: %+v", got)
+	}
+	if got := poison.Merge(Summary{}); got != (Summary{}) {
+		t.Errorf("Merge(poison, zero) leaked stray bounds: %+v", got)
+	}
 }
 
 func TestSummarizeByTypeAndMerge(t *testing.T) {

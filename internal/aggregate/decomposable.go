@@ -25,11 +25,27 @@ func EmptySummary() Summary {
 	return Summary{Min: math.Inf(1), Max: math.Inf(-1)}
 }
 
+// Normalize coerces every empty summary to the canonical zero value.
+// A summary with Count <= 0 carries no readings, so whatever its
+// Sum/Min/Max fields hold is garbage — a wire-decoded push from a
+// corrupted or hand-built peer can carry a Count==0 summary with
+// non-identity bounds, and without normalization those bounds would
+// poison every later Observe/Merge. Decode paths and identity checks
+// call this; Observe and Merge normalize internally.
+func (s Summary) Normalize() Summary {
+	if s.Count <= 0 {
+		return Summary{}
+	}
+	return s
+}
+
 // Observe folds one value into the summary.
 func (s Summary) Observe(v float64) Summary {
-	if s.Count == 0 && s.Min == 0 && s.Max == 0 {
-		// Zero-value summaries behave like EmptySummary for
-		// convenience.
+	if s.Count <= 0 {
+		// Every empty summary — the zero value, EmptySummary, or a
+		// wire-decoded Count==0 carrying stray Min/Max — starts the
+		// fold from the identity, so garbage bounds cannot survive
+		// into a non-empty summary.
 		s = EmptySummary()
 	}
 	s.Count++
@@ -40,12 +56,14 @@ func (s Summary) Observe(v float64) Summary {
 }
 
 // Merge combines two partial summaries. Merge is associative and
-// commutative with EmptySummary as identity (property-tested).
+// commutative with EmptySummary as identity (property-tested), and
+// treats ANY Count<=0 operand as the identity — including adversarial
+// empties with non-identity Min/Max, which must never leak through.
 func (s Summary) Merge(o Summary) Summary {
-	if s.Count == 0 {
-		return o
+	if s.Count <= 0 {
+		return o.Normalize()
 	}
-	if o.Count == 0 {
+	if o.Count <= 0 {
 		return s
 	}
 	return Summary{

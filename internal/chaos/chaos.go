@@ -110,6 +110,12 @@ type Scenario struct {
 	// migration. Implied by the scale kinds (KindScaleOut, KindScaleIn,
 	// KindRebalanceChurn); see elastic.go.
 	Elastic bool
+	// Alerts registers standing continuous queries before the first
+	// tick and asserts the exactly-once alert ledger after
+	// convergence: the set of alert instances the fog tier fired
+	// equals the set the cloud archived. Implied (together with
+	// Durable) by KindAlertChurn; see alerts.go.
+	Alerts bool
 }
 
 func (s *Scenario) applyDefaults() {
@@ -136,6 +142,13 @@ func (s *Scenario) applyDefaults() {
 	}
 	if isElasticKind(s.Kind) {
 		s.Elastic = true
+	}
+	if s.Kind == KindAlertChurn {
+		// The alert contract is only meaningful against real crashes:
+		// journaled seals and emitted marks are what stop a rebooted
+		// window from firing twice.
+		s.Alerts = true
+		s.Durable = true
 	}
 }
 
@@ -181,6 +194,16 @@ type Result struct {
 	// migration transfer shipped fog1 -> fog1, summed from the node
 	// counters and cross-checked against the traffic matrix.
 	MigrateBytes int64
+	// AlertsFired / AlertsDelivered count the distinct continuous-
+	// query alert instances the fog tier fired and the cloud archived
+	// (always 0 without Alerts; the run asserts the two are equal
+	// identity sets).
+	AlertsFired     int
+	AlertsDelivered int
+	// AlertDuplicates is how many duplicate alert instances the
+	// cloud's instance-identity dedup absorbed — retry copies that
+	// survived the push-level replay filter via retry-queue folding.
+	AlertDuplicates int64
 }
 
 // chaosTypes is the workload's sensor-type mix (quality and dedup are
@@ -250,6 +273,7 @@ func Run(s Scenario) (Result, error) {
 		so := sched.DefaultOptions()
 		overload = &so
 	}
+	alerts := newAlertDriver(&s)
 	sys, err := core.NewSystem(core.Options{
 		Topology: topo,
 		Clock:    clock,
@@ -287,6 +311,9 @@ func Run(s Scenario) (Result, error) {
 		// Elastic runs route ingest through the per-district ownership
 		// rings and allow mid-run scale events.
 		ElasticOwnership: s.Elastic,
+		// Alert runs record every fired instance for the exactly-once
+		// alert ledger (nil otherwise).
+		AlertObserver: alerts.observer(),
 	})
 	if err != nil {
 		return res, err
@@ -304,6 +331,11 @@ func Run(s Scenario) (Result, error) {
 	liveNodes := func() []string { return append(sys.Fog1IDs(), sys.Fog2IDs()...) }
 	ctx := context.Background()
 	scale := newScaleDriver(&s, sys, rng)
+	// Standing subscriptions land before the first tick, like a
+	// deployment seeding them at boot.
+	if err := alerts.register(&s, sys); err != nil {
+		return res, err
+	}
 
 	ingestOne := func(now time.Time) error {
 		fog1IDs := sys.Fog1IDs()
@@ -457,6 +489,9 @@ func Run(s Scenario) (Result, error) {
 		return res, s.failf("durable run dropped %d readings during outages", res.Dropped)
 	}
 	if err := scale.checkInvariants(&s, &res); err != nil {
+		return res, err
+	}
+	if err := alerts.checkInvariants(&s, sys, &res); err != nil {
 		return res, err
 	}
 

@@ -144,6 +144,41 @@ func buildSchedule(s Scenario, rng *rand.Rand, topo *topology.Topology) []transp
 			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: "cloud"},
 		)
 
+	case KindAlertChurn:
+		// Partition/heal AND crash churn in one schedule: alert pushes
+		// must ride out severed uplinks on their frozen-seq retry
+		// queues, then survive process deaths at every tier — fog1
+		// victims lose their engines and emitted marks to the journal
+		// reboot, a district loses its store-and-forward queue, and the
+		// dark cloud forces every push to queue and retry.
+		for i := 0; i < 2; i++ {
+			n := fog1[rng.Intn(len(fog1))]
+			a, b := window(span/6, span/3)
+			ev = append(ev,
+				transport.FaultEvent{At: at(a), Op: transport.FaultPartition, A: n.ID, B: n.Parent},
+				transport.FaultEvent{At: at(b), Op: transport.FaultHeal, A: n.ID, B: n.Parent},
+			)
+		}
+		for i := 0; i < 2; i++ {
+			n := fog1[rng.Intn(len(fog1))]
+			a, b := window(span/8, span/4)
+			ev = append(ev,
+				transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: n.ID},
+				transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: n.ID},
+			)
+		}
+		d := fog2[rng.Intn(len(fog2))]
+		a, b := window(span/6, span/3)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: d.ID},
+			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: d.ID},
+		)
+		a, b = window(span/8, span/5)
+		ev = append(ev,
+			transport.FaultEvent{At: at(a), Op: transport.FaultCrash, A: "cloud"},
+			transport.FaultEvent{At: at(b), Op: transport.FaultRestart, A: "cloud"},
+		)
+
 	case KindRollingChurn:
 		// Overlapping crash waves across every fog1 node, staggered
 		// so at least one sibling per district usually stays up.

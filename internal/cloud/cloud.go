@@ -124,10 +124,21 @@ type Node struct {
 	// sweep (guarded by sumMu; cadence only, no correctness).
 	expireTick int
 
+	// alertMu guards alerts: fired continuous-query results keyed by
+	// instance identity (Alert.Key). Push-level retries are caught by
+	// the replay filter; the instance key additionally absorbs the
+	// same fire arriving under two delivery identities (retry-queue
+	// folding, post-crash refires), which is what makes alert delivery
+	// exactly-once end to end. Lock order: journal.mu before alertMu.
+	alertMu sync.Mutex
+	alerts  map[string]protocol.Alert
+
 	ingestedBatches *metrics.Counter
 	ingestedReads   *metrics.Counter
 	dupBatches      *metrics.Counter
 	degradedReads   *metrics.Counter
+	alertsStored    *metrics.Counter
+	dupAlerts       *metrics.Counter
 }
 
 // New builds a cloud node.
@@ -158,10 +169,13 @@ func New(cfg Config) (*Node, error) {
 		archive:         store.NewArchive(),
 		replay:          protocol.NewReplayFilter(cfg.ReplayWindow),
 		degraded:        make(map[string]map[int64]aggregate.WindowSummary),
+		alerts:          make(map[string]protocol.Alert),
 		ingestedBatches: cfg.Registry.Counter(cfg.ID + ".ingest.batches"),
 		ingestedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.readings"),
 		dupBatches:      cfg.Registry.Counter(cfg.ID + ".ingest.duplicates"),
 		degradedReads:   cfg.Registry.Counter(cfg.ID + ".ingest.degraded_readings"),
+		alertsStored:    cfg.Registry.Counter(cfg.ID + ".alerts.instances"),
+		dupAlerts:       cfg.Registry.Counter(cfg.ID + ".alerts.duplicates"),
 	}
 	if cfg.Scheduler != nil {
 		n.sched = sched.New(*cfg.Scheduler, cfg.Clock, cfg.Registry, cfg.ID+".sched.")
@@ -234,7 +248,17 @@ func (n *Node) recoverJournal(j *cloudJournal) error {
 			}
 		}
 	}
+	for _, a := range rs.alerts {
+		n.alerts[a.Key()] = a
+	}
 	for _, op := range rs.tail {
+		if op.alerts != nil {
+			// The tail is the crash window: the record landed but the
+			// in-memory apply may not have. storeAlerts dedupes by
+			// instance key, so replay over the snapshot is exactly-once.
+			n.storeAlerts(op.alerts, false)
+			continue
+		}
 		if op.batch != nil {
 			pseq := op.pseq
 			if pseq == 0 { // pre-numbering record: assign in log order
@@ -346,6 +370,66 @@ func (n *Node) acceptSummaryPush(push protocol.SummaryPush) {
 	n.sumMu.Unlock()
 	n.degradedReads.Add(push.Readings())
 }
+
+// acceptAlertPush journals (durable mode), stores and marks one
+// decoded alert push, all under the journal mutex so a checkpoint
+// always sees log, alert store and replay filter agree — the same
+// atomicity preserve gives batches. The payload is journaled verbatim:
+// it already carries the (Origin, Seq) delivery identity and every
+// instance identity, so one record recovers both the dedup mark and
+// the stored alerts.
+func (n *Node) acceptAlertPush(push *protocol.AlertPush, payload []byte) error {
+	if n.journal != nil {
+		n.journal.mu.Lock()
+		defer n.journal.mu.Unlock()
+		if err := n.journal.appendAlertLocked(payload); err != nil {
+			return fmt.Errorf("cloud alert: %w", err)
+		}
+	}
+	n.storeAlerts(push, true)
+	n.replay.Mark(push.Origin, push.Seq)
+	return nil
+}
+
+// storeAlerts folds a push's instances into the alert store, deduping
+// by instance key. Recovery replays with counted=false: restored
+// instances were accounted by their first life.
+func (n *Node) storeAlerts(push *protocol.AlertPush, counted bool) {
+	n.alertMu.Lock()
+	for i := range push.Alerts {
+		key := push.Alerts[i].Key()
+		if _, ok := n.alerts[key]; ok {
+			if counted {
+				n.dupAlerts.Inc()
+			}
+			continue
+		}
+		n.alerts[key] = push.Alerts[i]
+		if counted {
+			n.alertsStored.Inc()
+		}
+	}
+	n.alertMu.Unlock()
+}
+
+// AlertInstances returns every stored fired-alert instance in the
+// deterministic (SubID, StartUnix, FiredBy, Kind) order — the cloud's
+// exactly-once record of what the fog tier's standing queries fired.
+func (n *Node) AlertInstances() []protocol.Alert {
+	n.alertMu.Lock()
+	out := make([]protocol.Alert, 0, len(n.alerts))
+	for _, a := range n.alerts {
+		out = append(out, a)
+	}
+	n.alertMu.Unlock()
+	protocol.SortAlerts(out)
+	return out
+}
+
+// DuplicateAlerts reports how many already-stored alert instances
+// arrived again under a fresh delivery identity (retry-queue folding,
+// post-crash refires) and were suppressed by instance-key dedup.
+func (n *Node) DuplicateAlerts() int64 { return n.dupAlerts.Value() }
 
 // DegradedReadings reports how many raw readings arrived at the cloud
 // as degraded window summaries instead of raw batches.
@@ -460,7 +544,10 @@ func (n *Node) Checkpoint() error {
 	for i, r := range recs {
 		ars[i] = archivedRecord{provenance: r.Provenance, batch: r.Batch}
 	}
-	data := encodeCloudSnapshot(nil, n.preserveSeq, n.replay.Dump(), ars)
+	data, err := encodeCloudSnapshot(nil, n.preserveSeq, n.replay.Dump(), ars, n.AlertInstances())
+	if err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
 	if err := n.journal.store.WriteSnapshot(data); err != nil {
 		return fmt.Errorf("cloud: checkpoint: %w", err)
 	}
@@ -567,6 +654,19 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 		}
 		n.maybeCheckpoint()
 		n.maybeExpire()
+		return []byte("ok"), nil
+	case transport.KindAlertPush:
+		push, err := protocol.DecodeAlertPush(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if n.replay.Seen(push.Origin, push.Seq) {
+			n.dupBatches.Inc()
+			return []byte("ok"), nil
+		}
+		if err := n.acceptAlertPush(push, msg.Payload); err != nil {
+			return nil, err
+		}
 		return []byte("ok"), nil
 	case transport.KindSummaryPush:
 		var push protocol.SummaryPush

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"f2c/internal/model"
+	"f2c/internal/protocol"
 	"f2c/internal/sensor"
 	"f2c/internal/wal"
 )
@@ -18,26 +19,30 @@ import (
 // snapshot is always a consistent cut of the archive plus the replay
 // filter deduping at-least-once retries.
 //
-// Snapshot layout (version 2; version 1 lacked the preserve counter
-// and is still accepted, falling back to the record count):
+// Snapshot layout (version 3; version 2 lacked the alert section and
+// version 1 additionally lacked the preserve counter — both are still
+// accepted, v1 falling back to the record count):
 //
 //	[version u8]
 //	[preserveSeq u64]                       (version >= 2)
 //	[origins uvarint] { [origin string] [n uvarint] { [seq u64] }* }*
 //	[records uvarint] { [provenance uvarint { [node string] }*]
 //	                    [batch bytes (sensor wire, uvarint-framed)] }*
+//	[alerts uvarint] { [instance JSON (protocol.Alert, uvarint-framed)] }*   (version >= 3)
 //
 // Restored records re-enter through the same classification path as
 // live preserves; StoredAt is re-stamped with the recovery clock and
 // version counters restart, which only affects provenance metadata,
 // never the preserved readings.
 const (
-	cloudJournalVersion   = 2
+	cloudJournalVersion   = 3
+	cloudJournalVersionV2 = 2
 	cloudJournalVersionV1 = 1
 
 	recPreserve  = 1 // pre-numbering preserve (read-side only)
 	recExpire    = 2
 	recPreserve2 = 3 // preserve carrying its preserve number
+	recAlert     = 4 // accepted alert push (raw wire payload)
 )
 
 type cloudJournal struct {
@@ -70,6 +75,20 @@ func (j *cloudJournal) appendPreserveLocked(pseq, seq uint64, from string, b *mo
 	return j.store.Append(j.buf)
 }
 
+// appendAlertLocked journals one accepted alert push verbatim (the
+// payload already carries its (Origin, Seq) delivery identity and the
+// per-alert instance identities, so replay recovers both the dedup
+// mark and the stored instances from one record). The caller holds
+// j.mu for the whole append+apply sequence.
+func (j *cloudJournal) appendAlertLocked(payload []byte) error {
+	if j.closed {
+		return fmt.Errorf("cloud: journal closed")
+	}
+	j.buf = append(j.buf[:0], recAlert)
+	j.buf = append(j.buf, payload...)
+	return j.store.Append(j.buf)
+}
+
 func (j *cloudJournal) appendExpireLocked(before time.Time) error {
 	if j.closed {
 		return fmt.Errorf("cloud: journal closed")
@@ -89,9 +108,10 @@ func (j *cloudJournal) close() error {
 	return j.store.Close()
 }
 
-// encodeCloudSnapshot folds the preserve counter, the archive and the
-// filter dump into one snapshot payload.
-func encodeCloudSnapshot(dst []byte, preserveSeq uint64, marks map[string][]uint64, records []archivedRecord) []byte {
+// encodeCloudSnapshot folds the preserve counter, the archive, the
+// filter dump and the stored alert instances into one snapshot
+// payload.
+func encodeCloudSnapshot(dst []byte, preserveSeq uint64, marks map[string][]uint64, records []archivedRecord, alerts []protocol.Alert) ([]byte, error) {
 	dst = append(dst, cloudJournalVersion)
 	dst = wal.AppendUint64(dst, preserveSeq)
 	dst = wal.AppendMarkSet(dst, marks)
@@ -105,7 +125,15 @@ func encodeCloudSnapshot(dst []byte, preserveSeq uint64, marks map[string][]uint
 		wire = sensor.AppendBatch(wire[:0], rec.batch)
 		dst = wal.AppendBytes(dst, wire)
 	}
-	return dst
+	dst = wal.AppendUvarint(dst, uint64(len(alerts)))
+	for i := range alerts {
+		doc, err := protocol.EncodeJSON(alerts[i])
+		if err != nil {
+			return nil, fmt.Errorf("cloud: snapshot alert: %w", err)
+		}
+		dst = wal.AppendBytes(dst, doc)
+	}
+	return dst, nil
 }
 
 // archivedRecord is the snapshot shape of one preserved batch.
@@ -120,7 +148,10 @@ type archivedRecord struct {
 type cloudRecovery struct {
 	marks   []cloudMark
 	records []archivedRecord
-	tail    []tailOp
+	// alerts are the snapshot's stored alert instances (already
+	// deduped by instance key when the snapshot was cut).
+	alerts []protocol.Alert
+	tail   []tailOp
 	// preserveSeq is the snapshot's preserve counter: the highest
 	// number assigned to any preserve folded into the snapshot. A
 	// version-1 snapshot (pre-numbering) falls back to its record
@@ -136,12 +167,13 @@ type cloudMark struct {
 }
 
 // tailOp is one replayed journal record: a preserve (batch set, with
-// its preserve number when journaled by a numbering cloud) or an
-// expire (before set).
+// its preserve number when journaled by a numbering cloud), an alert
+// push (alerts set) or an expire (before set).
 type tailOp struct {
 	batch  *model.Batch
 	from   string
 	pseq   uint64
+	alerts *protocol.AlertPush
 	before time.Time
 }
 
@@ -150,7 +182,7 @@ func decodeCloudSnapshot(data []byte, rs *cloudRecovery) error {
 		return nil
 	}
 	version := data[0]
-	if version != cloudJournalVersion && version != cloudJournalVersionV1 {
+	if version != cloudJournalVersion && version != cloudJournalVersionV2 && version != cloudJournalVersionV1 {
 		return fmt.Errorf("cloud: unsupported snapshot version %d", version)
 	}
 	rest := data[1:]
@@ -199,6 +231,25 @@ func decodeCloudSnapshot(data []byte, rs *cloudRecovery) error {
 		}
 		rs.records = append(rs.records, archivedRecord{provenance: prov, batch: b})
 	}
+	if version >= 3 {
+		var alerts uint64
+		alerts, rest, err = wal.ReadUvarint(rest)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < alerts; i++ {
+			var doc []byte
+			doc, rest, err = wal.ReadBytes(rest)
+			if err != nil {
+				return err
+			}
+			var a protocol.Alert
+			if err := protocol.DecodeJSON(doc, &a); err != nil {
+				return fmt.Errorf("cloud: snapshot alert: %w", err)
+			}
+			rs.alerts = append(rs.alerts, a)
+		}
+	}
 	if version == cloudJournalVersionV1 {
 		rs.preserveSeq = uint64(len(rs.records))
 	}
@@ -236,6 +287,13 @@ func (rs *cloudRecovery) applyRecord(rec []byte) error {
 		if seq != 0 {
 			rs.marks = append(rs.marks, cloudMark{origin: b.NodeID, seq: seq})
 		}
+	case recAlert:
+		push, err := protocol.DecodeAlertPush(body)
+		if err != nil {
+			return fmt.Errorf("cloud: journal alert: %w", err)
+		}
+		rs.tail = append(rs.tail, tailOp{alerts: push})
+		rs.marks = append(rs.marks, cloudMark{origin: push.Origin, seq: push.Seq})
 	case recExpire:
 		ns, _, err := wal.ReadUint64(body)
 		if err != nil {

@@ -12,9 +12,13 @@ func FuzzCloudSnapshotDecode(f *testing.F) {
 	// Huge origin/record/hop counts with no bytes behind them.
 	f.Add([]byte{cloudJournalVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
 		[]byte{recExpire, 1, 2, 3})
-	valid := encodeCloudSnapshot(nil, 7, map[string][]uint64{"fog2/d01": {1, 2}}, nil)
+	valid, err := encodeCloudSnapshot(nil, 7, map[string][]uint64{"fog2/d01": {1, 2}}, nil, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(valid, []byte{recPreserve, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(valid, []byte{recPreserve2, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(valid, []byte{recAlert, 0xF5, 1, 0xFF})
 
 	f.Fuzz(func(t *testing.T, snap, rec []byte) {
 		rs := &cloudRecovery{}

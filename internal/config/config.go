@@ -12,6 +12,7 @@ import (
 
 	"f2c/internal/aggregate"
 	"f2c/internal/core"
+	"f2c/internal/cq"
 	"f2c/internal/fognode"
 	"f2c/internal/model"
 	"f2c/internal/sched"
@@ -98,6 +99,49 @@ type Deployment struct {
 	// VirtualNodes sets the ownership rings' virtual nodes per weight
 	// unit (0 = engine default; requires elasticOwnership).
 	VirtualNodes int `json:"virtualNodes,omitempty"`
+	// Subscriptions are standing continuous queries registered at
+	// boot: windowed aggregates or threshold predicates evaluated
+	// incrementally in the fog layer-1 ingest path, with fired alerts
+	// pushed upward to the cloud (no polling). Under elasticOwnership
+	// each subscription lands on its sensor type's ring owner;
+	// otherwise every section evaluates it.
+	Subscriptions []SubscriptionSpec `json:"subscriptions,omitempty"`
+}
+
+// SubscriptionSpec is one standing continuous query of the deployment
+// document. Durations are in seconds like every other field; Kind is
+// "window" or "threshold", Predicate "gt" or "lt".
+type SubscriptionSpec struct {
+	ID            string  `json:"id"`
+	Type          string  `json:"type"`
+	Kind          string  `json:"kind"`
+	WindowSeconds int     `json:"windowSeconds"`
+	SlideSeconds  int     `json:"slideSeconds,omitempty"`
+	Predicate     string  `json:"predicate,omitempty"`
+	Threshold     float64 `json:"threshold,omitempty"`
+}
+
+// Subscription converts the spec into the cq engine's form.
+func (s SubscriptionSpec) Subscription() cq.Subscription {
+	return cq.Subscription{
+		ID:        s.ID,
+		TypeName:  s.Type,
+		Kind:      cq.Kind(s.Kind),
+		Window:    time.Duration(s.WindowSeconds) * time.Second,
+		Slide:     time.Duration(s.SlideSeconds) * time.Second,
+		Predicate: cq.Predicate(s.Predicate),
+		Threshold: s.Threshold,
+	}
+}
+
+// StandingQueries returns the deployment's boot-time subscriptions in
+// the cq engine's form.
+func (d Deployment) StandingQueries() []cq.Subscription {
+	subs := make([]cq.Subscription, 0, len(d.Subscriptions))
+	for _, s := range d.Subscriptions {
+		subs = append(subs, s.Subscription())
+	}
+	return subs
 }
 
 // Barcelona returns the deployment matching the paper's use case.
@@ -109,11 +153,11 @@ func Barcelona() Deployment {
 		})
 	}
 	return Deployment{
-		City:                 "Barcelona",
-		Districts:            districts,
-		Codec:                "zip",
-		Dedup:                true,
-		Quality:              true,
+		City:                  "Barcelona",
+		Districts:             districts,
+		Codec:                 "zip",
+		Dedup:                 true,
+		Quality:               true,
 		Fog1FlushSeconds:      15 * 60,
 		Fog2FlushSeconds:      60 * 60,
 		Fog1RetentionSeconds:  PresetFog1RetentionSeconds,
@@ -190,6 +234,12 @@ func (d Deployment) Validate() error {
 	}
 	if d.VirtualNodes > 0 && !d.ElasticOwnership {
 		return fmt.Errorf("config: virtualNodes requires elasticOwnership")
+	}
+	for i := range d.Subscriptions {
+		sub := d.Subscriptions[i].Subscription()
+		if err := sub.Validate(); err != nil {
+			return fmt.Errorf("config: subscriptions[%d]: %w", i, err)
+		}
 	}
 	return nil
 }

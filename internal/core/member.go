@@ -7,6 +7,7 @@ import (
 	"f2c/internal/cloud"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
+	"f2c/internal/protocol"
 	"f2c/internal/sched"
 	"f2c/internal/segment"
 	"f2c/internal/sim"
@@ -73,6 +74,9 @@ type MemberOptions struct {
 	// CloudRetention bounds the cloud archive's age (zero keeps it
 	// forever). Ignored on fog nodes, which use Retention.
 	CloudRetention time.Duration
+	// AlertObserver sees every continuous-query alert push the node's
+	// own subscriptions seal (see fognode.Config.AlertObserver).
+	AlertObserver func(push protocol.AlertPush)
 }
 
 // FogConfig assembles the fognode.Config for one fog node of either
@@ -104,6 +108,7 @@ func FogConfig(spec topology.NodeSpec, o MemberOptions) fognode.Config {
 		DegradeToSummary:   o.DegradeToSummary,
 		DegradeWindow:      o.DegradeWindow,
 		Adaptive:           o.Adaptive,
+		AlertObserver:      o.AlertObserver,
 	}
 }
 

@@ -19,10 +19,12 @@ import (
 
 	"f2c/internal/aggregate"
 	"f2c/internal/cloud"
+	"f2c/internal/cq"
 	"f2c/internal/fognode"
 	"f2c/internal/metrics"
 	"f2c/internal/model"
 	"f2c/internal/placement"
+	"f2c/internal/protocol"
 	"f2c/internal/query"
 	"f2c/internal/sched"
 	"f2c/internal/segment"
@@ -149,6 +151,12 @@ type Options struct {
 	// VirtualNodes sets the ownership rings' virtual nodes per weight
 	// unit (zero selects shard.DefaultVirtualNodes).
 	VirtualNodes int
+	// AlertObserver, when set, sees every continuous-query alert push
+	// any fog node's own subscriptions seal, at seal time — the
+	// fire-side ledger chaos harnesses compare against the cloud's
+	// stored instances. Called from ingest and flush paths; must be
+	// fast and safe for concurrent use.
+	AlertObserver func(push protocol.AlertPush)
 	// CloudRetention bounds the cloud archive's age — the paper's
 	// years-scale preservation tier made finite (zero keeps forever).
 	CloudRetention time.Duration
@@ -333,10 +341,10 @@ func (s *System) storageFor(id string) *segment.Options {
 // caller.
 func (s *System) memberOptions(retention, flush time.Duration, siblings []string, durability *wal.Config) MemberOptions {
 	return MemberOptions{
-		Overload:         s.opts.Overload,
-		DegradeToSummary: s.opts.DegradeToSummary,
-		DegradeWindow:    s.opts.DegradeWindow,
-		Adaptive:         s.opts.AdaptiveFlush,
+		Overload:           s.opts.Overload,
+		DegradeToSummary:   s.opts.DegradeToSummary,
+		DegradeWindow:      s.opts.DegradeWindow,
+		Adaptive:           s.opts.AdaptiveFlush,
 		City:               s.opts.City,
 		Clock:              s.opts.Clock,
 		Transport:          s.net,
@@ -355,6 +363,7 @@ func (s *System) memberOptions(retention, flush time.Duration, siblings []string
 		RetryMax:           s.opts.RetryMax,
 		FailoverAfter:      s.opts.FailoverAfter,
 		Durability:         durability,
+		AlertObserver:      s.opts.AlertObserver,
 	}
 }
 
@@ -545,6 +554,83 @@ func (s *System) IngestAt(fog1ID string, b *model.Batch) error {
 	bytes := int64(len(sensor.EncodeBatch(b)))
 	s.opts.Matrix.Record(metrics.HopEdgeToFog1, b.Category.String(), bytes)
 	return n.Ingest(b)
+}
+
+// Subscribe registers a standing continuous query at the lowest tier
+// owning its sensor type. With elastic ownership, that is each
+// district's ring owner of the type — the same node the type's edge
+// ingest routes to, so the subscription evaluates in the ingest hot
+// path and survives shard migration (MigrateOut carries live window
+// state to the next owner). Without elastic ownership a type may
+// surface at any section, so every layer-1 node registers it; nodes
+// that never see the type stay on the engine's empty fast path.
+func (s *System) Subscribe(sub cq.Subscription) error {
+	if err := sub.Validate(); err != nil {
+		return fmt.Errorf("core: subscribe: %w", err)
+	}
+	var errs []error
+	if s.elastic != nil {
+		for _, district := range s.Fog2IDs() {
+			owner, ok := s.OwnerOf(district, sub.TypeName)
+			if !ok {
+				continue
+			}
+			n, ok := s.Fog1(owner)
+			if !ok {
+				errs = append(errs, fmt.Errorf("core: subscribe: owner %q not found", owner))
+				continue
+			}
+			if err := n.Subscribe(sub); err != nil {
+				errs = append(errs, fmt.Errorf("core: subscribe: %w", err))
+			}
+		}
+		return errors.Join(errs...)
+	}
+	for _, id := range s.Fog1IDs() {
+		n, ok := s.Fog1(id)
+		if !ok {
+			continue
+		}
+		if err := n.Subscribe(sub); err != nil {
+			errs = append(errs, fmt.Errorf("core: subscribe: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Unsubscribe cancels a standing subscription everywhere it is
+// registered, returning how many nodes held it.
+func (s *System) Unsubscribe(subID string) int {
+	removed := 0
+	for _, id := range s.Fog1IDs() {
+		if n, ok := s.Fog1(id); ok && n.Unsubscribe(subID) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// Subscriptions lists the standing subscriptions registered across
+// layer 1, deduplicated by ID (a subscription may live on several
+// nodes) and sorted by ID.
+func (s *System) Subscriptions() []cq.Subscription {
+	seen := make(map[string]struct{})
+	var out []cq.Subscription
+	for _, id := range s.Fog1IDs() {
+		n, ok := s.Fog1(id)
+		if !ok {
+			continue
+		}
+		for _, sub := range n.Subscriptions() {
+			if _, dup := seen[sub.ID]; dup {
+				continue
+			}
+			seen[sub.ID] = struct{}{}
+			out = append(out, sub)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // forEachFog runs fn over the identified fog nodes with bounded

@@ -1,0 +1,164 @@
+// Package cq evaluates continuous queries: standing subscriptions
+// over a sensor type that fire windowed aggregate summaries or
+// threshold alerts incrementally in the fog ingest path, instead of
+// re-scanning the store the way a polled query would.
+//
+// A subscription names one sensor type and either a window (tumbling
+// when Slide is zero or equals Window, sliding when Slide divides
+// Window) over the decomposable aggregate.Summary, or a threshold
+// predicate evaluated per reading inside tumbling windows. The engine
+// keeps per-subscription stride-aligned panes; a sliding window is
+// the merge of the panes it covers, so each reading is folded exactly
+// once no matter how many window instances it appears in.
+//
+// Subscription lifecycle:
+//
+//	            Subscribe                      Unsubscribe / Extract
+//	(absent) ──────────────▶ ACTIVE ───────────────────────▶ (absent)
+//	                          │  ▲
+//	              Observe(b)  │  │  Install(snapshot)
+//	                          ▼  │  (merge panes from a migrating peer)
+//	                       ACCUMULATING
+//	                          │
+//	            Harvest(now): │ window closed (start+width ≤ now)
+//	                          ▼
+//	                       EMITTED ── watermark passes ──▶ PRUNED
+//
+// Per window instance the transitions are one-way: OPEN (panes
+// accumulating) → EMITTED (alert fired exactly once, recorded in the
+// emitted set) → PRUNED (watermark passed; panes and the emitted mark
+// dropped). The watermark — the earliest window start not yet
+// closable — also quarantines late data: readings older than it fold
+// forward into the watermark pane, so a pruned window is never
+// resurrected and an emitted one never refires, while no reading is
+// dropped.
+//
+// The engine is a passive library: the fog node drives Observe from
+// ingest, Harvest from its flush timer, and persists/ships state via
+// the snapshot API (journal checkpoints and shard migration).
+package cq
+
+import (
+	"fmt"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+)
+
+// Kind selects what a subscription fires.
+type Kind string
+
+const (
+	// KindWindow fires one aggregate summary per closed window.
+	KindWindow Kind = "window"
+	// KindThreshold fires when a reading crosses the predicate, at
+	// most once per (tumbling) window.
+	KindThreshold Kind = "threshold"
+)
+
+// Predicate is a threshold comparison.
+type Predicate string
+
+const (
+	// PredAbove fires on a reading strictly above the threshold.
+	PredAbove Predicate = "gt"
+	// PredBelow fires on a reading strictly below the threshold.
+	PredBelow Predicate = "lt"
+)
+
+// Subscription is a standing continuous query. Durations marshal as
+// nanoseconds (encoding/json's default for time.Duration).
+type Subscription struct {
+	// ID names the subscription; registering the same ID with a
+	// different definition replaces it (and resets its window state).
+	ID string `json:"id"`
+	// TypeName is the watched sensor type.
+	TypeName string `json:"type"`
+	// Kind is KindWindow or KindThreshold.
+	Kind Kind `json:"kind"`
+	// Window is the aggregation window width.
+	Window time.Duration `json:"window"`
+	// Slide is the window advance for KindWindow: zero (or ==Window)
+	// makes the window tumbling, otherwise Slide must evenly divide
+	// Window. Threshold subscriptions are always tumbling (Slide must
+	// be zero).
+	Slide time.Duration `json:"slide,omitempty"`
+	// Predicate and Threshold define the crossing for KindThreshold.
+	Predicate Predicate `json:"predicate,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+}
+
+// Validate checks the subscription definition.
+func (s *Subscription) Validate() error {
+	switch {
+	case s.ID == "":
+		return fmt.Errorf("cq: subscription without an id")
+	case s.TypeName == "":
+		return fmt.Errorf("cq: subscription %q without a sensor type", s.ID)
+	case s.Window <= 0:
+		return fmt.Errorf("cq: subscription %q with non-positive window %v", s.ID, s.Window)
+	case s.Slide < 0:
+		return fmt.Errorf("cq: subscription %q with negative slide %v", s.ID, s.Slide)
+	}
+	switch s.Kind {
+	case KindWindow:
+		if s.Slide > s.Window {
+			return fmt.Errorf("cq: subscription %q slide %v exceeds window %v", s.ID, s.Slide, s.Window)
+		}
+		if s.Slide > 0 && s.Window%s.Slide != 0 {
+			return fmt.Errorf("cq: subscription %q slide %v does not divide window %v", s.ID, s.Slide, s.Window)
+		}
+		if s.Predicate != "" {
+			return fmt.Errorf("cq: window subscription %q with a predicate", s.ID)
+		}
+	case KindThreshold:
+		if s.Slide != 0 && s.Slide != s.Window {
+			return fmt.Errorf("cq: threshold subscription %q must be tumbling (slide %v)", s.ID, s.Slide)
+		}
+		if s.Predicate != PredAbove && s.Predicate != PredBelow {
+			return fmt.Errorf("cq: threshold subscription %q with predicate %q", s.ID, s.Predicate)
+		}
+	default:
+		return fmt.Errorf("cq: subscription %q with kind %q", s.ID, s.Kind)
+	}
+	return nil
+}
+
+// stride is the pane width in nanoseconds: the slide for a sliding
+// window, the window itself otherwise.
+func (s *Subscription) stride() int64 {
+	if s.Kind == KindWindow && s.Slide > 0 && s.Slide < s.Window {
+		return int64(s.Slide)
+	}
+	return int64(s.Window)
+}
+
+// crossed reports whether v satisfies the threshold predicate.
+func (s *Subscription) crossed(v float64) bool {
+	if s.Predicate == PredBelow {
+		return v < s.Threshold
+	}
+	return v > s.Threshold
+}
+
+// Alert is one fired result: a closed window's aggregate, or a
+// threshold crossing with the partial aggregate seen so far.
+type Alert struct {
+	SubID    string
+	TypeName string
+	Kind     Kind
+	Category model.Category
+	// StartUnix and EndUnix bound the window (unix nanoseconds).
+	StartUnix int64
+	EndUnix   int64
+	Summary   aggregate.Summary
+	// Value is the crossing reading (threshold alerts only).
+	Value float64
+}
+
+// floorTo rounds ts down to a multiple of stride (toward -inf for
+// negative timestamps, matching the degrade plane's window floor).
+func floorTo(ts, stride int64) int64 {
+	return ts - (((ts % stride) + stride) % stride)
+}

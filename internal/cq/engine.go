@@ -1,0 +1,303 @@
+package cq
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+)
+
+// maxPanes bounds a subscription's open-pane set; past it, new panes
+// fold into the nearest existing one (mirroring the degrade plane's
+// nearest-window overflow) so a clock-skewed sensor cannot grow
+// memory without bound. Summaries stay exact in count/sum; only the
+// window attribution of the overflow readings coarsens.
+const maxPanes = 512
+
+// subState is one subscription's live evaluation state.
+type subState struct {
+	sub Subscription
+	// cat is the traffic category of the watched type, learned from
+	// observed batches (carried through snapshots so a migrated
+	// subscription keeps tagging alerts before its first local batch).
+	cat model.Category
+	// panes accumulate per-stride partial summaries, keyed by
+	// stride-aligned start.
+	panes map[int64]aggregate.Summary
+	// emitted records window starts whose alert already fired.
+	emitted map[int64]struct{}
+	// watermark is the earliest window start not yet closable; panes
+	// and emitted marks below it are pruned, and late readings fold
+	// forward into it.
+	watermark int64
+}
+
+func newSubState(sub Subscription) *subState {
+	return &subState{
+		sub:     sub,
+		panes:   make(map[int64]aggregate.Summary),
+		emitted: make(map[int64]struct{}),
+	}
+}
+
+// nearestPane returns the existing pane start closest to ps.
+func (st *subState) nearestPane(ps int64) int64 {
+	best, bestDist := ps, int64(-1)
+	for p := range st.panes {
+		d := p - ps
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	return best
+}
+
+// Engine evaluates a node's standing subscriptions incrementally.
+// All methods are safe for concurrent use; Observe's empty fast path
+// is lock-free so nodes without subscriptions pay one atomic load per
+// batch.
+type Engine struct {
+	active atomic.Int64 // subscription count, for the fast path
+
+	mu     sync.Mutex
+	subs   map[string]*subState
+	byType map[string]map[string]*subState
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		subs:   make(map[string]*subState),
+		byType: make(map[string]map[string]*subState),
+	}
+}
+
+// Len is the number of standing subscriptions.
+func (e *Engine) Len() int { return int(e.active.Load()) }
+
+// Subscribe registers sub. Re-registering an identical definition is
+// an idempotent no-op that keeps the live window state (the recovery
+// path depends on this); a same-ID different definition replaces the
+// subscription and resets its state.
+func (e *Engine) Subscribe(sub Subscription) error {
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if old, ok := e.subs[sub.ID]; ok {
+		if old.sub == sub {
+			return nil
+		}
+		e.dropLocked(old)
+	}
+	st := newSubState(sub)
+	e.subs[sub.ID] = st
+	types := e.byType[sub.TypeName]
+	if types == nil {
+		types = make(map[string]*subState)
+		e.byType[sub.TypeName] = types
+	}
+	types[sub.ID] = st
+	e.active.Store(int64(len(e.subs)))
+	return nil
+}
+
+// Unsubscribe cancels the subscription and drops its state.
+func (e *Engine) Unsubscribe(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.subs[id]
+	if !ok {
+		return false
+	}
+	e.dropLocked(st)
+	e.active.Store(int64(len(e.subs)))
+	return true
+}
+
+func (e *Engine) dropLocked(st *subState) {
+	delete(e.subs, st.sub.ID)
+	if types := e.byType[st.sub.TypeName]; types != nil {
+		delete(types, st.sub.ID)
+		if len(types) == 0 {
+			delete(e.byType, st.sub.TypeName)
+		}
+	}
+}
+
+// Subscriptions lists the standing subscriptions sorted by ID.
+func (e *Engine) Subscriptions() []Subscription {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Subscription, 0, len(e.subs))
+	for _, st := range e.subs {
+		out = append(out, st.sub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Observe folds one accepted batch into every subscription watching
+// its type and returns the threshold alerts it fired, oldest window
+// first. Window subscriptions only accumulate here; their alerts fire
+// from Harvest when the window closes.
+func (e *Engine) Observe(b *model.Batch) []Alert {
+	if e.active.Load() == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	states := e.byType[b.TypeName]
+	if len(states) == 0 {
+		return nil
+	}
+	var fired []Alert
+	for _, st := range states {
+		st.cat = b.Category
+		w := int64(st.sub.Window)
+		stride := st.sub.stride()
+		for i := range b.Readings {
+			r := &b.Readings[i]
+			ps := floorTo(r.Time.UnixNano(), stride)
+			if ps < st.watermark {
+				// Late reading for a closed window: fold forward so it
+				// is counted without resurrecting a pruned pane or
+				// refiring an emitted window.
+				ps = st.watermark
+			}
+			pane, ok := st.panes[ps]
+			if !ok && len(st.panes) >= maxPanes {
+				ps = st.nearestPane(ps)
+				pane = st.panes[ps]
+			}
+			pane = pane.Observe(r.Value)
+			st.panes[ps] = pane
+			if st.sub.Kind != KindThreshold || !st.sub.crossed(r.Value) {
+				continue
+			}
+			if _, done := st.emitted[ps]; done {
+				continue
+			}
+			st.emitted[ps] = struct{}{}
+			fired = append(fired, Alert{
+				SubID:     st.sub.ID,
+				TypeName:  st.sub.TypeName,
+				Kind:      KindThreshold,
+				Category:  b.Category,
+				StartUnix: ps,
+				EndUnix:   ps + w,
+				Summary:   pane,
+				Value:     r.Value,
+			})
+		}
+	}
+	sortAlerts(fired)
+	return fired
+}
+
+// Harvest closes every window whose end has passed now, fires the
+// window alerts (each window exactly once), advances each
+// subscription's watermark, and prunes dead panes and emitted marks.
+// The caller drives it from the flush timer.
+func (e *Engine) Harvest(now time.Time) []Alert {
+	if e.active.Load() == 0 {
+		return nil
+	}
+	nowNs := now.UnixNano()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var fired []Alert
+	for _, st := range e.subs {
+		w := int64(st.sub.Window)
+		stride := st.sub.stride()
+		if st.sub.Kind == KindWindow {
+			// Candidate windows: every instance covering an open pane
+			// that has fully closed and has not fired yet.
+			nw := w / stride
+			cand := make(map[int64]struct{})
+			for p := range st.panes {
+				for k := int64(0); k < nw; k++ {
+					ws := p - k*stride
+					if ws < st.watermark || ws+w > nowNs {
+						continue
+					}
+					if _, done := st.emitted[ws]; done {
+						continue
+					}
+					cand[ws] = struct{}{}
+				}
+			}
+			starts := make([]int64, 0, len(cand))
+			for ws := range cand {
+				starts = append(starts, ws)
+			}
+			sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+			for _, ws := range starts {
+				merged := aggregate.Summary{}
+				for k := int64(0); k < nw; k++ {
+					merged = merged.Merge(st.panes[ws+k*stride])
+				}
+				if merged.Count <= 0 {
+					continue
+				}
+				st.emitted[ws] = struct{}{}
+				fired = append(fired, Alert{
+					SubID:     st.sub.ID,
+					TypeName:  st.sub.TypeName,
+					Kind:      KindWindow,
+					Category:  st.cat,
+					StartUnix: ws,
+					EndUnix:   ws + w,
+					Summary:   merged,
+				})
+			}
+		}
+		// Advance the watermark to the earliest window start that is
+		// not yet closable, then prune everything strictly below it: a
+		// pane's youngest covering window starts at the pane itself,
+		// so pane < watermark means every window it feeds has closed.
+		if wm := floorTo(nowNs-w, stride) + stride; wm > st.watermark {
+			st.watermark = wm
+		}
+		for p := range st.panes {
+			if p < st.watermark {
+				delete(st.panes, p)
+			}
+		}
+		for ws := range st.emitted {
+			if ws < st.watermark {
+				delete(st.emitted, ws)
+			}
+		}
+	}
+	sortAlerts(fired)
+	return fired
+}
+
+// MarkEmitted records that the window starting at start already fired
+// for subID in an earlier life of this node — the journal-recovery
+// path replaying sealed alert pushes, which must not refire.
+func (e *Engine) MarkEmitted(subID string, start int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.subs[subID]; ok {
+		st.emitted[start] = struct{}{}
+	}
+}
+
+func sortAlerts(alerts []Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		a, b := &alerts[i], &alerts[j]
+		if a.SubID != b.SubID {
+			return a.SubID < b.SubID
+		}
+		return a.StartUnix < b.StartUnix
+	})
+}

@@ -1,0 +1,330 @@
+package cq
+
+import (
+	"testing"
+	"time"
+
+	"f2c/internal/model"
+)
+
+func batchAt(typ string, times []int64, values []float64) *model.Batch {
+	b := &model.Batch{
+		NodeID:    "fog1/test",
+		TypeName:  typ,
+		Category:  model.CategoryUrban,
+		Collected: time.Unix(0, times[len(times)-1]),
+	}
+	for i, ts := range times {
+		b.Readings = append(b.Readings, model.Reading{
+			SensorID: typ + "/s1",
+			TypeName: typ,
+			Category: model.CategoryUrban,
+			Time:     time.Unix(0, ts),
+			Value:    values[i],
+			Unit:     "u",
+		})
+	}
+	return b
+}
+
+func TestTumblingWindowFiresOncePerWindow(t *testing.T) {
+	e := NewEngine()
+	w := time.Minute
+	if err := e.Subscribe(Subscription{ID: "w1", TypeName: "traffic", Kind: KindWindow, Window: w}); err != nil {
+		t.Fatal(err)
+	}
+	// Two readings in window [0, 1m), one in [1m, 2m).
+	if got := e.Observe(batchAt("traffic", []int64{1, 2, int64(w) + 1}, []float64{10, 20, 30})); len(got) != 0 {
+		t.Fatalf("window subscription fired from Observe: %+v", got)
+	}
+	// Harvest at 1m: only the first window has closed.
+	fired := e.Harvest(time.Unix(0, int64(w)))
+	if len(fired) != 1 {
+		t.Fatalf("fired %d alerts, want 1: %+v", len(fired), fired)
+	}
+	a := fired[0]
+	if a.SubID != "w1" || a.Kind != KindWindow || a.StartUnix != 0 || a.EndUnix != int64(w) {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Summary.Count != 2 || a.Summary.Sum != 30 || a.Summary.Min != 10 || a.Summary.Max != 20 {
+		t.Fatalf("summary = %+v", a.Summary)
+	}
+	// Harvest again at the same instant: exactly-once.
+	if again := e.Harvest(time.Unix(0, int64(w))); len(again) != 0 {
+		t.Fatalf("window refired: %+v", again)
+	}
+	// Advancing past the second window fires it once.
+	fired = e.Harvest(time.Unix(0, 2*int64(w)))
+	if len(fired) != 1 || fired[0].StartUnix != int64(w) || fired[0].Summary.Count != 1 {
+		t.Fatalf("second window = %+v", fired)
+	}
+}
+
+func TestSlidingWindowMergesPanes(t *testing.T) {
+	e := NewEngine()
+	w, slide := 2*time.Minute, time.Minute
+	if err := e.Subscribe(Subscription{ID: "s1", TypeName: "noise", Kind: KindWindow, Window: w, Slide: slide}); err != nil {
+		t.Fatal(err)
+	}
+	// One reading per minute for minutes 0, 1, 2. The instance starting
+	// at -1m sits below the initial watermark and never fires.
+	e.Observe(batchAt("noise", []int64{1, int64(slide) + 1, 2*int64(slide) + 1}, []float64{1, 2, 4}))
+	// At t=3m the instances starting at 0m and 1m have closed.
+	fired := e.Harvest(time.Unix(0, 3*int64(slide)))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d alerts, want 2: %+v", len(fired), fired)
+	}
+	// Window [0, 2m) covers readings 1 and 2; window [1m, 3m) covers 2 and 4.
+	if fired[0].StartUnix != 0 || fired[0].Summary.Count != 2 || fired[0].Summary.Sum != 3 {
+		t.Fatalf("window [0,2m) = %+v", fired[0])
+	}
+	if fired[1].StartUnix != int64(slide) || fired[1].Summary.Count != 2 || fired[1].Summary.Sum != 6 {
+		t.Fatalf("window [1m,3m) = %+v", fired[1])
+	}
+}
+
+func TestThresholdFiresOncePerWindow(t *testing.T) {
+	e := NewEngine()
+	w := time.Minute
+	err := e.Subscribe(Subscription{
+		ID: "t1", TypeName: "air", Kind: KindThreshold, Window: w,
+		Predicate: PredAbove, Threshold: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two crossings in the same window fire once; a below-threshold
+	// reading never fires.
+	fired := e.Observe(batchAt("air", []int64{1, 2, 3}, []float64{60, 10, 70}))
+	if len(fired) != 1 {
+		t.Fatalf("fired %d alerts, want 1: %+v", len(fired), fired)
+	}
+	if fired[0].Kind != KindThreshold || fired[0].Value != 60 || fired[0].StartUnix != 0 {
+		t.Fatalf("alert = %+v", fired[0])
+	}
+	// Partial summary: readings folded up to (and including) the crossing.
+	if fired[0].Summary.Count != 1 || fired[0].Summary.Sum != 60 {
+		t.Fatalf("summary = %+v", fired[0].Summary)
+	}
+	// A crossing in the next window fires again.
+	fired = e.Observe(batchAt("air", []int64{int64(w) + 1}, []float64{80}))
+	if len(fired) != 1 || fired[0].StartUnix != int64(w) {
+		t.Fatalf("next-window crossing = %+v", fired)
+	}
+	// Window alerts do not also fire for threshold subscriptions.
+	if got := e.Harvest(time.Unix(0, 3*int64(w))); len(got) != 0 {
+		t.Fatalf("threshold subscription fired from Harvest: %+v", got)
+	}
+}
+
+func TestPredicateBelow(t *testing.T) {
+	e := NewEngine()
+	err := e.Subscribe(Subscription{
+		ID: "b1", TypeName: "temp", Kind: KindThreshold, Window: time.Minute,
+		Predicate: PredBelow, Threshold: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired := e.Observe(batchAt("temp", []int64{1}, []float64{5})); len(fired) != 0 {
+		t.Fatalf("fired above threshold: %+v", fired)
+	}
+	if fired := e.Observe(batchAt("temp", []int64{2}, []float64{-3})); len(fired) != 1 {
+		t.Fatalf("did not fire below threshold: %+v", fired)
+	}
+}
+
+func TestLateDataFoldsForwardWithoutRefire(t *testing.T) {
+	e := NewEngine()
+	w := time.Minute
+	if err := e.Subscribe(Subscription{ID: "w1", TypeName: "traffic", Kind: KindWindow, Window: w}); err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(batchAt("traffic", []int64{1}, []float64{10}))
+	if fired := e.Harvest(time.Unix(0, 2*int64(w))); len(fired) != 1 {
+		t.Fatalf("fired %d, want 1", len(fired))
+	}
+	// A straggler for the closed window [0, 1m) must not resurrect it;
+	// it folds into the watermark pane and fires with that window.
+	if fired := e.Observe(batchAt("traffic", []int64{2}, []float64{99})); len(fired) != 0 {
+		t.Fatalf("late observe fired: %+v", fired)
+	}
+	fired := e.Harvest(time.Unix(0, 4*int64(w)))
+	if len(fired) != 1 {
+		t.Fatalf("fired %d, want 1: %+v", len(fired), fired)
+	}
+	if fired[0].StartUnix == 0 {
+		t.Fatalf("closed window resurrected: %+v", fired[0])
+	}
+	if fired[0].Summary.Count != 1 || fired[0].Summary.Sum != 99 {
+		t.Fatalf("late reading lost: %+v", fired[0].Summary)
+	}
+}
+
+func TestMarkEmittedSuppressesRefire(t *testing.T) {
+	e := NewEngine()
+	w := time.Minute
+	if err := e.Subscribe(Subscription{ID: "w1", TypeName: "traffic", Kind: KindWindow, Window: w}); err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(batchAt("traffic", []int64{1}, []float64{10}))
+	// Recovery replays the sealed alert for window 0 before re-observing.
+	e.MarkEmitted("w1", 0)
+	if fired := e.Harvest(time.Unix(0, int64(w))); len(fired) != 0 {
+		t.Fatalf("marked window refired: %+v", fired)
+	}
+}
+
+func TestPaneOverflowFoldsToNearest(t *testing.T) {
+	e := NewEngine()
+	w := time.Minute
+	if err := e.Subscribe(Subscription{ID: "w1", TypeName: "traffic", Kind: KindWindow, Window: w}); err != nil {
+		t.Fatal(err)
+	}
+	// maxPanes+64 distinct windows: the overflow folds into existing
+	// panes instead of growing without bound, and no reading is lost.
+	var times []int64
+	var values []float64
+	for i := 0; i < maxPanes+64; i++ {
+		times = append(times, int64(i)*int64(w)+1)
+		values = append(values, 1)
+	}
+	e.Observe(batchAt("traffic", times, values))
+	e.mu.Lock()
+	panes := len(e.subs["w1"].panes)
+	var total int64
+	for _, s := range e.subs["w1"].panes {
+		total += s.Count
+	}
+	e.mu.Unlock()
+	if panes > maxPanes {
+		t.Fatalf("pane set grew to %d, cap is %d", panes, maxPanes)
+	}
+	if total != int64(maxPanes+64) {
+		t.Fatalf("readings lost in fold: %d of %d", total, maxPanes+64)
+	}
+}
+
+func TestSubscribeIdempotentAndReplace(t *testing.T) {
+	e := NewEngine()
+	sub := Subscription{ID: "w1", TypeName: "traffic", Kind: KindWindow, Window: time.Minute}
+	if err := e.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(batchAt("traffic", []int64{1}, []float64{10}))
+	// Identical re-registration keeps the accumulated state.
+	if err := e.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if fired := e.Harvest(time.Unix(0, int64(time.Minute))); len(fired) != 1 {
+		t.Fatalf("idempotent re-subscribe dropped state: %+v", fired)
+	}
+	// A different definition under the same ID resets it.
+	sub.Window = 2 * time.Minute
+	if err := e.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Subscriptions(); len(got) != 1 || got[0].Window != 2*time.Minute {
+		t.Fatalf("replace failed: %+v", got)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", e.Len())
+	}
+}
+
+func TestSnapshotInstallRoundTrip(t *testing.T) {
+	e := NewEngine()
+	w := time.Minute
+	if err := e.Subscribe(Subscription{ID: "w1", TypeName: "traffic", Kind: KindWindow, Window: w}); err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(batchAt("traffic", []int64{1, int64(w) + 1}, []float64{10, 20}))
+	e.Harvest(time.Unix(0, int64(w))) // fire window 0, set the watermark
+
+	snaps := e.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot has %d subs, want 1", len(snaps))
+	}
+	doc, err := EncodeSubSnapshot(&snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSubSnapshot(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine restored from the snapshot must not refire window
+	// 0 and must fire window 1 with the same summary.
+	e2 := NewEngine()
+	if err := e2.Install(*decoded); err != nil {
+		t.Fatal(err)
+	}
+	fired := e2.Harvest(time.Unix(0, 2*int64(w)))
+	if len(fired) != 1 || fired[0].StartUnix != int64(w) {
+		t.Fatalf("restored engine fired %+v", fired)
+	}
+	if fired[0].Summary.Count != 1 || fired[0].Summary.Sum != 20 {
+		t.Fatalf("restored summary = %+v", fired[0].Summary)
+	}
+	if fired[0].Category != model.CategoryUrban {
+		t.Fatalf("category lost through snapshot: %v", fired[0].Category)
+	}
+}
+
+func TestInstallMergesSameDefinition(t *testing.T) {
+	// Shard migration absorb: the target already holds the subscription
+	// with its own partial panes; the incoming snapshot's panes merge.
+	w := time.Minute
+	sub := Subscription{ID: "w1", TypeName: "traffic", Kind: KindWindow, Window: w}
+
+	src := NewEngine()
+	if err := src.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	src.Observe(batchAt("traffic", []int64{1}, []float64{10}))
+
+	dst := NewEngine()
+	if err := dst.Subscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+	dst.Observe(batchAt("traffic", []int64{2}, []float64{20}))
+
+	moved := src.Extract("traffic")
+	if len(moved) != 1 {
+		t.Fatalf("extracted %d subs, want 1", len(moved))
+	}
+	if src.Len() != 0 {
+		t.Fatalf("source still holds %d subs", src.Len())
+	}
+	if err := dst.Install(moved[0]); err != nil {
+		t.Fatal(err)
+	}
+	fired := dst.Harvest(time.Unix(0, int64(w)))
+	if len(fired) != 1 || fired[0].Summary.Count != 2 || fired[0].Summary.Sum != 30 {
+		t.Fatalf("merged window = %+v", fired)
+	}
+}
+
+func TestValidateRejectsBadSubscriptions(t *testing.T) {
+	bad := []Subscription{
+		{TypeName: "t", Kind: KindWindow, Window: time.Minute},                                                // no ID
+		{ID: "a", Kind: KindWindow, Window: time.Minute},                                                      // no type
+		{ID: "a", TypeName: "t", Kind: KindWindow},                                                            // no window
+		{ID: "a", TypeName: "t", Kind: KindWindow, Window: time.Minute, Slide: 7 * time.Second},               // slide !| window
+		{ID: "a", TypeName: "t", Kind: KindWindow, Window: time.Minute, Slide: 2 * time.Minute},               // slide > window
+		{ID: "a", TypeName: "t", Kind: KindThreshold, Window: time.Minute},                                    // no predicate
+		{ID: "a", TypeName: "t", Kind: KindThreshold, Window: time.Minute, Predicate: "ge"},                   // bad predicate
+		{ID: "a", TypeName: "t", Kind: KindThreshold, Window: time.Minute, Predicate: PredAbove, Slide: 30e9}, // sliding threshold
+		{ID: "a", TypeName: "t", Kind: "trend", Window: time.Minute},                                          // bad kind
+	}
+	for i, sub := range bad {
+		if err := sub.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, sub)
+		}
+	}
+	good := Subscription{ID: "a", TypeName: "t", Kind: KindWindow, Window: time.Minute, Slide: 30 * time.Second}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid subscription rejected: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package cq
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"f2c/internal/aggregate"
+	"f2c/internal/model"
+)
+
+// Pane is one serialized window pane.
+type Pane struct {
+	Start   int64             `json:"start"`
+	Summary aggregate.Summary `json:"summary"`
+}
+
+// SubSnapshot is a subscription with its live evaluation state — the
+// unit the fog journal checkpoints and shard migration ships. It
+// marshals as JSON: subscriptions are rare and small, so the
+// readability beats a binary layout.
+type SubSnapshot struct {
+	Sub       Subscription `json:"sub"`
+	Category  string       `json:"category,omitempty"`
+	Panes     []Pane       `json:"panes,omitempty"`
+	Emitted   []int64      `json:"emitted,omitempty"`
+	Watermark int64        `json:"watermark,omitempty"`
+}
+
+// EncodeSubSnapshot marshals the snapshot.
+func EncodeSubSnapshot(s *SubSnapshot) ([]byte, error) {
+	doc, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("cq: encode snapshot: %w", err)
+	}
+	return doc, nil
+}
+
+// DecodeSubSnapshot unmarshals and validates a snapshot document.
+func DecodeSubSnapshot(doc []byte) (*SubSnapshot, error) {
+	var s SubSnapshot
+	if err := json.Unmarshal(doc, &s); err != nil {
+		return nil, fmt.Errorf("cq: decode snapshot: %w", err)
+	}
+	if err := s.Sub.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (e *Engine) snapshotLocked(st *subState) SubSnapshot {
+	snap := SubSnapshot{Sub: st.sub, Watermark: st.watermark}
+	if st.cat.Valid() {
+		snap.Category = st.cat.String()
+	}
+	for p, s := range st.panes {
+		if s.Count <= 0 {
+			continue
+		}
+		snap.Panes = append(snap.Panes, Pane{Start: p, Summary: s})
+	}
+	sort.Slice(snap.Panes, func(i, j int) bool { return snap.Panes[i].Start < snap.Panes[j].Start })
+	for ws := range st.emitted {
+		snap.Emitted = append(snap.Emitted, ws)
+	}
+	sort.Slice(snap.Emitted, func(i, j int) bool { return snap.Emitted[i] < snap.Emitted[j] })
+	return snap
+}
+
+// Snapshot exports every subscription's state, sorted by ID — the
+// journal-checkpoint view.
+func (e *Engine) Snapshot() []SubSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SubSnapshot, 0, len(e.subs))
+	for _, st := range e.subs {
+		out = append(out, e.snapshotLocked(st))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sub.ID < out[j].Sub.ID })
+	return out
+}
+
+// Install merges a snapshot into the engine. A new ID is installed
+// wholesale; an existing one with the same definition merges pane
+// summaries, unions emitted marks, and keeps the later watermark —
+// the shard-migration absorb path, where the target may already hold
+// the subscription with its own partial windows. A same-ID different
+// definition is replaced by the snapshot's.
+func (e *Engine) Install(snap SubSnapshot) error {
+	if err := snap.Sub.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.subs[snap.Sub.ID]
+	if !ok || st.sub != snap.Sub {
+		if ok {
+			e.dropLocked(st)
+		}
+		st = newSubState(snap.Sub)
+		e.subs[snap.Sub.ID] = st
+		types := e.byType[snap.Sub.TypeName]
+		if types == nil {
+			types = make(map[string]*subState)
+			e.byType[snap.Sub.TypeName] = types
+		}
+		types[snap.Sub.ID] = st
+		e.active.Store(int64(len(e.subs)))
+	}
+	if snap.Category != "" {
+		if cat, err := model.ParseCategory(snap.Category); err == nil {
+			st.cat = cat
+		}
+	}
+	for _, p := range snap.Panes {
+		st.panes[p.Start] = st.panes[p.Start].Merge(p.Summary)
+	}
+	for _, ws := range snap.Emitted {
+		st.emitted[ws] = struct{}{}
+	}
+	if snap.Watermark > st.watermark {
+		st.watermark = snap.Watermark
+	}
+	return nil
+}
+
+// Extract removes every subscription watching typ and returns their
+// snapshots (sorted by ID) — the shard-migration handoff. The caller
+// re-Installs them on failure.
+func (e *Engine) Extract(typ string) []SubSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	types := e.byType[typ]
+	if len(types) == 0 {
+		return nil
+	}
+	out := make([]SubSnapshot, 0, len(types))
+	for _, st := range types {
+		out = append(out, e.snapshotLocked(st))
+	}
+	for _, snap := range out {
+		e.dropLocked(e.subs[snap.Sub.ID])
+	}
+	e.active.Store(int64(len(e.subs)))
+	sort.Slice(out, func(i, j int) bool { return out[i].Sub.ID < out[j].Sub.ID })
+	return out
+}

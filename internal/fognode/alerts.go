@@ -1,0 +1,294 @@
+package fognode
+
+// Continuous-query alert plane: standing subscriptions (internal/cq)
+// evaluated incrementally in the ingest hot path, with fired alerts
+// moving upward under transport.KindAlertPush through the same
+// frozen-sequence retry machinery batches and degrade summaries use.
+//
+// Evaluation: every accepted batch is offered to the cq engine right
+// after it lands in the temporal store (threshold subscriptions fire
+// here); each flush first harvests the windows that closed since the
+// last one (window subscriptions fire there). Fired alerts seal into
+// an AlertPush under a fresh sequence from the node's shared space
+// and queue on the owning shard; flush workers deliver them after the
+// type's batches and summaries, parent-only (never sibling relays —
+// the relay path exists to drain bulk data around a dead parent, and
+// alerts must not arrive ahead of the readings that explain them).
+//
+// Delivery is at-least-once with two dedup tiers: the receiving
+// tier's replay filter drops a retried push by its (Origin, Seq), and
+// the cloud stores alerts keyed by their instance identity
+// (FiredBy, SubID, StartUnix, Kind), which also absorbs re-batched
+// copies when retry-queue overflow folds an old push's alerts into a
+// younger push. On a durable node every seal and commit is journaled
+// (recAlertSeal / recAlertCommit) so a rebooted node resumes its
+// subscriptions, its queued pushes, and — critically — the emitted
+// marks that stop a recovered window from firing twice.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"f2c/internal/cq"
+	"f2c/internal/model"
+	"f2c/internal/protocol"
+	"f2c/internal/transport"
+)
+
+// sealedAlert is one alert push frozen under a delivery sequence,
+// sharing the node's batch sequence space so the parent's per-origin
+// replay filter dedups retried pushes exactly like batches.
+type sealedAlert struct {
+	push protocol.AlertPush
+	seq  uint64
+}
+
+// maxAlertsPerPush bounds how many alert instances retry-queue
+// folding may accumulate into one push; beyond it the oldest
+// instances are dropped (and counted shed) — the alert tier's
+// last-resort bound, mirroring the summary retry tier's.
+const maxAlertsPerPush = 4096
+
+// Subscribe registers a standing continuous query on this node. On a
+// durable node the registration is journaled first (the acceptance
+// gate), so a rebooted node still evaluates it.
+func (n *Node) Subscribe(sub cq.Subscription) error {
+	if err := sub.Validate(); err != nil {
+		return fmt.Errorf("fognode %s: %w", n.cfg.Spec.ID, err)
+	}
+	if n.journal != nil {
+		if err := n.journal.appendSubscribe(sub); err != nil {
+			return fmt.Errorf("fognode %s: subscribe: %w", n.cfg.Spec.ID, err)
+		}
+	}
+	return n.cqe.Subscribe(sub)
+}
+
+// Unsubscribe cancels a standing subscription.
+func (n *Node) Unsubscribe(id string) bool {
+	if n.journal != nil {
+		_ = n.journal.appendUnsubscribe(id)
+	}
+	return n.cqe.Unsubscribe(id)
+}
+
+// Subscriptions lists this node's standing subscriptions.
+func (n *Node) Subscriptions() []cq.Subscription { return n.cqe.Subscriptions() }
+
+// observeAlerts offers an accepted batch to the cq engine and seals
+// whatever threshold alerts it fired. The engine's lock-free empty
+// fast path keeps this one atomic load on nodes without
+// subscriptions.
+func (n *Node) observeAlerts(b *model.Batch) {
+	if alerts := n.cqe.Observe(b); len(alerts) != 0 {
+		n.sealAlerts(alerts)
+	}
+}
+
+// harvestAlerts closes and seals the windows that have ended by now —
+// driven from the head of every flush.
+func (n *Node) harvestAlerts(now time.Time) {
+	if alerts := n.cqe.Harvest(now); len(alerts) != 0 {
+		n.sealAlerts(alerts)
+	}
+}
+
+// sealAlerts groups fired alerts by sensor type and seals one push
+// per type onto the owning shard's alert queue, types in first-seen
+// order.
+func (n *Node) sealAlerts(alerts []cq.Alert) {
+	byType := make(map[string][]cq.Alert, 1)
+	var order []string
+	for _, a := range alerts {
+		if _, ok := byType[a.TypeName]; !ok {
+			order = append(order, a.TypeName)
+		}
+		byType[a.TypeName] = append(byType[a.TypeName], a)
+	}
+	for _, typ := range order {
+		n.sealAlertGroup(byType[typ])
+	}
+}
+
+// sealAlertGroup freezes one type's fired alerts into a push under a
+// fresh delivery sequence, journals the seal, queues it for the next
+// flush, and reports it to the alert observer — the fire point of the
+// exactly-once ledger. Alerts in the group share a type but may come
+// from different subscriptions.
+func (n *Node) sealAlertGroup(alerts []cq.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	me := n.cfg.Spec.ID
+	typ := alerts[0].TypeName
+	push := protocol.AlertPush{
+		Origin:   me,
+		Seq:      n.seq.Add(1),
+		TypeName: typ,
+		Category: alerts[0].Category.String(),
+		Alerts:   make([]protocol.Alert, 0, len(alerts)),
+	}
+	for i := range alerts {
+		a := &alerts[i]
+		push.Alerts = append(push.Alerts, protocol.Alert{
+			SubID:     a.SubID,
+			FiredBy:   me,
+			Kind:      string(a.Kind),
+			StartUnix: a.StartUnix,
+			EndUnix:   a.EndUnix,
+			Summary:   a.Summary,
+			Value:     a.Value,
+		})
+	}
+	sh := n.shardFor(typ)
+	sh.mu.Lock()
+	if n.journal != nil {
+		// Best-effort, like batch seals: a lost record degrades toward
+		// the window refiring after a crash — a duplicate instance the
+		// cloud's instance dedup absorbs — never toward loss.
+		if payload, err := protocol.EncodeAlertPush(&push); err == nil {
+			_ = n.journal.appendAlertSeal(payload)
+		}
+	}
+	sh.alerts[typ] = append(sh.alerts[typ], sealedAlert{push: push, seq: push.Seq})
+	n.boundAlertsLocked(sh, typ)
+	sh.mu.Unlock()
+	n.alertsFired.Add(int64(len(push.Alerts)))
+	if n.cfg.AlertObserver != nil {
+		n.cfg.AlertObserver(push)
+	}
+}
+
+// boundAlertsLocked caps a type's alert retry queue at MaxAlertRetry
+// pushes. Overflow does not drop alerts: the oldest push's instances
+// fold into its successor (each alert carries its own FiredBy
+// instance identity, so re-batching under the younger push's
+// sequence stays exactly-once downstream), and the fold is journaled
+// as a re-seal of the merged push plus a commit of the folded one.
+// Only past maxAlertsPerPush are the oldest instances finally shed.
+// The caller holds the shard lock.
+func (n *Node) boundAlertsLocked(sh *pendingShard, typ string) {
+	max := n.cfg.MaxAlertRetry
+	q := sh.alerts[typ]
+	for max > 0 && len(q) > max {
+		merged := make([]protocol.Alert, 0, len(q[0].push.Alerts)+len(q[1].push.Alerts))
+		merged = append(merged, q[0].push.Alerts...)
+		merged = append(merged, q[1].push.Alerts...)
+		if over := len(merged) - maxAlertsPerPush; over > 0 {
+			n.alertsShed.Add(int64(over))
+			merged = merged[over:]
+		}
+		folded := q[0]
+		q[1].push.Alerts = merged
+		if n.journal != nil {
+			// Re-seal the merged push under its unchanged (origin, seq)
+			// — replay replaces the earlier seal — then commit the
+			// folded push so recovery cannot resurrect its original.
+			if payload, err := protocol.EncodeAlertPush(&q[1].push); err == nil {
+				_ = n.journal.appendAlertSeal(payload)
+			}
+			_ = n.journal.appendAlertCommit(typ, folded.push.Origin, folded.seq)
+		}
+		n.alertFolds.Inc()
+		q[0] = sealedAlert{}
+		q = q[1:]
+	}
+	sh.alerts[typ] = q
+}
+
+// requeueAlerts parks unsent pushes back on their type's alert retry
+// queue, sequences frozen.
+func (n *Node) requeueAlerts(typ string, pushes []sealedAlert) {
+	if len(pushes) == 0 {
+		return
+	}
+	sh := n.shardFor(typ)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.alerts[typ] = append(sh.alerts[typ], pushes...)
+	n.boundAlertsLocked(sh, typ)
+}
+
+// deliverAlert sends one sealed push to the parent. Like degrade
+// summaries, alerts never ride sibling relays.
+func (n *Node) deliverAlert(ctx context.Context, sa sealedAlert) error {
+	now := n.cfg.Clock.Now()
+	if !n.up.parentDue(now) {
+		return errDeferred
+	}
+	payload, err := protocol.EncodeAlertPush(&sa.push)
+	if err != nil {
+		return err
+	}
+	msg := transport.Message{
+		From:    n.cfg.Spec.ID,
+		To:      n.cfg.Spec.Parent,
+		Kind:    transport.KindAlertPush,
+		Class:   sa.push.Category,
+		Payload: payload,
+	}
+	start := time.Now()
+	if _, err := n.cfg.Transport.Send(ctx, msg); err == nil {
+		n.up.onParentSuccess()
+		if n.ctl != nil {
+			n.ctl.observeRTT(time.Since(start))
+		}
+		n.alertPushesOut.Inc()
+		n.flushedBytes.Add(msg.WireSize())
+		return nil
+	} else if errors.Is(err, transport.ErrBackpressure) || transport.IsOverload(err) {
+		if n.ctl != nil {
+			n.ctl.onBackpressure()
+		}
+		n.deferredFlushes.Inc()
+		return errDeferred
+	} else {
+		n.up.onParentFailure(now)
+		return err
+	}
+}
+
+// handleAlertPush is a fog tier's receiving half: a child's push is
+// deduped by its (Origin, Seq), journaled as the acceptance gate,
+// then queued VERBATIM — original identity preserved — for this
+// node's own upward flush. Store-and-forward, not re-ingest: the
+// cloud must see the firing node's instance identities unchanged.
+func (n *Node) handleAlertPush(payload []byte) ([]byte, error) {
+	push, err := protocol.DecodeAlertPush(payload)
+	if err != nil {
+		return nil, err
+	}
+	if n.replay.Seen(push.Origin, push.Seq) {
+		n.dupBatches.Inc()
+		return []byte("ok"), nil
+	}
+	sh := n.shardFor(push.TypeName)
+	sh.mu.Lock()
+	if n.journal != nil {
+		if err := n.journal.appendAlertSeal(payload); err != nil {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("fognode %s: alert push: %w", n.cfg.Spec.ID, err)
+		}
+	}
+	sh.alerts[push.TypeName] = append(sh.alerts[push.TypeName], sealedAlert{push: *push, seq: push.Seq})
+	n.boundAlertsLocked(sh, push.TypeName)
+	sh.mu.Unlock()
+	n.alertsIn.Add(int64(len(push.Alerts)))
+	// Mark only after the state landed: marking earlier would
+	// blackhole the child's retry of a failed absorb.
+	n.replay.Mark(push.Origin, push.Seq)
+	return []byte("ok"), nil
+}
+
+// AlertsFired reports how many alert instances this node's
+// subscriptions fired.
+func (n *Node) AlertsFired() int64 { return n.alertsFired.Value() }
+
+// AlertPushesOut reports how many alert pushes this node delivered
+// upward.
+func (n *Node) AlertPushesOut() int64 { return n.alertPushesOut.Value() }
+
+// AlertsInbound reports how many alert instances arrived from below.
+func (n *Node) AlertsInbound() int64 { return n.alertsIn.Value() }

@@ -192,7 +192,7 @@ func TestDegradeBufWindowCap(t *testing.T) {
 
 	pre := &degradeBuf{category: model.CategoryEnergy, windows: make(map[int64]aggregate.Summary)}
 	pre.fold(r(time.Unix(-90, 0)), time.Minute, 0)
-	if _, ok := pre.windows[-120 * int64(time.Second)]; !ok {
+	if _, ok := pre.windows[-120*int64(time.Second)]; !ok {
 		t.Fatalf("pre-epoch window keys = %v, want floor at -120s", pre.windows)
 	}
 }

@@ -50,10 +50,14 @@ type upstream struct {
 }
 
 func newUpstream(cfg *Config) *upstream {
-	seed := cfg.FailoverSeed
-	if seed == 0 {
-		seed = int64(shard.FNV32a(cfg.Spec.ID))
-	}
+	// The node's identity is always mixed into the jitter seed: a
+	// shared FailoverSeed (every node of a deployment gets the same
+	// config) must still give every sibling a distinct jitter stream,
+	// or they back off and re-probe a recovering parent in lockstep —
+	// the stampede the jitter exists to prevent. FailoverSeed keeps a
+	// whole run reproducible; the identity hash de-synchronizes the
+	// nodes within it.
+	seed := cfg.FailoverSeed ^ int64(shard.FNV32a(cfg.Spec.ID))
 	return &upstream{
 		base:     cfg.RetryBase,
 		max:      cfg.RetryMax,

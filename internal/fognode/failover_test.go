@@ -394,3 +394,52 @@ func TestDroppedDuringOutageCounted(t *testing.T) {
 		t.Errorf("PendingReadings = %d, want the bound (3)", got)
 	}
 }
+
+// TestFailoverJitterDistinctPerNode: two nodes with IDENTICAL configs
+// (same nonzero FailoverSeed — the deployment-wide default every node
+// of a city shares) must draw distinct backoff jitter sequences, or
+// siblings back off and re-probe a recovering parent in lockstep and
+// storm it after an outage. The node's identity is mixed into the
+// seed; the shared seed still keeps each node's own sequence
+// deterministic for reproduction.
+func TestFailoverJitterDistinctPerNode(t *testing.T) {
+	mk := func(id string) *upstream {
+		spec := fog1Spec()
+		spec.ID = id
+		return newUpstream(&Config{
+			Spec:          spec,
+			RetryBase:     time.Minute,
+			RetryMax:      32 * time.Minute,
+			FailoverAfter: 4,
+			FailoverSeed:  12345, // identical on purpose
+		})
+	}
+	draw := func(u *upstream) time.Duration {
+		u.mu.Lock()
+		defer u.mu.Unlock()
+		u.fails = 3 // deep enough that the jitter range spans minutes
+		return u.backoffLocked()
+	}
+
+	a, b := mk("fog1/d01-s01"), mk("fog1/d01-s02")
+	const draws = 64
+	distinct := false
+	for i := 0; i < draws; i++ {
+		if draw(a) != draw(b) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatalf("siblings with identical configs drew %d identical jitter values: lockstep backoff", draws)
+	}
+
+	// Reproducibility is preserved: the same identity and the same
+	// FailoverSeed replay the same sequence.
+	c, d := mk("fog1/d01-s01"), mk("fog1/d01-s01")
+	for i := 0; i < draws; i++ {
+		if dc, dd := draw(c), draw(d); dc != dd {
+			t.Fatalf("draw %d: same node identity and seed diverged (%v vs %v)", i, dc, dd)
+		}
+	}
+}

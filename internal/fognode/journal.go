@@ -1,9 +1,11 @@
 package fognode
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
+	"f2c/internal/cq"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
 	"f2c/internal/sensor"
@@ -49,12 +51,31 @@ import (
 // Recovery ordering is snapshot first, then the log tail, then the
 // retry queues and pending buffers are installed into the shards.
 //
-// recBatch is the acceptance gate: if it cannot be appended the
-// ingest fails and the sender retries. The other records are
-// best-effort — losing one degrades toward re-delivery (which the
-// receiver-side replay filter absorbs) rather than loss.
+// plus the continuous-query alert plane (see alerts.go):
+//
+//	recSubscribe    a standing subscription registered (JSON
+//	                definition) — the Subscribe acceptance gate
+//	recUnsubscribe  a subscription cancelled (or handed off by a
+//	                completed shard migration)
+//	recAlertSeal    one alert push frozen on a shard's alert queue,
+//	                raw wire payload; keyed by the push's
+//	                (origin, seq) on replay, so a retry-fold's
+//	                re-seal of the merged push replaces the earlier
+//	                seal at its original queue position
+//	recAlertCommit  a push delivered and acknowledged upward (or
+//	                handed off by a completed shard migration)
+//
+// Record appends happen under the same locks as the state changes
+// they describe. recBatch, recMigrateIn, recSubscribe and the
+// inbound-absorb recAlertSeal are acceptance gates: if the record
+// cannot be appended the operation fails and the sender retries. The
+// other records are best-effort — losing one degrades toward
+// re-delivery (which the receiver-side replay filter or the cloud's
+// per-instance alert dedup absorbs) rather than loss.
 const (
-	journalVersion = 1
+	// journalVersion is the snapshot layout version written by
+	// checkpoints; version-1 snapshots (pre-alert-plane) still decode.
+	journalVersion = 2
 
 	recBatch  = 1
 	recSeal   = 2
@@ -64,6 +85,11 @@ const (
 	recMigrateStart  = 5
 	recMigrateCommit = 6
 	recMigrateIn     = 7
+
+	recSubscribe   = 8
+	recUnsubscribe = 9
+	recAlertSeal   = 10
+	recAlertCommit = 11
 )
 
 // journal wraps the node's wal.Store with the record codec. Its mutex
@@ -198,6 +224,67 @@ func (j *journal) appendMigrateIn(payload []byte) error {
 	return j.store.Append(j.buf)
 }
 
+// appendSubscribe journals a standing subscription's registration —
+// the Subscribe acceptance gate: a failure rejects the registration.
+func (j *journal) appendSubscribe(sub cq.Subscription) error {
+	doc, err := json.Marshal(sub)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("fognode: journal closed")
+	}
+	j.buf = append(j.buf[:0], recSubscribe)
+	j.buf = wal.AppendBytes(j.buf, doc)
+	return j.store.Append(j.buf)
+}
+
+func (j *journal) appendUnsubscribe(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.buf = append(j.buf[:0], recUnsubscribe)
+	j.buf = wal.AppendString(j.buf, id)
+	return j.store.Append(j.buf)
+}
+
+// appendAlertSeal journals one alert push (raw wire payload) frozen
+// on a shard's alert queue. For a push absorbed from a child it is
+// the acceptance gate (a failure rejects the push and the child
+// retries); for this node's own fires the caller treats it as
+// best-effort — a lost record degrades toward the window refiring
+// after a crash, a duplicate instance the cloud's dedup absorbs.
+func (j *journal) appendAlertSeal(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("fognode: journal closed")
+	}
+	j.buf = append(j.buf[:0], recAlertSeal)
+	j.buf = wal.AppendBytes(j.buf, payload)
+	return j.store.Append(j.buf)
+}
+
+// appendAlertCommit journals a push delivered and acknowledged
+// upward (or folded into a successor, or handed off by a completed
+// migration): recovery must not resurrect it.
+func (j *journal) appendAlertCommit(typ, origin string, seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.buf = append(j.buf[:0], recAlertCommit)
+	j.buf = wal.AppendUint64(j.buf, seq)
+	j.buf = wal.AppendString(j.buf, origin)
+	j.buf = wal.AppendString(j.buf, typ)
+	return j.store.Append(j.buf)
+}
+
 // checkpointDue reports whether the log has grown past the automatic
 // snapshot threshold.
 func (j *journal) checkpointDue() bool {
@@ -214,13 +301,16 @@ func (j *journal) checkpointDue() bool {
 // and rotates the log. The caller holds every pending-shard mutex and
 // the flush-exclusion lock, so the encoded state is consistent and no
 // record can race the rotation.
-func (j *journal) checkpoint(seqCounter uint64, filter *protocol.ReplayFilter, shards []pendingShard) error {
+func (j *journal) checkpoint(seqCounter uint64, filter *protocol.ReplayFilter, shards []pendingShard, subs []cq.SubSnapshot) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return nil
 	}
-	data := encodeNodeSnapshot(nil, seqCounter, filter.Dump(), shards)
+	data, err := encodeNodeSnapshot(nil, seqCounter, filter.Dump(), shards, subs)
+	if err != nil {
+		return err
+	}
 	return j.store.WriteSnapshot(data)
 }
 
@@ -234,23 +324,26 @@ func (j *journal) close() error {
 	return j.store.Close()
 }
 
-// Snapshot layout (version 1):
+// Snapshot layout (version 2; version 1 ends after the entries):
 //
 //	[version u8]
 //	[seq counter u64]
 //	[origins uvarint] { [origin string] [n uvarint] { [seq u64] }* }*
 //	[entries uvarint] { [kind u8: 0 pending, 1 sealed] [seq u64]
 //	                    [batch bytes (sensor wire, uvarint-framed)] }*
+//	[subs uvarint]    { [cq.SubSnapshot JSON, uvarint-framed] }*
+//	[alerts uvarint]  { [alert push wire payload, uvarint-framed] }*
 //
 // Entries are grouped per type — sealed batches in retry-queue order,
 // then the pending buffer — and route by the embedded batch's type on
-// decode.
+// decode; queued alert pushes likewise route by their embedded type,
+// per-type queue order preserved.
 const (
 	snapEntryPending = 0
 	snapEntrySealed  = 1
 )
 
-func encodeNodeSnapshot(dst []byte, seqCounter uint64, marks map[string][]uint64, shards []pendingShard) []byte {
+func encodeNodeSnapshot(dst []byte, seqCounter uint64, marks map[string][]uint64, shards []pendingShard, subs []cq.SubSnapshot) ([]byte, error) {
 	dst = append(dst, journalVersion)
 	dst = wal.AppendUint64(dst, seqCounter)
 	dst = wal.AppendMarkSet(dst, marks)
@@ -281,12 +374,42 @@ func encodeNodeSnapshot(dst []byte, seqCounter uint64, marks map[string][]uint64
 			appendEntry(snapEntryPending, 0, b)
 		}
 	}
-	return dst
+	dst = wal.AppendUvarint(dst, uint64(len(subs)))
+	for i := range subs {
+		doc, err := cq.EncodeSubSnapshot(&subs[i])
+		if err != nil {
+			return nil, err
+		}
+		dst = wal.AppendBytes(dst, doc)
+	}
+	nAlerts := 0
+	for i := range shards {
+		for _, q := range shards[i].alerts {
+			nAlerts += len(q)
+		}
+	}
+	dst = wal.AppendUvarint(dst, uint64(nAlerts))
+	for i := range shards {
+		for _, q := range shards[i].alerts {
+			for k := range q {
+				payload, err := protocol.EncodeAlertPush(&q[k].push)
+				if err != nil {
+					return nil, err
+				}
+				dst = wal.AppendBytes(dst, payload)
+			}
+		}
+	}
+	return dst, nil
 }
 
 // recoveryState accumulates the replayed delivery state before it is
 // installed into a node.
 type recoveryState struct {
+	// self is the recovering node's ID: it decides which alert
+	// sequences advance the counter (own pushes) and which fired
+	// alerts re-mark the engine's emitted sets (own fires).
+	self       string
 	seqCounter uint64
 	sawSeq     bool
 	marks      []markEntry
@@ -295,9 +418,46 @@ type recoveryState struct {
 	// store: recovery restores real-time reads over the checkpoint
 	// window, not just the undelivered buffers.
 	stored []*model.Batch
+	// Continuous-query state. snapSubs are the checkpoint's engine
+	// snapshots; subEvents the tail's subscribe/unsubscribe/handoff
+	// ops in log order. observed holds only the tail's accepted
+	// batches: the engine snapshot already folded everything up to
+	// the checkpoint (batches still pending included), so re-observing
+	// snapshot entries would double-count their readings. alertMarks
+	// carries the (sub, window-start) of every alert this node's own
+	// subscriptions fired, from all seal records — applied before the
+	// re-observation so a sealed window cannot refire.
+	snapSubs   []cq.SubSnapshot
+	subEvents  []subOp
+	observed   []*model.Batch
+	alertMarks []alertMark
+	// Queued alert pushes, keyed (origin, seq) in first-seen order: a
+	// fold's re-seal of the merged push replaces the earlier seal at
+	// its original position, and a commit removes the key.
+	alertOrder []alertKey
+	alertByKey map[alertKey]*protocol.AlertPush
 }
 
 type markEntry struct {
+	origin string
+	seq    uint64
+}
+
+type subOp struct {
+	remove bool
+	id     string
+	sub    cq.Subscription
+	// snap is set for a migration-absorbed subscription (definition
+	// plus live window state, installed via Engine.Install).
+	snap *cq.SubSnapshot
+}
+
+type alertMark struct {
+	subID string
+	start int64
+}
+
+type alertKey struct {
 	origin string
 	seq    uint64
 }
@@ -308,7 +468,29 @@ type typeRecovery struct {
 }
 
 func newRecoveryState() *recoveryState {
-	return &recoveryState{types: make(map[string]*typeRecovery)}
+	return &recoveryState{
+		types:      make(map[string]*typeRecovery),
+		alertByKey: make(map[alertKey]*protocol.AlertPush),
+	}
+}
+
+// addAlertPush folds one sealed alert push into the recovery state:
+// counter watermark for own sequences, emitted marks for own fires,
+// and the keyed queue entry (replace on re-seal, append otherwise).
+func (rs *recoveryState) addAlertPush(p *protocol.AlertPush) {
+	if p.Origin == rs.self {
+		rs.noteSeq(p.Seq)
+	}
+	for i := range p.Alerts {
+		if p.Alerts[i].FiredBy == rs.self {
+			rs.alertMarks = append(rs.alertMarks, alertMark{subID: p.Alerts[i].SubID, start: p.Alerts[i].StartUnix})
+		}
+	}
+	k := alertKey{origin: p.Origin, seq: p.Seq}
+	if _, ok := rs.alertByKey[k]; !ok {
+		rs.alertOrder = append(rs.alertOrder, k)
+	}
+	rs.alertByKey[k] = p
 }
 
 func (rs *recoveryState) typeState(typ string) *typeRecovery {
@@ -331,8 +513,9 @@ func decodeNodeSnapshot(data []byte, rs *recoveryState) error {
 	if len(data) == 0 {
 		return nil
 	}
-	if data[0] != journalVersion {
-		return fmt.Errorf("fognode: unsupported snapshot version %d", data[0])
+	version := data[0]
+	if version == 0 || version > journalVersion {
+		return fmt.Errorf("fognode: unsupported snapshot version %d", version)
 	}
 	rest := data[1:]
 	seqCounter, rest, err := wal.ReadUint64(rest)
@@ -392,6 +575,42 @@ func decodeNodeSnapshot(data []byte, rs *recoveryState) error {
 		}
 		rs.stored = append(rs.stored, b)
 	}
+	if version >= 2 {
+		nSubs, r, err := wal.ReadUvarint(rest)
+		if err != nil {
+			return err
+		}
+		rest = r
+		for i := uint64(0); i < nSubs; i++ {
+			var doc []byte
+			doc, rest, err = wal.ReadBytes(rest)
+			if err != nil {
+				return err
+			}
+			snap, err := cq.DecodeSubSnapshot(doc)
+			if err != nil {
+				return fmt.Errorf("fognode: snapshot subscription: %w", err)
+			}
+			rs.snapSubs = append(rs.snapSubs, *snap)
+		}
+		nAlerts, r2, err := wal.ReadUvarint(rest)
+		if err != nil {
+			return err
+		}
+		rest = r2
+		for i := uint64(0); i < nAlerts; i++ {
+			var payload []byte
+			payload, rest, err = wal.ReadBytes(rest)
+			if err != nil {
+				return err
+			}
+			p, err := protocol.DecodeAlertPush(payload)
+			if err != nil {
+				return fmt.Errorf("fognode: snapshot alert push: %w", err)
+			}
+			rs.addAlertPush(p)
+		}
+	}
 	return nil
 }
 
@@ -431,6 +650,10 @@ func (rs *recoveryState) applyRecord(rec []byte) error {
 			tr.pending.Readings = append(tr.pending.Readings, b.Readings...)
 		}
 		rs.stored = append(rs.stored, b)
+		// Tail batches were accepted after the checkpoint's engine
+		// snapshot, so the cq engine must re-observe them (snapshot
+		// entries must not be — their readings are already folded).
+		rs.observed = append(rs.observed, b)
 	case recSeal:
 		seq, rest, err := wal.ReadUint64(body)
 		if err != nil {
@@ -571,9 +794,64 @@ func (rs *recoveryState) applyRecord(rec []byte) error {
 			}
 		}
 		rs.marks = append(rs.marks, markEntry{origin: t.From, seq: t.TransferSeq})
+		for i := range t.Subs {
+			snap, err := cq.DecodeSubSnapshot(t.Subs[i])
+			if err != nil {
+				return fmt.Errorf("fognode: journal migrate subscription %d: %w", i, err)
+			}
+			rs.subEvents = append(rs.subEvents, subOp{snap: snap})
+		}
+		for i := range t.Alerts {
+			p, err := protocol.DecodeAlertPush(t.Alerts[i].Payload)
+			if err != nil {
+				return fmt.Errorf("fognode: journal migrate alert %d: %w", i, err)
+			}
+			rs.addAlertPush(p)
+		}
 		// Degrade summaries are in-memory-only (the degrade tier's
 		// crash contract): a crash between absorb and push loses the
 		// degraded resolution, never journaled raw data.
+	case recSubscribe:
+		doc, _, err := wal.ReadBytes(body)
+		if err != nil {
+			return err
+		}
+		var sub cq.Subscription
+		if err := json.Unmarshal(doc, &sub); err != nil {
+			return fmt.Errorf("fognode: journal subscription: %w", err)
+		}
+		rs.subEvents = append(rs.subEvents, subOp{sub: sub})
+	case recUnsubscribe:
+		id, _, err := wal.ReadString(body)
+		if err != nil {
+			return err
+		}
+		rs.subEvents = append(rs.subEvents, subOp{remove: true, id: id})
+	case recAlertSeal:
+		payload, _, err := wal.ReadBytes(body)
+		if err != nil {
+			return err
+		}
+		p, err := protocol.DecodeAlertPush(payload)
+		if err != nil {
+			return fmt.Errorf("fognode: journal alert seal: %w", err)
+		}
+		rs.addAlertPush(p)
+	case recAlertCommit:
+		seq, rest, err := wal.ReadUint64(body)
+		if err != nil {
+			return err
+		}
+		origin, _, err := wal.ReadString(rest)
+		if err != nil {
+			return err
+		}
+		if origin == rs.self {
+			// Same contract as recCommit: the sequence was used even if
+			// its seal record was lost, so keep the counter past it.
+			rs.noteSeq(seq)
+		}
+		delete(rs.alertByKey, alertKey{origin: origin, seq: seq})
 	default:
 		return fmt.Errorf("fognode: unknown journal record type %d", rec[0])
 	}
@@ -608,6 +886,7 @@ func (tr *typeRecovery) shed(drop int) {
 // recovered state was already accounted by its first life.
 func (n *Node) recover(j *journal) error {
 	rs := newRecoveryState()
+	rs.self = n.cfg.Spec.ID
 	if err := decodeNodeSnapshot(j.store.Snapshot(), rs); err != nil {
 		return err
 	}
@@ -615,6 +894,49 @@ func (n *Node) recover(j *journal) error {
 		if err := rs.applyRecord(rec); err != nil {
 			return err
 		}
+	}
+	// Continuous-query plane: checkpointed engine state first, then
+	// the tail's subscription ops, then the emitted marks of every
+	// window this node is known to have fired — only then are the
+	// tail's accepted batches re-observed, so a sealed window cannot
+	// refire while an unsealed one (its fire lost with the crash)
+	// legitimately does. Refired alerts are sealed by New once the
+	// journal is attached.
+	for i := range rs.snapSubs {
+		if err := n.cqe.Install(rs.snapSubs[i]); err != nil {
+			return err
+		}
+	}
+	for _, op := range rs.subEvents {
+		switch {
+		case op.remove:
+			n.cqe.Unsubscribe(op.id)
+		case op.snap != nil:
+			if err := n.cqe.Install(*op.snap); err != nil {
+				return err
+			}
+		default:
+			if err := n.cqe.Subscribe(op.sub); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range rs.alertMarks {
+		n.cqe.MarkEmitted(m.subID, m.start)
+	}
+	for _, b := range rs.observed {
+		if len(b.Readings) == 0 {
+			continue
+		}
+		n.recoveredAlerts = append(n.recoveredAlerts, n.cqe.Observe(b)...)
+	}
+	for _, k := range rs.alertOrder {
+		p, ok := rs.alertByKey[k]
+		if !ok {
+			continue // committed
+		}
+		sh := n.shardFor(p.TypeName)
+		sh.alerts[p.TypeName] = append(sh.alerts[p.TypeName], sealedAlert{push: *p, seq: p.Seq})
 	}
 	for typ, tr := range rs.types {
 		if len(tr.groups) == 0 && tr.pending == nil {

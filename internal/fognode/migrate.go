@@ -6,8 +6,10 @@ package fognode
 // When the elastic topology reassigns a sensor type from this node to
 // a sibling (a node joined or is leaving the district), the old owner
 // hands the type's buffered delivery state — pending buffer, frozen-
-// sequence retry queue, degrade-summary buffers, replay-filter marks —
-// to the new owner over transport.KindMigrate, then forwards any
+// sequence retry queue, degrade-summary buffers, queued alert pushes,
+// standing continuous-query subscriptions with their live window
+// state, replay-filter marks — to the new owner over
+// transport.KindMigrate, then forwards any
 // still-arriving edge ingest of the type until the routing tier
 // catches up. The handoff is exactly-once without a two-phase commit
 // because everything moves as SEALED state verbatim:
@@ -46,6 +48,7 @@ import (
 	"fmt"
 	"sort"
 
+	"f2c/internal/cq"
 	"f2c/internal/model"
 	"f2c/internal/protocol"
 	"f2c/internal/transport"
@@ -160,9 +163,15 @@ func (n *Node) MigrateOut(ctx context.Context, typ, target string) error {
 		}
 		delete(sh.degraded, typ)
 	}
+	alerts := sh.alerts[typ]
+	delete(sh.alerts, typ)
 	sh.mu.Unlock()
+	// Standing subscriptions leave with the type, live window state
+	// included, so a half-built window keeps accumulating on the new
+	// owner instead of silently losing its partial aggregate.
+	subs := n.cqe.Extract(typ)
 
-	if err := n.sendTransfers(ctx, typ, target, entries, sums); err != nil {
+	if err := n.sendTransfers(ctx, typ, target, entries, sums, alerts, subs); err != nil {
 		return fmt.Errorf("fognode %s: migrate %s to %s: %w", me, typ, target, err)
 	}
 	return nil
@@ -173,10 +182,19 @@ func (n *Node) MigrateOut(ctx context.Context, typ, target string) error {
 // sent — an empty handoff still carries the replay-mark snapshot and
 // acts as the ownership handshake that clears the target's stale
 // route. On failure the unsent tail (the failed chunk included) is
-// reinstalled on the retry queues.
-func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []sealedBatch, sums []sealedSummary) error {
+// reinstalled on the retry queues; the continuous-query state (queued
+// alert pushes and subscription snapshots, which ride only the first
+// chunk) is reinstalled unless that chunk was already acknowledged.
+func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []sealedBatch, sums []sealedSummary, alerts []sealedAlert, subs []cq.SubSnapshot) error {
 	me := n.cfg.Spec.ID
 	now := n.cfg.Clock.Now()
+
+	reinstallCQ := func() {
+		for i := range subs {
+			_ = n.cqe.Install(subs[i])
+		}
+		n.requeueAlerts(typ, alerts)
+	}
 
 	// Seal every entry up front; the encoded sizes drive the chunking.
 	sc := n.getScratch()
@@ -190,6 +208,7 @@ func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []
 			n.putScratch(sc)
 			n.requeue(entries)
 			n.requeueSummaries(typ, sums)
+			reinstallCQ()
 			return fmt.Errorf("seal entry: %w", err)
 		}
 		payloads[i] = payload
@@ -202,17 +221,48 @@ func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []
 		if err != nil {
 			n.requeue(entries)
 			n.requeueSummaries(typ, sums)
+			reinstallCQ()
 			return fmt.Errorf("encode summary: %w", err)
 		}
 		docs[i] = doc
 	}
 
+	subDocs := make([][]byte, len(subs))
+	alertWires := make([]protocol.MigrateAlert, len(alerts))
+	cqCost := 0
+	{
+		var err error
+		for i := range subs {
+			if subDocs[i], err = cq.EncodeSubSnapshot(&subs[i]); err != nil {
+				break
+			}
+			cqCost += len(subDocs[i]) + 10
+		}
+		for i := range alerts {
+			if err != nil {
+				break
+			}
+			var wire []byte
+			if wire, err = protocol.EncodeAlertPush(&alerts[i].push); err != nil {
+				break
+			}
+			alertWires[i] = protocol.MigrateAlert{Seq: alerts[i].seq, Payload: wire}
+			cqCost += len(wire) + 19
+		}
+		if err != nil {
+			n.requeue(entries)
+			n.requeueSummaries(typ, sums)
+			reinstallCQ()
+			return fmt.Errorf("encode cq state: %w", err)
+		}
+	}
+
 	// Greedy chunk assignment by encoded size. Chunk boundaries are
 	// (entryEnd, sumEnd) watermarks: a chunk covers entries[prevE:e]
 	// and sums[prevS:s], entries first. The first chunk additionally
-	// carries the replay-mark snapshot.
+	// carries the replay-mark snapshot and the continuous-query state.
 	marks := n.replay.Dump()
-	marksCost := 16
+	marksCost := 16 + cqCost
 	for origin, seqs := range marks {
 		marksCost += len(origin) + 10 + 9*len(seqs)
 	}
@@ -258,6 +308,7 @@ func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []
 	}
 
 	var movedSeqs []uint64
+	movedCQ := false
 	prev := watermark{0, 0}
 	for ci, wm := range chunks {
 		t := &protocol.MigrateTransfer{
@@ -268,6 +319,8 @@ func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []
 		}
 		if ci == 0 {
 			t.Marks = marks
+			t.Subs = subDocs
+			t.Alerts = alertWires
 		}
 		readings := int64(0)
 		for i := prev.e; i < wm.e; i++ {
@@ -294,6 +347,21 @@ func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []
 				for i := prev.e; i < wm.e; i++ {
 					movedSeqs = append(movedSeqs, entries[i].seq)
 				}
+				if ci == 0 {
+					// The continuous-query state rode this chunk and now
+					// belongs to the target: journal the handoff so a
+					// recovered source neither re-evaluates the moved
+					// subscriptions nor resurrects the moved pushes.
+					movedCQ = true
+					if n.journal != nil {
+						for i := range subs {
+							_ = n.journal.appendUnsubscribe(subs[i].Sub.ID)
+						}
+						for i := range alerts {
+							_ = n.journal.appendAlertCommit(typ, alerts[i].push.Origin, alerts[i].seq)
+						}
+					}
+				}
 				prev = wm
 				continue
 			}
@@ -304,6 +372,9 @@ func (n *Node) sendTransfers(ctx context.Context, typ, target string, entries []
 		// acknowledgement is deduped downstream by its frozen origins.
 		n.requeue(entries[prev.e:])
 		n.requeueSummaries(typ, sums[prev.s:])
+		if !movedCQ {
+			reinstallCQ()
+		}
 		if n.journal != nil && len(movedSeqs) > 0 {
 			_ = n.journal.appendMigrateCommit(typ, movedSeqs)
 		}
@@ -355,6 +426,24 @@ func (n *Node) handleMigrate(msg transport.Message) ([]byte, error) {
 		ents = append(ents, sealedBatch{b: b, seq: seq})
 		readings += int64(len(b.Readings))
 	}
+	// Decode the continuous-query sections up front too: a malformed
+	// chunk is rejected whole, before any state or journal change.
+	subs := make([]*cq.SubSnapshot, 0, len(t.Subs))
+	for i := range t.Subs {
+		snap, err := cq.DecodeSubSnapshot(t.Subs[i])
+		if err != nil {
+			return nil, fmt.Errorf("fognode %s: migrate subscription %d: %w", me, i, err)
+		}
+		subs = append(subs, snap)
+	}
+	pushes := make([]sealedAlert, 0, len(t.Alerts))
+	for i := range t.Alerts {
+		p, err := protocol.DecodeAlertPush(t.Alerts[i].Payload)
+		if err != nil {
+			return nil, fmt.Errorf("fognode %s: migrate alert %d: %w", me, i, err)
+		}
+		pushes = append(pushes, sealedAlert{push: *p, seq: t.Alerts[i].Seq})
+	}
 
 	sh := n.shardFor(t.TypeName)
 	sh.mu.Lock()
@@ -371,8 +460,22 @@ func (n *Node) handleMigrate(msg transport.Message) ([]byte, error) {
 	for _, s := range t.Summaries {
 		sh.sumRetry[t.TypeName] = append(sh.sumRetry[t.TypeName], sealedSummary{push: s.Push, seq: s.Seq})
 	}
+	// Absorbed alert pushes queue VERBATIM, original identities
+	// preserved, exactly like the batches above; recMigrateIn's raw
+	// payload covers them on replay.
+	if len(pushes) > 0 {
+		sh.alerts[t.TypeName] = append(sh.alerts[t.TypeName], pushes...)
+		n.boundAlertsLocked(sh, t.TypeName)
+	}
 	n.boundTypeLocked(sh, t.TypeName)
 	sh.mu.Unlock()
+
+	// Moved subscriptions install with their live window state; Install
+	// merges if this node already watches the type with the same
+	// definition (its own partial windows survive the merge).
+	for _, snap := range subs {
+		_ = n.cqe.Install(*snap)
+	}
 
 	for origin, seqs := range t.Marks {
 		for _, seq := range seqs {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"f2c/internal/aggregate"
+	"f2c/internal/cq"
 	"f2c/internal/describe"
 	"f2c/internal/metrics"
 	"f2c/internal/model"
@@ -112,6 +113,20 @@ type Config struct {
 	// (default 64); beyond it the oldest push is dropped and its
 	// readings finally counted as shed.
 	MaxSummaryRetry int
+	// MaxAlertRetry bounds a type's unsent continuous-query alert
+	// retry queue (default 64); beyond it the oldest push's alert
+	// instances fold into its successor — alerts are re-batched, not
+	// dropped, until maxAlertsPerPush is also exceeded.
+	MaxAlertRetry int
+	// AlertObserver, when set, sees every alert push this node's own
+	// subscriptions fire, at seal time — the hook the exactly-once
+	// chaos ledger (and local alerting sinks) attach to. Called
+	// synchronously outside the shard locks; implementations must be
+	// fast, safe for concurrent use, and must not retain the push.
+	// Replayed journal records do not re-invoke it; a window refired
+	// after a crash that beat its seal record does (same instance
+	// identity, so set-semantics consumers are unaffected).
+	AlertObserver func(push protocol.AlertPush)
 	// Scheduler, when set, gates this node's handler path with a
 	// per-class weighted-fair admission scheduler (ingest / query /
 	// relay), so latency-sensitive traffic never starves behind bulk
@@ -241,6 +256,9 @@ func (c *Config) applyDefaults() error {
 	if c.MaxSummaryRetry <= 0 {
 		c.MaxSummaryRetry = 64
 	}
+	if c.MaxAlertRetry <= 0 {
+		c.MaxAlertRetry = 64
+	}
 	return nil
 }
 
@@ -286,6 +304,13 @@ type Node struct {
 	routeMu sync.RWMutex
 	routes  map[string]string
 
+	// cqe evaluates standing continuous-query subscriptions in the
+	// ingest path (see alerts.go); recoveredAlerts carries alerts a
+	// journal recovery refired, sealed by New once the journal is
+	// attached so their seal records land properly.
+	cqe             *cq.Engine
+	recoveredAlerts []cq.Alert
+
 	ingestedBatches  *metrics.Counter
 	ingestedReads    *metrics.Counter
 	flushedBatches   *metrics.Counter
@@ -305,6 +330,11 @@ type Node struct {
 	migOutBytes      *metrics.Counter
 	migInTransfers   *metrics.Counter
 	migInReads       *metrics.Counter
+	alertsFired      *metrics.Counter
+	alertPushesOut   *metrics.Counter
+	alertsIn         *metrics.Counter
+	alertFolds       *metrics.Counter
+	alertsShed       *metrics.Counter
 
 	// scratch recycles per-flush-worker buffers (wire encoding,
 	// sealed payload, collected batch slice) so steady-state flushes
@@ -358,6 +388,7 @@ func New(cfg Config) (*Node, error) {
 		up:        newUpstream(&cfg),
 		replay:    protocol.NewReplayFilter(cfg.ReplayWindow),
 		routes:    make(map[string]string),
+		cqe:       cq.NewEngine(),
 		lc:        newLifecycle(),
 	}
 	if cfg.Storage != nil {
@@ -408,6 +439,11 @@ func New(cfg Config) (*Node, error) {
 	n.migOutBytes = reg.Counter(prefix + "migrate.out_bytes")
 	n.migInTransfers = reg.Counter(prefix + "migrate.in_transfers")
 	n.migInReads = reg.Counter(prefix + "migrate.in_readings")
+	n.alertsFired = reg.Counter(prefix + "cq.alerts_fired")
+	n.alertPushesOut = reg.Counter(prefix + "cq.pushes_out")
+	n.alertsIn = reg.Counter(prefix + "cq.alerts_in")
+	n.alertFolds = reg.Counter(prefix + "cq.retry_folds")
+	n.alertsShed = reg.Counter(prefix + "cq.alerts_shed")
 	if cfg.Scheduler != nil {
 		n.sched = sched.New(*cfg.Scheduler, cfg.Clock, reg, prefix+"sched.")
 	}
@@ -442,6 +478,13 @@ func New(cfg Config) (*Node, error) {
 			return nil, fmt.Errorf("fognode %s: %w", cfg.Spec.ID, err)
 		}
 		n.journal = j
+		if len(n.recoveredAlerts) > 0 {
+			// Windows recovery legitimately refired (their seal records
+			// were lost with the crash) are sealed now, with the journal
+			// attached so this life's records cover them.
+			n.sealAlerts(n.recoveredAlerts)
+			n.recoveredAlerts = nil
+		}
 	}
 	return n, nil
 }
@@ -506,6 +549,7 @@ func (n *Node) ingest(b *model.Batch, origin string, seq uint64) error {
 			if n.cfg.Observer != nil {
 				n.cfg.Observer.ObserveBatch(b)
 			}
+			n.observeAlerts(b)
 			return nil
 		}
 	}
@@ -523,6 +567,9 @@ func (n *Node) ingest(b *model.Batch, origin string, seq uint64) error {
 	if n.cfg.Observer != nil {
 		n.cfg.Observer.ObserveBatch(b)
 	}
+	// Continuous queries evaluate incrementally here, on the accepted
+	// batch — never by re-scanning the store.
+	n.observeAlerts(b)
 	return nil
 }
 
@@ -668,6 +715,9 @@ func (n *Node) PendingBatches() int {
 		for _, q := range sh.sumRetry {
 			total += len(q)
 		}
+		for _, q := range sh.alerts {
+			total += len(q)
+		}
 		for _, buf := range sh.degraded {
 			if len(buf.windows) > 0 {
 				total++
@@ -785,7 +835,7 @@ func (n *Node) Checkpoint() error {
 			n.shards[i].mu.Unlock()
 		}
 	}()
-	if err := n.journal.checkpoint(n.seq.Load(), n.replay, n.shards); err != nil {
+	if err := n.journal.checkpoint(n.seq.Load(), n.replay, n.shards, n.cqe.Snapshot()); err != nil {
 		return fmt.Errorf("fognode %s: checkpoint: %w", n.cfg.Spec.ID, err)
 	}
 	return nil
@@ -811,6 +861,7 @@ type typeWork struct {
 	typ       string
 	batches   []sealedBatch
 	summaries []sealedSummary
+	alerts    []sealedAlert
 }
 
 // errDeferred marks a delivery skipped because the parent link is
@@ -836,6 +887,10 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 		n.deferredFlushes.Inc()
 		return nil
 	}
+
+	// Close and seal continuous-query windows that ended before this
+	// flush, so their alert pushes ride the same round.
+	n.harvestAlerts(now)
 
 	// seal freezes a pending buffer under its delivery sequence. It
 	// runs under the shard lock so that, on a durable node, the seal
@@ -936,6 +991,22 @@ func (n *Node) flush(ctx context.Context, match func(*model.Batch) bool) error {
 			}
 			works[j].summaries = append(works[j].summaries, ss)
 		}
+		for typ, q := range sh.alerts {
+			if match != nil {
+				cat, _ := model.ParseCategory(q[0].push.Category)
+				if !match(&model.Batch{TypeName: typ, Category: cat}) {
+					continue
+				}
+			}
+			j, ok := idx[typ]
+			if !ok {
+				j = len(works)
+				idx[typ] = j
+				works = append(works, typeWork{typ: typ})
+			}
+			works[j].alerts = append(works[j].alerts, q...)
+			delete(sh.alerts, typ)
+		}
 		sh.mu.Unlock()
 	}
 	if len(works) == 0 {
@@ -1004,6 +1075,7 @@ func (n *Node) requeueWorks(works []typeWork) {
 	for _, w := range works {
 		n.requeue(w.batches)
 		n.requeueSummaries(w.typ, w.summaries)
+		n.requeueAlerts(w.typ, w.alerts)
 	}
 }
 
@@ -1016,6 +1088,7 @@ func (n *Node) sendTypeWork(ctx context.Context, w typeWork, now time.Time, sc *
 		if err := n.sendBatch(ctx, w.batches[i], now, sc); err != nil {
 			n.requeue(w.batches[i:])
 			n.requeueSummaries(w.typ, w.summaries)
+			n.requeueAlerts(w.typ, w.alerts)
 			if errors.Is(err, errDeferred) {
 				return nil
 			}
@@ -1031,11 +1104,26 @@ func (n *Node) sendTypeWork(ctx context.Context, w typeWork, now time.Time, sc *
 	for i := range w.summaries {
 		if err := n.deliverSummary(ctx, w.summaries[i]); err != nil {
 			n.requeueSummaries(w.typ, w.summaries[i:])
+			n.requeueAlerts(w.typ, w.alerts)
 			if errors.Is(err, errDeferred) {
 				return nil
 			}
 			n.flushErrors.Inc()
 			return fmt.Errorf("fognode %s: flush %s summaries: %w", n.cfg.Spec.ID, w.typ, err)
+		}
+	}
+	for i := range w.alerts {
+		if err := n.deliverAlert(ctx, w.alerts[i]); err != nil {
+			n.requeueAlerts(w.typ, w.alerts[i:])
+			if errors.Is(err, errDeferred) {
+				return nil
+			}
+			n.flushErrors.Inc()
+			return fmt.Errorf("fognode %s: flush %s alerts: %w", n.cfg.Spec.ID, w.typ, err)
+		}
+		if n.journal != nil {
+			// Acknowledged upward: recovery must not resend this push.
+			_ = n.journal.appendAlertCommit(w.typ, w.alerts[i].push.Origin, w.alerts[i].seq)
 		}
 	}
 	return nil
@@ -1208,6 +1296,8 @@ func (n *Node) Handle(ctx context.Context, msg transport.Message) ([]byte, error
 		return []byte("ok"), nil
 	case transport.KindSummaryPush:
 		return n.handleSummaryPush(msg.Payload)
+	case transport.KindAlertPush:
+		return n.handleAlertPush(msg.Payload)
 	case transport.KindRelay:
 		return n.handleRelay(ctx, msg)
 	case transport.KindMigrate:
@@ -1318,6 +1408,32 @@ func (n *Node) handleControl(ctx context.Context, payload []byte) ([]byte, error
 			MigratedInTransfers:  n.MigratedInTransfers(),
 			MigratedInReadings:   n.MigratedInReadings(),
 		})
+	case protocol.OpSubscribe:
+		var sub cq.Subscription
+		if err := protocol.DecodeJSON(req.Sub, &sub); err != nil {
+			return nil, fmt.Errorf("fognode %s: subscribe: %w", n.cfg.Spec.ID, err)
+		}
+		if req.Remove {
+			if !n.Unsubscribe(sub.ID) {
+				return []byte("absent"), nil
+			}
+			return []byte("unsubscribed"), nil
+		}
+		if err := n.Subscribe(sub); err != nil {
+			return nil, err
+		}
+		return []byte("subscribed"), nil
+	case protocol.OpSubscriptions:
+		subs := n.Subscriptions()
+		resp := protocol.SubscriptionsResponse{NodeID: n.cfg.Spec.ID}
+		for i := range subs {
+			doc, err := protocol.EncodeJSON(subs[i])
+			if err != nil {
+				return nil, err
+			}
+			resp.Subs = append(resp.Subs, doc)
+		}
+		return protocol.EncodeJSON(resp)
 	default:
 		return nil, fmt.Errorf("fognode %s: unknown control op %q", n.cfg.Spec.ID, req.Op)
 	}

@@ -41,6 +41,10 @@ type pendingShard struct {
 	// sumRetry holds sealed summary pushes whose upward send failed.
 	degraded map[string]*degradeBuf
 	sumRetry map[string][]sealedSummary
+	// alerts holds sealed continuous-query alert pushes awaiting
+	// upward delivery — this node's own fires plus pushes absorbed
+	// verbatim from children, FIFO in seal order.
+	alerts map[string][]sealedAlert
 }
 
 // newPendingShards allocates n shards rounded up to a power of two
@@ -60,6 +64,7 @@ func newPendingShards(n int) []pendingShard {
 		shards[i].tags = make(map[string]describe.Tags)
 		shards[i].degraded = make(map[string]*degradeBuf)
 		shards[i].sumRetry = make(map[string][]sealedSummary)
+		shards[i].alerts = make(map[string][]sealedAlert)
 	}
 	return shards
 }

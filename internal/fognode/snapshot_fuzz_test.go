@@ -5,7 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"f2c/internal/aggregate"
+	"f2c/internal/cq"
 	"f2c/internal/model"
+	"f2c/internal/protocol"
 )
 
 // genShardState derives a random-but-valid delivery state from a seed:
@@ -13,7 +16,7 @@ import (
 // field values chosen to round-trip the sensor wire text exactly
 // (bounded strings without delimiter bytes, 5-decimal coordinates,
 // integral values).
-func genShardState(seed int64) (shards []pendingShard, seqCounter uint64, marks map[string][]uint64) {
+func genShardState(seed int64) (shards []pendingShard, seqCounter uint64, marks map[string][]uint64, subs []cq.SubSnapshot) {
 	rng := rand.New(rand.NewSource(seed))
 	shards = newPendingShards(4)
 	seqCounter = uint64(rng.Int63())
@@ -62,7 +65,47 @@ func genShardState(seed int64) (shards []pendingShard, seqCounter uint64, marks 
 			marks[origin] = append(marks[origin], uint64(rng.Int63())|1)
 		}
 	}
-	return shards, seqCounter, marks
+	// Queued continuous-query alert pushes (valid per the wire codec)
+	// and subscription snapshots.
+	for _, typ := range types[:rng.Intn(len(types))] {
+		target := &shards[shardIndex(typ, len(shards))]
+		for p := 0; p < 1+rng.Intn(3); p++ {
+			push := protocol.AlertPush{
+				Origin:   "fog1/fuzz",
+				Seq:      uint64(rng.Int63()) | 1,
+				TypeName: typ,
+				Category: model.CategoryUrban.String(),
+			}
+			for a := 0; a < 1+rng.Intn(3); a++ {
+				start := rng.Int63n(1 << 40)
+				push.Alerts = append(push.Alerts, protocol.Alert{
+					SubID:     "sub-" + string(rune('a'+a)),
+					FiredBy:   "fog1/fuzz",
+					Kind:      protocol.AlertKindWindow,
+					StartUnix: start,
+					EndUnix:   start + 1 + rng.Int63n(1<<20),
+					Summary:   aggregate.Summary{Count: 1 + int64(rng.Intn(100)), Sum: float64(rng.Intn(1000)), Min: 1, Max: 2},
+					Value:     float64(rng.Intn(100)),
+				})
+			}
+			target.alerts[typ] = append(target.alerts[typ], sealedAlert{push: push, seq: push.Seq})
+		}
+	}
+	for s := 0; s < rng.Intn(3); s++ {
+		subs = append(subs, cq.SubSnapshot{
+			Sub: cq.Subscription{
+				ID:       "sub-" + string(rune('a'+s)),
+				TypeName: types[rng.Intn(len(types))],
+				Kind:     cq.KindWindow,
+				Window:   time.Duration(1+rng.Intn(60)) * time.Minute,
+			},
+			Category:  model.CategoryUrban.String(),
+			Panes:     []cq.Pane{{Start: rng.Int63n(1 << 40), Summary: aggregate.Summary{Count: 3, Sum: 6, Min: 1, Max: 3}}},
+			Emitted:   []int64{rng.Int63n(1 << 40)},
+			Watermark: rng.Int63n(1 << 40),
+		})
+	}
+	return shards, seqCounter, marks, subs
 }
 
 // shardIndex mirrors Node.shardFor without a node.
@@ -90,11 +133,15 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 			_ = err
 		}
 
-		shards, seqCounter, marks := genShardState(seed)
-		data := encodeNodeSnapshot(nil, seqCounter, marks, shards)
+		shards, seqCounter, marks, subs := genShardState(seed)
+		data, err := encodeNodeSnapshot(nil, seqCounter, marks, shards, subs)
+		if err != nil {
+			t.Fatalf("encode of a well-formed state failed: %v", err)
+		}
 
-		// Size bound: header + marks + per-entry overhead + readings.
-		readings, entries, markCount := 0, 0, 0
+		// Size bound: header + marks + per-entry overhead + readings +
+		// cq sections.
+		readings, entries, markCount, pushes, instances := 0, 0, 0, 0, 0
 		for i := range shards {
 			for _, q := range shards[i].retry {
 				entries += len(q)
@@ -106,11 +153,18 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 				entries++
 				readings += len(b.Readings)
 			}
+			for _, q := range shards[i].alerts {
+				pushes += len(q)
+				for _, sa := range q {
+					instances += len(sa.push.Alerts)
+				}
+			}
 		}
 		for _, seqs := range marks {
 			markCount += len(seqs)
 		}
-		bound := 64 + 64*len(marks) + 16*markCount + 128*entries + 160*readings
+		bound := 64 + 64*len(marks) + 16*markCount + 128*entries + 160*readings +
+			128*pushes + 160*instances + 1024*len(subs)
 		if len(data) > bound {
 			t.Fatalf("snapshot size %d exceeds bound %d (%d entries, %d readings, %d marks)",
 				len(data), bound, entries, readings, markCount)
@@ -162,6 +216,30 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 					t.Fatalf("type %s: pending buffer lost", typ)
 				}
 				assertSameReadings(t, typ, tr.pending.Readings, p.Readings)
+			}
+			// Alert queues: every queued push must recover keyed by its
+			// (origin, seq) with its instances intact.
+			for typ, q := range sh.alerts {
+				for _, sa := range q {
+					got, ok := rs.alertByKey[alertKey{origin: sa.push.Origin, seq: sa.seq}]
+					if !ok {
+						t.Fatalf("type %s: queued push (%s, %d) lost", typ, sa.push.Origin, sa.seq)
+					}
+					if len(got.Alerts) != len(sa.push.Alerts) {
+						t.Fatalf("type %s push %d: %d alerts, want %d", typ, sa.seq, len(got.Alerts), len(sa.push.Alerts))
+					}
+				}
+			}
+		}
+		if len(rs.snapSubs) != len(subs) {
+			t.Fatalf("recovered %d subscriptions, want %d", len(rs.snapSubs), len(subs))
+		}
+		for i := range subs {
+			if rs.snapSubs[i].Sub != subs[i].Sub {
+				t.Fatalf("subscription %d = %+v, want %+v", i, rs.snapSubs[i].Sub, subs[i].Sub)
+			}
+			if rs.snapSubs[i].Watermark != subs[i].Watermark || len(rs.snapSubs[i].Panes) != len(subs[i].Panes) {
+				t.Fatalf("subscription %d state mismatch: %+v vs %+v", i, rs.snapSubs[i], subs[i])
 			}
 		}
 	})

@@ -1,0 +1,51 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAlertPayload hammers the alert-push wire format: arbitrary
+// bytes must never panic the decoder, and every accepted payload must
+// be stable through encode/decode — the canonical re-encoding of a
+// decoded push decodes to a push whose re-encoding is byte-identical
+// (bit-level float comparison, so NaN summary payloads cannot hide
+// loss from a struct comparison). Seed corpora live under
+// testdata/fuzz/FuzzAlertPayload; CI runs the corpus as a regression
+// test via `go test -run '^Fuzz'`.
+func FuzzAlertPayload(f *testing.F) {
+	// Minimal structural seeds; the committed corpus carries full
+	// valid pushes, truncations and hostile counts.
+	f.Add([]byte{})
+	f.Add([]byte{alertMagic})
+	f.Add([]byte{alertMagic, alertVersion})
+	f.Add([]byte{alertMagic, alertVersion, 0x02, 's', '1'})
+	f.Add([]byte{0xF5, 0x02, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeAlertPush(data)
+		if err != nil {
+			return
+		}
+		// Decode validates, so an accepted push must re-encode...
+		wire, err := EncodeAlertPush(decoded)
+		if err != nil {
+			t.Fatalf("re-encode of accepted push failed: %v", err)
+		}
+		// ...and the canonical form must be a fixed point.
+		again, err := DecodeAlertPush(wire)
+		if err != nil {
+			t.Fatalf("re-decode of canonical push failed: %v", err)
+		}
+		wire2, err := EncodeAlertPush(again)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("canonical round trip unstable:\nfirst:  %x\nsecond: %x", wire, wire2)
+		}
+		// Deterministic presentation order must not panic on any
+		// accepted instance mix.
+		SortAlerts(again.Alerts)
+	})
+}

@@ -21,19 +21,27 @@ import (
 //
 // Layout (all integers via the wal binary helpers):
 //
-//	0xF3 version=1
+//	0xF3 version=2
 //	typeName from to          (uvarint-prefixed strings)
 //	transferSeq               (8 bytes)
 //	nEntries { seq, payload } (sealed batch envelopes)
 //	nSummaries { seq, json }  (SummaryPush documents)
 //	markSet                   (origin -> seqs)
+//	nAlerts { seq, payload }  (encoded AlertPush pushes; v2 only)
+//	nSubs { json }            (cq subscription-state documents; v2 only)
+//
+// Version 2 appends the continuous-query sections: the moved type's
+// standing subscriptions (with their live window panes, so an open
+// window keeps accumulating on the new owner instead of double- or
+// zero-counting) and the queued alert pushes awaiting upward
+// delivery. A v1 payload still decodes (empty cq sections).
 //
 // A transfer is bounded by MaxMigrateWireSize; one transfer carries a
 // chunk of a shard, never the whole node state, which is what keeps
 // rebalance traffic proportional to the moved shards.
 const (
 	migrateMagic   = 0xF3
-	migrateVersion = 1
+	migrateVersion = 2
 )
 
 // migrateHeadroom is the room a transfer header, summaries, and marks
@@ -85,6 +93,15 @@ type MigrateSummary struct {
 	Push SummaryPush
 }
 
+// MigrateAlert is one queued continuous-query alert push moving to
+// the new owner. Its sequence shares the batch sequence space; the
+// payload is an encoded AlertPush kept opaque so the original
+// (Origin, Seq) identity and alert instances survive the move intact.
+type MigrateAlert struct {
+	Seq     uint64
+	Payload []byte
+}
+
 // MigrateTransfer is one chunk of a live shard handoff.
 type MigrateTransfer struct {
 	// TypeName is the sensor type whose ownership moves.
@@ -103,6 +120,12 @@ type MigrateTransfer struct {
 	// Marks is the slice of the source's replay-filter state moving
 	// with the shard.
 	Marks map[string][]uint64
+	// Alerts are the queued continuous-query pushes of the moved type,
+	// oldest first.
+	Alerts []MigrateAlert
+	// Subs are the moved type's standing subscriptions with their live
+	// window state, as opaque cq snapshot JSON documents.
+	Subs [][]byte
 }
 
 // Validate checks semantic invariants after a decode.
@@ -133,6 +156,19 @@ func (t *MigrateTransfer) Validate() error {
 		}
 		if err := t.Summaries[i].Push.Validate(); err != nil {
 			return fmt.Errorf("protocol: migration summary %d: %w", i, err)
+		}
+	}
+	for i := range t.Alerts {
+		if t.Alerts[i].Seq == 0 {
+			return fmt.Errorf("protocol: migration alert %d without a sequence", i)
+		}
+		if len(t.Alerts[i].Payload) == 0 {
+			return fmt.Errorf("protocol: migration alert %d without a payload", i)
+		}
+	}
+	for i := range t.Subs {
+		if len(t.Subs[i]) == 0 {
+			return fmt.Errorf("protocol: migration subscription %d without a document", i)
 		}
 	}
 	return nil
@@ -166,6 +202,15 @@ func AppendMigrateTransfer(dst []byte, t *MigrateTransfer) ([]byte, error) {
 		dst = wal.AppendBytes(dst, doc)
 	}
 	dst = wal.AppendMarkSet(dst, t.Marks)
+	dst = wal.AppendUvarint(dst, uint64(len(t.Alerts)))
+	for i := range t.Alerts {
+		dst = wal.AppendUint64(dst, t.Alerts[i].Seq)
+		dst = wal.AppendBytes(dst, t.Alerts[i].Payload)
+	}
+	dst = wal.AppendUvarint(dst, uint64(len(t.Subs)))
+	for i := range t.Subs {
+		dst = wal.AppendBytes(dst, t.Subs[i])
+	}
 	if size := len(dst) - start; size > MaxMigrateWireSize() {
 		return nil, &MigrateSizeError{Size: size, Limit: MaxMigrateWireSize()}
 	}
@@ -190,8 +235,9 @@ func DecodeMigrateTransfer(data []byte) (*MigrateTransfer, error) {
 	if data[0] != migrateMagic {
 		return nil, fmt.Errorf("protocol: bad migration magic 0x%02x", data[0])
 	}
-	if data[1] != migrateVersion {
-		return nil, fmt.Errorf("protocol: unsupported migration version %d", data[1])
+	version := data[1]
+	if version == 0 || version > migrateVersion {
+		return nil, fmt.Errorf("protocol: unsupported migration version %d", version)
 	}
 	rest := data[2:]
 	t := &MigrateTransfer{}
@@ -260,6 +306,49 @@ func DecodeMigrateTransfer(data []byte) (*MigrateTransfer, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("protocol: migration marks: %w", err)
+	}
+	if version >= 2 {
+		nAlerts, r, err := wal.ReadUvarint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: migration alert count: %w", err)
+		}
+		rest = r
+		if nAlerts > uint64(len(rest)) {
+			return nil, fmt.Errorf("protocol: migration claims %d alerts in %d bytes", nAlerts, len(rest))
+		}
+		if nAlerts > 0 {
+			t.Alerts = make([]MigrateAlert, 0, nAlerts)
+		}
+		for i := uint64(0); i < nAlerts; i++ {
+			var a MigrateAlert
+			if a.Seq, rest, err = wal.ReadUint64(rest); err != nil {
+				return nil, fmt.Errorf("protocol: migration alert %d seq: %w", i, err)
+			}
+			var payload []byte
+			if payload, rest, err = wal.ReadBytes(rest); err != nil {
+				return nil, fmt.Errorf("protocol: migration alert %d payload: %w", i, err)
+			}
+			a.Payload = append([]byte(nil), payload...)
+			t.Alerts = append(t.Alerts, a)
+		}
+		nSubs, r2, err := wal.ReadUvarint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: migration subscription count: %w", err)
+		}
+		rest = r2
+		if nSubs > uint64(len(rest)) {
+			return nil, fmt.Errorf("protocol: migration claims %d subscriptions in %d bytes", nSubs, len(rest))
+		}
+		if nSubs > 0 {
+			t.Subs = make([][]byte, 0, nSubs)
+		}
+		for i := uint64(0); i < nSubs; i++ {
+			var doc []byte
+			if doc, rest, err = wal.ReadBytes(rest); err != nil {
+				return nil, fmt.Errorf("protocol: migration subscription %d doc: %w", i, err)
+			}
+			t.Subs = append(t.Subs, append([]byte(nil), doc...))
+		}
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("protocol: %d trailing bytes after migration transfer", len(rest))

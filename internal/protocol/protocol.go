@@ -468,11 +468,31 @@ const (
 	// type-forwarding table the elastic rebalance installed, plus the
 	// live shard-migration counters (fog layers only).
 	OpRoutes ControlOp = "routes"
+	// OpSubscribe registers (or, with Remove set, cancels) a standing
+	// continuous-query subscription on a fog node. The subscription
+	// document rides in ControlRequest.Sub as raw JSON so the protocol
+	// package stays ignorant of the cq engine's schema.
+	OpSubscribe ControlOp = "subscribe"
+	// OpSubscriptions lists a fog node's standing subscriptions.
+	OpSubscriptions ControlOp = "subscriptions"
 )
 
 // ControlRequest is a control-plane command.
 type ControlRequest struct {
 	Op ControlOp `json:"op"`
+	// Sub is the cq.Subscription document for OpSubscribe, opaque to
+	// this package.
+	Sub json.RawMessage `json:"sub,omitempty"`
+	// Remove turns OpSubscribe into a cancellation of the subscription
+	// whose id matches Sub's "id" field.
+	Remove bool `json:"remove,omitempty"`
+}
+
+// SubscriptionsResponse lists a node's standing subscriptions as raw
+// cq.Subscription documents.
+type SubscriptionsResponse struct {
+	NodeID string            `json:"nodeId"`
+	Subs   []json.RawMessage `json:"subs,omitempty"`
 }
 
 // RoutesResponse reports a fog node's elastic-rebalance state: which

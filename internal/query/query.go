@@ -42,6 +42,12 @@ const (
 	SourceCloud    Source = "cloud"
 )
 
+// loserDrainGrace bounds how long a decided scatter-gather waits for
+// its cancelled losers to resolve so their failures can be reported.
+// Well-behaved probes resolve in microseconds after the cancel; only
+// a transport that ignores its context outlives this.
+const loserDrainGrace = 100 * time.Millisecond
+
 // LocalStore is the in-process store of the node an Engine acts for.
 // fognode.Node implements it; a pure network client leaves it nil.
 type LocalStore interface {
@@ -408,8 +414,10 @@ func (e *Engine) fanOutRange(ctx context.Context, targets []string, typeName str
 	}
 	var errs []error
 	var winner *probe
-	for i := 0; i < len(targets); i++ {
+	outstanding := len(targets)
+	for outstanding > 0 {
 		r := <-results
+		outstanding--
 		if r.err != nil {
 			// A cancelled loser is not a down endpoint — its probe was
 			// abandoned because the race was already won.
@@ -421,10 +429,37 @@ func (e *Engine) fanOutRange(ctx context.Context, targets []string, typeName str
 		}
 		if winner == nil && len(r.page.Readings) > 0 {
 			winner = &r
-			// First useful result: stop the losing probes. The loop
-			// keeps draining so already-failed targets are reported;
-			// cancelled probes return promptly.
+			// First useful result: stop the losing probes and stop
+			// BLOCKING on them — a loser stuck inside a Send that
+			// ignores the cancellation must not hang the gather (it
+			// resolves into the buffered channel whenever its
+			// transport finally returns, so nothing leaks forever).
 			cancel()
+			break
+		}
+	}
+	// Sweep up the losers: a probe that failed before the race was
+	// decided is worth reporting, and a cancelled loser resolves
+	// promptly — so drain under a short grace window rather than
+	// blocking indefinitely. Only a loser stuck inside a Send that
+	// ignores the cancellation outlives the grace; it resolves into
+	// the buffered channel whenever its transport finally returns,
+	// so nothing leaks forever.
+	if outstanding > 0 {
+		grace := time.NewTimer(loserDrainGrace)
+		defer grace.Stop()
+	drain:
+		for outstanding > 0 {
+			select {
+			case r := <-results:
+				outstanding--
+				if r.err != nil && !errors.Is(r.err, context.Canceled) {
+					errs = append(errs, r.err)
+					down = append(down, r.target)
+				}
+			case <-grace.C:
+				break drain
+			}
 		}
 	}
 	sort.Strings(down) // deterministic order for flags and messages
@@ -589,14 +624,32 @@ func (e *Engine) gatherSummaries(ctx context.Context, targets []string, typeName
 	total := aggregate.Summary{}
 	var down []string
 	var errs []error
+	received := make(map[string]bool, len(targets))
+gather:
 	for range targets {
-		r := <-results
-		if r.err != nil {
-			errs = append(errs, r.err)
-			down = append(down, r.target)
-			continue
+		select {
+		case r := <-results:
+			received[r.target] = true
+			if r.err != nil {
+				errs = append(errs, r.err)
+				down = append(down, r.target)
+				continue
+			}
+			total = total.Merge(r.sum.Normalize())
+		case <-fctx.Done():
+			// The fan-out deadline expired with partials still in
+			// flight — an owner's Send is ignoring the cancellation.
+			// Count the unfinished owners as down instead of blocking
+			// the aggregate on them; their goroutines resolve into the
+			// buffered channel whenever the transport returns.
+			for _, t := range targets {
+				if !received[t] {
+					errs = append(errs, fmt.Errorf("query: summary from %s: %w", t, fctx.Err()))
+					down = append(down, t)
+				}
+			}
+			break gather
 		}
-		total = total.Merge(r.sum)
 	}
 	sort.Strings(down) // deterministic order for flags and messages
 	if len(down) == len(targets) && len(targets) > 0 {
@@ -624,7 +677,9 @@ func (e *Engine) SummaryFrom(ctx context.Context, target, typeName string, from,
 	if err := protocol.DecodeJSON(reply, &resp); err != nil {
 		return aggregate.Summary{}, err
 	}
-	return resp.Summary, nil
+	// Normalize at the trust boundary: a Count==0 summary off the wire
+	// must be the identity, whatever its Min/Max bytes claim.
+	return resp.Summary.Normalize(), nil
 }
 
 // queryPage sends one query and opens the binary page reply. All

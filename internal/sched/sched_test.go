@@ -18,8 +18,8 @@ func TestTokenBucketDeterminism(t *testing.T) {
 		base := time.Unix(1000, 0)
 		b := NewTokenBucket(10, 20, base) // 10 tokens/s, capacity 20, starts full
 		var got []bool
-		got = append(got, b.Take(base, 15))                         // 20 -> 5
-		got = append(got, b.Take(base, 10))                         // 5 < 10: deny
+		got = append(got, b.Take(base, 15))                           // 20 -> 5
+		got = append(got, b.Take(base, 10))                           // 5 < 10: deny
 		got = append(got, b.Take(base.Add(500*time.Millisecond), 10)) // 5+5 = 10: take -> 0
 		got = append(got, b.Take(base.Add(600*time.Millisecond), 2))  // 1 < 2: deny
 		got = append(got, b.Take(base.Add(5*time.Second), 20))        // capped at 20: take

@@ -51,6 +51,13 @@ const (
 	// identity and delivery sequences, so downstream dedup is
 	// unaffected by the move.
 	KindMigrate Kind = "migrate"
+	// KindAlertPush carries continuous-query results moving upward:
+	// window summaries and threshold alerts fired by a standing fog
+	// subscription travel under this kind (on the ingest stream — it
+	// is write traffic, like KindSummaryPush) with the same
+	// at-least-once (origin, seq) identity batches have, so the
+	// parent's replay filter dedups retried pushes.
+	KindAlertPush Kind = "alertpush"
 )
 
 // ClassQuery is the traffic-matrix class tagging query and summary
@@ -71,7 +78,7 @@ const ClassMigrate = "migrate"
 // scheduler gating each node's handler path.
 func ClassNameOf(k Kind) string {
 	switch k {
-	case KindBatch, KindSummaryPush:
+	case KindBatch, KindSummaryPush, KindAlertPush:
 		return "ingest"
 	case KindRelay, KindMigrate:
 		return "relay"

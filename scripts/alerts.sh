@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# alerts.sh — the continuous-query acceptance run, recorded in
+# BENCH_PR10.json. Two parts:
+#
+#   chaos    the seeded alert-churn schedule: standing window and
+#            threshold subscriptions keep firing while fog layer 1
+#            partitions, crashes and reboots (durable journals on),
+#            and every run asserts the exactly-once alert ledger —
+#            every fired instance archived at the cloud, nothing
+#            phantom, wire-level duplicates absorbed by instance
+#            dedup — plus seed reproducibility.
+#   bench    cmd/f2cbench -exp alerts: the same alerting function
+#            costed two ways over a seeded day — standing queries
+#            evaluated on the ingest hot path (only fired alert
+#            pushes cross the WAN) vs a cloud-side poller fetching
+#            each section's current window aggregate over the real
+#            summary wire path. The verdict demands the incremental
+#            plane moves at least ALERTS_MIN_RATIO x fewer WAN bytes
+#            while catching every jam the poller could see.
+#
+# Usage:
+#   scripts/alerts.sh              # full run, writes BENCH_PR10.json
+#   scripts/alerts.sh quick        # CI smoke: fewer seeds, shorter day
+#   scripts/alerts.sh full out.json
+#
+# Scale knobs (env): ALERTS_SEEDS (chaos seeds, default 5),
+# ALERTS_HOURS (simulated bench span, default 6), ALERTS_POLL_SECONDS
+# (baseline poll cadence, default 60), ALERTS_MIN_RATIO (default 10),
+# ALERTS_BENCH_SEED (default 1).
+set -eu
+
+cd "$(dirname "$0")/.."
+MODE="${1:-full}"
+OUT="${2:-BENCH_PR10.json}"
+SEEDS="${ALERTS_SEEDS:-5}"
+HOURS="${ALERTS_HOURS:-6}"
+POLL_SECONDS="${ALERTS_POLL_SECONDS:-60}"
+MIN_RATIO="${ALERTS_MIN_RATIO:-10}"
+BENCH_SEED="${ALERTS_BENCH_SEED:-1}"
+
+if [ "$MODE" = "quick" ]; then
+	SEEDS=1
+	HOURS="${ALERTS_HOURS:-3}"
+	echo "== chaos smoke: alert-churn exactly-once ledger, $SEEDS seed(s)"
+	go test ./internal/chaos/ -run 'TestChaosAlertExactlyOnce' \
+		-v -chaos.seeds "$SEEDS"
+else
+	echo "== chaos sweep: alert-churn schedule, $SEEDS seeds"
+	go test ./internal/chaos/ -run 'TestChaosAlertExactlyOnce|TestChaosScenarios/alert' \
+		-v -chaos.seeds "$SEEDS"
+fi
+
+echo "== alerts bench: incremental fog-tier alerting vs WAN polling"
+go run ./cmd/f2cbench -exp alerts -seed "$BENCH_SEED" \
+	-hours "$HOURS" -poll-seconds "$POLL_SECONDS" \
+	-min-wan-ratio "$MIN_RATIO" -json "$OUT"
